@@ -1,0 +1,57 @@
+// Command nbodysim regenerates the Appendix B N-body experiments:
+// Figure 3 / Figure 15 scalability sweeps, the Figures 4-6 / 16-18
+// performance budgets, and the serial-time table rows, on the simulated
+// Paragon or T3D.
+//
+// Usage:
+//
+//	nbodysim                          # Paragon scalability + budgets
+//	nbodysim -machine t3d             # the T3D variants
+//	nbodysim -sizes 1024,4096 -procs 1,2,4,8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wavelethpc/internal/cli"
+	"wavelethpc/internal/nbody"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nbodysim: ")
+	var (
+		machine = flag.String("machine", "paragon", "machine preset: paragon or t3d")
+		sizes   = flag.String("sizes", "1024,4096,32768", "comma-separated body counts")
+		procsF  = flag.String("procs", "1,2,4,8,16,32", "comma-separated processor counts")
+		steps   = flag.Int("steps", 1, "simulated time steps per run")
+		seed    = flag.Int64("seed", 1, "initial-condition seed")
+	)
+	flag.Parse()
+
+	table, err := nbody.SerialTable(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Serial per-iteration times (Appendix B Tables 1-2, N-body rows) ===")
+	fmt.Println(table)
+
+	procs, err := cli.ParseInts(*procsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns, err := cli.ParseInts(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range ns {
+		fmt.Printf("=== Scalability and performance budget, %d bodies on %s ===\n", n, *machine)
+		res, err := nbody.RunScaling(*machine, n, procs, *steps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(nbody.FormatScaling(*machine, res))
+	}
+}

@@ -1,0 +1,81 @@
+// Command picsim regenerates the Appendix B PIC experiments: Figures 7-9
+// and 19-20 scalability (including the superlinear paging column),
+// Figure 10 / 21 communication balance, Figures 11-14 / 22-25 performance
+// budgets, the serial tables, and the gssum-versus-parallel-prefix
+// ablation.
+//
+// Usage:
+//
+//	picsim                                        # Paragon, m=32
+//	picsim -grid 64 -particles 262144,2097152     # Figure 8 shape
+//	picsim -machine t3d                           # T3D variants
+//	picsim -gssum                                 # global-sum ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wavelethpc/internal/cli"
+	"wavelethpc/internal/pic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("picsim: ")
+	var (
+		machine   = flag.String("machine", "paragon", "machine preset: paragon or t3d")
+		grid      = flag.Int("grid", 32, "grid edge (32 or 64 are calibrated)")
+		particles = flag.String("particles", "262144,1048576", "comma-separated particle counts")
+		procsF    = flag.String("procs", "1,2,4,8,16,32", "comma-separated processor counts (powers of two)")
+		steps     = flag.Int("steps", 1, "iterations per run")
+		seed      = flag.Int64("seed", 1, "initial-condition seed")
+		gssum     = flag.Bool("gssum", false, "run the gssum-vs-prefix global-sum ablation")
+	)
+	flag.Parse()
+
+	table, err := pic.SerialTable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Serial per-iteration times (Appendix B Tables 1-2, PIC rows) ===")
+	fmt.Println(table)
+
+	procs, err := cli.ParseInts(*procsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nps, err := cli.ParseInts(*particles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, np := range nps {
+		fmt.Printf("=== PIC scalability, %d particles, m=%d, %s ===\n", np, *grid, *machine)
+		res, err := pic.RunScaling(*machine, np, *grid, procs, *steps, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(pic.FormatScaling(*machine, res))
+		fmt.Printf("%6s %14s %14s   (communication balance, Figure 10)\n", "P", "avg comm(s)", "max comm(s)")
+		for _, r := range res {
+			fmt.Printf("%6d %14.4g %14.4g\n", r.Procs, r.AvgComm, r.MaxComm)
+		}
+		fmt.Println()
+	}
+
+	if *gssum {
+		fmt.Println("=== Global-sum ablation: gssum vs parallel-prefix (per-iteration seconds) ===")
+		fmt.Printf("%6s %12s %12s %8s\n", "P", "gssum", "prefix", "ratio")
+		for _, p := range procs {
+			if p < 2 {
+				continue
+			}
+			naive, prefix, err := pic.GlobalSumComparison(*machine, 65536, *grid, p, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%6d %12.4g %12.4g %8.2f\n", p, naive, prefix, naive/prefix)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command tracegen is the spy/SITA-style trace pipeline: it generates the
+// synthetic NAS-like kernel traces to binary files, and analyzes saved
+// traces under the oracle, finite-functional-unit, and finite-window
+// models.
+//
+// Usage:
+//
+//	tracegen -gen -dir traces/              # write all kernel traces
+//	tracegen -analyze traces/embar.trc      # schedule + characterize one
+//	tracegen -analyze traces/embar.trc -width 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"wavelethpc/internal/oracle"
+	"wavelethpc/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		gen     = flag.Bool("gen", false, "generate all NAS-like kernel traces")
+		dir     = flag.String("dir", ".", "directory for generated traces")
+		analyze = flag.String("analyze", "", "trace file to analyze")
+		width   = flag.Int("width", 0, "also list-schedule with this issue width")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		for _, spec := range oracle.NASKernels() {
+			trace := spec.Generate()
+			path := filepath.Join(*dir, spec.Name+".trc")
+			if err := oracle.SaveTrace(path, trace); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d instructions)\n", path, len(trace))
+		}
+	case *analyze != "":
+		trace, err := oracle.LoadTrace(*analyze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pis := oracle.Schedule(trace)
+		stats := oracle.Summarize(pis)
+		cent := workload.Centroid(pis)
+		fmt.Printf("trace: %s\n", *analyze)
+		fmt.Printf("dynamic operations : %.0f\n", stats.Ops)
+		fmt.Printf("oracle CPL         : %d cycles\n", stats.CPL)
+		fmt.Printf("average parallelism: %.2f\n", stats.AvgParallelism)
+		fmt.Printf("centroid           : Int=%.2f Mem=%.2f FP=%.2f Ctl=%.2f Br=%.2f\n",
+			cent[oracle.IntOp], cent[oracle.MemOp], cent[oracle.FPOp], cent[oracle.CtlOp], cent[oracle.BranchOp])
+		sm, _, limited, delay := oracle.Smoothability(trace)
+		fmt.Printf("smoothability      : %.5f (CPL %d at P=avg, mean delay %.2f)\n", sm, limited, delay)
+		exec := oracle.Summarize(oracle.ScheduleTyped(trace, oracle.CrayYMPLimits()))
+		fmt.Printf("executed (Y-MP FUs): avg parallelism %.2f over %d cycles\n", exec.AvgParallelism, exec.CPL)
+		if *width > 0 {
+			cycles, d := oracle.ScheduleLimited(trace, *width)
+			fmt.Printf("width %-4d         : %d cycles, mean delay %.2f\n", *width, cycles, d)
+		}
+	default:
+		log.Fatal("need -gen or -analyze FILE")
+	}
+}

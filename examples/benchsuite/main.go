@@ -1,0 +1,63 @@
+// Benchsuite: Appendix C's intended use case — quantifying whether a
+// benchmark suite's workloads are redundant. Defines a small custom suite
+// of synthetic kernels, schedules them on the oracle model, and uses
+// centroids + normalized-Euclidean similarity to flag near-duplicate
+// workloads a suite designer could drop.
+//
+//	go run ./examples/benchsuite
+package main
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/oracle"
+	"wavelethpc/internal/workload"
+)
+
+func main() {
+	// A candidate suite: two dense fp kernels that differ only in tiling
+	// (suspiciously similar), one integer-sort-like kernel, one wide
+	// data-parallel kernel.
+	suite := []oracle.KernelSpec{
+		{Name: "stencil-a", Chains: 64, ChainLen: 12, Phases: 2, NarrowFrac: 0.8,
+			Mix: [oracle.NumOpTypes]float64{oracle.IntOp: 4, oracle.MemOp: 3, oracle.FPOp: 2, oracle.BranchOp: 1}},
+		{Name: "stencil-b", Chains: 72, ChainLen: 12, Phases: 2, NarrowFrac: 0.75,
+			Mix: [oracle.NumOpTypes]float64{oracle.IntOp: 4, oracle.MemOp: 3, oracle.FPOp: 2, oracle.BranchOp: 1}},
+		{Name: "sortish", Chains: 6, ChainLen: 16, Phases: 4, NarrowFrac: 0.5,
+			Mix: [oracle.NumOpTypes]float64{oracle.IntOp: 5, oracle.MemOp: 4, oracle.BranchOp: 2}},
+		{Name: "widefp", Chains: 900, ChainLen: 10, Phases: 2, NarrowFrac: 0.9,
+			Mix: [oracle.NumOpTypes]float64{oracle.IntOp: 2, oracle.MemOp: 2, oracle.FPOp: 5, oracle.BranchOp: 1}},
+	}
+
+	names := make([]string, 0, len(suite))
+	cents := map[string]oracle.PI{}
+	fmt.Println("workload characterization (oracle model):")
+	for _, spec := range suite {
+		trace := spec.Generate()
+		pis := oracle.Schedule(trace)
+		stats := oracle.Summarize(pis)
+		sm, _, _, _ := oracle.Smoothability(trace)
+		cents[spec.Name] = workload.Centroid(pis)
+		names = append(names, spec.Name)
+		fmt.Printf("  %-10s %8.0f ops, avg parallelism %7.1f, smoothability %.3f\n",
+			spec.Name, stats.Ops, stats.AvgParallelism, sm)
+	}
+
+	fmt.Println("\ncentroids (how each workload exercises a machine per cycle):")
+	fmt.Println(workload.FormatCentroids(names, cents))
+
+	fmt.Println("pairwise similarity (0 identical, 1 orthogonal):")
+	m := workload.SimilarityMatrix(names, cents)
+	fmt.Println(workload.FormatSimilarity(names, m))
+
+	// Flag redundant pairs the way a suite designer would.
+	const redundancy = 0.15
+	for i := range names {
+		for j := 0; j < i; j++ {
+			if m[i][j] < redundancy {
+				fmt.Printf("suite advice: %s and %s exercise machines nearly identically (%.3f) — consider dropping one\n",
+					names[i], names[j], m[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Registration: the wavelet image-registration application the paper's
+// introduction motivates (Le Moigne's remote-sensing registration work).
+// A synthetic Landsat scene is shifted and noised; the coarse-to-fine
+// pyramid search recovers the translation at a fraction of the cost of
+// exhaustive correlation.
+//
+//	go run ./examples/registration
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/registration"
+)
+
+func main() {
+	fixed := image.Landsat(512, 512, 42)
+	truth := registration.Shift{DY: 23, DX: -41}
+	moving := registration.CircularShift(fixed, truth)
+
+	// Sensor noise at ~2% of the dynamic range.
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < moving.Rows; r++ {
+		row := moving.Row(r)
+		for c := range row {
+			row[c] += rng.NormFloat64() * 5
+		}
+	}
+
+	res, err := registration.Register(fixed, moving, registration.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true shift      : dy=%d dx=%d\n", truth.DY, truth.DX)
+	fmt.Printf("estimated shift : dy=%d dx=%d\n", res.Shift.DY, res.Shift.DX)
+	fmt.Printf("residual SSD/pixel: %.3f (noise floor σ² = 25)\n", res.Score)
+	fmt.Printf("SSD evaluations : %d via pyramid vs %d exhaustive (%.0fx fewer)\n",
+		res.Evaluations,
+		registration.ExhaustiveEvaluations(4, 4),
+		float64(registration.ExhaustiveEvaluations(4, 4))/float64(res.Evaluations))
+	if res.Shift == truth {
+		fmt.Println("registration: exact recovery")
+	} else {
+		fmt.Println("registration: MISMATCH")
+	}
+}

@@ -1,0 +1,3 @@
+module wavelethpc
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package budget implements the performance-budget model of the report's
+// Appendix B: the parallel execution session is broken into non-overlapping
+// useful processing time and overhead components — communication,
+// redundancy (split into parallel duplication and unique parallelization
+// redundancy), and imbalance/wait — each reported as a percentage of the
+// parallel execution time.
+package budget
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind labels where a slice of a rank's virtual time went.
+type Kind int
+
+const (
+	// Useful is productive application work.
+	Useful Kind = iota
+	// Comm is time inside communication calls, measured "from the point
+	// of initiating the communication system call, till the call
+	// returns" (Appendix B §3).
+	Comm
+	// Duplication is redundancy where every rank performs the same
+	// operation on the same data (e.g. identical loop-bound setup).
+	Duplication
+	// UniqueRedundancy is work that exists only to enable the
+	// parallelization (e.g. domain-decomposition index arithmetic).
+	UniqueRedundancy
+	numKinds
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Useful:
+		return "useful"
+	case Comm:
+		return "comm"
+	case Duplication:
+		return "duplication"
+	case UniqueRedundancy:
+		return "unique-redundancy"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Tracker accumulates one rank's time-budget counters.
+type Tracker struct {
+	buckets [numKinds]float64
+}
+
+// Add charges d seconds of the given kind. Negative charges panic.
+func (t *Tracker) Add(k Kind, d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("budget: negative charge %g to %v", d, k))
+	}
+	t.buckets[k] += d
+}
+
+// Get returns the accumulated seconds of a kind.
+func (t *Tracker) Get(k Kind) float64 { return t.buckets[k] }
+
+// Total returns the sum over all kinds (the rank's busy time).
+func (t *Tracker) Total() float64 {
+	var s float64
+	for _, v := range t.buckets {
+		s += v
+	}
+	return s
+}
+
+// Report is the aggregated budget of one parallel run.
+type Report struct {
+	// Ranks is the number of processors.
+	Ranks int
+	// Elapsed is the parallel execution time (max completion over ranks).
+	Elapsed float64
+	// UsefulPct, CommPct, RedundancyPct, ImbalancePct are the budget
+	// components as percentages of Elapsed, averaged over ranks.
+	// Imbalance follows the paper: the difference between the maximum
+	// and minimum completion times over all processors.
+	UsefulPct, CommPct, RedundancyPct, ImbalancePct float64
+	// AvgComm and MaxComm are the mean and maximum per-rank seconds
+	// spent communicating (the paper's Figure 10 comparison).
+	AvgComm, MaxComm float64
+	// MinCompletion, MaxCompletion are the extreme rank completion times.
+	MinCompletion, MaxCompletion float64
+}
+
+// Aggregate combines per-rank trackers and completion times into a Report.
+// completions[i] is rank i's finish time on the shared virtual (or wall)
+// clock; len(trackers) must equal len(completions) and be non-zero.
+func Aggregate(trackers []*Tracker, completions []float64) Report {
+	n := len(trackers)
+	if n == 0 || n != len(completions) {
+		panic("budget: Aggregate needs matching non-empty trackers and completions")
+	}
+	rep := Report{Ranks: n}
+	rep.MinCompletion, rep.MaxCompletion = completions[0], completions[0]
+	var useful, comm, red float64
+	for i, tr := range trackers {
+		useful += tr.Get(Useful)
+		comm += tr.Get(Comm)
+		red += tr.Get(Duplication) + tr.Get(UniqueRedundancy)
+		if completions[i] < rep.MinCompletion {
+			rep.MinCompletion = completions[i]
+		}
+		if completions[i] > rep.MaxCompletion {
+			rep.MaxCompletion = completions[i]
+		}
+		if c := tr.Get(Comm); c > rep.MaxComm {
+			rep.MaxComm = c
+		}
+	}
+	rep.Elapsed = rep.MaxCompletion
+	rep.AvgComm = comm / float64(n)
+	if rep.Elapsed <= 0 {
+		return rep
+	}
+	fn := float64(n)
+	rep.UsefulPct = useful / fn / rep.Elapsed * 100
+	rep.CommPct = comm / fn / rep.Elapsed * 100
+	rep.RedundancyPct = red / fn / rep.Elapsed * 100
+	rep.ImbalancePct = (rep.MaxCompletion - rep.MinCompletion) / rep.Elapsed * 100
+	return rep
+}
+
+// String renders the report as a one-line budget summary.
+func (r Report) String() string {
+	return fmt.Sprintf("P=%d elapsed=%.4gs useful=%.1f%% comm=%.1f%% redundancy=%.1f%% imbalance=%.1f%%",
+		r.Ranks, r.Elapsed, r.UsefulPct, r.CommPct, r.RedundancyPct, r.ImbalancePct)
+}
+
+// Table renders a slice of reports (e.g. one per processor count) as an
+// aligned text table with the given title, matching the stacked-budget
+// figures of Appendix B.
+func Table(title string, reports []Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%6s %12s %8s %8s %11s %10s\n", "P", "elapsed(s)", "useful%", "comm%", "redundancy%", "imbalance%")
+	sorted := make([]Report, len(reports))
+	copy(sorted, reports)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ranks < sorted[j].Ranks })
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%6d %12.4g %8.1f %8.1f %11.1f %10.1f\n",
+			r.Ranks, r.Elapsed, r.UsefulPct, r.CommPct, r.RedundancyPct, r.ImbalancePct)
+	}
+	return b.String()
+}
+
+// Speedup computes serial/parallel speedups and efficiencies for a set of
+// elapsed times keyed by processor count, against the given
+// single-processor time.
+type Speedup struct {
+	Procs      []int
+	Elapsed    []float64
+	Speedup    []float64
+	Efficiency []float64
+}
+
+// ComputeSpeedup builds a Speedup table from (procs, elapsed) pairs and a
+// serial reference time.
+func ComputeSpeedup(serial float64, procs []int, elapsed []float64) Speedup {
+	if len(procs) != len(elapsed) {
+		panic("budget: ComputeSpeedup length mismatch")
+	}
+	s := Speedup{Procs: procs, Elapsed: elapsed}
+	s.Speedup = make([]float64, len(procs))
+	s.Efficiency = make([]float64, len(procs))
+	for i := range procs {
+		if elapsed[i] > 0 {
+			s.Speedup[i] = serial / elapsed[i]
+			s.Efficiency[i] = s.Speedup[i] / float64(procs[i])
+		}
+	}
+	return s
+}
+
+// String renders the speedup table.
+func (s Speedup) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %12s %9s %11s\n", "P", "elapsed(s)", "speedup", "efficiency")
+	for i := range s.Procs {
+		fmt.Fprintf(&b, "%6d %12.4g %9.2f %11.2f\n", s.Procs[i], s.Elapsed[i], s.Speedup[i], s.Efficiency[i])
+	}
+	return b.String()
+}

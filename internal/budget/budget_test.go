@@ -1,0 +1,191 @@
+package budget
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTrackerAccumulates(t *testing.T) {
+	var tr Tracker
+	tr.Add(Useful, 2)
+	tr.Add(Useful, 3)
+	tr.Add(Comm, 1)
+	tr.Add(Duplication, 0.5)
+	tr.Add(UniqueRedundancy, 0.25)
+	if tr.Get(Useful) != 5 || tr.Get(Comm) != 1 {
+		t.Errorf("Get: useful=%g comm=%g", tr.Get(Useful), tr.Get(Comm))
+	}
+	if tr.Total() != 6.75 {
+		t.Errorf("Total = %g, want 6.75", tr.Total())
+	}
+}
+
+func TestTrackerPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative charge")
+		}
+	}()
+	new(Tracker).Add(Comm, -1)
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Useful: "useful", Comm: "comm", Duplication: "duplication", UniqueRedundancy: "unique-redundancy"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestAggregateSingleRank(t *testing.T) {
+	var tr Tracker
+	tr.Add(Useful, 8)
+	tr.Add(Comm, 2)
+	rep := Aggregate([]*Tracker{&tr}, []float64{10})
+	if rep.Ranks != 1 || rep.Elapsed != 10 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if math.Abs(rep.UsefulPct-80) > 1e-9 || math.Abs(rep.CommPct-20) > 1e-9 {
+		t.Errorf("useful=%g comm=%g", rep.UsefulPct, rep.CommPct)
+	}
+	if rep.ImbalancePct != 0 {
+		t.Errorf("single-rank imbalance = %g", rep.ImbalancePct)
+	}
+}
+
+func TestAggregateImbalanceIsMaxMinusMin(t *testing.T) {
+	t1, t2 := &Tracker{}, &Tracker{}
+	t1.Add(Useful, 10)
+	t2.Add(Useful, 6)
+	rep := Aggregate([]*Tracker{t1, t2}, []float64{10, 6})
+	if rep.Elapsed != 10 {
+		t.Errorf("elapsed = %g", rep.Elapsed)
+	}
+	// Imbalance = (10-6)/10 = 40%.
+	if math.Abs(rep.ImbalancePct-40) > 1e-9 {
+		t.Errorf("imbalance = %g, want 40", rep.ImbalancePct)
+	}
+	// Useful averaged over ranks: (10+6)/2 / 10 = 80%.
+	if math.Abs(rep.UsefulPct-80) > 1e-9 {
+		t.Errorf("useful = %g, want 80", rep.UsefulPct)
+	}
+}
+
+func TestAggregateCommStats(t *testing.T) {
+	t1, t2, t3 := &Tracker{}, &Tracker{}, &Tracker{}
+	t1.Add(Comm, 1)
+	t2.Add(Comm, 2)
+	t3.Add(Comm, 6)
+	rep := Aggregate([]*Tracker{t1, t2, t3}, []float64{7, 7, 7})
+	if rep.AvgComm != 3 || rep.MaxComm != 6 {
+		t.Errorf("avg=%g max=%g", rep.AvgComm, rep.MaxComm)
+	}
+}
+
+func TestAggregateRedundancyCombines(t *testing.T) {
+	tr := &Tracker{}
+	tr.Add(Duplication, 1)
+	tr.Add(UniqueRedundancy, 3)
+	rep := Aggregate([]*Tracker{tr}, []float64{8})
+	if math.Abs(rep.RedundancyPct-50) > 1e-9 {
+		t.Errorf("redundancy = %g, want 50", rep.RedundancyPct)
+	}
+}
+
+func TestAggregatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Aggregate([]*Tracker{{}}, []float64{1, 2})
+}
+
+func TestAggregateZeroElapsed(t *testing.T) {
+	rep := Aggregate([]*Tracker{{}}, []float64{0})
+	if rep.UsefulPct != 0 || rep.Elapsed != 0 {
+		t.Errorf("zero-elapsed rep = %+v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	tr := &Tracker{}
+	tr.Add(Useful, 1)
+	s := Aggregate([]*Tracker{tr}, []float64{1}).String()
+	if !strings.Contains(s, "P=1") || !strings.Contains(s, "useful=100.0%") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTableSortsByRanks(t *testing.T) {
+	mk := func(p int) Report {
+		tr := &Tracker{}
+		tr.Add(Useful, 1)
+		reps := make([]*Tracker, p)
+		comps := make([]float64, p)
+		for i := range reps {
+			reps[i] = tr
+			comps[i] = 1
+		}
+		return Aggregate(reps, comps)
+	}
+	out := Table("title", []Report{mk(8), mk(2), mk(4)})
+	i2 := strings.Index(out, "\n     2")
+	i4 := strings.Index(out, "\n     4")
+	i8 := strings.Index(out, "\n     8")
+	if !(i2 < i4 && i4 < i8) || i2 < 0 {
+		t.Errorf("table rows not sorted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("missing title")
+	}
+}
+
+func TestComputeSpeedup(t *testing.T) {
+	s := ComputeSpeedup(10, []int{1, 2, 4}, []float64{10, 5, 4})
+	if s.Speedup[0] != 1 || s.Speedup[1] != 2 || s.Speedup[2] != 2.5 {
+		t.Errorf("speedups = %v", s.Speedup)
+	}
+	if s.Efficiency[1] != 1 || math.Abs(s.Efficiency[2]-0.625) > 1e-12 {
+		t.Errorf("efficiencies = %v", s.Efficiency)
+	}
+	out := s.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "2.50") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestComputeSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatch")
+		}
+	}()
+	ComputeSpeedup(1, []int{1, 2}, []float64{1})
+}
+
+func TestComputeSpeedupZeroElapsed(t *testing.T) {
+	s := ComputeSpeedup(10, []int{1}, []float64{0})
+	if s.Speedup[0] != 0 {
+		t.Errorf("speedup for zero elapsed = %g, want 0 sentinel", s.Speedup[0])
+	}
+}
+
+func TestTrackerZeroValueUsable(t *testing.T) {
+	var tr Tracker
+	if tr.Total() != 0 {
+		t.Error("zero tracker has nonzero total")
+	}
+	rep := Aggregate([]*Tracker{&tr}, []float64{1})
+	if rep.UsefulPct != 0 || rep.CommPct != 0 {
+		t.Error("zero tracker produced nonzero percentages")
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if Kind(99).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}

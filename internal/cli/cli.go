@@ -1,0 +1,41 @@
+// Package cli holds small helpers shared by the cmd/ tools: list-flag
+// parsing and aligned table writing.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseInts parses a comma-separated list of positive integers such as a
+// processor-count sweep ("1,2,4,8,16,32").
+func ParseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cli: empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad value %q: %w", part, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("cli: value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// PowersOfTwo reports whether every value is a power of two (the PIC
+// drivers require it).
+func PowersOfTwo(vals []int) bool {
+	for _, v := range vals {
+		if v < 1 || v&(v-1) != 0 {
+			return false
+		}
+	}
+	return true
+}

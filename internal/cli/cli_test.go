@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1, 2,4 ,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Errorf("ParseInts = %v", got)
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	for _, s := range []string{"", "a", "1,,2", "0", "-3", "1,2,x"} {
+		if _, err := ParseInts(s); err == nil {
+			t.Errorf("ParseInts(%q) accepted", s)
+		}
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	if !PowersOfTwo([]int{1, 2, 4, 32}) {
+		t.Error("valid powers rejected")
+	}
+	if PowersOfTwo([]int{1, 3}) || PowersOfTwo([]int{0}) {
+		t.Error("non-powers accepted")
+	}
+	if !PowersOfTwo(nil) {
+		t.Error("empty list rejected")
+	}
+}

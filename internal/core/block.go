@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/nx"
+	"wavelethpc/internal/wavelet"
+)
+
+// Block decomposition: the alternative the paper's Figure 3 argues
+// against. The image is split into a gx×gy grid of rectangular blocks, so
+// every level needs TWO guard-zone exchanges — an east guard for the row
+// filtering (rows are no longer locally complete) and a south guard for
+// the column filtering — doubling the per-level transaction count compared
+// to striping.
+
+// BlockGrid picks the most square gx×gy factorization of p with gx >= gy
+// (wider than tall, like the images).
+func BlockGrid(p int) (gx, gy int) {
+	// gy is the largest divisor of p not exceeding sqrt(p).
+	gy = 1
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			gy = d
+		}
+	}
+	return p / gy, gy
+}
+
+// validateBlock checks the block decomposition's divisibility and guard
+// constraints for every level.
+func validateBlock(rows, cols, gx, gy, f, levels int) error {
+	if err := wavelet.CheckDecomposable(rows, cols, levels); err != nil {
+		return err
+	}
+	dr := rows >> uint(levels-1)
+	dc := cols >> uint(levels-1)
+	if dr%gy != 0 || dc%gx != 0 {
+		return fmt.Errorf("core: deepest level %dx%d not divisible by %dx%d block grid", dr, dc, gx, gy)
+	}
+	br, bc := dr/gy, dc/gx
+	if br%2 != 0 || bc%2 != 0 {
+		return fmt.Errorf("core: deepest block %dx%d has odd dimension", br, bc)
+	}
+	if f-2 > br || f-2 > bc {
+		return fmt.Errorf("core: filter length %d needs %d guard lines but deepest blocks are %dx%d", f, f-2, br, bc)
+	}
+	return nil
+}
+
+// BlockDecompose runs the block-distributed SPMD decomposition on the
+// simulated machine. Ranks are laid out row-major over the block grid.
+// Like DistributedDecompose it moves real pixel data, so results are
+// verified against the sequential transform.
+func BlockDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) {
+	p := cfg.Procs
+	f := cfg.Bank.Len()
+	gx, gy := BlockGrid(p)
+	if err := validateBlock(im.Rows, im.Cols, gx, gy, f, cfg.Levels); err != nil {
+		return nil, err
+	}
+	cost := cfg.Machine.Cost
+	collected := make([]stripeBands, p)
+
+	prog := func(r *nx.Rank) {
+		id := r.ID()
+		bx, by := id%gx, id/gx
+		var ph rankPhases
+
+		// --- Scatter: root ships each rank its block -----------------
+		br0, bc0 := im.Rows/gy, im.Cols/gx
+		var parts [][]float64
+		if id == 0 {
+			parts = make([][]float64, p)
+			for i := 0; i < p; i++ {
+				ibx, iby := i%gx, i/gx
+				sub := im.Sub(iby*br0, ibx*bc0, br0, bc0)
+				parts[i] = flattenRows(sub, 0, br0)
+			}
+			r.Compute(float64(im.Rows*im.Cols*8)*cost.MemByteTime, budget.UniqueRedundancy)
+		}
+		block := imageFromFlat(br0, bc0, r.Scatter(0, parts))
+		ph.afterScatter = r.Clock()
+
+		// Grid-neighbor rank helpers (periodic wrap in both directions).
+		east := by*gx + (bx+1)%gx
+		west := by*gx + (bx-1+gx)%gx
+		south := ((by+1)%gy)*gx + bx
+		north := ((by-1+gy)%gy)*gx + bx
+
+		myBands := stripeBands{details: make([][3][]float64, cfg.Levels)}
+		for l := 0; l < cfg.Levels; l++ {
+			r.ComputeOps(50, cost.FlopTime, budget.Duplication)
+			r.ComputeOps(60, cost.FlopTime, budget.UniqueRedundancy)
+
+			// East guard exchange for the row filtering: blocks no
+			// longer hold complete rows (Figure 3's extra transaction).
+			guardStart := r.Clock()
+			gw := f
+			if gw > block.Cols {
+				gw = block.Cols
+			}
+			westCols := flattenCols(block, 0, gw)
+			eastCols := flattenCols(block, block.Cols-gw, block.Cols)
+			r.Compute(float64(len(westCols)+len(eastCols))*8*cost.MemByteTime, budget.UniqueRedundancy)
+			r.SendFloats(west, tagGuardUp, westCols)
+			r.SendFloats(east, tagGuardDown, eastCols)
+			eastGuardFlat, _ := r.RecvFloats(east, tagGuardUp)
+			r.RecvFloats(west, tagGuardDown) // symmetric, unused by analysis
+			eastGuard := imageFromFlatCols(block.Rows, gw, eastGuardFlat)
+			ph.guard += r.Clock() - guardStart
+
+			// Row pass using the east guard.
+			lImg, hImg := rowFilterBlock(block, eastGuard, cfg.Bank)
+			outputs := 2 * block.Rows * (block.Cols / 2)
+			r.Compute(float64(outputs)*(float64(f)*cost.MACTime+cost.CoefTime), budget.Useful)
+
+			// South guard exchange on the intermediate images for the
+			// column filtering.
+			guardStart = r.Clock()
+			gh := f
+			if gh > lImg.Rows {
+				gh = lImg.Rows
+			}
+			topGuard := append(flattenRows(lImg, 0, gh), flattenRows(hImg, 0, gh)...)
+			botGuard := append(flattenRows(lImg, lImg.Rows-gh, lImg.Rows), flattenRows(hImg, hImg.Rows-gh, hImg.Rows)...)
+			r.Compute(float64(len(topGuard)+len(botGuard))*8*cost.MemByteTime, budget.UniqueRedundancy)
+			r.SendFloats(north, tagGuardUp+2, topGuard)
+			r.SendFloats(south, tagGuardDown+2, botGuard)
+			southData, _ := r.RecvFloats(south, tagGuardUp+2)
+			r.RecvFloats(north, tagGuardDown+2)
+			southL := imageFromFlat(gh, lImg.Cols, southData[:gh*lImg.Cols])
+			southH := imageFromFlat(gh, hImg.Cols, southData[gh*lImg.Cols:])
+			ph.guard += r.Clock() - guardStart
+
+			// Column pass with the south guard.
+			ll, lh := colFilterStripe(lImg, southL, cfg.Bank)
+			hl, hh := colFilterStripe(hImg, southH, cfg.Bank)
+			outputs = 4 * (block.Rows / 2) * (block.Cols / 2)
+			r.Compute(float64(outputs)*(float64(f)*cost.MACTime+cost.CoefTime), budget.Useful)
+
+			myBands.details[cfg.Levels-1-l] = [3][]float64{
+				flattenRows(lh, 0, lh.Rows),
+				flattenRows(hl, 0, hl.Rows),
+				flattenRows(hh, 0, hh.Rows),
+			}
+			block = ll
+			r.Barrier()
+		}
+		myBands.approx = flattenRows(block, 0, block.Rows)
+		ph.afterDecompose = r.Clock()
+
+		// --- Gather: one packed message per rank ----------------------
+		if id != 0 {
+			packed := myBands.approx
+			for l := 0; l < cfg.Levels; l++ {
+				for b := 0; b < 3; b++ {
+					packed = append(packed, myBands.details[l][b]...)
+				}
+			}
+			r.Compute(float64(len(packed))*8*cost.MemByteTime, budget.UniqueRedundancy)
+			r.SendFloats(0, tagResult, packed)
+		} else {
+			collected[0] = myBands
+			for src := 1; src < p; src++ {
+				packed, _ := r.RecvFloats(src, tagResult)
+				var in stripeBands
+				n := len(myBands.approx)
+				in.approx, packed = packed[:n], packed[n:]
+				in.details = make([][3][]float64, cfg.Levels)
+				for l := 0; l < cfg.Levels; l++ {
+					for b := 0; b < 3; b++ {
+						n = len(myBands.details[l][b])
+						in.details[l][b], packed = packed[:n], packed[n:]
+					}
+				}
+				collected[src] = in
+			}
+		}
+		ph.done = r.Clock()
+		r.SetResult(ph)
+	}
+
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &DistResult{Sim: sim}
+	for _, v := range sim.Values {
+		ph := v.(rankPhases)
+		res.ScatterTime = maxf(res.ScatterTime, ph.afterScatter)
+		res.DecomposeTime = maxf(res.DecomposeTime, ph.afterDecompose-ph.afterScatter)
+		res.GatherTime = maxf(res.GatherTime, ph.done-ph.afterDecompose)
+		res.GuardTime = maxf(res.GuardTime, ph.guard)
+	}
+	res.Pyramid = assembleBlocks(collected, im.Rows, im.Cols, gx, gy, cfg)
+	return res, nil
+}
+
+// assembleBlocks stitches per-rank blocks back into a full pyramid.
+func assembleBlocks(collected []stripeBands, rows, cols, gx, gy int, cfg DistConfig) *wavelet.Pyramid {
+	pyr := &wavelet.Pyramid{Bank: cfg.Bank, Ext: filter.Periodic, Levels: make([]wavelet.DetailBands, cfg.Levels)}
+	ar := rows >> uint(cfg.Levels)
+	ac := cols >> uint(cfg.Levels)
+	pyr.Approx = image.New(ar, ac)
+	for rank := range collected {
+		bx, by := rank%gx, rank/gx
+		placeFlatAt(pyr.Approx, by*ar/gy, bx*ac/gx, collected[rank].approx, ac/gx)
+	}
+	for l := 0; l < cfg.Levels; l++ {
+		br := rows >> uint(cfg.Levels-l)
+		bc := cols >> uint(cfg.Levels-l)
+		db := wavelet.DetailBands{LH: image.New(br, bc), HL: image.New(br, bc), HH: image.New(br, bc)}
+		for rank := range collected {
+			bx, by := rank%gx, rank/gx
+			placeFlatAt(db.LH, by*br/gy, bx*bc/gx, collected[rank].details[l][0], bc/gx)
+			placeFlatAt(db.HL, by*br/gy, bx*bc/gx, collected[rank].details[l][1], bc/gx)
+			placeFlatAt(db.HH, by*br/gy, bx*bc/gx, collected[rank].details[l][2], bc/gx)
+		}
+		pyr.Levels[l] = db
+	}
+	return pyr
+}
+
+// placeFlatAt copies a flattened block of the given width into dst at
+// (r0, c0).
+func placeFlatAt(dst *image.Image, r0, c0 int, flat []float64, cols int) {
+	rows := len(flat) / cols
+	for r := 0; r < rows; r++ {
+		copy(dst.Row(r0 + r)[c0:c0+cols], flat[r*cols:(r+1)*cols])
+	}
+}
+
+// flattenCols copies columns [c0,c1) of im, row-major within the slab.
+func flattenCols(im *image.Image, c0, c1 int) []float64 {
+	w := c1 - c0
+	out := make([]float64, 0, im.Rows*w)
+	for r := 0; r < im.Rows; r++ {
+		out = append(out, im.Row(r)[c0:c1]...)
+	}
+	return out
+}
+
+// imageFromFlatCols rebuilds a rows×w column slab from flattenCols output.
+func imageFromFlatCols(rows, w int, flat []float64) *image.Image {
+	return imageFromFlat(rows, w, flat)
+}
+
+// rowFilterBlock filters the rows of a block extended on the east by the
+// guard columns. Output column j uses input columns 2j..2j+f-1 of the
+// extended block.
+func rowFilterBlock(block, eastGuard *image.Image, bank *filter.Bank) (l, h *image.Image) {
+	rows, cols := block.Rows, block.Cols
+	f := bank.Len()
+	l = image.New(rows, cols/2)
+	h = image.New(rows, cols/2)
+	for r := 0; r < rows; r++ {
+		src := block.Row(r)
+		guard := eastGuard.Row(r)
+		at := func(c int) float64 {
+			if c < cols {
+				return src[c]
+			}
+			return guard[c-cols]
+		}
+		lRow, hRow := l.Row(r), h.Row(r)
+		for j := 0; j < cols/2; j++ {
+			var accLo, accHi float64
+			for k := 0; k < f; k++ {
+				v := at(2*j + k)
+				accLo += bank.Lo[k] * v
+				accHi += bank.Hi[k] * v
+			}
+			lRow[j] = accLo
+			hRow[j] = accHi
+		}
+	}
+	return l, h
+}

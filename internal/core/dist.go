@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+	"wavelethpc/internal/wavelet"
+)
+
+// DistConfig describes one simulated coarse-grain MIMD decomposition run.
+type DistConfig struct {
+	// Machine is the simulated platform (mesh.Paragon() in the paper's
+	// experiments).
+	Machine *mesh.Machine
+	// Placement maps ranks to mesh nodes (naive vs snake — Figure 4).
+	Placement mesh.Placement
+	// Procs is the number of SPMD ranks.
+	Procs int
+	// Bank and Levels select the filter/depth configuration (F8/L1,
+	// F4/L2, F2/L4 in the paper).
+	Bank   *filter.Bank
+	Levels int
+	// Overlap posts the guard-zone receives asynchronously and filters
+	// the guard-independent interior columns while the exchange is in
+	// flight — the latency-hiding practice the report's budget model
+	// favors ("the use of asynchronous rather than synchronous
+	// communications").
+	Overlap bool
+}
+
+// DistResult is the outcome of a simulated distributed decomposition.
+type DistResult struct {
+	// Pyramid is the assembled decomposition (bit-identical to the
+	// sequential wavelet.Decompose result).
+	Pyramid *wavelet.Pyramid
+	// Sim carries the virtual-clock timing, budget, and network stats.
+	Sim *nx.Result
+	// ScatterTime, DecomposeTime, GatherTime split the elapsed virtual
+	// time into the three program phases (max across ranks).
+	ScatterTime, DecomposeTime, GatherTime float64
+	// GuardTime is the largest per-rank total time spent in guard-zone
+	// exchanges — where the naive placement's routing conflicts land.
+	GuardTime float64
+}
+
+// phase clocks reported by each rank through SetResult.
+type rankPhases struct {
+	afterScatter, afterDecompose, done float64
+	guard                              float64
+}
+
+// message tags for the distributed programs.
+const (
+	tagGuardUp   = 10 // guard rows flowing to the previous rank
+	tagGuardDown = 11 // guard rows flowing to the next rank
+	tagResult    = 20 // result stripes (tagResult + band index)
+)
+
+// validateStriped checks the divisibility constraints of the striped
+// decomposition: every level's stripe must have an even, positive number
+// of rows on every rank, and the deepest stripe must be tall enough to
+// supply its neighbor's guard zone.
+func validateStriped(rows, cols, p, f, levels int) error {
+	if err := wavelet.CheckDecomposable(rows, cols, levels); err != nil {
+		return err
+	}
+	deepest := rows >> uint(levels-1)
+	if deepest%p != 0 {
+		return fmt.Errorf("core: %d rows at level %d not divisible by %d ranks", deepest, levels, p)
+	}
+	lr := deepest / p
+	if lr%2 != 0 {
+		return fmt.Errorf("core: deepest stripe height %d is odd", lr)
+	}
+	if f-2 > lr {
+		return fmt.Errorf("core: filter length %d needs %d guard rows but deepest stripes have only %d rows", f, f-2, lr)
+	}
+	return nil
+}
+
+// DistributedDecompose runs the paper's striped SPMD algorithm on the
+// simulated machine: rank 0 scatters row stripes, every level row-filters
+// locally, exchanges guard zones with its ring neighbors, column-filters
+// with the south guard, and rank 0 finally gathers the pyramid. Real pixel
+// data flows through the simulator, so the assembled pyramid is verified
+// against the sequential transform by the tests.
+func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) {
+	p := cfg.Procs
+	f := cfg.Bank.Len()
+	if err := validateStriped(im.Rows, im.Cols, p, f, cfg.Levels); err != nil {
+		return nil, err
+	}
+	cost := cfg.Machine.Cost
+
+	// Per-rank result stripes land here.
+	collected := make([]stripeBands, p)
+
+	prog := func(r *nx.Rank) {
+		id := r.ID()
+		var ph rankPhases
+
+		// --- Scatter ---------------------------------------------------
+		lr := im.Rows / p
+		cc := im.Cols
+		var parts [][]float64
+		if id == 0 {
+			parts = make([][]float64, p)
+			for i := 0; i < p; i++ {
+				parts[i] = flattenRows(im, i*lr, (i+1)*lr)
+			}
+			// Slicing the image into send buffers is parallelization
+			// redundancy: a sequential program never copies.
+			r.Compute(float64(im.Rows*im.Cols*8)*cost.MemByteTime, budget.UniqueRedundancy)
+		}
+		stripe := imageFromFlat(lr, cc, r.Scatter(0, parts))
+		ph.afterScatter = r.Clock()
+
+		// --- Decomposition loop -----------------------------------------
+		myBands := stripeBands{details: make([][3][]float64, cfg.Levels)}
+		for l := 0; l < cfg.Levels; l++ {
+			// Per-level loop setup duplicated on every rank.
+			r.ComputeOps(50, cost.FlopTime, budget.Duplication)
+			// Domain-decomposition index arithmetic.
+			r.ComputeOps(30, cost.FlopTime, budget.UniqueRedundancy)
+
+			// Row pass: full rows are local, no guard needed (Figure 3).
+			lImg, hImg := rowFilterStripe(stripe, cfg.Bank)
+			outputs := 2 * stripe.Rows * (stripe.Cols / 2)
+			r.Compute(float64(outputs)*(float64(f)*cost.MACTime+cost.CoefTime), budget.Useful)
+
+			// Guard-zone exchange "around the processor local data":
+			// each rank ships its top rows to the previous rank and its
+			// bottom rows to the next, for both intermediate images.
+			guardStart := r.Clock()
+			g := f
+			if g > lImg.Rows {
+				g = lImg.Rows
+			}
+			prev := (id - 1 + p) % p
+			next := (id + 1) % p
+			topGuard := append(flattenRows(lImg, 0, g), flattenRows(hImg, 0, g)...)
+			botGuard := append(flattenRows(lImg, lImg.Rows-g, lImg.Rows), flattenRows(hImg, hImg.Rows-g, hImg.Rows)...)
+			r.Compute(float64(len(topGuard)+len(botGuard))*8*cost.MemByteTime, budget.UniqueRedundancy)
+			r.SendFloats(prev, tagGuardUp, topGuard)
+			r.SendFloats(next, tagGuardDown, botGuard)
+			reqSouth := r.IRecv(next, tagGuardUp)
+			reqNorth := r.IRecv(prev, tagGuardDown)
+			ph.guard += r.Clock() - guardStart
+
+			// Column pass. With Overlap, the interior output rows (whose
+			// filter support never reaches the guard) are computed while
+			// the exchange is still in flight.
+			half := stripe.Rows / 2
+			cols := stripe.Cols / 2
+			perOut := float64(f)*cost.MACTime + cost.CoefTime
+			ll := image.New(half, cols)
+			lh := image.New(half, cols)
+			hl := image.New(half, cols)
+			hh := image.New(half, cols)
+			jInt := 0
+			if cfg.Overlap {
+				jInt = (lImg.Rows-f)/2 + 1
+				if jInt < 0 {
+					jInt = 0
+				}
+				if jInt > half {
+					jInt = half
+				}
+				colFilterRange(ll, lh, lImg, nil, cfg.Bank, 0, jInt)
+				colFilterRange(hl, hh, hImg, nil, cfg.Bank, 0, jInt)
+				r.Compute(float64(4*jInt*cols)*perOut, budget.Useful)
+			}
+			waitStart := r.Clock()
+			southData, _ := reqSouth.WaitFloats()
+			reqNorth.Wait() // north guard: symmetric exchange, unused by analysis
+			ph.guard += r.Clock() - waitStart
+			southL := imageFromFlat(g, lImg.Cols, southData[:g*lImg.Cols])
+			southH := imageFromFlat(g, hImg.Cols, southData[g*lImg.Cols:])
+			colFilterRange(ll, lh, lImg, southL, cfg.Bank, jInt, half)
+			colFilterRange(hl, hh, hImg, southH, cfg.Bank, jInt, half)
+			r.Compute(float64(4*(half-jInt)*cols)*perOut, budget.Useful)
+
+			myBands.details[cfg.Levels-1-l] = [3][]float64{
+				flattenRows(lh, 0, lh.Rows),
+				flattenRows(hl, 0, hl.Rows),
+				flattenRows(hh, 0, hh.Rows),
+			}
+			stripe = ll
+
+			// Level-end synchronization before the next decomposition
+			// level starts.
+			r.Barrier()
+		}
+		myBands.approx = flattenRows(stripe, 0, stripe.Rows)
+		ph.afterDecompose = r.Clock()
+
+		// --- Gather ------------------------------------------------------
+		// Every rank packs its share of the pyramid into a single
+		// message to rank 0 (one transaction per rank, as a tuned
+		// message-passing code would).
+		if id != 0 {
+			packed := myBands.approx
+			for l := 0; l < cfg.Levels; l++ {
+				for b := 0; b < 3; b++ {
+					packed = append(packed, myBands.details[l][b]...)
+				}
+			}
+			r.Compute(float64(len(packed))*8*cost.MemByteTime, budget.UniqueRedundancy)
+			r.SendFloats(0, tagResult, packed)
+		} else {
+			collected[0] = myBands
+			for src := 1; src < p; src++ {
+				packed, _ := r.RecvFloats(src, tagResult)
+				var in stripeBands
+				n := len(myBands.approx)
+				in.approx, packed = packed[:n], packed[n:]
+				in.details = make([][3][]float64, cfg.Levels)
+				for l := 0; l < cfg.Levels; l++ {
+					for b := 0; b < 3; b++ {
+						n = len(myBands.details[l][b])
+						in.details[l][b], packed = packed[:n], packed[n:]
+					}
+				}
+				collected[src] = in
+			}
+		}
+		ph.done = r.Clock()
+		r.SetResult(ph)
+	}
+
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DistResult{Sim: sim}
+	for _, v := range sim.Values {
+		ph := v.(rankPhases)
+		res.ScatterTime = maxf(res.ScatterTime, ph.afterScatter)
+		res.DecomposeTime = maxf(res.DecomposeTime, ph.afterDecompose-ph.afterScatter)
+		res.GatherTime = maxf(res.GatherTime, ph.done-ph.afterDecompose)
+		res.GuardTime = maxf(res.GuardTime, ph.guard)
+	}
+
+	// Assemble the pyramid from the collected stripes.
+	res.Pyramid = assembleStriped(collected, im.Rows, im.Cols, p, cfg)
+	return res, nil
+}
+
+// stripeBands holds one rank's share of the decomposition results:
+// the final approximation stripe plus per-level LH/HL/HH stripes
+// (coarsest-first), all flattened row-major.
+type stripeBands struct {
+	approx  []float64
+	details [][3][]float64
+}
+
+// assembleStriped stitches per-rank stripes back into a full pyramid.
+func assembleStriped(collected []stripeBands, rows, cols, p int, cfg DistConfig) *wavelet.Pyramid {
+	pyr := &wavelet.Pyramid{Bank: cfg.Bank, Ext: filter.Periodic, Levels: make([]wavelet.DetailBands, cfg.Levels)}
+	ar := rows >> uint(cfg.Levels)
+	ac := cols >> uint(cfg.Levels)
+	pyr.Approx = image.New(ar, ac)
+	for rank := 0; rank < p; rank++ {
+		placeFlat(pyr.Approx, rank*ar/p, collected[rank].approx, ac)
+	}
+	for l := 0; l < cfg.Levels; l++ {
+		// details[l] is coarsest-first: level index l has size
+		// rows>>(levels-l-1) ... matching wavelet.Pyramid ordering.
+		br := rows >> uint(cfg.Levels-l)
+		bc := cols >> uint(cfg.Levels-l)
+		db := wavelet.DetailBands{LH: image.New(br, bc), HL: image.New(br, bc), HH: image.New(br, bc)}
+		for rank := 0; rank < p; rank++ {
+			placeFlat(db.LH, rank*br/p, collected[rank].details[l][0], bc)
+			placeFlat(db.HL, rank*br/p, collected[rank].details[l][1], bc)
+			placeFlat(db.HH, rank*br/p, collected[rank].details[l][2], bc)
+		}
+		pyr.Levels[l] = db
+	}
+	return pyr
+}
+
+// placeFlat copies a flattened stripe into dst starting at row r0.
+func placeFlat(dst *image.Image, r0 int, flat []float64, cols int) {
+	rows := len(flat) / cols
+	for r := 0; r < rows; r++ {
+		copy(dst.Row(r0+r), flat[r*cols:(r+1)*cols])
+	}
+}
+
+// rowFilterStripe applies both filter channels along every row of the
+// stripe with periodic extension (rows are globally complete, so local
+// periodic wrap is exact).
+func rowFilterStripe(stripe *image.Image, bank *filter.Bank) (l, h *image.Image) {
+	l = image.New(stripe.Rows, stripe.Cols/2)
+	h = image.New(stripe.Rows, stripe.Cols/2)
+	for r := 0; r < stripe.Rows; r++ {
+		src := stripe.Row(r)
+		wavelet.AnalyzeStep(src, bank.Lo, filter.Periodic, l.Row(r))
+		wavelet.AnalyzeStep(src, bank.Hi, filter.Periodic, h.Row(r))
+	}
+	return l, h
+}
+
+// colFilterStripe filters the columns of a stripe extended below by the
+// south guard, producing the low- and high-pass column outputs with half
+// the stripe's rows. Output row j of column c is Σ_k h[k]·X[2j+k][c],
+// where X is the stripe with guard appended — every index is in range by
+// the validateStriped constraints.
+func colFilterStripe(stripe, guard *image.Image, bank *filter.Bank) (lo, hi *image.Image) {
+	lo = image.New(stripe.Rows/2, stripe.Cols)
+	hi = image.New(stripe.Rows/2, stripe.Cols)
+	colFilterRange(lo, hi, stripe, guard, bank, 0, stripe.Rows/2)
+	return lo, hi
+}
+
+// colFilterRange computes output rows [j0,j1) of the column filtering into
+// lo/hi. guard may be nil when no output row in the range touches it
+// (interior rows only).
+func colFilterRange(lo, hi, stripe, guard *image.Image, bank *filter.Bank, j0, j1 int) {
+	rows, cols := stripe.Rows, stripe.Cols
+	f := bank.Len()
+	at := func(r, c int) float64 {
+		if r < rows {
+			return stripe.At(r, c)
+		}
+		return guard.At(r-rows, c)
+	}
+	for j := j0; j < j1; j++ {
+		for c := 0; c < cols; c++ {
+			var accLo, accHi float64
+			for k := 0; k < f; k++ {
+				v := at(2*j+k, c)
+				accLo += bank.Lo[k] * v
+				accHi += bank.Hi[k] * v
+			}
+			lo.Set(j, c, accLo)
+			hi.Set(j, c, accHi)
+		}
+	}
+}
+
+// flattenRows copies rows [r0,r1) of im into a flat slice.
+func flattenRows(im *image.Image, r0, r1 int) []float64 {
+	out := make([]float64, 0, (r1-r0)*im.Cols)
+	for r := r0; r < r1; r++ {
+		out = append(out, im.Row(r)...)
+	}
+	return out
+}
+
+// imageFromFlat wraps a flat row-major slice as an image (copying).
+func imageFromFlat(rows, cols int, flat []float64) *image.Image {
+	if len(flat) != rows*cols {
+		panic(fmt.Sprintf("core: flat data %d != %dx%d", len(flat), rows, cols))
+	}
+	im := image.New(rows, cols)
+	copy(im.Pix, flat)
+	return im
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/wavelet"
+)
+
+// SerialTime returns the virtual seconds a single processor of the given
+// machine needs for a levels-deep decomposition of a rows×cols image with
+// a length-f filter, under the calibrated two-parameter kernel model
+// t = MACTime·MACs + CoefTime·outputs. This reproduces the paper's
+// single-processor rows of Table 1.
+func SerialTime(m *mesh.Machine, rows, cols, f, levels int) float64 {
+	var t float64
+	for l := 0; l < levels; l++ {
+		outputs := 2*rows*(cols/2) + 4*(rows/2)*(cols/2)
+		macs := wavelet.Level2DMACs(rows, cols, f)
+		t += m.Cost.MACTime*float64(macs) + m.Cost.CoefTime*float64(outputs)
+		rows /= 2
+		cols /= 2
+	}
+	return t
+}
+
+// Config names the paper's three filter/level configurations.
+type PaperConfig struct {
+	// Label is the paper's shorthand (F8/L1, F4/L2, F2/L4).
+	Label  string
+	Bank   *filter.Bank
+	Levels int
+}
+
+// PaperConfigs returns the three configurations evaluated in Appendix A:
+// filter sizes 8, 4, and 2 with 1, 2, and 4 decomposition levels.
+func PaperConfigs() []PaperConfig {
+	return []PaperConfig{
+		{Label: "F8/L1", Bank: filter.Daubechies8(), Levels: 1},
+		{Label: "F4/L2", Bank: filter.Daubechies4(), Levels: 2},
+		{Label: "F2/L4", Bank: filter.Haar(), Levels: 4},
+	}
+}
+
+// ScalingPoint is one processor count's outcome in a scaling sweep.
+type ScalingPoint struct {
+	Procs     int
+	Elapsed   float64
+	Speedup   float64
+	GuardTime float64
+	Contended int
+	LinkWait  float64
+	Budget    budget.Report
+}
+
+// ScalingCurve is the result of one placement's sweep over processor
+// counts — the content of one curve in the paper's Figures 5-7.
+type ScalingCurve struct {
+	Placement string
+	Config    PaperConfig
+	Serial    float64
+	Points    []ScalingPoint
+}
+
+// RunScaling sweeps the simulated distributed decomposition over the given
+// processor counts, computing speedups against the calibrated serial time
+// of the machine (the paper's "1 Proc." reference).
+func RunScaling(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg PaperConfig, procs []int) (*ScalingCurve, error) {
+	curve := &ScalingCurve{
+		Placement: pl.Name(),
+		Config:    cfg,
+		Serial:    SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels),
+	}
+	for _, p := range procs {
+		res, err := DistributedDecompose(im, DistConfig{
+			Machine:   m,
+			Placement: pl,
+			Procs:     p,
+			Bank:      cfg.Bank,
+			Levels:    cfg.Levels,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: P=%d: %w", p, err)
+		}
+		pt := ScalingPoint{
+			Procs:     p,
+			Elapsed:   res.Sim.Elapsed,
+			GuardTime: res.GuardTime,
+			Contended: res.Sim.ContendedMsgs,
+			LinkWait:  res.Sim.LinkWait,
+			Budget:    res.Sim.Budget,
+		}
+		if pt.Elapsed > 0 {
+			pt.Speedup = curve.Serial / pt.Elapsed
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// String renders the curve as the text equivalent of one figure panel.
+func (c *ScalingCurve) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, %s placement (serial %.4g s)\n", c.Config.Label, c.Placement, c.Serial)
+	fmt.Fprintf(&b, "%6s %12s %9s %12s %10s %12s\n", "P", "elapsed(s)", "speedup", "guard(s)", "conflicts", "linkwait(s)")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%6d %12.4g %9.2f %12.4g %10d %12.4g\n",
+			p.Procs, p.Elapsed, p.Speedup, p.GuardTime, p.Contended, p.LinkWait)
+	}
+	return b.String()
+}
+
+// Table1Row holds one machine's seconds for the paper's three
+// configurations (Appendix A Table 1).
+type Table1Row struct {
+	Machine string
+	Seconds [3]float64 // F8/L1, F4/L2, F2/L4
+}
+
+// Table1 reproduces the comparative measurements table: MasPar seconds are
+// supplied by the caller (they come from the internal/simd model), the
+// Paragon 1- and 32-processor rows and the DEC 5000 row are computed here.
+func Table1(im *image.Image, masparSeconds [3]float64) ([]Table1Row, error) {
+	rows := []Table1Row{{Machine: "MasPar MP-2 (16K)", Seconds: masparSeconds}}
+	paragon := mesh.Paragon()
+	dec := mesh.DEC5000()
+	var p1, p32 Table1Row
+	p1.Machine = "Intel Paragon 1 Proc."
+	p32.Machine = "Intel Paragon 32 Proc."
+	var decRow Table1Row
+	decRow.Machine = "DEC 5000 Workstation"
+	for i, cfg := range PaperConfigs() {
+		f := cfg.Bank.Len()
+		p1.Seconds[i] = SerialTime(paragon, im.Rows, im.Cols, f, cfg.Levels)
+		decRow.Seconds[i] = SerialTime(dec, im.Rows, im.Cols, f, cfg.Levels)
+		res, err := DistributedDecompose(im, DistConfig{
+			Machine:   paragon,
+			Placement: mesh.SnakePlacement{Width: 4},
+			Procs:     32,
+			Bank:      cfg.Bank,
+			Levels:    cfg.Levels,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p32.Seconds[i] = res.Sim.Elapsed
+	}
+	return append(rows, p1, p32, decRow), nil
+}
+
+// FormatTable1 renders Table 1 rows in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "", "F8/L1", "F4/L2", "F2/L4")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10.4g %10.4g %10.4g\n", r.Machine, r.Seconds[0], r.Seconds[1], r.Seconds[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+// Package fft provides the Fourier-transform substrate for the PIC field
+// solver of Appendix B: an iterative radix-2 complex FFT, inverse
+// transforms, 3-D transforms over flat arrays, and the spectral Poisson
+// solver used to turn charge density into electric potential on a
+// periodic grid.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// pow2 reports whether n is a positive power of two.
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT performs an in-place forward radix-2 Cooley-Tukey transform:
+// X[k] = Σ_n x[n]·exp(-2πi·kn/N). len(data) must be a power of two.
+func FFT(data []complex128) error { return transform(data, -1) }
+
+// IFFT performs the in-place inverse transform (including the 1/N
+// normalization), so IFFT(FFT(x)) == x.
+func IFFT(data []complex128) error {
+	if err := transform(data, +1); err != nil {
+		return err
+	}
+	n := complex(float64(len(data)), 0)
+	for i := range data {
+		data[i] /= n
+	}
+	return nil
+}
+
+func transform(data []complex128, sign float64) error {
+	n := len(data)
+	if !pow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := data[start+k]
+				v := data[start+k+half] * w
+				data[start+k] = u + v
+				data[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// Grid3 is a dense complex field on an nx×ny×nz periodic grid, stored
+// x-fastest: index (i,j,k) lives at i + nx·(j + ny·k).
+type Grid3 struct {
+	NX, NY, NZ int
+	Data       []complex128
+}
+
+// NewGrid3 allocates a zeroed grid. All dimensions must be powers of two.
+func NewGrid3(nx, ny, nz int) (*Grid3, error) {
+	if !pow2(nx) || !pow2(ny) || !pow2(nz) {
+		return nil, fmt.Errorf("fft: grid %dx%dx%d has a non-power-of-two dimension", nx, ny, nz)
+	}
+	return &Grid3{NX: nx, NY: ny, NZ: nz, Data: make([]complex128, nx*ny*nz)}, nil
+}
+
+// Idx returns the flat index of (i,j,k).
+func (g *Grid3) Idx(i, j, k int) int { return i + g.NX*(j+g.NY*k) }
+
+// At returns the value at (i,j,k).
+func (g *Grid3) At(i, j, k int) complex128 { return g.Data[g.Idx(i, j, k)] }
+
+// Set writes the value at (i,j,k).
+func (g *Grid3) Set(i, j, k int, v complex128) { g.Data[g.Idx(i, j, k)] = v }
+
+// Clone deep-copies the grid.
+func (g *Grid3) Clone() *Grid3 {
+	out := &Grid3{NX: g.NX, NY: g.NY, NZ: g.NZ, Data: make([]complex128, len(g.Data))}
+	copy(out.Data, g.Data)
+	return out
+}
+
+// FFT3 transforms the grid in place along all three axes (forward when
+// inverse is false).
+func FFT3(g *Grid3, inverse bool) error {
+	apply := FFT
+	if inverse {
+		apply = IFFT
+	}
+	// X axis: contiguous runs.
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			base := g.Idx(0, j, k)
+			if err := apply(g.Data[base : base+g.NX]); err != nil {
+				return err
+			}
+		}
+	}
+	// Y axis.
+	buf := make([]complex128, g.NY)
+	for k := 0; k < g.NZ; k++ {
+		for i := 0; i < g.NX; i++ {
+			for j := 0; j < g.NY; j++ {
+				buf[j] = g.At(i, j, k)
+			}
+			if err := apply(buf); err != nil {
+				return err
+			}
+			for j := 0; j < g.NY; j++ {
+				g.Set(i, j, k, buf[j])
+			}
+		}
+	}
+	// Z axis.
+	bufz := make([]complex128, g.NZ)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			for k := 0; k < g.NZ; k++ {
+				bufz[k] = g.At(i, j, k)
+			}
+			if err := apply(bufz); err != nil {
+				return err
+			}
+			for k := 0; k < g.NZ; k++ {
+				g.Set(i, j, k, bufz[k])
+			}
+		}
+	}
+	return nil
+}
+
+// SolvePoisson solves ∇²φ = -ρ on the periodic unit-spaced grid via the
+// spectral method with the discrete (finite-difference) Laplacian
+// eigenvalues: φ_k = ρ_k / k̂², k̂² = Σ_d (2 sin(π m_d / N_d))². The zero
+// mode is set to zero (charge neutrality gauge). rho is consumed and the
+// potential returned in a new grid.
+func SolvePoisson(rho *Grid3) (*Grid3, error) {
+	phi := rho.Clone()
+	if err := FFT3(phi, false); err != nil {
+		return nil, err
+	}
+	for k := 0; k < phi.NZ; k++ {
+		sz := 2 * math.Sin(math.Pi*float64(k)/float64(phi.NZ))
+		for j := 0; j < phi.NY; j++ {
+			sy := 2 * math.Sin(math.Pi*float64(j)/float64(phi.NY))
+			for i := 0; i < phi.NX; i++ {
+				sx := 2 * math.Sin(math.Pi*float64(i)/float64(phi.NX))
+				k2 := sx*sx + sy*sy + sz*sz
+				idx := phi.Idx(i, j, k)
+				if k2 == 0 {
+					phi.Data[idx] = 0
+				} else {
+					phi.Data[idx] /= complex(k2, 0)
+				}
+			}
+		}
+	}
+	if err := FFT3(phi, true); err != nil {
+		return nil, err
+	}
+	return phi, nil
+}
+
+// FFT1DOps returns the floating-point operation count of one radix-2
+// length-n FFT (≈ 5 n log2 n), used by the cost models.
+func FFT1DOps(n int) int {
+	logn := 0
+	for m := n; m > 1; m >>= 1 {
+		logn++
+	}
+	return 5 * n * logn
+}

@@ -1,0 +1,284 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12} {
+		if err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT accepted length %d", n)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	x := randComplex(16, 1)
+	got := append([]complex128(nil), x...)
+	if err := FFT(got); err != nil {
+		t.Fatal(err)
+	}
+	n := len(x)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		if cmplx.Abs(got[k]-want) > 1e-10 {
+			t.Fatalf("X[%d] = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT[%d] = %v", k, v)
+		}
+	}
+	// FFT of a constant is an impulse of height N.
+	c := make([]complex128, 8)
+	for i := range c {
+		c[i] = 2
+	}
+	FFT(c)
+	if cmplx.Abs(c[0]-16) > 1e-12 {
+		t.Errorf("DC bin = %v, want 16", c[0])
+	}
+	for k := 1; k < 8; k++ {
+		if cmplx.Abs(c[k]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", k, c[k])
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := randComplex(n, int64(n))
+		y := append([]complex128(nil), x...)
+		if err := FFT(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := IFFT(y); err != nil {
+			t.Fatal(err)
+		}
+		if maxErr(x, y) > 1e-10 {
+			t.Errorf("n=%d: round trip error %g", n, maxErr(x, y))
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	x := randComplex(128, 3)
+	var ex float64
+	for _, v := range x {
+		ex += real(v)*real(v) + imag(v)*imag(v)
+	}
+	FFT(x)
+	var ek float64
+	for _, v := range x {
+		ek += real(v)*real(v) + imag(v)*imag(v)
+	}
+	ek /= 128
+	if math.Abs(ex-ek) > 1e-8*ex {
+		t.Errorf("Parseval violated: %g vs %g", ex, ek)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := randComplex(32, seed)
+		y := randComplex(32, seed+1)
+		sum := make([]complex128, 32)
+		for i := range sum {
+			sum[i] = 2*x[i] + 3i*y[i]
+		}
+		FFT(x)
+		FFT(y)
+		FFT(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(2*x[i]+3i*y[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewGrid3Validation(t *testing.T) {
+	if _, err := NewGrid3(3, 4, 4); err == nil {
+		t.Error("non-power-of-two grid accepted")
+	}
+	g, err := NewGrid3(4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Data) != 64 {
+		t.Errorf("grid size %d", len(g.Data))
+	}
+}
+
+func TestGrid3Indexing(t *testing.T) {
+	g, _ := NewGrid3(4, 4, 4)
+	g.Set(1, 2, 3, 5)
+	if g.At(1, 2, 3) != 5 {
+		t.Error("At/Set mismatch")
+	}
+	if g.Idx(1, 2, 3) != 1+4*(2+4*3) {
+		t.Error("Idx formula wrong")
+	}
+	c := g.Clone()
+	c.Set(1, 2, 3, 7)
+	if g.At(1, 2, 3) != 5 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFFT3RoundTrip(t *testing.T) {
+	g, _ := NewGrid3(8, 4, 2)
+	copy(g.Data, randComplex(len(g.Data), 9))
+	orig := g.Clone()
+	if err := FFT3(g, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFT3(g, true); err != nil {
+		t.Fatal(err)
+	}
+	if maxErr(orig.Data, g.Data) > 1e-10 {
+		t.Errorf("3-D round trip error %g", maxErr(orig.Data, g.Data))
+	}
+}
+
+func TestFFT3Separability(t *testing.T) {
+	// A separable input f(i,j,k) = a(i)·b(j)·c(k) transforms to
+	// A(i)·B(j)·C(k).
+	a := randComplex(4, 1)
+	b := randComplex(4, 2)
+	c := randComplex(4, 3)
+	g, _ := NewGrid3(4, 4, 4)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				g.Set(i, j, k, a[i]*b[j]*c[k])
+			}
+		}
+	}
+	FFT3(g, false)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fc := append([]complex128(nil), c...)
+	FFT(fa)
+	FFT(fb)
+	FFT(fc)
+	for k := 0; k < 4; k++ {
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 4; i++ {
+				want := fa[i] * fb[j] * fc[k]
+				if cmplx.Abs(g.At(i, j, k)-want) > 1e-9 {
+					t.Fatalf("separability broken at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSolvePoissonSingleMode(t *testing.T) {
+	// For ρ = cos(2πx/N), the discrete solution is
+	// φ = cos(2πx/N) / (2 sin(π/N))².
+	const n = 16
+	g, _ := NewGrid3(n, n, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				g.Set(i, j, k, complex(math.Cos(2*math.Pi*float64(i)/n), 0))
+			}
+		}
+	}
+	phi, err := SolvePoisson(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 2 * math.Sin(math.Pi/n)
+	scale := 1 / (s * s)
+	for i := 0; i < n; i++ {
+		want := math.Cos(2*math.Pi*float64(i)/n) * scale
+		got := phi.At(i, 3, 5)
+		if math.Abs(real(got)-want) > 1e-9 || math.Abs(imag(got)) > 1e-9 {
+			t.Fatalf("phi(%d) = %v, want %g", i, got, want)
+		}
+	}
+}
+
+func TestSolvePoissonSatisfiesDiscreteLaplacian(t *testing.T) {
+	// Check -∇²_h φ = ρ - mean(ρ) with the 7-point stencil.
+	const n = 8
+	rho, _ := NewGrid3(n, n, n)
+	rng := rand.New(rand.NewSource(4))
+	var mean float64
+	for i := range rho.Data {
+		v := rng.NormFloat64()
+		rho.Data[i] = complex(v, 0)
+		mean += v
+	}
+	mean /= float64(len(rho.Data))
+	phi, err := SolvePoisson(rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrap := func(i int) int { return (i + n) % n }
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				lap := phi.At(wrap(i+1), j, k) + phi.At(wrap(i-1), j, k) +
+					phi.At(i, wrap(j+1), k) + phi.At(i, wrap(j-1), k) +
+					phi.At(i, j, wrap(k+1)) + phi.At(i, j, wrap(k-1)) -
+					6*phi.At(i, j, k)
+				want := -(real(rho.At(i, j, k)) - mean)
+				if math.Abs(real(lap)-want) > 1e-9 {
+					t.Fatalf("Laplacian mismatch at (%d,%d,%d): %g vs %g", i, j, k, real(lap), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFFT1DOps(t *testing.T) {
+	if got := FFT1DOps(1024); got != 5*1024*10 {
+		t.Errorf("FFT1DOps(1024) = %d", got)
+	}
+	if got := FFT1DOps(1); got != 0 {
+		t.Errorf("FFT1DOps(1) = %d", got)
+	}
+}

@@ -1,0 +1,264 @@
+// Package filter provides the quadrature-mirror filter banks used by the
+// Mallat multi-resolution wavelet decomposition: orthonormal low-pass
+// scaling filters (Haar and the Daubechies family) together with the
+// high-pass mirror filters derived from them, and the signal-extension
+// policies applied at image borders.
+//
+// The paper evaluates filter lengths 8, 4, and 2 (its F8/F4/F2
+// configurations); these correspond to Daubechies-8, Daubechies-4, and Haar
+// respectively.
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bank is an orthonormal two-channel analysis/synthesis filter bank. Lo and
+// Hi are the analysis (decomposition) filters; the synthesis filters of an
+// orthonormal bank are their time-reversals, exposed via SynthLo and
+// SynthHi.
+type Bank struct {
+	// Name identifies the bank, e.g. "haar" or "db4".
+	Name string
+	// Lo holds the low-pass (scaling) analysis coefficients.
+	Lo []float64
+	// Hi holds the high-pass (wavelet) analysis coefficients, the
+	// quadrature mirror of Lo.
+	Hi []float64
+}
+
+// Len returns the filter length (number of taps). Both channels of a bank
+// always have equal length.
+func (b *Bank) Len() int { return len(b.Lo) }
+
+// SynthLo returns the low-pass synthesis filter (time-reversed Lo).
+func (b *Bank) SynthLo() []float64 { return reverse(b.Lo) }
+
+// SynthHi returns the high-pass synthesis filter (time-reversed Hi).
+func (b *Bank) SynthHi() []float64 { return reverse(b.Hi) }
+
+func reverse(f []float64) []float64 {
+	r := make([]float64, len(f))
+	for i, v := range f {
+		r[len(f)-1-i] = v
+	}
+	return r
+}
+
+// Mirror derives the high-pass quadrature mirror of a low-pass filter:
+// g[k] = (-1)^k h[L-1-k]. For an orthonormal scaling filter this yields the
+// wavelet filter of the same bank.
+func Mirror(lo []float64) []float64 {
+	l := len(lo)
+	hi := make([]float64, l)
+	for k := 0; k < l; k++ {
+		if k%2 == 0 {
+			hi[k] = lo[l-1-k]
+		} else {
+			hi[k] = -lo[l-1-k]
+		}
+	}
+	return hi
+}
+
+// newOrthonormal builds a Bank from low-pass coefficients, deriving the
+// mirror high-pass channel.
+func newOrthonormal(name string, lo []float64) *Bank {
+	cp := make([]float64, len(lo))
+	copy(cp, lo)
+	return &Bank{Name: name, Lo: cp, Hi: Mirror(cp)}
+}
+
+// Haar returns the 2-tap Haar bank — the paper's F2 configuration.
+func Haar() *Bank {
+	s := 1 / math.Sqrt2
+	return newOrthonormal("haar", []float64{s, s})
+}
+
+// Daubechies4 returns the 4-tap Daubechies bank (two vanishing moments) —
+// the paper's F4 configuration. Coefficients are the closed-form values
+// (1±√3)/4√2 etc.
+func Daubechies4() *Bank {
+	r3 := math.Sqrt(3)
+	d := 4 * math.Sqrt2
+	return newOrthonormal("db4", []float64{
+		(1 + r3) / d,
+		(3 + r3) / d,
+		(3 - r3) / d,
+		(1 - r3) / d,
+	})
+}
+
+// Daubechies6 returns the 6-tap Daubechies bank (three vanishing moments).
+func Daubechies6() *Bank {
+	// Closed form via sqrt(10) and sqrt(5+2*sqrt(10)).
+	r10 := math.Sqrt(10)
+	q := math.Sqrt(5 + 2*r10)
+	d := 16 * math.Sqrt2
+	return newOrthonormal("db6", []float64{
+		(1 + r10 + q) / d,
+		(5 + r10 + 3*q) / d,
+		(10 - 2*r10 + 2*q) / d,
+		(10 - 2*r10 - 2*q) / d,
+		(5 + r10 - 3*q) / d,
+		(1 + r10 - q) / d,
+	})
+}
+
+// Daubechies8 returns the 8-tap Daubechies bank (four vanishing moments) —
+// the paper's F8 configuration.
+func Daubechies8() *Bank {
+	// Standard D8 (db4 in PyWavelets naming) analysis low-pass
+	// coefficients, normalized to unit l2 norm with sum sqrt(2).
+	lo := []float64{
+		0.23037781330885523,
+		0.7148465705525415,
+		0.6308807679295904,
+		-0.02798376941698385,
+		-0.18703481171888114,
+		0.030841381835986965,
+		0.032883011666982945,
+		-0.010597401784997278,
+	}
+	return newOrthonormal("db8", lo)
+}
+
+// ByLength returns the bank the paper associates with a given filter
+// length: 2 → Haar, 4 → Daubechies-4, 6 → Daubechies-6, 8 → Daubechies-8.
+func ByLength(n int) (*Bank, error) {
+	switch n {
+	case 2:
+		return Haar(), nil
+	case 4:
+		return Daubechies4(), nil
+	case 6:
+		return Daubechies6(), nil
+	case 8:
+		return Daubechies8(), nil
+	default:
+		return nil, fmt.Errorf("filter: no bank of length %d (want 2, 4, 6, or 8)", n)
+	}
+}
+
+// ByName returns the bank with the given name ("haar", "db4", "db6", "db8").
+func ByName(name string) (*Bank, error) {
+	switch name {
+	case "haar", "f2":
+		return Haar(), nil
+	case "db4", "f4":
+		return Daubechies4(), nil
+	case "db6", "f6":
+		return Daubechies6(), nil
+	case "db8", "f8":
+		return Daubechies8(), nil
+	default:
+		return nil, fmt.Errorf("filter: unknown bank %q", name)
+	}
+}
+
+// Extension selects how signals are extended past their borders before
+// convolution.
+type Extension int
+
+const (
+	// Periodic wraps the signal around (circular convolution). This is the
+	// extension the Paragon implementation in the paper uses: guard zones
+	// on the torus-closed stripe boundaries behave periodically.
+	Periodic Extension = iota
+	// Symmetric reflects the signal at the border (half-sample symmetry).
+	Symmetric
+	// Zero pads with zeros.
+	Zero
+)
+
+// String returns the extension policy name.
+func (e Extension) String() string {
+	switch e {
+	case Periodic:
+		return "periodic"
+	case Symmetric:
+		return "symmetric"
+	case Zero:
+		return "zero"
+	default:
+		return fmt.Sprintf("Extension(%d)", int(e))
+	}
+}
+
+// Index maps a possibly out-of-range index i onto [0,n) under the
+// extension policy. n must be positive.
+func (e Extension) Index(i, n int) (int, bool) {
+	if i >= 0 && i < n {
+		return i, true
+	}
+	switch e {
+	case Periodic:
+		i %= n
+		if i < 0 {
+			i += n
+		}
+		return i, true
+	case Symmetric:
+		// Reflect repeatedly for far out-of-range indices.
+		period := 2 * n
+		i %= period
+		if i < 0 {
+			i += period
+		}
+		if i >= n {
+			i = period - 1 - i
+		}
+		return i, true
+	case Zero:
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// Orthonormality checks that the bank satisfies the orthonormal
+// perfect-reconstruction conditions within tol, returning a descriptive
+// error when violated. The conditions are Σh² = 1, Σh = √2, and double-shift
+// orthogonality Σ h[k]h[k+2m] = 0 for m ≠ 0.
+func (b *Bank) Orthonormality(tol float64) error {
+	var sum, sq float64
+	for _, v := range b.Lo {
+		sum += v
+		sq += v * v
+	}
+	if math.Abs(sq-1) > tol {
+		return fmt.Errorf("filter %s: Σh² = %g, want 1", b.Name, sq)
+	}
+	if math.Abs(sum-math.Sqrt2) > tol {
+		return fmt.Errorf("filter %s: Σh = %g, want √2", b.Name, sum)
+	}
+	for m := 1; 2*m < b.Len(); m++ {
+		var dot float64
+		for k := 0; k+2*m < b.Len(); k++ {
+			dot += b.Lo[k] * b.Lo[k+2*m]
+		}
+		if math.Abs(dot) > tol {
+			return fmt.Errorf("filter %s: double-shift orthogonality violated at m=%d: %g", b.Name, m, dot)
+		}
+	}
+	return nil
+}
+
+// Dilute stretches a filter by factor s, inserting s-1 zeros between taps:
+// the "systolic with dilution" MasPar algorithm aligns the filter with the
+// surviving (non-decimated) pixels this way instead of routing data through
+// the global router. Dilute(f, 1) returns a copy of f.
+func Dilute(f []float64, s int) []float64 {
+	if s < 1 {
+		panic("filter: dilution factor must be >= 1")
+	}
+	if len(f) == 0 {
+		return nil
+	}
+	out := make([]float64, (len(f)-1)*s+1)
+	for i, v := range f {
+		out[i*s] = v
+	}
+	return out
+}

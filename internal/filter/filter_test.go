@@ -1,0 +1,240 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBanksOrthonormal(t *testing.T) {
+	for _, b := range []*Bank{Haar(), Daubechies4(), Daubechies6(), Daubechies8()} {
+		if err := b.Orthonormality(1e-12); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestBankLengths(t *testing.T) {
+	cases := map[string]int{"haar": 2, "db4": 4, "db6": 6, "db8": 8}
+	for name, want := range cases {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b.Len() != want {
+			t.Errorf("%s: Len() = %d, want %d", name, b.Len(), want)
+		}
+		if len(b.Hi) != want {
+			t.Errorf("%s: len(Hi) = %d, want %d", name, len(b.Hi), want)
+		}
+	}
+}
+
+func TestByLength(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 8} {
+		b, err := ByLength(n)
+		if err != nil {
+			t.Fatalf("ByLength(%d): %v", n, err)
+		}
+		if b.Len() != n {
+			t.Errorf("ByLength(%d).Len() = %d", n, b.Len())
+		}
+	}
+	if _, err := ByLength(3); err == nil {
+		t.Error("ByLength(3) succeeded, want error")
+	}
+	if _, err := ByLength(0); err == nil {
+		t.Error("ByLength(0) succeeded, want error")
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{"f2": "haar", "f4": "db4", "f8": "db8"} {
+		b, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", alias, err)
+		}
+		if b.Name != canonical {
+			t.Errorf("ByName(%q).Name = %q, want %q", alias, b.Name, canonical)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) succeeded, want error")
+	}
+}
+
+func TestMirrorAlternatingSigns(t *testing.T) {
+	lo := []float64{1, 2, 3, 4}
+	hi := Mirror(lo)
+	want := []float64{4, -3, 2, -1}
+	for i := range want {
+		if hi[i] != want[i] {
+			t.Fatalf("Mirror = %v, want %v", hi, want)
+		}
+	}
+}
+
+func TestHighPassKillsConstants(t *testing.T) {
+	// A high-pass mirror filter must have zero response to a constant
+	// signal (sum of coefficients = 0).
+	for _, b := range []*Bank{Haar(), Daubechies4(), Daubechies6(), Daubechies8()} {
+		var sum float64
+		for _, v := range b.Hi {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Errorf("%s: ΣHi = %g, want 0", b.Name, sum)
+		}
+	}
+}
+
+func TestLoHiOrthogonal(t *testing.T) {
+	// Cross-channel double-shift orthogonality: Σ h[k] g[k+2m] = 0 ∀m.
+	for _, b := range []*Bank{Haar(), Daubechies4(), Daubechies6(), Daubechies8()} {
+		for m := -b.Len() / 2; m <= b.Len()/2; m++ {
+			var dot float64
+			for k := 0; k < b.Len(); k++ {
+				j := k + 2*m
+				if j >= 0 && j < b.Len() {
+					dot += b.Lo[k] * b.Hi[j]
+				}
+			}
+			if math.Abs(dot) > 1e-12 {
+				t.Errorf("%s: <Lo, Hi shifted by %d> = %g, want 0", b.Name, 2*m, dot)
+			}
+		}
+	}
+}
+
+func TestSynthFiltersAreReversals(t *testing.T) {
+	b := Daubechies8()
+	sl, sh := b.SynthLo(), b.SynthHi()
+	for i := 0; i < b.Len(); i++ {
+		if sl[i] != b.Lo[b.Len()-1-i] {
+			t.Fatalf("SynthLo[%d] = %g, want %g", i, sl[i], b.Lo[b.Len()-1-i])
+		}
+		if sh[i] != b.Hi[b.Len()-1-i] {
+			t.Fatalf("SynthHi[%d] = %g, want %g", i, sh[i], b.Hi[b.Len()-1-i])
+		}
+	}
+	// Mutating the returned slices must not corrupt the bank.
+	sl[0] = 999
+	if b.Lo[b.Len()-1] == 999 {
+		t.Error("SynthLo aliases Bank.Lo")
+	}
+}
+
+func TestExtensionIndexInRange(t *testing.T) {
+	for _, e := range []Extension{Periodic, Symmetric, Zero} {
+		for i := 0; i < 5; i++ {
+			j, ok := e.Index(i, 5)
+			if !ok || j != i {
+				t.Errorf("%v.Index(%d,5) = %d,%v; want identity", e, i, j, ok)
+			}
+		}
+	}
+}
+
+func TestPeriodicIndex(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{-1, 4, 3}, {-2, 4, 2}, {4, 4, 0}, {5, 4, 1}, {-5, 4, 3}, {9, 4, 1},
+	}
+	for _, c := range cases {
+		got, ok := Periodic.Index(c.i, c.n)
+		if !ok || got != c.want {
+			t.Errorf("Periodic.Index(%d,%d) = %d,%v; want %d,true", c.i, c.n, got, ok, c.want)
+		}
+	}
+}
+
+func TestSymmetricIndex(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{-1, 4, 0}, {-2, 4, 1}, {4, 4, 3}, {5, 4, 2}, {7, 4, 0}, {8, 4, 0},
+	}
+	for _, c := range cases {
+		got, ok := Symmetric.Index(c.i, c.n)
+		if !ok || got != c.want {
+			t.Errorf("Symmetric.Index(%d,%d) = %d,%v; want %d,true", c.i, c.n, got, ok, c.want)
+		}
+	}
+}
+
+func TestZeroIndexOutOfRange(t *testing.T) {
+	if _, ok := Zero.Index(-1, 4); ok {
+		t.Error("Zero.Index(-1,4) reported in-range")
+	}
+	if _, ok := Zero.Index(4, 4); ok {
+		t.Error("Zero.Index(4,4) reported in-range")
+	}
+}
+
+func TestExtensionString(t *testing.T) {
+	if Periodic.String() != "periodic" || Symmetric.String() != "symmetric" || Zero.String() != "zero" {
+		t.Error("Extension.String mismatch")
+	}
+}
+
+func TestDilute(t *testing.T) {
+	f := []float64{1, 2, 3}
+	got := Dilute(f, 2)
+	want := []float64{1, 0, 2, 0, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Dilute len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dilute = %v, want %v", got, want)
+		}
+	}
+	one := Dilute(f, 1)
+	for i := range f {
+		if one[i] != f[i] {
+			t.Fatalf("Dilute(f,1) = %v, want copy of %v", one, f)
+		}
+	}
+	one[0] = 42
+	if f[0] == 42 {
+		t.Error("Dilute(f,1) aliases input")
+	}
+}
+
+func TestDilutePanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dilute(f,0) did not panic")
+		}
+	}()
+	Dilute([]float64{1}, 0)
+}
+
+func TestPeriodicIndexProperty(t *testing.T) {
+	// Property: Periodic.Index always lands in [0,n) and is n-periodic.
+	f := func(i int16, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		j, ok := Periodic.Index(int(i), n)
+		if !ok || j < 0 || j >= n {
+			return false
+		}
+		j2, _ := Periodic.Index(int(i)+n, n)
+		return j == j2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymmetricIndexProperty(t *testing.T) {
+	// Property: Symmetric.Index lands in [0,n) and is 2n-periodic.
+	f := func(i int16, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		j, ok := Symmetric.Index(int(i), n)
+		if !ok || j < 0 || j >= n {
+			return false
+		}
+		j2, _ := Symmetric.Index(int(i)+2*n, n)
+		return j == j2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

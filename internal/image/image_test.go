@@ -1,0 +1,384 @@
+package image
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	im := New(3, 4)
+	if im.Rows != 3 || im.Cols != 4 || im.Stride != 4 || len(im.Pix) != 12 {
+		t.Fatalf("New(3,4) = %+v", im)
+	}
+	for _, v := range im.Pix {
+		if v != 0 {
+			t.Fatal("New image not zeroed")
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	im := New(4, 5)
+	im.Set(2, 3, 7.5)
+	if im.At(2, 3) != 7.5 {
+		t.Errorf("At(2,3) = %g", im.At(2, 3))
+	}
+	if im.Pix[2*5+3] != 7.5 {
+		t.Error("Set wrote to wrong flat index")
+	}
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	im := New(3, 3)
+	im.Row(1)[2] = 9
+	if im.At(1, 2) != 9 {
+		t.Error("Row does not alias image storage")
+	}
+	// Row slice must be capacity-clamped so appends don't spill into the
+	// next row.
+	r := im.Row(0)
+	r = append(r, 42)
+	if im.At(1, 0) == 42 {
+		t.Error("append to Row(0) corrupted Row(1)")
+	}
+	_ = r
+}
+
+func TestColRoundTrip(t *testing.T) {
+	im := New(3, 2)
+	want := []float64{1, 2, 3}
+	im.SetCol(1, want)
+	got := im.Col(1, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Col = %v, want %v", got, want)
+		}
+	}
+	// Reuse a provided buffer.
+	buf := make([]float64, 8)
+	got2 := im.Col(1, buf)
+	if len(got2) != 3 || &got2[0] != &buf[0] {
+		t.Error("Col did not reuse provided buffer")
+	}
+}
+
+func TestSubViewAliases(t *testing.T) {
+	im := New(4, 4)
+	sub := im.Sub(1, 1, 2, 2)
+	sub.Set(0, 0, 5)
+	if im.At(1, 1) != 5 {
+		t.Error("Sub does not alias parent")
+	}
+	if sub.Rows != 2 || sub.Cols != 2 || sub.Stride != 4 {
+		t.Errorf("Sub shape = %+v", sub)
+	}
+}
+
+func TestSubPanicsOutOfBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub out of bounds did not panic")
+		}
+	}()
+	New(2, 2).Sub(1, 1, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	im := New(2, 2)
+	im.Set(0, 0, 1)
+	cp := im.Clone()
+	cp.Set(0, 0, 2)
+	if im.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+	if !Equal(im.Clone(), im, 0) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestCloneOfSubHasTightStride(t *testing.T) {
+	im := New(4, 4)
+	im.Fill(3)
+	cp := im.Sub(1, 1, 2, 2).Clone()
+	if cp.Stride != 2 || len(cp.Pix) != 4 {
+		t.Errorf("Clone of sub: stride=%d len=%d", cp.Stride, len(cp.Pix))
+	}
+	if cp.At(1, 1) != 3 {
+		t.Error("Clone of sub lost data")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	im := FromRows([][]float64{{1, 2}, {3, 4}})
+	if im.At(0, 1) != 2 || im.At(1, 0) != 3 {
+		t.Errorf("FromRows content wrong: %v", im.Pix)
+	}
+}
+
+func TestMSEAndPSNR(t *testing.T) {
+	a := FromRows([][]float64{{0, 0}, {0, 0}})
+	b := FromRows([][]float64{{2, 0}, {0, 0}})
+	if got := MSE(a, b); got != 1 {
+		t.Errorf("MSE = %g, want 1", got)
+	}
+	if !math.IsInf(PSNR(a, a), 1) {
+		t.Error("PSNR of identical images not +Inf")
+	}
+	want := 10 * math.Log10(255*255)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyMeanMinMax(t *testing.T) {
+	im := FromRows([][]float64{{1, -2}, {3, 0}})
+	if im.Energy() != 14 {
+		t.Errorf("Energy = %g, want 14", im.Energy())
+	}
+	if im.Mean() != 0.5 {
+		t.Errorf("Mean = %g, want 0.5", im.Mean())
+	}
+	lo, hi := im.MinMax()
+	if lo != -2 || hi != 3 {
+		t.Errorf("MinMax = %g,%g", lo, hi)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	im := FromRows([][]float64{{0, 5}, {10, 2.5}})
+	im.Normalize(0, 255)
+	lo, hi := im.MinMax()
+	if lo != 0 || hi != 255 {
+		t.Errorf("Normalize range = %g..%g", lo, hi)
+	}
+	flat := New(2, 2)
+	flat.Fill(7)
+	flat.Normalize(0, 255)
+	if lo, hi := flat.MinMax(); lo != 0 || hi != 0 {
+		t.Errorf("constant image normalized to %g..%g, want 0..0", lo, hi)
+	}
+}
+
+func TestLandsatDeterministicAndInRange(t *testing.T) {
+	a := Landsat(64, 64, 42)
+	b := Landsat(64, 64, 42)
+	if !Equal(a, b, 0) {
+		t.Error("Landsat not deterministic for equal seeds")
+	}
+	c := Landsat(64, 64, 43)
+	if Equal(a, c, 0) {
+		t.Error("Landsat identical across different seeds")
+	}
+	lo, hi := a.MinMax()
+	if lo < 0 || hi > 255 {
+		t.Errorf("Landsat range %g..%g outside [0,255]", lo, hi)
+	}
+	if hi-lo < 100 {
+		t.Errorf("Landsat dynamic range too small: %g", hi-lo)
+	}
+}
+
+func TestLandsatSpectralRollOff(t *testing.T) {
+	// Natural imagery has most energy at low frequencies. Compare the
+	// variance of the raw image to the variance of its horizontal
+	// first difference; terrain-like images have diff variance well
+	// below raw variance (a white-noise image would have ~2x).
+	im := Landsat(128, 128, 7)
+	mean := im.Mean()
+	var rawVar, diffVar float64
+	for r := 0; r < im.Rows; r++ {
+		row := im.Row(r)
+		for c, v := range row {
+			d := v - mean
+			rawVar += d * d
+			if c > 0 {
+				dd := v - row[c-1]
+				diffVar += dd * dd
+			}
+		}
+	}
+	if diffVar >= rawVar {
+		t.Errorf("Landsat lacks low-frequency dominance: diffVar=%g rawVar=%g", diffVar, rawVar)
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := Landsat(16, 24, 1)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != 16 || back.Cols != 24 {
+		t.Fatalf("round trip shape %dx%d", back.Rows, back.Cols)
+	}
+	// Quantization to bytes loses at most 0.5.
+	if !Equal(im, back, 0.5+1e-9) {
+		t.Error("PGM round trip exceeded quantization error")
+	}
+}
+
+func TestPGMHeaderComments(t *testing.T) {
+	data := "P5\n# a comment\n2 2\n# another\n255\n\x01\x02\x03\x04"
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.At(0, 0) != 1 || im.At(1, 1) != 4 {
+		t.Errorf("pixels = %v", im.Pix)
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	cases := []string{
+		"P6\n2 2\n255\nxxxx",     // wrong magic
+		"P5\n0 2\n255\n",         // zero dimension
+		"P5\n2 2\n70000\n",       // maxval too large
+		"P5\n2 2\n255\n\x01",     // short pixel data
+		"P5\nx 2\n255\n\x01\x02", // non-numeric dimension
+	}
+	for _, c := range cases {
+		if _, err := ReadPGM(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadPGM(%q) succeeded, want error", c[:min(len(c), 12)])
+		}
+	}
+}
+
+func TestPGMFileRoundTrip(t *testing.T) {
+	im := Landsat(8, 8, 3)
+	path := t.TempDir() + "/x.pgm"
+	if err := SavePGM(path, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(im, back, 0.5+1e-9) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadPGM(path + ".missing"); err == nil {
+		t.Error("LoadPGM of missing file succeeded")
+	}
+}
+
+func TestClampByte(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want byte
+	}{{-5, 0}, {0, 0}, {0.4, 0}, {0.6, 1}, {254.5, 255}, {255, 255}, {400, 255}}
+	for _, c := range cases {
+		if got := clampByte(c.in); got != c.want {
+			t.Errorf("clampByte(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMSESymmetryProperty(t *testing.T) {
+	f := func(seed1, seed2 uint16) bool {
+		a := Landsat(8, 8, uint64(seed1))
+		b := Landsat(8, 8, uint64(seed2))
+		return math.Abs(MSE(a, b)-MSE(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLandsatBands(t *testing.T) {
+	bands := LandsatBands(64, 64, 7, 5)
+	if len(bands) != 7 {
+		t.Fatalf("%d bands", len(bands))
+	}
+	// Deterministic.
+	again := LandsatBands(64, 64, 7, 5)
+	for b := range bands {
+		if !Equal(bands[b], again[b], 0) {
+			t.Fatalf("band %d not deterministic", b)
+		}
+		lo, hi := bands[b].MinMax()
+		if lo < 0 || hi > 255 {
+			t.Fatalf("band %d range %g..%g", b, lo, hi)
+		}
+	}
+	// Bands differ from each other but stay correlated (shared terrain):
+	// the correlation coefficient between any two bands is high.
+	for b := 1; b < len(bands); b++ {
+		if Equal(bands[0], bands[b], 1) {
+			t.Errorf("band %d nearly identical to band 0", b)
+		}
+		if c := correlation(bands[0], bands[b]); c < 0.5 {
+			t.Errorf("band 0 and %d correlation %g, want >= 0.5", b, c)
+		}
+	}
+}
+
+func correlation(a, b *Image) float64 {
+	ma, mb := a.Mean(), b.Mean()
+	var cov, va, vb float64
+	for r := 0; r < a.Rows; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for c := range ra {
+			da, db := ra[c]-ma, rb[c]-mb
+			cov += da * db
+			va += da * da
+			vb += db * db
+		}
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative dims did not panic")
+		}
+	}()
+	New(-1, 4)
+}
+
+func TestSetColLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong SetCol length did not panic")
+		}
+	}()
+	New(3, 3).SetCol(0, []float64{1})
+}
+
+func TestMSEDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MSE size mismatch did not panic")
+		}
+	}()
+	MSE(New(2, 2), New(3, 3))
+}
+
+func TestEqualDifferentShapes(t *testing.T) {
+	if Equal(New(2, 2), New(2, 3), 1e9) {
+		t.Error("different shapes reported equal")
+	}
+}

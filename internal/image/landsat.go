@@ -1,0 +1,121 @@
+package image
+
+import "math"
+
+// Landsat synthesizes a deterministic grayscale scene with the spatial
+// statistics of remotely sensed terrain imagery: multi-octave value noise
+// (an approximately 1/f amplitude spectrum, like natural terrain), a
+// low-frequency illumination gradient, drainage-like ridges, and fine
+// sensor noise. It stands in for the paper's 512×512 Landsat-TM band of the
+// Pacific Northwest; the wavelet workload is data-independent, so only the
+// size and the realistic spectral roll-off matter (the latter makes the
+// energy-compaction sanity checks meaningful).
+//
+// The same (rows, cols, seed) always produces the same image. Pixel values
+// land in [0, 255].
+func Landsat(rows, cols int, seed uint64) *Image {
+	im := New(rows, cols)
+	if rows == 0 || cols == 0 {
+		return im
+	}
+	g := noiseGrid{seed: seed}
+	inv := 1 / float64(max(rows, cols))
+	for r := 0; r < rows; r++ {
+		row := im.Row(r)
+		y := float64(r) * inv
+		for c := 0; c < cols; c++ {
+			x := float64(c) * inv
+			// Fractal terrain: 7 octaves of value noise with
+			// persistence 0.55 gives a natural-image-like spectrum.
+			var v, amp, norm float64
+			freq := 4.0
+			amp = 1.0
+			for oct := 0; oct < 7; oct++ {
+				v += amp * g.value(x*freq, y*freq, uint64(oct))
+				norm += amp
+				amp *= 0.55
+				freq *= 2
+			}
+			v /= norm
+			// Ridge lines (drainage patterns): folded noise.
+			ridge := 1 - math.Abs(2*g.value(x*6, y*6, 101)-1)
+			v = 0.75*v + 0.25*ridge*ridge
+			// Illumination gradient across the scene.
+			v += 0.12 * (x - y)
+			// Fine-grain sensor noise.
+			v += 0.02 * (g.value(x*191, y*191, 202) - 0.5)
+			row[c] = v
+		}
+	}
+	im.Normalize(0, 255)
+	return im
+}
+
+// noiseGrid is a tiny deterministic value-noise source: lattice hashing by
+// splitmix64 with bilinear interpolation and smoothstep fading.
+type noiseGrid struct{ seed uint64 }
+
+func (g noiseGrid) lattice(ix, iy int64, channel uint64) float64 {
+	h := g.seed ^ channel*0x9e3779b97f4a7c15
+	h ^= uint64(ix) * 0xbf58476d1ce4e5b9
+	h ^= uint64(iy) * 0x94d049bb133111eb
+	// splitmix64 finalizer
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+func (g noiseGrid) value(x, y float64, channel uint64) float64 {
+	fx, fy := math.Floor(x), math.Floor(y)
+	ix, iy := int64(fx), int64(fy)
+	tx, ty := smoothstep(x-fx), smoothstep(y-fy)
+	v00 := g.lattice(ix, iy, channel)
+	v10 := g.lattice(ix+1, iy, channel)
+	v01 := g.lattice(ix, iy+1, channel)
+	v11 := g.lattice(ix+1, iy+1, channel)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LandsatBands synthesizes a multi-band scene like the Landsat Thematic
+// Mapper's seven spectral bands: every band shares the same underlying
+// terrain (so bands are strongly correlated, as in real TM data) but has
+// its own spectral response curve and sensor noise. Deterministic in
+// (rows, cols, bands, seed).
+func LandsatBands(rows, cols, bands int, seed uint64) []*Image {
+	out := make([]*Image, bands)
+	base := Landsat(rows, cols, seed)
+	for b := 0; b < bands; b++ {
+		im := base.Clone()
+		bg := noiseGrid{seed: seed + 1000*uint64(b+1)}
+		gain := 0.7 + 0.6*bg.lattice(1, 1, 7)      // band-specific gain
+		offset := 40 * (bg.lattice(2, 2, 7) - 0.5) // band-specific offset
+		inv := 1 / float64(max(rows, cols))
+		for r := 0; r < rows; r++ {
+			row := im.Row(r)
+			y := float64(r) * inv
+			for c := range row {
+				x := float64(c) * inv
+				// Band-dependent reflectance modulation plus noise.
+				mod := 0.85 + 0.3*bg.value(x*3, y*3, 55)
+				row[c] = row[c]*gain*mod + offset + 2*(bg.value(x*173, y*173, 99)-0.5)
+			}
+		}
+		im.Normalize(0, 255)
+		out[b] = im
+	}
+	return out
+}

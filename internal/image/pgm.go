@@ -1,0 +1,133 @@
+package image
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WritePGM encodes im as a binary (P5) PGM with maxval 255. Pixels are
+// clamped to [0, 255] and rounded to the nearest integer.
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.Cols, im.Rows); err != nil {
+		return err
+	}
+	buf := make([]byte, im.Cols)
+	for r := 0; r < im.Rows; r++ {
+		row := im.Row(r)
+		for c, v := range row {
+			buf[c] = clampByte(v)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func clampByte(v float64) byte {
+	v = math.Round(v)
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// ReadPGM decodes a binary (P5) PGM image. Comments and arbitrary
+// whitespace in the header are handled; maxval up to 255 is supported.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("image: bad PGM magic %q (only binary P5 supported)", magic)
+	}
+	dims := make([]int, 3)
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscanf(tok, "%d", &dims[i]); err != nil {
+			return nil, fmt.Errorf("image: bad PGM header token %q", tok)
+		}
+	}
+	cols, rows, maxval := dims[0], dims[1], dims[2]
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("image: bad PGM dimensions %dx%d", cols, rows)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("image: unsupported PGM maxval %d", maxval)
+	}
+	im := New(rows, cols)
+	buf := make([]byte, cols)
+	for r := 0; r < rows; r++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("image: short PGM pixel data at row %d: %w", r, err)
+		}
+		row := im.Row(r)
+		for c, b := range buf {
+			row[c] = float64(b)
+		}
+	}
+	return im, nil
+}
+
+// pgmToken returns the next whitespace-delimited header token, skipping
+// '#' comments. The single whitespace byte after the final header token is
+// consumed by the caller's read of this token's trailing delimiter.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// SavePGM writes im to the named file as binary PGM.
+func SavePGM(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePGM(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPGM reads a binary PGM image from the named file.
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}

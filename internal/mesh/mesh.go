@@ -1,0 +1,157 @@
+// Package mesh models the interconnection networks of the paper's target
+// machines: the Intel Paragon's 2-D mesh with dimension-ordered (XY)
+// wormhole routing, and (for the Appendix B experiments) the Cray T3D's
+// 3-D torus. It provides deterministic routing, a link-reservation network
+// that exposes contention, and calibrated per-machine cost models.
+//
+// The model is intentionally not cycle-accurate: the paper's scalability
+// cliffs come from message counts, routing conflicts, and latency/bandwidth
+// ratios, all of which survive in this abstraction (see DESIGN.md §2).
+package mesh
+
+import "fmt"
+
+// Coord addresses a node in the machine. Unused dimensions are zero (the
+// Paragon mesh uses X and Y only).
+type Coord struct {
+	X, Y, Z int
+}
+
+// String returns "(x,y,z)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z) }
+
+// Topology enumerates supported network shapes.
+type Topology int
+
+const (
+	// Mesh2D is an open 2-D mesh with XY dimension-ordered routing
+	// (Paragon).
+	Mesh2D Topology = iota
+	// Torus3D is a bidirectional 3-D torus with dimension-ordered
+	// routing that takes the shorter way around each ring (T3D).
+	Torus3D
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case Mesh2D:
+		return "mesh2d"
+	case Torus3D:
+		return "torus3d"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Link is one directed channel between adjacent nodes.
+type Link struct {
+	From, To Coord
+}
+
+// Machine describes a target platform: its network shape and the cost
+// constants of its compute and communication operations.
+type Machine struct {
+	Name     string
+	Topology Topology
+	// DimX, DimY, DimZ are the physical extents (DimZ = 1 for 2-D).
+	DimX, DimY, DimZ int
+	Cost             CostModel
+}
+
+// Nodes returns the total node count.
+func (m *Machine) Nodes() int { return m.DimX * m.DimY * m.DimZ }
+
+// Contains reports whether c is a valid node coordinate.
+func (m *Machine) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.DimX && c.Y >= 0 && c.Y < m.DimY && c.Z >= 0 && c.Z < m.DimZ
+}
+
+// CostModel holds the calibrated per-operation virtual-time constants, all
+// in seconds. See EXPERIMENTS.md for the calibration against the paper's
+// published measurements.
+type CostModel struct {
+	// MACTime is the cost of one multiply-accumulate in a filter inner
+	// loop.
+	MACTime float64
+	// CoefTime is the fixed per-output-coefficient overhead (loads,
+	// stores, loop and addressing arithmetic) of the convolution kernels.
+	CoefTime float64
+	// FlopTime is the cost of a generic floating-point operation outside
+	// the calibrated convolution kernels (N-body and PIC arithmetic).
+	FlopTime float64
+	// MsgLatency is the software send/receive startup cost per message.
+	MsgLatency float64
+	// ByteTime is the per-byte transfer (inverse bandwidth) cost.
+	ByteTime float64
+	// HopTime is the additional cost per network hop beyond the first.
+	HopTime float64
+	// MemByteTime is the per-byte cost of a node-local copy (used for
+	// self-sends).
+	MemByteTime float64
+}
+
+// MsgTime returns the uncontended transfer time of a message of the given
+// byte size over the given hop count. Zero hops means a node-local copy.
+func (c *CostModel) MsgTime(bytes, hops int) float64 {
+	if hops == 0 {
+		return float64(bytes) * c.MemByteTime
+	}
+	return c.MsgLatency + float64(bytes)*c.ByteTime + float64(hops-1)*c.HopTime
+}
+
+// Route returns the dimension-ordered path from a to b as a sequence of
+// directed unit links. For Mesh2D this is XY routing: travel the full X
+// distance first, then Y (the behaviour whose conflicts the paper blames
+// for the naive distribution's 4-processor scalability ceiling). For
+// Torus3D each dimension takes the shorter way around the ring. a == b
+// yields an empty path.
+func (m *Machine) Route(a, b Coord) []Link {
+	if !m.Contains(a) || !m.Contains(b) {
+		panic(fmt.Sprintf("mesh: Route %v -> %v outside %dx%dx%d machine", a, b, m.DimX, m.DimY, m.DimZ))
+	}
+	var path []Link
+	cur := a
+	step := func(next Coord) {
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	advance := func(get func(Coord) int, set func(Coord, int) Coord, dim int, target int) {
+		for get(cur) != target {
+			pos := get(cur)
+			var next int
+			if m.Topology == Torus3D {
+				next = torusStep(pos, target, dim)
+			} else if target > pos {
+				next = pos + 1
+			} else {
+				next = pos - 1
+			}
+			step(set(cur, next))
+		}
+	}
+	getX := func(c Coord) int { return c.X }
+	setX := func(c Coord, v int) Coord { c.X = v; return c }
+	getY := func(c Coord) int { return c.Y }
+	setY := func(c Coord, v int) Coord { c.Y = v; return c }
+	getZ := func(c Coord) int { return c.Z }
+	setZ := func(c Coord, v int) Coord { c.Z = v; return c }
+	advance(getX, setX, m.DimX, b.X)
+	advance(getY, setY, m.DimY, b.Y)
+	advance(getZ, setZ, m.DimZ, b.Z)
+	return path
+}
+
+// torusStep returns the next ring position moving from pos toward target
+// the short way around a ring of the given size.
+func torusStep(pos, target, size int) int {
+	fwd := (target - pos + size) % size
+	bwd := (pos - target + size) % size
+	if fwd <= bwd {
+		return (pos + 1) % size
+	}
+	return (pos - 1 + size) % size
+}
+
+// Hops returns the path length between two nodes.
+func (m *Machine) Hops(a, b Coord) int { return len(m.Route(a, b)) }

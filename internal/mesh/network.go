@@ -1,0 +1,66 @@
+package mesh
+
+// Network tracks per-link reservations so the virtual-time simulator can
+// expose routing contention: under wormhole routing a message occupies
+// every link of its dimension-ordered path for its whole transfer, so two
+// messages whose paths share a directed link serialize. This is exactly
+// the conflict the paper describes for the naive stripe placement, where
+// right-edge processors talking to the next row's left edge cut across all
+// the in-row neighbor traffic.
+type Network struct {
+	m    *Machine
+	free map[Link]float64 // earliest time each directed link is free
+	// stats
+	totalMsgs    int
+	totalBytes   int64
+	contendedMsg int
+	waitTime     float64
+}
+
+// NewNetwork returns an empty reservation table for machine m.
+func NewNetwork(m *Machine) *Network {
+	return &Network{m: m, free: make(map[Link]float64)}
+}
+
+// Reset clears all reservations and statistics.
+func (n *Network) Reset() {
+	n.free = make(map[Link]float64)
+	n.totalMsgs, n.totalBytes, n.contendedMsg, n.waitTime = 0, 0, 0, 0
+}
+
+// Transfer reserves the path from src to dst for a message of the given
+// size, beginning no earlier than start, and returns the time at which the
+// message is fully delivered. Self-sends cost a local copy and reserve
+// nothing.
+func (n *Network) Transfer(src, dst Coord, bytes int, start float64) (arrival float64) {
+	n.totalMsgs++
+	n.totalBytes += int64(bytes)
+	path := n.m.Route(src, dst)
+	dur := n.m.Cost.MsgTime(bytes, len(path))
+	if len(path) == 0 {
+		return start + dur
+	}
+	// Wormhole: the transfer begins when the sender is ready and every
+	// link on the path is free; it then occupies all of them for dur.
+	t := start
+	for _, l := range path {
+		if f := n.free[l]; f > t {
+			t = f
+		}
+	}
+	if t > start {
+		n.contendedMsg++
+		n.waitTime += t - start
+	}
+	end := t + dur
+	for _, l := range path {
+		n.free[l] = end
+	}
+	return end
+}
+
+// Stats reports cumulative traffic counters: messages, bytes, messages
+// that waited on a busy link, and the total time spent waiting.
+func (n *Network) Stats() (msgs int, bytes int64, contended int, wait float64) {
+	return n.totalMsgs, n.totalBytes, n.contendedMsg, n.waitTime
+}

@@ -1,0 +1,108 @@
+package mesh
+
+import "fmt"
+
+// Placement maps SPMD ranks onto machine nodes. The paper's Figure 4
+// contrasts the two mesh placements below: the naive row-major order, in
+// which consecutive ranks wrap from the right edge of one partition row to
+// the left edge of the next (forcing long, conflict-prone paths under XY
+// routing), and the snake-like order that keeps every consecutive rank
+// pair physically adjacent.
+type Placement interface {
+	// Name identifies the placement for reports.
+	Name() string
+	// Coord returns the node hosting the given rank out of p ranks.
+	Coord(rank, p int) Coord
+}
+
+// partitionShape returns the sub-mesh used for p ranks: width columns
+// (capped at the machine partition width) and as many rows as needed.
+func partitionShape(p, width int) (w, h int) {
+	if p < width {
+		return p, 1
+	}
+	return width, (p + width - 1) / width
+}
+
+// NaivePlacement assigns ranks in row-major order across a partition of
+// the given width (the JPL Paragon partitions in the paper's Figure 4 are
+// four nodes wide).
+type NaivePlacement struct {
+	Width int
+}
+
+// Name implements Placement.
+func (n NaivePlacement) Name() string { return "naive" }
+
+// Coord implements Placement.
+func (n NaivePlacement) Coord(rank, p int) Coord {
+	w, _ := partitionShape(p, n.Width)
+	return Coord{X: rank % w, Y: rank / w}
+}
+
+// SnakePlacement assigns ranks boustrophedon: even partition rows run
+// left-to-right, odd rows right-to-left, so ranks i and i+1 are always
+// mesh neighbors.
+type SnakePlacement struct {
+	Width int
+}
+
+// Name implements Placement.
+func (s SnakePlacement) Name() string { return "snake" }
+
+// Coord implements Placement.
+func (s SnakePlacement) Coord(rank, p int) Coord {
+	w, _ := partitionShape(p, s.Width)
+	row := rank / w
+	col := rank % w
+	if row%2 == 1 {
+		col = w - 1 - col
+	}
+	return Coord{X: col, Y: row}
+}
+
+// LinearPlacement lays ranks along a single dimension-ordered line through
+// the machine, used for the T3D torus where partition shapes are powers of
+// two; rank i and i+1 are torus neighbors by Gray-code folding through the
+// Z, Y, X dimensions.
+type LinearPlacement struct {
+	M *Machine
+}
+
+// Name implements Placement.
+func (l LinearPlacement) Name() string { return "linear" }
+
+// Coord implements Placement.
+func (l LinearPlacement) Coord(rank, p int) Coord {
+	// Snake through X fastest, then Y, then Z, reversing direction on
+	// each carry so consecutive ranks stay adjacent.
+	dx, dy := l.M.DimX, l.M.DimY
+	x := rank % dx
+	y := (rank / dx) % dy
+	z := rank / (dx * dy)
+	if (rank/dx)%2 == 1 {
+		x = dx - 1 - x
+	}
+	if (rank/(dx*dy))%2 == 1 {
+		y = dy - 1 - y
+	}
+	return Coord{X: x, Y: y, Z: z}
+}
+
+// ValidatePlacement checks that ranks 0..p-1 map to distinct nodes inside
+// the machine.
+func ValidatePlacement(m *Machine, pl Placement, p int) error {
+	seen := make(map[Coord]int, p)
+	for r := 0; r < p; r++ {
+		c := pl.Coord(r, p)
+		if !m.Contains(c) {
+			return fmt.Errorf("mesh: placement %s maps rank %d to %v outside %dx%dx%d machine",
+				pl.Name(), r, c, m.DimX, m.DimY, m.DimZ)
+		}
+		if prev, dup := seen[c]; dup {
+			return fmt.Errorf("mesh: placement %s maps ranks %d and %d both to %v", pl.Name(), prev, r, c)
+		}
+		seen[c] = r
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package nbody implements the Appendix B astrophysical N-body
+// simulation: the Barnes-Hut hierarchical force algorithm on a 2-D
+// quadtree (the report's implementation is two-dimensional — "subdividing
+// a cell into its four children", bodies of "56 bytes of data in two
+// dimensions"), Costzones domain decomposition, a leapfrog integrator,
+// and the manager-worker parallel driver whose overhead budget the report
+// measures on the Paragon and T3D.
+package nbody
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Vec2 is a 2-D vector.
+type Vec2 struct{ X, Y float64 }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v·s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Norm returns |v|.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Body is one simulation particle.
+type Body struct {
+	Pos, Vel Vec2
+	Mass     float64
+	// Cost is the interaction count of the previous step, the Costzones
+	// work estimate ("the cost of every particle ... as counted in the
+	// previous time step, is stored with the particle").
+	Cost float64
+}
+
+// G is the gravitational constant in simulation units.
+const G = 1.0
+
+// Softening is the Plummer softening length avoiding force singularities
+// at close encounters.
+const Softening = 1e-3
+
+// UniformDisk generates n bodies of equal mass scattered uniformly in a
+// disk of the given radius with small random velocities. Deterministic in
+// the seed.
+func UniformDisk(n int, radius float64, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	m := 1.0 / float64(n)
+	for i := range bodies {
+		r := radius * math.Sqrt(rng.Float64())
+		phi := 2 * math.Pi * rng.Float64()
+		bodies[i] = Body{
+			Pos:  Vec2{r * math.Cos(phi), r * math.Sin(phi)},
+			Vel:  Vec2{rng.NormFloat64() * 0.01, rng.NormFloat64() * 0.01},
+			Mass: m,
+			Cost: 1,
+		}
+	}
+	return bodies
+}
+
+// Plummer generates n bodies following an (area-projected) Plummer
+// profile with virial-ish circular velocities, the classic cluster
+// initial condition.
+func Plummer(n int, seed int64) []Body {
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]Body, n)
+	m := 1.0 / float64(n)
+	for i := range bodies {
+		// Inverse-transform sample of the Plummer cumulative mass.
+		x := rng.Float64()*0.99 + 0.005
+		r := 1 / math.Sqrt(math.Pow(x, -2.0/3.0)-1)
+		phi := 2 * math.Pi * rng.Float64()
+		pos := Vec2{r * math.Cos(phi), r * math.Sin(phi)}
+		// Circular velocity of the enclosed mass, tangential direction.
+		enc := math.Pow(1+r*r, -1.5) * r * r * r
+		vc := math.Sqrt(G * enc / math.Max(r, 1e-6))
+		vel := Vec2{-math.Sin(phi), math.Cos(phi)}.Scale(vc)
+		bodies[i] = Body{Pos: pos, Vel: vel, Mass: m, Cost: 1}
+	}
+	return bodies
+}
+
+// InteractingGalaxies builds the report's example problem — "a simulation
+// of interacting galaxies" — as two Plummer systems on an approach orbit.
+func InteractingGalaxies(nPerGalaxy int, seed int64) []Body {
+	a := Plummer(nPerGalaxy, seed)
+	b := Plummer(nPerGalaxy, seed+1)
+	sep := Vec2{4, 1}
+	rel := Vec2{-0.4, 0}
+	for i := range a {
+		a[i].Pos = a[i].Pos.Sub(sep.Scale(0.5))
+		a[i].Vel = a[i].Vel.Sub(rel.Scale(0.5))
+		a[i].Mass *= 0.5
+	}
+	for i := range b {
+		b[i].Pos = b[i].Pos.Add(sep.Scale(0.5))
+		b[i].Vel = b[i].Vel.Add(rel.Scale(0.5))
+		b[i].Mass *= 0.5
+	}
+	return append(a, b...)
+}
+
+// TotalEnergy returns kinetic + (softened) potential energy by direct
+// O(N²) summation — a diagnostic for integrator sanity checks on small N.
+func TotalEnergy(bodies []Body) float64 {
+	var e float64
+	for i := range bodies {
+		v := bodies[i].Vel.Norm()
+		e += 0.5 * bodies[i].Mass * v * v
+		for j := i + 1; j < len(bodies); j++ {
+			d := bodies[i].Pos.Sub(bodies[j].Pos).Norm()
+			e -= G * bodies[i].Mass * bodies[j].Mass / math.Sqrt(d*d+Softening*Softening)
+		}
+	}
+	return e
+}
+
+// CenterOfMass returns the mass-weighted mean position.
+func CenterOfMass(bodies []Body) Vec2 {
+	var com Vec2
+	var m float64
+	for i := range bodies {
+		com = com.Add(bodies[i].Pos.Scale(bodies[i].Mass))
+		m += bodies[i].Mass
+	}
+	if m == 0 {
+		return Vec2{}
+	}
+	return com.Scale(1 / m)
+}
+
+// TotalMomentum returns the summed momentum vector.
+func TotalMomentum(bodies []Body) Vec2 {
+	var p Vec2
+	for i := range bodies {
+		p = p.Add(bodies[i].Vel.Scale(bodies[i].Mass))
+	}
+	return p
+}

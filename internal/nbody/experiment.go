@@ -1,0 +1,105 @@
+package nbody
+
+import (
+	"fmt"
+	"strings"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+)
+
+// Experiment drivers regenerating Appendix B's N-body figures: Figure 3
+// (Paragon scalability for 1K/4K/32K bodies), Figures 4-6 (performance
+// budgets per size), and Figures 15-18 (the same on the T3D).
+
+// placementFor returns the natural rank placement of a machine.
+func placementFor(m *mesh.Machine) mesh.Placement {
+	if m.Topology == mesh.Torus3D {
+		return mesh.LinearPlacement{M: m}
+	}
+	return mesh.SnakePlacement{Width: 4}
+}
+
+// ScalingResult is one (size, procs) cell of the scalability experiment.
+type ScalingResult struct {
+	Bodies  int
+	Procs   int
+	PerStep float64
+	Speedup float64
+	Budget  budget.Report
+}
+
+// RunScaling sweeps processor counts for one problem size on the named
+// machine preset, computing speedup against the calibrated serial
+// per-iteration time.
+func RunScaling(machine string, nBodies int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
+	m := mesh.ByName(machine)
+	if m == nil {
+		return nil, fmt.Errorf("nbody: unknown machine %q", machine)
+	}
+	serial, err := SerialTime(machine, nBodies, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingResult
+	for _, p := range procs {
+		bodies := UniformDisk(nBodies, 10, seed)
+		// Warm the Costzones weights so partitioning reflects real costs
+		// (the report's runs measure steady-state iterations).
+		Step(bodies, 1e-3)
+		res, err := ParallelRun(bodies, ParallelConfig{
+			Machine:   m,
+			Placement: placementFor(m),
+			Procs:     p,
+			Steps:     steps,
+			DT:        1e-3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nbody: P=%d: %w", p, err)
+		}
+		sr := ScalingResult{
+			Bodies:  nBodies,
+			Procs:   p,
+			PerStep: res.PerStep,
+			Budget:  res.Sim.Budget,
+		}
+		if sr.PerStep > 0 {
+			sr.Speedup = serial / sr.PerStep
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// FormatScaling renders scaling results as one figure panel.
+func FormatScaling(machine string, results []ScalingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N-body scalability on %s\n", machine)
+	fmt.Fprintf(&b, "%8s %6s %12s %9s %8s %8s %11s %10s\n",
+		"bodies", "P", "per-step(s)", "speedup", "useful%", "comm%", "redundancy%", "imbalance%")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%8d %6d %12.4g %9.2f %8.1f %8.1f %11.1f %10.1f\n",
+			r.Bodies, r.Procs, r.PerStep, r.Speedup,
+			r.Budget.UsefulPct, r.Budget.CommPct, r.Budget.RedundancyPct, r.Budget.ImbalancePct)
+	}
+	return b.String()
+}
+
+// SerialTable reproduces the N-body rows of Appendix B Tables 1-2: serial
+// per-iteration times for 1K/8K/32K bodies on both machines.
+func SerialTable(seed int64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s\n", "size", "paragon(s)", "t3d(s)")
+	for _, n := range []int{1024, 8192, 32768} {
+		pt, err := SerialTime("paragon", n, seed)
+		if err != nil {
+			return "", err
+		}
+		tt, err := SerialTime("t3d", n, seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %12.4g %12.4g\n", fmt.Sprintf("%dK", n/1024), pt, tt)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,72 @@
+package nbody
+
+import "math"
+
+// Theta is the Barnes-Hut opening parameter: a cell of size b at distance
+// d is approximated by its center of mass when b/d < Theta. The quality
+// of the multipole approximation "is a decreasing function of the ratio
+// b/|R_cm|" (report equation 4).
+const Theta = 0.9
+
+// Accel computes the gravitational acceleration on the body at index bi
+// by traversing the tree from the root, returning the acceleration and
+// the number of interactions evaluated (the Costzones work metric).
+func (t *Tree) Accel(bi int) (acc Vec2, interactions int) {
+	if t.Root < 0 {
+		return Vec2{}, 0
+	}
+	me := &t.Bodies[bi]
+	var walk func(c int)
+	walk = func(c int) {
+		cell := &t.Cells[c]
+		d := cell.COM.Sub(me.Pos).Norm()
+		// Opening test: cell size over distance.
+		if 2*cell.Half/math.Max(d, 1e-12) < Theta {
+			acc = acc.Add(pairAccel(me.Pos, cell.COM, cell.Mass))
+			interactions++
+			return
+		}
+		for _, ch := range cell.Child {
+			switch {
+			case ch == 0:
+			case ch > 0:
+				walk(int(ch - 1))
+			default:
+				for b := -ch - 1; b >= 0; b = t.next[b] {
+					if int(b) == bi {
+						continue
+					}
+					other := &t.Bodies[b]
+					acc = acc.Add(pairAccel(me.Pos, other.Pos, other.Mass))
+					interactions++
+				}
+			}
+		}
+	}
+	walk(t.Root)
+	return acc, interactions
+}
+
+// pairAccel is the softened Newtonian acceleration on a unit mass at p
+// due to mass m at q.
+func pairAccel(p, q Vec2, m float64) Vec2 {
+	d := q.Sub(p)
+	r2 := d.X*d.X + d.Y*d.Y + Softening*Softening
+	inv := 1 / (r2 * math.Sqrt(r2))
+	return d.Scale(G * m * inv)
+}
+
+// DirectAccel computes the exact O(N²) acceleration on body bi — the
+// baseline the hierarchical method approximates, used for accuracy tests
+// and as the naive comparator ("the naive particle-particle approach is
+// only useful ... with a small number of particles").
+func DirectAccel(bodies []Body, bi int) Vec2 {
+	var acc Vec2
+	for j := range bodies {
+		if j == bi {
+			continue
+		}
+		acc = acc.Add(pairAccel(bodies[bi].Pos, bodies[j].Pos, bodies[j].Mass))
+	}
+	return acc
+}

@@ -1,0 +1,433 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wavelethpc/internal/mesh"
+)
+
+func TestVec2Ops(t *testing.T) {
+	v := Vec2{3, 4}
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %g", v.Norm())
+	}
+	if got := v.Add(Vec2{1, 1}); got != (Vec2{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(Vec2{1, 1}); got != (Vec2{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestInitialConditions(t *testing.T) {
+	disk := UniformDisk(100, 5, 1)
+	if len(disk) != 100 {
+		t.Fatal("wrong count")
+	}
+	var totalMass float64
+	for _, b := range disk {
+		if b.Pos.Norm() > 5 {
+			t.Errorf("body outside disk: %v", b.Pos)
+		}
+		totalMass += b.Mass
+	}
+	if math.Abs(totalMass-1) > 1e-12 {
+		t.Errorf("total mass = %g", totalMass)
+	}
+	// Determinism.
+	disk2 := UniformDisk(100, 5, 1)
+	if disk[7] != disk2[7] {
+		t.Error("UniformDisk not deterministic")
+	}
+	pl := Plummer(200, 2)
+	if len(pl) != 200 {
+		t.Fatal("Plummer count")
+	}
+	gal := InteractingGalaxies(50, 3)
+	if len(gal) != 100 {
+		t.Fatal("galaxies count")
+	}
+	// Two distinct clumps: mean positions of the halves are separated.
+	c1 := CenterOfMass(gal[:50])
+	c2 := CenterOfMass(gal[50:])
+	if c1.Sub(c2).Norm() < 2 {
+		t.Errorf("galaxies not separated: %v vs %v", c1, c2)
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500} {
+		bodies := UniformDisk(n, 10, int64(n))
+		tree := Build(bodies)
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tree.ComputeCenters()
+		root := tree.Cells[tree.Root]
+		if math.Abs(root.Mass-1) > 1e-9 {
+			t.Errorf("n=%d: root mass %g", n, root.Mass)
+		}
+		want := CenterOfMass(bodies)
+		if root.COM.Sub(want).Norm() > 1e-9 {
+			t.Errorf("n=%d: root COM %v, want %v", n, root.COM, want)
+		}
+	}
+}
+
+func TestTreeEmptyAndCoincident(t *testing.T) {
+	tree := Build(nil)
+	if err := tree.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Coincident bodies must not loop forever and stay reachable.
+	bodies := []Body{
+		{Pos: Vec2{1, 1}, Mass: 0.5, Cost: 1},
+		{Pos: Vec2{1, 1}, Mass: 0.5, Cost: 1},
+		{Pos: Vec2{2, 2}, Mass: 0.5, Cost: 1},
+	}
+	tree = Build(bodies)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree.ComputeCenters()
+	if math.Abs(tree.Cells[0].Mass-1.5) > 1e-12 {
+		t.Errorf("root mass %g", tree.Cells[0].Mass)
+	}
+}
+
+func TestInorderCoversAllBodies(t *testing.T) {
+	bodies := UniformDisk(300, 10, 4)
+	tree := Build(bodies)
+	order := tree.InorderBodies()
+	if len(order) != 300 {
+		t.Fatalf("inorder has %d of 300", len(order))
+	}
+	seen := make(map[int]bool)
+	for _, b := range order {
+		if seen[b] {
+			t.Fatalf("body %d repeated", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestCostzonesBalanced(t *testing.T) {
+	bodies := UniformDisk(1000, 10, 5)
+	// Give bodies realistic unequal costs from a warm-up step.
+	Step(bodies, 1e-3)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	for _, p := range []int{2, 4, 8} {
+		zones := tree.Costzones(p)
+		var total float64
+		for i := range bodies {
+			total += bodies[i].Cost
+		}
+		count := 0
+		maxZone := 0.0
+		for _, z := range zones {
+			count += len(z)
+			var zc float64
+			for _, b := range z {
+				zc += bodies[b].Cost
+			}
+			if zc > maxZone {
+				maxZone = zc
+			}
+		}
+		if count != 1000 {
+			t.Fatalf("p=%d: zones cover %d bodies", p, count)
+		}
+		// The heaviest zone is within 30% of the ideal share.
+		if maxZone > total/float64(p)*1.3 {
+			t.Errorf("p=%d: max zone cost %g vs ideal %g", p, maxZone, total/float64(p))
+		}
+	}
+}
+
+func TestCostzonesContiguousInorder(t *testing.T) {
+	bodies := UniformDisk(64, 10, 6)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	zones := tree.Costzones(4)
+	order := tree.InorderBodies()
+	pos := make(map[int]int)
+	for i, b := range order {
+		pos[b] = i
+	}
+	idx := 0
+	for _, z := range zones {
+		for _, b := range z {
+			if pos[b] != idx {
+				t.Fatalf("zones not contiguous in inorder traversal")
+			}
+			idx++
+		}
+	}
+}
+
+func TestAccelMatchesDirectForSmallTheta(t *testing.T) {
+	bodies := UniformDisk(200, 10, 7)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	// Normalize errors by the mean exact force magnitude: bodies near
+	// the disk center have nearly cancelling forces, where a relative
+	// per-body error is meaningless.
+	var meanNorm float64
+	var errs []float64
+	for i := 0; i < 200; i += 17 {
+		approx, n := tree.Accel(i)
+		if n <= 0 {
+			t.Fatalf("no interactions for body %d", i)
+		}
+		exact := DirectAccel(bodies, i)
+		meanNorm += exact.Norm()
+		errs = append(errs, approx.Sub(exact).Norm())
+	}
+	meanNorm /= float64(len(errs))
+	for i, e := range errs {
+		if e/meanNorm > 0.08 {
+			t.Errorf("sample %d: force error %g vs mean magnitude %g", i, e, meanNorm)
+		}
+	}
+}
+
+func TestAccelCheaperThanDirect(t *testing.T) {
+	bodies := UniformDisk(4096, 10, 8)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	_, n := tree.Accel(0)
+	if n >= 4095/2 {
+		t.Errorf("BH used %d interactions for N=4096 — not hierarchical", n)
+	}
+}
+
+func TestStepConservesMomentumApproximately(t *testing.T) {
+	bodies := UniformDisk(300, 5, 9)
+	p0 := TotalMomentum(bodies)
+	for i := 0; i < 5; i++ {
+		Step(bodies, 1e-3)
+	}
+	p1 := TotalMomentum(bodies)
+	// BH approximations break exact Newton's-third-law pairing; drift
+	// must still be small.
+	if p1.Sub(p0).Norm() > 0.05 {
+		t.Errorf("momentum drift %v", p1.Sub(p0))
+	}
+}
+
+func TestStepEnergyStability(t *testing.T) {
+	bodies := Plummer(200, 10)
+	e0 := TotalEnergy(bodies)
+	for i := 0; i < 10; i++ {
+		Step(bodies, 1e-4)
+	}
+	e1 := TotalEnergy(bodies)
+	if math.Abs(e1-e0) > 0.1*math.Abs(e0) {
+		t.Errorf("energy drift %g -> %g", e0, e1)
+	}
+}
+
+func TestSerialTimeCalibration(t *testing.T) {
+	// Appendix B Tables 1-2 N-body rows, within 10%.
+	cases := []struct {
+		machine string
+		n       int
+		want    float64
+	}{
+		{"paragon", 1024, 5.77},
+		{"paragon", 8192, 53.27},
+		{"paragon", 32768, 237.51},
+		{"t3d", 1024, 0.53},
+		{"t3d", 8192, 6.31},
+		{"t3d", 32768, 30.90},
+	}
+	for _, c := range cases {
+		got, err := SerialTime(c.machine, c.n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.10*c.want {
+			t.Errorf("%s n=%d: %g s, want %g ± 10%%", c.machine, c.n, got, c.want)
+		}
+	}
+	if _, err := SerialTime("cray1", 100, 1); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestT3DOrderOfMagnitudeFaster(t *testing.T) {
+	// "the Nbody, with its dominant integer manipulations ... is showing
+	// up to one order of magnitude improvement" on the T3D.
+	p, _ := SerialTime("paragon", 1024, 1)
+	d, _ := SerialTime("t3d", 1024, 1)
+	if ratio := p / d; ratio < 8 || ratio > 14 {
+		t.Errorf("Paragon/T3D ratio = %g, want ~10", ratio)
+	}
+}
+
+func TestPackUnpackTreeRoundTrip(t *testing.T) {
+	bodies := UniformDisk(128, 10, 11)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	back := unpackTree(packTree(tree))
+	if len(back.Cells) != len(tree.Cells) || len(back.Bodies) != len(tree.Bodies) {
+		t.Fatal("size mismatch after round trip")
+	}
+	for i := range tree.Cells {
+		a, b := tree.Cells[i], back.Cells[i]
+		if a.Child != b.Child || a.COM != b.COM || a.Mass != b.Mass || a.Center != b.Center || a.Half != b.Half {
+			t.Fatalf("cell %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	// Forces computed from the unpacked tree are identical.
+	for i := 0; i < 128; i += 13 {
+		a1, n1 := tree.Accel(i)
+		a2, n2 := back.Accel(i)
+		if a1 != a2 || n1 != n2 {
+			t.Fatalf("Accel differs after round trip for body %d", i)
+		}
+	}
+}
+
+func TestParallelRunMatchesSerial(t *testing.T) {
+	const n = 256
+	serial := UniformDisk(n, 10, 12)
+	parallelInit := UniformDisk(n, 10, 12)
+	const steps = 3
+	for i := 0; i < steps; i++ {
+		Step(serial, 1e-3)
+	}
+	for _, p := range []int{1, 2, 5} {
+		res, err := ParallelRun(parallelInit, ParallelConfig{
+			Machine:   mesh.Paragon(),
+			Placement: mesh.SnakePlacement{Width: 4},
+			Procs:     p,
+			Steps:     steps,
+			DT:        1e-3,
+		})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for i := range serial {
+			if d := res.Bodies[i].Pos.Sub(serial[i].Pos).Norm(); d > 1e-12 {
+				t.Fatalf("P=%d: body %d position differs by %g", p, i, d)
+			}
+		}
+	}
+}
+
+func TestParallelRunValidation(t *testing.T) {
+	bodies := UniformDisk(16, 10, 1)
+	if _, err := ParallelRun(bodies, ParallelConfig{Machine: mesh.Paragon(), Placement: mesh.SnakePlacement{Width: 4}, Procs: 0, Steps: 1, DT: 1e-3}); err == nil {
+		t.Error("procs=0 accepted")
+	}
+	if _, err := ParallelRun(bodies, ParallelConfig{Machine: mesh.Paragon(), Placement: mesh.SnakePlacement{Width: 4}, Procs: 2, Steps: 0, DT: 1e-3}); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := ParallelRun(bodies, ParallelConfig{Machine: mesh.DEC5000(), Placement: mesh.SnakePlacement{Width: 4}, Procs: 1, Steps: 1, DT: 1e-3}); err == nil {
+		t.Error("machine without N-body cost model accepted")
+	}
+}
+
+func TestScalabilityImprovesWithLargeN(t *testing.T) {
+	// Figure 3: "N-body scales nicely with the increasing number of
+	// processors, particularly when large data sets are used."
+	small, err := RunScaling("paragon", 1024, []int{1, 4, 8}, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunScaling("paragon", 8192, []int{1, 4, 8}, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large[2].Speedup <= small[2].Speedup {
+		t.Errorf("8K speedup %g not better than 1K %g at P=8", large[2].Speedup, small[2].Speedup)
+	}
+	if large[2].Speedup <= large[1].Speedup {
+		t.Errorf("speedup not increasing with P: %g -> %g", large[1].Speedup, large[2].Speedup)
+	}
+	// Efficiency > 50% for large data sets (the report's conclusion).
+	if eff := large[2].Speedup / 8; eff < 0.5 {
+		t.Errorf("efficiency %g < 50%% at 8K bodies", eff)
+	}
+}
+
+func TestImbalanceGrowsWithProcs(t *testing.T) {
+	// Figures 4-6: manager-worker creates imbalance that grows with P
+	// ("distance variability from the manager increases with the
+	// increased number of workers") and is amortized by larger inputs.
+	res, err := RunScaling("paragon", 1024, []int{2, 8}, 1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Budget.CommPct <= res[0].Budget.CommPct {
+		t.Errorf("comm%% did not grow with P: %g -> %g", res[0].Budget.CommPct, res[1].Budget.CommPct)
+	}
+	// Redundancy overhead "has been minimal in all cases".
+	for _, r := range res {
+		if r.Budget.RedundancyPct > 10 {
+			t.Errorf("P=%d: redundancy %g%% not minimal", r.Procs, r.Budget.RedundancyPct)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	res, err := RunScaling("paragon", 512, []int{1, 2}, 1, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatScaling("paragon", res)
+	if len(out) == 0 || out[0] != 'N' {
+		t.Errorf("FormatScaling output %q", out)
+	}
+	table, err := SerialTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) == 0 {
+		t.Error("empty serial table")
+	}
+}
+
+func TestQuadrantProperty(t *testing.T) {
+	// Property: quadrant signs point from center toward p.
+	f := func(cx, cy, px, py float64) bool {
+		c := Vec2{cx, cy}
+		p := Vec2{px, py}
+		q, sx, sy := quadrant(c, p)
+		if (p.X >= c.X) != (sx == 1) || (p.Y >= c.Y) != (sy == 1) {
+			return false
+		}
+		wantQ := 0
+		if p.X >= c.X {
+			wantQ |= 1
+		}
+		if p.Y >= c.Y {
+			wantQ |= 2
+		}
+		return q == wantQ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectAccelSymmetry(t *testing.T) {
+	// Newton's third law for the direct summation: m_i·a_i = -m_j·a_j
+	// for a two-body system.
+	bodies := []Body{
+		{Pos: Vec2{0, 0}, Mass: 2},
+		{Pos: Vec2{1, 0}, Mass: 3},
+	}
+	f0 := DirectAccel(bodies, 0).Scale(bodies[0].Mass)
+	f1 := DirectAccel(bodies, 1).Scale(bodies[1].Mass)
+	if f0.Add(f1).Norm() > 1e-12 {
+		t.Errorf("third law violated: %v vs %v", f0, f1)
+	}
+}

@@ -1,0 +1,151 @@
+package nbody
+
+import "sort"
+
+// Orthogonal Recursive Bisection (ORB), the partitioning method the
+// report contrasts with Costzones ("this technique is very simple and
+// does not have much computational overhead associated with it, when
+// compared with other popular methods, such as the Orthogonal Recursive
+// Bisection (ORB)"). ORB recursively splits space with axis-aligned
+// cuts placed at the cost-weighted median, alternating axes, producing
+// one spatial region per processor.
+
+// ORBPartition splits the bodies into p cost-balanced groups by
+// recursive bisection and returns each group's body indices. p must be a
+// power of two (the classic formulation); other counts fall back to a
+// final uneven split.
+func ORBPartition(bodies []Body, p int) [][]int {
+	idx := make([]int, len(bodies))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([][]int, 0, p)
+	orbSplit(bodies, idx, p, 0, &out)
+	return out
+}
+
+// orbSplit recursively bisects the index set along alternating axes.
+func orbSplit(bodies []Body, idx []int, parts, axis int, out *[][]int) {
+	if parts <= 1 {
+		group := make([]int, len(idx))
+		copy(group, idx)
+		*out = append(*out, group)
+		return
+	}
+	// Sort by the cut axis.
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := bodies[idx[a]].Pos, bodies[idx[b]].Pos
+		if axis == 0 {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Left subtree takes ⌊parts/2⌋ of the parts and the matching share
+	// of the total cost.
+	leftParts := parts / 2
+	var total float64
+	for _, b := range idx {
+		c := bodies[b].Cost
+		if c <= 0 {
+			c = 1
+		}
+		total += c
+	}
+	target := total * float64(leftParts) / float64(parts)
+	var acc float64
+	cut := 0
+	for cut < len(idx)-1 {
+		c := bodies[idx[cut]].Cost
+		if c <= 0 {
+			c = 1
+		}
+		if acc+c > target && cut > 0 {
+			break
+		}
+		acc += c
+		cut++
+	}
+	orbSplit(bodies, idx[:cut], leftParts, 1-axis, out)
+	orbSplit(bodies, idx[cut:], parts-leftParts, 1-axis, out)
+}
+
+// PartitionStats summarizes the quality and cost of a partitioning.
+type PartitionStats struct {
+	// MaxCost and MinCost are the extreme per-group cost sums.
+	MaxCost, MinCost float64
+	// Imbalance is MaxCost over the ideal (total/p) share.
+	Imbalance float64
+	// Comparisons counts the sorting comparisons (ORB) or traversal
+	// steps (Costzones) spent building the partition — the bookkeeping
+	// overhead the report says Costzones avoids.
+	Comparisons int
+}
+
+// EvaluatePartition computes balance statistics for a partitioning.
+func EvaluatePartition(bodies []Body, zones [][]int) PartitionStats {
+	var st PartitionStats
+	var total float64
+	st.MinCost = -1
+	for _, z := range zones {
+		var c float64
+		for _, b := range z {
+			w := bodies[b].Cost
+			if w <= 0 {
+				w = 1
+			}
+			c += w
+		}
+		total += c
+		if c > st.MaxCost {
+			st.MaxCost = c
+		}
+		if st.MinCost < 0 || c < st.MinCost {
+			st.MinCost = c
+		}
+	}
+	if len(zones) > 0 && total > 0 {
+		st.Imbalance = st.MaxCost / (total / float64(len(zones)))
+	}
+	return st
+}
+
+// DirectStep advances the bodies one leapfrog step with the exact O(N²)
+// particle-particle method — the naive comparator the report notes is
+// "only useful in modeling a system with a small number of particles
+// (<10000) because of the very rapidly growing computational
+// complexity". Returns the pairwise interaction count (N·(N-1)).
+func DirectStep(bodies []Body, dt float64) int {
+	n := len(bodies)
+	accs := make([]Vec2, n)
+	for i := range bodies {
+		accs[i] = DirectAccel(bodies, i)
+	}
+	for i := range bodies {
+		bodies[i].Vel = bodies[i].Vel.Add(accs[i].Scale(dt))
+		bodies[i].Pos = bodies[i].Pos.Add(bodies[i].Vel.Scale(dt))
+		bodies[i].Cost = float64(n - 1)
+	}
+	return n * (n - 1)
+}
+
+// CrossoverSize estimates where Barnes-Hut overtakes direct summation on
+// a machine by comparing modeled per-step times at increasing N,
+// returning the first N (in the probed ladder) where the tree method
+// wins. Both methods are priced with the machine's per-interaction cost.
+func CrossoverSize(machine string, seed int64) (int, error) {
+	costs, err := MachineCosts(machine)
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048, 4096} {
+		bodies := UniformDisk(n, 10, seed)
+		Step(bodies, 1e-3)
+		stats := Step(bodies, 1e-3)
+		tree := costs.SerialStepTime(n, stats)
+		direct := float64(n*(n-1))*costs.Interaction + float64(n)*costs.Update
+		if tree < direct {
+			return n, nil
+		}
+	}
+	return 0, nil
+}

@@ -1,0 +1,191 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"wavelethpc/internal/mesh"
+)
+
+func TestORBPartitionCoversAllBodies(t *testing.T) {
+	bodies := UniformDisk(500, 10, 21)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		zones := ORBPartition(bodies, p)
+		if len(zones) != p {
+			t.Fatalf("p=%d: %d zones", p, len(zones))
+		}
+		seen := make([]bool, len(bodies))
+		for _, z := range zones {
+			for _, b := range z {
+				if seen[b] {
+					t.Fatalf("p=%d: body %d in two zones", p, b)
+				}
+				seen[b] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("p=%d: body %d unassigned", p, i)
+			}
+		}
+	}
+}
+
+func TestORBBalanced(t *testing.T) {
+	bodies := UniformDisk(2000, 10, 22)
+	Step(bodies, 1e-3) // realistic unequal costs
+	for _, p := range []int{2, 4, 8} {
+		zones := ORBPartition(bodies, p)
+		st := EvaluatePartition(bodies, zones)
+		if st.Imbalance > 1.35 {
+			t.Errorf("p=%d: ORB imbalance %g", p, st.Imbalance)
+		}
+	}
+}
+
+func TestORBSpatialLocality(t *testing.T) {
+	// ORB with p=2 on the x-axis puts all left-half bodies in one zone.
+	bodies := UniformDisk(400, 10, 23)
+	zones := ORBPartition(bodies, 2)
+	maxLeft := math.Inf(-1)
+	minRight := math.Inf(1)
+	for _, b := range zones[0] {
+		if bodies[b].Pos.X > maxLeft {
+			maxLeft = bodies[b].Pos.X
+		}
+	}
+	for _, b := range zones[1] {
+		if bodies[b].Pos.X < minRight {
+			minRight = bodies[b].Pos.X
+		}
+	}
+	if maxLeft > minRight {
+		t.Errorf("ORB halves overlap in x: left max %g > right min %g", maxLeft, minRight)
+	}
+}
+
+func TestCostzonesAndORBComparableBalance(t *testing.T) {
+	// The report's point: Costzones matches ORB's balance without the
+	// sorting overhead. Compare imbalance of the two methods.
+	bodies := UniformDisk(2000, 10, 24)
+	Step(bodies, 1e-3)
+	tree := Build(bodies)
+	tree.ComputeCenters()
+	for _, p := range []int{4, 8} {
+		cz := EvaluatePartition(bodies, tree.Costzones(p))
+		orb := EvaluatePartition(bodies, ORBPartition(bodies, p))
+		if cz.Imbalance > orb.Imbalance*1.4 {
+			t.Errorf("p=%d: Costzones imbalance %g much worse than ORB %g", p, cz.Imbalance, orb.Imbalance)
+		}
+	}
+}
+
+func TestEvaluatePartitionEmpty(t *testing.T) {
+	st := EvaluatePartition(nil, nil)
+	if st.Imbalance != 0 || st.MaxCost != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestDirectStepMatchesBHApproximately(t *testing.T) {
+	a := UniformDisk(200, 10, 25)
+	b := UniformDisk(200, 10, 25)
+	interactions := DirectStep(a, 1e-3)
+	if interactions != 200*199 {
+		t.Errorf("direct interactions = %d", interactions)
+	}
+	Step(b, 1e-3)
+	// BH with θ=0.9 tracks the exact integration to small per-step error.
+	var maxd float64
+	for i := range a {
+		if d := a[i].Pos.Sub(b[i].Pos).Norm(); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd > 1e-4 {
+		t.Errorf("BH vs direct position divergence %g after one step", maxd)
+	}
+}
+
+func TestDirectStepSetsCosts(t *testing.T) {
+	bodies := UniformDisk(10, 5, 26)
+	DirectStep(bodies, 1e-3)
+	for i := range bodies {
+		if bodies[i].Cost != 9 {
+			t.Fatalf("cost[%d] = %g, want 9", i, bodies[i].Cost)
+		}
+	}
+}
+
+func TestCrossoverSizeFinite(t *testing.T) {
+	// Barnes-Hut must overtake direct summation well below the report's
+	// 10000-particle threshold.
+	n, err := CrossoverSize("paragon", 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n > 10000 {
+		t.Errorf("crossover at %d bodies", n)
+	}
+	if _, err := CrossoverSize("vax", 1); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestParallelRunWithORBMatchesSerial(t *testing.T) {
+	const n = 256
+	serial := UniformDisk(n, 10, 30)
+	Step(serial, 1e-3)
+	par := UniformDisk(n, 10, 30)
+	Step(par, 1e-3) // same warm-up so costs match
+	res, err := ParallelRun(par, ParallelConfig{
+		Machine:   mesh.Paragon(),
+		Placement: mesh.SnakePlacement{Width: 4},
+		Procs:     4,
+		Steps:     2,
+		DT:        1e-3,
+		Partition: ORBMethod,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Step(serial, 1e-3)
+	Step(serial, 1e-3)
+	for i := range serial {
+		if d := res.Bodies[i].Pos.Sub(serial[i].Pos).Norm(); d > 1e-12 {
+			t.Fatalf("ORB-partitioned run diverged on body %d by %g", i, d)
+		}
+	}
+}
+
+func TestORBPartitioningCostsMoreRedundancy(t *testing.T) {
+	// The report prefers Costzones because it "does not have much
+	// computational overhead associated with it" compared to ORB.
+	run := func(m PartitionMethod) float64 {
+		bodies := UniformDisk(1024, 10, 31)
+		Step(bodies, 1e-3)
+		res, err := ParallelRun(bodies, ParallelConfig{
+			Machine:   mesh.Paragon(),
+			Placement: mesh.SnakePlacement{Width: 4},
+			Procs:     8,
+			Steps:     1,
+			DT:        1e-3,
+			Partition: m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sim.Budget.RedundancyPct
+	}
+	cz := run(CostzonesMethod)
+	orb := run(ORBMethod)
+	if orb <= cz {
+		t.Errorf("ORB redundancy %g%% not above Costzones %g%%", orb, cz)
+	}
+}
+
+func TestPartitionMethodString(t *testing.T) {
+	if CostzonesMethod.String() != "costzones" || ORBMethod.String() != "orb" {
+		t.Error("PartitionMethod.String wrong")
+	}
+}

@@ -1,0 +1,285 @@
+package nbody
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+)
+
+// The parallel N-body driver follows the report's manager-worker model:
+// "the manager creates the tree where all spatial information about all
+// particles are inserted. Then, the manager broadcasts the tree to all
+// nodes. Each node manipulates only a subset of the particles ... The
+// worker node, then, sends its updated particles to the manager node in
+// order to create an updated tree which is to be used in the next
+// time-step." Rank 0 is the manager and also works on one Costzone.
+
+// PartitionMethod selects the domain decomposition of the parallel run.
+type PartitionMethod int
+
+const (
+	// CostzonesMethod is the report's choice: partition the tree's
+	// inorder body sequence into equal-cost zones.
+	CostzonesMethod PartitionMethod = iota
+	// ORBMethod is Orthogonal Recursive Bisection, the costlier
+	// alternative the report names.
+	ORBMethod
+)
+
+// String returns the method name.
+func (p PartitionMethod) String() string {
+	if p == ORBMethod {
+		return "orb"
+	}
+	return "costzones"
+}
+
+// ParallelConfig describes a simulated parallel N-body run.
+type ParallelConfig struct {
+	Machine   *mesh.Machine
+	Placement mesh.Placement
+	Procs     int
+	Steps     int
+	DT        float64
+	// Partition selects the domain decomposition (default Costzones).
+	Partition PartitionMethod
+}
+
+// ParallelResult is the outcome of a simulated parallel run.
+type ParallelResult struct {
+	// Bodies is the final state (identical to the serial integration up
+	// to float addition order).
+	Bodies []Body
+	// Sim carries virtual times, budget, and network statistics.
+	Sim *nx.Result
+	// PerStep is the mean elapsed virtual time per step.
+	PerStep float64
+	// Interactions is the total force evaluations across all steps.
+	Interactions int
+}
+
+const tagUpdated = 41
+
+// treeFloats is the serialized size of a tree: per cell 8 floats (4
+// children, COM, mass, cost) plus per body 6 floats (pos, vel, mass,
+// cost).
+func treeFloats(cells, bodies int) int { return 8*cells + 6*bodies }
+
+// ParallelRun advances the body set cfg.Steps steps on the simulated
+// machine, returning the final state and the performance budget. Real
+// positions and velocities flow through the simulated messages, so the
+// result is verified against the serial integrator by the tests.
+func ParallelRun(bodies []Body, cfg ParallelConfig) (*ParallelResult, error) {
+	p := cfg.Procs
+	if p < 1 {
+		return nil, fmt.Errorf("nbody: procs = %d", p)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("nbody: steps = %d", cfg.Steps)
+	}
+	costs, err := MachineCosts(cfg.Machine.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := len(bodies)
+	work := make([]Body, n)
+	copy(work, bodies)
+	var totalInteractions int
+
+	prog := func(r *nx.Rank) {
+		id := r.ID()
+		for step := 0; step < cfg.Steps; step++ {
+			// Phase 1-2 (manager only): build the tree and compute
+			// centers of mass — the sequential section of the model.
+			var t *Tree
+			if id == 0 {
+				t = Build(work)
+				t.ComputeCenters()
+				r.Compute(float64(t.Descends)*costs.Descend+float64(len(t.Cells))*costs.CellCOM, budget.Useful)
+				// Serialize the tree for broadcast.
+				nf := treeFloats(len(t.Cells), n)
+				r.Compute(float64(nf)*8*costs.PerFloat, budget.UniqueRedundancy)
+				r.Bcast(0, packTree(t))
+			} else {
+				flat := r.Bcast(0, nil)
+				nf := len(flat)
+				r.Compute(float64(nf)*8*costs.PerFloat, budget.UniqueRedundancy)
+				t = unpackTree(flat)
+			}
+
+			// Domain decomposition: every rank derives the (identical)
+			// partition — unique parallelization redundancy. Costzones
+			// walks the tree once (O(n)); ORB sorts recursively
+			// (O(n log n) · log p), the overhead the report avoids.
+			var zones [][]int
+			if cfg.Partition == ORBMethod {
+				zones = ORBPartition(t.Bodies, p)
+				logN := 1.0
+				for m := len(t.Bodies); m > 1; m >>= 1 {
+					logN++
+				}
+				r.Compute(float64(len(t.Bodies))*logN*costs.Partition, budget.UniqueRedundancy)
+			} else {
+				zones = t.Costzones(p)
+				r.Compute(float64(len(t.Bodies))*costs.Partition, budget.UniqueRedundancy)
+			}
+			mine := zones[id]
+
+			// Per-step loop setup duplicated everywhere.
+			r.ComputeOps(40, cfg.Machine.Cost.FlopTime, budget.Duplication)
+
+			// Phase 3-4: forces and updates for this rank's zone.
+			var inter int
+			updates := make([]float64, 0, len(mine)*7)
+			for _, bi := range mine {
+				a, ni := t.Accel(bi)
+				inter += ni
+				b := t.Bodies[bi]
+				b.Vel = b.Vel.Add(a.Scale(cfg.DT))
+				b.Pos = b.Pos.Add(b.Vel.Scale(cfg.DT))
+				b.Cost = float64(ni)
+				updates = append(updates, float64(bi), b.Pos.X, b.Pos.Y, b.Vel.X, b.Vel.Y, b.Mass, b.Cost)
+			}
+			r.Compute(float64(inter)*costs.Interaction+float64(len(mine))*costs.Update, budget.Useful)
+
+			// Workers return their updated particles to the manager.
+			if id != 0 {
+				r.SendFloats(0, tagUpdated, updates)
+			} else {
+				applyUpdates(work, updates)
+				totalInteractions += inter
+				for w := 1; w < p; w++ {
+					flat, _ := r.RecvFloats(nx.AnySource, tagUpdated)
+					applyUpdates(work, flat)
+					totalInteractions += countUpdates(flat)
+				}
+			}
+		}
+	}
+
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelResult{
+		Bodies:       work,
+		Sim:          sim,
+		PerStep:      sim.Elapsed / float64(cfg.Steps),
+		Interactions: totalInteractions,
+	}, nil
+}
+
+// countUpdates returns the interaction total embedded in an update batch.
+func countUpdates(flat []float64) int {
+	total := 0
+	for i := 0; i+6 < len(flat); i += 7 {
+		total += int(flat[i+6])
+	}
+	return total
+}
+
+// applyUpdates writes an update batch back into the body array.
+func applyUpdates(bodies []Body, flat []float64) {
+	for i := 0; i+6 < len(flat); i += 7 {
+		bi := int(flat[i])
+		bodies[bi] = Body{
+			Pos:  Vec2{flat[i+1], flat[i+2]},
+			Vel:  Vec2{flat[i+3], flat[i+4]},
+			Mass: flat[i+5],
+			Cost: flat[i+6],
+		}
+	}
+}
+
+// packTree flattens a tree (cells then bodies) for broadcast.
+func packTree(t *Tree) []float64 {
+	out := make([]float64, 0, treeFloats(len(t.Cells), len(t.Bodies))+2)
+	out = append(out, float64(len(t.Cells)), float64(len(t.Bodies)))
+	for i := range t.Cells {
+		c := &t.Cells[i]
+		out = append(out,
+			float64(c.Child[0]), float64(c.Child[1]), float64(c.Child[2]), float64(c.Child[3]),
+			c.COM.X, c.COM.Y, c.Mass, c.Cost)
+	}
+	for i := range t.Bodies {
+		b := &t.Bodies[i]
+		out = append(out, b.Pos.X, b.Pos.Y, b.Vel.X, b.Vel.Y, b.Mass, b.Cost)
+	}
+	// Cell geometry (center/half) and the coincidence chains are
+	// reconstructed from the children encoding; geometry is only needed
+	// for the opening test, so pack root extent too.
+	if len(t.Cells) > 0 {
+		out = append(out, t.Cells[0].Center.X, t.Cells[0].Center.Y, t.Cells[0].Half)
+	}
+	out = append(out, packNext(t.next)...)
+	return out
+}
+
+func packNext(next []int32) []float64 {
+	out := make([]float64, len(next))
+	for i, v := range next {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// unpackTree rebuilds a Tree from packTree's encoding, recomputing child
+// cell geometry top-down from the root square.
+func unpackTree(flat []float64) *Tree {
+	nc := int(flat[0])
+	nb := int(flat[1])
+	t := &Tree{Cells: make([]Cell, nc), Bodies: make([]Body, nb), Root: 0, next: make([]int32, nb)}
+	off := 2
+	for i := 0; i < nc; i++ {
+		c := &t.Cells[i]
+		c.Child = [4]child{child(flat[off]), child(flat[off+1]), child(flat[off+2]), child(flat[off+3])}
+		c.COM = Vec2{flat[off+4], flat[off+5]}
+		c.Mass = flat[off+6]
+		c.Cost = flat[off+7]
+		off += 8
+	}
+	for i := 0; i < nb; i++ {
+		b := &t.Bodies[i]
+		b.Pos = Vec2{flat[off], flat[off+1]}
+		b.Vel = Vec2{flat[off+2], flat[off+3]}
+		b.Mass = flat[off+4]
+		b.Cost = flat[off+5]
+		off += 6
+	}
+	if nc > 0 {
+		t.Cells[0].Center = Vec2{flat[off], flat[off+1]}
+		t.Cells[0].Half = flat[off+2]
+		off += 3
+		t.propagateGeometry(0)
+	} else {
+		t.Root = -1
+	}
+	for i := 0; i < nb; i++ {
+		t.next[i] = int32(flat[off+i])
+	}
+	return t
+}
+
+// propagateGeometry fills child cell centers/halves from the parent.
+func (t *Tree) propagateGeometry(c int) {
+	cell := t.Cells[c]
+	h := cell.Half / 2
+	for q, ch := range cell.Child {
+		if ch <= 0 {
+			continue
+		}
+		sx, sy := -1.0, -1.0
+		if q&1 != 0 {
+			sx = 1
+		}
+		if q&2 != 0 {
+			sy = 1
+		}
+		sub := int(ch - 1)
+		t.Cells[sub].Center = Vec2{cell.Center.X + sx*h, cell.Center.Y + sy*h}
+		t.Cells[sub].Half = h
+		t.propagateGeometry(sub)
+	}
+}

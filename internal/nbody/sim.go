@@ -1,0 +1,104 @@
+package nbody
+
+import "fmt"
+
+// StepStats summarizes the work of one simulation step.
+type StepStats struct {
+	// Interactions is the total force-evaluation count across bodies.
+	Interactions int
+	// Descends is the tree-build insertion descent count.
+	Descends int
+	// Cells is the number of internal cells built.
+	Cells int
+}
+
+// Step advances bodies by one leapfrog time step using the Barnes-Hut
+// phases of the report's Section 2.2: (1) build the tree, (2) compute
+// cell centers of mass, (3) compute forces, (4) update particle
+// properties. Costs for the next step's Costzones are refreshed from the
+// measured interaction counts.
+func Step(bodies []Body, dt float64) StepStats {
+	t := Build(bodies)
+	t.ComputeCenters()
+	accs := make([]Vec2, len(bodies))
+	stats := StepStats{Descends: t.Descends, Cells: len(t.Cells)}
+	for i := range bodies {
+		a, n := t.Accel(i)
+		accs[i] = a
+		bodies[i].Cost = float64(n)
+		stats.Interactions += n
+	}
+	for i := range bodies {
+		bodies[i].Vel = bodies[i].Vel.Add(accs[i].Scale(dt))
+		bodies[i].Pos = bodies[i].Pos.Add(bodies[i].Vel.Scale(dt))
+	}
+	return stats
+}
+
+// Costs are the calibrated per-operation virtual-time constants of one
+// machine for the N-body code, all in seconds. The Interaction constant
+// dominates ("the force-computation phase consumes well over 90% of the
+// sequential execution time").
+type Costs struct {
+	Interaction float64 // one body-cell or body-body force evaluation
+	Descend     float64 // one tree-insertion descent step
+	CellCOM     float64 // one cell's center-of-mass combination
+	Update      float64 // one particle property update
+	PerFloat    float64 // packing/unpacking one float64 (memory speed)
+	Partition   float64 // per body of Costzones bookkeeping
+}
+
+// MachineCosts returns the N-body constants for "paragon" or "t3d",
+// calibrated against the report's Appendix B serial tables (Paragon: 5.77
+// / 53.27 / 237.51 s per iteration at 1K/8K/32K bodies; T3D roughly an
+// order of magnitude faster: 0.53 / 6.31 / 30.90 s) — the Alpha's big
+// advantage on this integer- and pointer-heavy code is the report's
+// Section 4 observation.
+func MachineCosts(machine string) (Costs, error) {
+	switch machine {
+	case "paragon":
+		return Costs{
+			Interaction: 5.47e-5,
+			Descend:     6.0e-6,
+			CellCOM:     8.0e-6,
+			Update:      3.3e-3,
+			PerFloat:    5.0e-9,
+			Partition:   1.5e-6,
+		}, nil
+	case "t3d":
+		return Costs{
+			Interaction: 1.3e-5,
+			Descend:     1.0e-6,
+			CellCOM:     1.0e-6,
+			Update:      1.0e-5,
+			PerFloat:    2.0e-9,
+			Partition:   1.4e-7,
+		}, nil
+	default:
+		return Costs{}, fmt.Errorf("nbody: no cost model for machine %q", machine)
+	}
+}
+
+// SerialStepTime prices one sequential step with the given stats and
+// body count under a machine's cost model.
+func (c Costs) SerialStepTime(n int, s StepStats) float64 {
+	return float64(s.Interactions)*c.Interaction +
+		float64(s.Descends)*c.Descend +
+		float64(s.Cells)*c.CellCOM +
+		float64(n)*c.Update
+}
+
+// SerialTime runs one step of a size-n uniform-disk problem and returns
+// the modeled per-iteration seconds on the named machine (the report's
+// Appendix B Tables 1-2 N-body rows).
+func SerialTime(machine string, n int, seed int64) (float64, error) {
+	costs, err := MachineCosts(machine)
+	if err != nil {
+		return 0, err
+	}
+	bodies := UniformDisk(n, 10, seed)
+	// Warm up costs so the run reflects steady-state interaction counts.
+	Step(bodies, 1e-3)
+	stats := Step(bodies, 1e-3)
+	return costs.SerialStepTime(n, stats), nil
+}

@@ -1,0 +1,274 @@
+package nbody
+
+import (
+	"fmt"
+	"math"
+)
+
+// The Barnes-Hut quadtree follows the report's data layout: an array of
+// bodies (the leaves) and an array of internal cells whose child pointers
+// maintain the current structure; the tree is rebuilt every time step
+// with the properties (1) the root encloses all bodies, (2) no terminal
+// cell holds more than m = 1 body, (3) any cell with ≤ m bodies is
+// terminal.
+
+// child encodes a quadtree slot: 0 empty, +c for cell index c-1,
+// -b for body index b-1.
+type child = int32
+
+const maxDepth = 48
+
+// Cell is one internal quadtree node.
+type Cell struct {
+	Child [4]child
+	// COM and Mass are filled by the upward center-of-mass pass.
+	COM  Vec2
+	Mass float64
+	// Cost is the subtree's summed body cost (Costzones).
+	Cost float64
+	// Center and Half describe the cell's square region.
+	Center Vec2
+	Half   float64
+}
+
+// Tree is a built Barnes-Hut quadtree over a body slice.
+type Tree struct {
+	Bodies []Body
+	Cells  []Cell
+	Root   int
+	// next chains bodies that ended up coincident at maxDepth.
+	next []int32
+	// Descends counts insertion descent steps (the tree-build work
+	// metric charged by the machine cost models).
+	Descends int
+}
+
+// quadrant returns which child square of (center) contains p and the
+// child-center offset signs.
+func quadrant(center, p Vec2) (q int, sx, sy float64) {
+	sx, sy = -1, -1
+	if p.X >= center.X {
+		q |= 1
+		sx = 1
+	}
+	if p.Y >= center.Y {
+		q |= 2
+		sy = 1
+	}
+	return q, sx, sy
+}
+
+// Build constructs the quadtree by inserting bodies one at a time into
+// the root cell sized from the current positions.
+func Build(bodies []Body) *Tree {
+	t := &Tree{Bodies: bodies, next: make([]int32, len(bodies))}
+	for i := range t.next {
+		t.next[i] = -1
+	}
+	if len(bodies) == 0 {
+		t.Root = -1
+		return t
+	}
+	// Root square from the bounding box.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := range bodies {
+		p := bodies[i].Pos
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	half := math.Max(maxX-minX, maxY-minY)/2 + 1e-12
+	root := Cell{Center: Vec2{(minX + maxX) / 2, (minY + maxY) / 2}, Half: half}
+	t.Cells = append(t.Cells, root)
+	t.Root = 0
+	for i := range bodies {
+		t.insert(0, int32(i), 0)
+	}
+	return t
+}
+
+// insert places body b under cell c.
+func (t *Tree) insert(c int, b int32, depth int) {
+	t.Descends++
+	cell := &t.Cells[c]
+	q, _, _ := quadrant(cell.Center, t.Bodies[b].Pos)
+	slot := cell.Child[q]
+	switch {
+	case slot == 0:
+		cell.Child[q] = -(b + 1)
+	case slot > 0:
+		t.insert(int(slot-1), b, depth+1)
+	default:
+		// Occupied by a body: split the slot into a subcell, reinsert
+		// both. At maxDepth, chain coincident bodies instead.
+		other := -slot - 1
+		if depth >= maxDepth {
+			t.next[b] = t.next[other]
+			t.next[other] = b
+			return
+		}
+		sub := t.newChildCell(c, q)
+		t.Cells[c].Child[q] = child(sub + 1)
+		t.insert(sub, other, depth+1)
+		t.insert(sub, b, depth+1)
+	}
+}
+
+// newChildCell appends the q-th child cell of cell c.
+func (t *Tree) newChildCell(c, q int) int {
+	parent := t.Cells[c]
+	h := parent.Half / 2
+	sx, sy := -1.0, -1.0
+	if q&1 != 0 {
+		sx = 1
+	}
+	if q&2 != 0 {
+		sy = 1
+	}
+	t.Cells = append(t.Cells, Cell{
+		Center: Vec2{parent.Center.X + sx*h, parent.Center.Y + sy*h},
+		Half:   h,
+	})
+	return len(t.Cells) - 1
+}
+
+// ComputeCenters performs the upward pass filling every cell's center of mass,
+// total mass, and Costzones cost from its children.
+func (t *Tree) ComputeCenters() {
+	if t.Root >= 0 {
+		t.centerOf(t.Root)
+	}
+}
+
+func (t *Tree) centerOf(c int) (mass float64, com Vec2, cost float64) {
+	cell := &t.Cells[c]
+	for _, ch := range cell.Child {
+		switch {
+		case ch == 0:
+		case ch > 0:
+			m, p, co := t.centerOf(int(ch - 1))
+			mass += m
+			com = com.Add(p.Scale(m))
+			cost += co
+		default:
+			for b := -ch - 1; b >= 0; b = t.next[b] {
+				body := &t.Bodies[b]
+				mass += body.Mass
+				com = com.Add(body.Pos.Scale(body.Mass))
+				cost += body.Cost
+			}
+		}
+	}
+	if mass > 0 {
+		com = com.Scale(1 / mass)
+	}
+	cell.Mass = mass
+	cell.COM = com
+	cell.Cost = cost
+	return mass, com, cost
+}
+
+// Validate checks structural invariants: every body reachable exactly
+// once, children inside their parents, masses consistent.
+func (t *Tree) Validate() error {
+	if t.Root < 0 {
+		if len(t.Bodies) != 0 {
+			return fmt.Errorf("nbody: empty tree with %d bodies", len(t.Bodies))
+		}
+		return nil
+	}
+	seen := make([]bool, len(t.Bodies))
+	var walk func(c int) error
+	walk = func(c int) error {
+		cell := t.Cells[c]
+		for _, ch := range cell.Child {
+			switch {
+			case ch == 0:
+			case ch > 0:
+				sub := t.Cells[ch-1]
+				if sub.Half > cell.Half {
+					return fmt.Errorf("nbody: child cell larger than parent")
+				}
+				if err := walk(int(ch - 1)); err != nil {
+					return err
+				}
+			default:
+				for b := -ch - 1; b >= 0; b = t.next[b] {
+					if seen[b] {
+						return fmt.Errorf("nbody: body %d reachable twice", b)
+					}
+					seen[b] = true
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("nbody: body %d unreachable", i)
+		}
+	}
+	return nil
+}
+
+// InorderBodies returns body indices in the inorder (child 0..3)
+// traversal used by Costzones ("the tree cell's children laid out from
+// left to right in increasing order of child number").
+func (t *Tree) InorderBodies() []int {
+	out := make([]int, 0, len(t.Bodies))
+	if t.Root < 0 {
+		return out
+	}
+	var walk func(c int)
+	walk = func(c int) {
+		for _, ch := range t.Cells[c].Child {
+			switch {
+			case ch == 0:
+			case ch > 0:
+				walk(int(ch - 1))
+			default:
+				for b := -ch - 1; b >= 0; b = t.next[b] {
+					out = append(out, int(b))
+				}
+			}
+		}
+	}
+	walk(t.Root)
+	return out
+}
+
+// Costzones divides the inorder body sequence into p contiguous zones of
+// approximately equal cost and returns each zone's body indices. "A total
+// cost of 1000 interactions would be split among 10 processors so that
+// the zone comprising costs 1-100 is assigned to the first processor."
+func (t *Tree) Costzones(p int) [][]int {
+	order := t.InorderBodies()
+	zones := make([][]int, p)
+	var total float64
+	for i := range t.Bodies {
+		total += t.Bodies[i].Cost
+	}
+	if total == 0 {
+		total = float64(len(order))
+	}
+	perZone := total / float64(p)
+	zone, acc := 0, 0.0
+	for _, b := range order {
+		c := t.Bodies[b].Cost
+		if c == 0 {
+			c = 1
+		}
+		// Advance to the zone containing this body's cost interval.
+		for zone < p-1 && acc+c/2 >= perZone*float64(zone+1) {
+			zone++
+		}
+		zones[zone] = append(zones[zone], b)
+		acc += c
+	}
+	return zones
+}

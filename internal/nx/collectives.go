@@ -1,0 +1,262 @@
+package nx
+
+import "fmt"
+
+// Collective operations built from point-to-point messages, mirroring the
+// NX/PVM-era library routines the paper's applications used. Every
+// collective draws tags from a per-rank sequence counter, so SPMD programs
+// that invoke collectives in the same order on every rank never cross
+// wires. Tags at or above collTagBase are reserved for collectives.
+const collTagBase = 1 << 20
+
+func (r *Rank) nextCollTag() int {
+	r.collSeq++
+	return collTagBase + r.collSeq*64
+}
+
+// Barrier synchronizes all ranks with a dissemination barrier: ceil(log2 P)
+// rounds of pairwise zero-payload messages.
+func (r *Rank) Barrier() {
+	p := r.procs
+	if p == 1 {
+		return
+	}
+	tag := r.nextCollTag()
+	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+		to := (r.id + dist) % p
+		from := (r.id - dist + p) % p
+		r.Send(to, tag+round, 0, nil)
+		r.Recv(from, tag+round)
+	}
+}
+
+// Bcast distributes data from root to every rank along a binomial tree and
+// returns each rank's copy (the root returns data itself).
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	p := r.procs
+	tag := r.nextCollTag()
+	if p == 1 {
+		return data
+	}
+	// Renumber so the root is virtual rank 0, then double the informed
+	// set each round: in round k, virtual ranks below 2^k forward to
+	// their partner 2^k above.
+	vr := (r.id - root + p) % p
+	for dist := 1; dist < p; dist *= 2 {
+		switch {
+		case vr < dist:
+			if child := vr + dist; child < p {
+				r.SendFloats((child+root)%p, tag, data)
+			}
+		case vr < 2*dist:
+			parent := (vr - dist + root) % p
+			data, _ = r.RecvFloats(parent, tag)
+		}
+	}
+	return data
+}
+
+// Gather collects a slice from every rank at root; root receives them in
+// rank order and returns the concatenation ordered by rank. Non-roots
+// return nil.
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	tag := r.nextCollTag()
+	if r.id != root {
+		r.SendFloats(root, tag, data)
+		return nil
+	}
+	parts := make([][]float64, r.procs)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	parts[root] = cp
+	for i := 0; i < r.procs; i++ {
+		if i == root {
+			continue
+		}
+		parts[i], _ = r.RecvFloats(i, tag)
+	}
+	return parts
+}
+
+// Scatter distributes parts[i] to rank i from root, returning this rank's
+// part. len(parts) must equal Procs on the root; it is ignored elsewhere.
+func (r *Rank) Scatter(root int, parts [][]float64) []float64 {
+	tag := r.nextCollTag()
+	if r.id == root {
+		if len(parts) != r.procs {
+			panic(fmt.Sprintf("nx: Scatter with %d parts for %d ranks", len(parts), r.procs))
+		}
+		for i, part := range parts {
+			if i == root {
+				continue
+			}
+			r.SendFloats(i, tag, part)
+		}
+		cp := make([]float64, len(parts[root]))
+		copy(cp, parts[root])
+		return cp
+	}
+	out, _ := r.RecvFloats(root, tag)
+	return out
+}
+
+// GSSumNaive is the NX gssum-style global vector sum the paper's PIC code
+// first used: every rank sends its vector to every other rank and sums the
+// P-1 copies it receives. The resulting P·(P-1) simultaneous messages
+// flood the mesh — the paper measured it consuming "most of the total
+// communication time" beyond 8 processors. Returns the element-wise global
+// sum on every rank.
+func (r *Rank) GSSumNaive(vec []float64) []float64 {
+	tag := r.nextCollTag()
+	sum := make([]float64, len(vec))
+	copy(sum, vec)
+	for i := 0; i < r.procs; i++ {
+		if i == r.id {
+			continue
+		}
+		r.SendFloats(i, tag, vec)
+	}
+	for i := 0; i < r.procs; i++ {
+		if i == r.id {
+			continue
+		}
+		other, _ := r.RecvFloats(i, tag)
+		for j := range sum {
+			sum[j] += other[j]
+		}
+	}
+	return sum
+}
+
+// GSSumPrefix is the replacement the paper's authors implemented: a
+// recursive-doubling (parallel-prefix) global sum using log2(P) rounds of
+// pairwise one-to-one exchanges. Procs must be a power of two.
+func (r *Rank) GSSumPrefix(vec []float64) []float64 {
+	return r.AllCombinePrefix(vec, func(dst, src []float64) {
+		for j := range dst {
+			dst[j] += src[j]
+		}
+	})
+}
+
+// AllMaxPrefix is the element-wise global maximum via the same
+// recursive-doubling exchange (used by PIC's adaptive time-step
+// agreement). Procs must be a power of two.
+func (r *Rank) AllMaxPrefix(vec []float64) []float64 {
+	return r.AllCombinePrefix(vec, func(dst, src []float64) {
+		for j := range dst {
+			if src[j] > dst[j] {
+				dst[j] = src[j]
+			}
+		}
+	})
+}
+
+// AllCombinePrefix runs a recursive-doubling all-reduce with an arbitrary
+// element-wise combiner. combine must be commutative and associative for
+// the result to be rank-independent. Procs must be a power of two.
+func (r *Rank) AllCombinePrefix(vec []float64, combine func(dst, src []float64)) []float64 {
+	p := r.procs
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("nx: AllCombinePrefix needs power-of-two ranks, got %d", p))
+	}
+	tag := r.nextCollTag()
+	acc := make([]float64, len(vec))
+	copy(acc, vec)
+	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+		partner := r.id ^ dist
+		r.SendFloats(partner, tag+round, acc)
+		other, _ := r.RecvFloats(partner, tag+round)
+		combine(acc, other)
+	}
+	return acc
+}
+
+// AllToAll performs a personalized all-to-all exchange: parts[i] goes to
+// rank i, and the returned slice holds, ordered by source rank, the
+// pieces addressed to this rank. All parts must have equal length across
+// ranks (a slab transpose). This is the "data rearranged among the
+// processors" step of the PIC report's 3-D FFT.
+func (r *Rank) AllToAll(parts [][]float64) [][]float64 {
+	p := r.procs
+	if len(parts) != p {
+		panic(fmt.Sprintf("nx: AllToAll with %d parts for %d ranks", len(parts), p))
+	}
+	tag := r.nextCollTag()
+	out := make([][]float64, p)
+	cp := make([]float64, len(parts[r.id]))
+	copy(cp, parts[r.id])
+	out[r.id] = cp
+	// Phased pairwise exchange: in round k, exchange with rank id XOR k
+	// when p is a power of two; otherwise a simple shifted schedule.
+	for shift := 1; shift < p; shift++ {
+		dst := (r.id + shift) % p
+		src := (r.id - shift + p) % p
+		r.SendFloats(dst, tag+shift, parts[dst])
+		out[src], _ = r.RecvFloats(src, tag+shift)
+	}
+	return out
+}
+
+// AllGather concatenates every rank's equal-length slice on all ranks,
+// ordered by rank, via a ring exchange.
+func (r *Rank) AllGather(data []float64) []float64 {
+	p := r.procs
+	n := len(data)
+	tag := r.nextCollTag()
+	out := make([]float64, n*p)
+	copy(out[r.id*n:], data)
+	cur := make([]float64, n)
+	copy(cur, data)
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		r.SendFloats(right, tag+step, cur)
+		recv, _ := r.RecvFloats(left, tag+step)
+		owner := (r.id - 1 - step + 2*p) % p
+		copy(out[owner*n:(owner+1)*n], recv)
+		cur = recv
+	}
+	return out
+}
+
+// Reduce combines every rank's equal-length vector at the root with a
+// binomial tree, applying combine(dst, src) at each merge (sum by
+// default when combine is nil). Non-roots return nil.
+func (r *Rank) Reduce(root int, vec []float64, combine func(dst, src []float64)) []float64 {
+	if combine == nil {
+		combine = func(dst, src []float64) {
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}
+	p := r.procs
+	tag := r.nextCollTag()
+	acc := make([]float64, len(vec))
+	copy(acc, vec)
+	// Renumber so the root is virtual rank 0, then fold the doubling
+	// tree in reverse: in round dist, virtual ranks in [dist, 2·dist)
+	// send to their partner dist below.
+	vr := (r.id - root + p) % p
+	highest := 1
+	for highest < p {
+		highest *= 2
+	}
+	for dist := highest / 2; dist >= 1; dist /= 2 {
+		switch {
+		case vr >= dist && vr < 2*dist:
+			r.SendFloats((vr-dist+root)%p, tag+dist, acc)
+			return nil
+		case vr < dist:
+			if child := vr + dist; child < p {
+				other, _ := r.RecvFloats((child+root)%p, tag+dist)
+				combine(acc, other)
+			}
+		}
+	}
+	if vr != 0 {
+		return nil
+	}
+	return acc
+}

@@ -1,0 +1,312 @@
+// Package nx is a message-passing runtime in the style of the Intel
+// Paragon's NX library and PVM, executing SPMD programs rank-per-goroutine
+// against a deterministic virtual clock. Communication costs come from the
+// machine's calibrated cost model and the mesh link-reservation network, so
+// routing contention — the effect behind the paper's naive-placement
+// scalability ceiling — shows up in the simulated times.
+//
+// The simulator is a cooperative discrete-event scheduler: exactly one rank
+// runs at a time, and the scheduler always resumes the runnable rank with
+// the smallest virtual clock (ties broken by rank id), which makes every
+// run bit-reproducible. Programs charge compute time explicitly via
+// Compute/ComputeOps with a budget.Kind, so per-rank performance budgets
+// (Appendix B) fall out of every run.
+package nx
+
+import (
+	"fmt"
+	"sort"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+)
+
+// Program is the SPMD body executed by every rank.
+type Program func(r *Rank)
+
+// Config describes one simulated run.
+type Config struct {
+	// Machine supplies topology and cost constants.
+	Machine *mesh.Machine
+	// Placement maps ranks to nodes.
+	Placement mesh.Placement
+	// Procs is the number of SPMD ranks.
+	Procs int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Elapsed is the parallel execution time: the maximum rank
+	// completion time on the virtual clock.
+	Elapsed float64
+	// Budget aggregates the per-rank performance budgets.
+	Budget budget.Report
+	// Completions holds each rank's finish time.
+	Completions []float64
+	// Values holds whatever each rank stored via Rank.SetResult.
+	Values []any
+	// Msgs, Bytes count network traffic; ContendedMsgs and LinkWait
+	// quantify routing conflicts.
+	Msgs          int
+	Bytes         int64
+	ContendedMsgs int
+	LinkWait      float64
+}
+
+const (
+	stReady = iota
+	stRunning
+	stBlocked
+	stDone
+)
+
+type message struct {
+	src, tag int
+	bytes    int
+	arrival  float64
+	payload  any
+}
+
+type mailKey struct{ src, tag int }
+
+// Rank is one SPMD process of a simulated run.
+type Rank struct {
+	id    int
+	procs int
+	sim   *sim
+
+	clock   float64
+	tracker budget.Tracker
+	coord   mesh.Coord
+
+	state   int
+	waitTag int
+	waitSrc int
+
+	resume chan struct{}
+
+	collSeq int
+	result  any
+	mail    map[mailKey][]message
+}
+
+// ID returns the rank number in [0, Procs).
+func (r *Rank) ID() int { return r.id }
+
+// Procs returns the number of ranks in the run.
+func (r *Rank) Procs() int { return r.procs }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Coord returns the mesh node hosting this rank.
+func (r *Rank) Coord() mesh.Coord { return r.coord }
+
+// Tracker exposes the rank's budget counters.
+func (r *Rank) Tracker() *budget.Tracker { return &r.tracker }
+
+// SetResult stores a per-rank value surfaced in Result.Values.
+func (r *Rank) SetResult(v any) { r.result = v }
+
+// Compute advances the rank's clock by seconds of work of the given kind.
+func (r *Rank) Compute(seconds float64, kind budget.Kind) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("nx: negative compute %g", seconds))
+	}
+	r.clock += seconds
+	r.tracker.Add(kind, seconds)
+	r.yield(stReady)
+}
+
+// ComputeOps charges n operations at the given per-op cost.
+func (r *Rank) ComputeOps(n int, perOp float64, kind budget.Kind) {
+	if n < 0 {
+		panic("nx: negative op count")
+	}
+	r.Compute(float64(n)*perOp, kind)
+}
+
+// sendOverheadFrac splits the per-message software latency between sender
+// and receiver sides.
+const (
+	sendOverheadFrac = 0.6
+	recvOverheadFrac = 0.4
+)
+
+// Send transmits bytes (with an optional payload pointer delivered intact)
+// to rank dst under the given tag. The sender is charged its share of the
+// software latency; the wire transfer then contends for mesh links. Send
+// is asynchronous: it does not wait for the receiver.
+func (r *Rank) Send(dst, tag, bytes int, payload any) {
+	if dst < 0 || dst >= r.procs {
+		panic(fmt.Sprintf("nx: Send to invalid rank %d of %d", dst, r.procs))
+	}
+	if bytes < 0 {
+		panic("nx: negative message size")
+	}
+	cost := r.sim.cfg.Machine.Cost
+	overhead := cost.MsgLatency * sendOverheadFrac
+	if dst == r.id {
+		overhead = 0
+	}
+	r.clock += overhead
+	r.tracker.Add(budget.Comm, overhead)
+	dstCoord := r.sim.ranks[dst].coord
+	var arrival float64
+	if dst == r.id {
+		arrival = r.clock + float64(bytes)*cost.MemByteTime
+	} else {
+		arrival = r.sim.net.transfer(r.coord, dstCoord, bytes, r.clock)
+	}
+	r.sim.deliver(dst, message{src: r.id, tag: tag, bytes: bytes, arrival: arrival, payload: payload})
+	r.yield(stReady)
+}
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// Message is what Recv returns.
+type Message struct {
+	Src     int
+	Tag     int
+	Bytes   int
+	Payload any
+}
+
+// Recv blocks until a message with the given tag from src (or any sender
+// when src == AnySource) is available, charges the blocked time plus the
+// receive overhead to the communication budget, and returns the message.
+func (r *Rank) Recv(src, tag int) Message {
+	start := r.clock
+	if !r.hasMessage(src, tag) {
+		r.waitSrc, r.waitTag = src, tag
+		r.yield(stBlocked)
+	}
+	msg, ok := r.takeMessage(src, tag)
+	if !ok {
+		panic("nx: scheduler resumed Recv without a matching message")
+	}
+	if msg.arrival > r.clock {
+		r.clock = msg.arrival
+	}
+	if msg.src != r.id {
+		r.clock += r.sim.cfg.Machine.Cost.MsgLatency * recvOverheadFrac
+	}
+	r.tracker.Add(budget.Comm, r.clock-start)
+	r.yield(stReady)
+	return Message{Src: msg.src, Tag: msg.tag, Bytes: msg.bytes, Payload: msg.payload}
+}
+
+// SendFloats sends a copy of the slice, costing 8 bytes per element.
+func (r *Rank) SendFloats(dst, tag int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.Send(dst, tag, 8*len(data), cp)
+}
+
+// RecvFloats receives a float64 slice sent with SendFloats.
+func (r *Rank) RecvFloats(src, tag int) (data []float64, from int) {
+	m := r.Recv(src, tag)
+	f, ok := m.Payload.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("nx: RecvFloats got payload of type %T", m.Payload))
+	}
+	return f, m.Src
+}
+
+func (r *Rank) hasMessage(src, tag int) bool {
+	if src != AnySource {
+		return len(r.mail[mailKey{src, tag}]) > 0
+	}
+	for k, q := range r.mail {
+		if k.tag == tag && len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// takeMessage pops the matching message; for AnySource it picks the
+// earliest arrival (ties broken by sender id) to keep runs deterministic.
+func (r *Rank) takeMessage(src, tag int) (message, bool) {
+	if src != AnySource {
+		k := mailKey{src, tag}
+		q := r.mail[k]
+		if len(q) == 0 {
+			return message{}, false
+		}
+		m := q[0]
+		if len(q) == 1 {
+			delete(r.mail, k)
+		} else {
+			r.mail[k] = q[1:]
+		}
+		return m, true
+	}
+	bestSrc := -1
+	var best message
+	keys := make([]mailKey, 0, len(r.mail))
+	for k := range r.mail {
+		if k.tag == tag && len(r.mail[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].src < keys[j].src })
+	for _, k := range keys {
+		m := r.mail[k][0]
+		if bestSrc == -1 || m.arrival < best.arrival {
+			best, bestSrc = m, k.src
+		}
+	}
+	if bestSrc == -1 {
+		return message{}, false
+	}
+	return r.takeMessage(bestSrc, tag)
+}
+
+// yield hands control back to the scheduler with the given next state.
+func (r *Rank) yield(state int) {
+	r.state = state
+	r.sim.yielded <- r.id
+	if state != stDone {
+		<-r.resume
+	}
+}
+
+// Request is a pending nonblocking receive posted with IRecv.
+type Request struct {
+	rank *Rank
+	src  int
+	tag  int
+	done bool
+}
+
+// IRecv posts a nonblocking receive. The message is claimed at Wait;
+// compute issued between IRecv and Wait overlaps the transfer, the
+// latency-hiding style the report's budget model explicitly favors
+// ("desirable architectural features, such as the ability to hide
+// latency ... are favored by this model").
+func (r *Rank) IRecv(src, tag int) *Request {
+	return &Request{rank: r, src: src, tag: tag}
+}
+
+// Wait completes a posted receive, blocking (and charging communication
+// time) only for whatever transfer time the intervening computation did
+// not already cover. Waiting twice on the same request panics.
+func (q *Request) Wait() Message {
+	if q.done {
+		panic("nx: Wait called twice on the same request")
+	}
+	q.done = true
+	return q.rank.Recv(q.src, q.tag)
+}
+
+// WaitFloats completes a posted receive of a float64 payload.
+func (q *Request) WaitFloats() (data []float64, from int) {
+	m := q.Wait()
+	f, ok := m.Payload.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("nx: WaitFloats got payload of type %T", m.Payload))
+	}
+	return f, m.Src
+}

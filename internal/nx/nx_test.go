@@ -1,0 +1,613 @@
+package nx
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+)
+
+func testConfig(p int) Config {
+	return Config{
+		Machine:   mesh.Paragon(),
+		Placement: mesh.SnakePlacement{Width: 4},
+		Procs:     p,
+	}
+}
+
+func mustRun(t *testing.T, cfg Config, prog Program) *Result {
+	t.Helper()
+	res, err := Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, func(*Rank) {}); err == nil {
+		t.Error("nil machine accepted")
+	}
+	if _, err := Run(Config{Machine: mesh.Paragon(), Placement: mesh.SnakePlacement{Width: 4}, Procs: 0}, func(*Rank) {}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Run(Config{Machine: mesh.Paragon(), Placement: mesh.SnakePlacement{Width: 4}, Procs: 1000}, func(*Rank) {}); err == nil {
+		t.Error("oversized placement accepted")
+	}
+}
+
+func TestSingleRankCompute(t *testing.T) {
+	res := mustRun(t, testConfig(1), func(r *Rank) {
+		r.Compute(2.5, budget.Useful)
+		r.SetResult(r.ID() * 10)
+	})
+	if res.Elapsed != 2.5 {
+		t.Errorf("elapsed = %g", res.Elapsed)
+	}
+	if res.Values[0] != 0 {
+		t.Errorf("value = %v", res.Values[0])
+	}
+	if math.Abs(res.Budget.UsefulPct-100) > 1e-9 {
+		t.Errorf("useful%% = %g", res.Budget.UsefulPct)
+	}
+}
+
+func TestComputeOps(t *testing.T) {
+	res := mustRun(t, testConfig(1), func(r *Rank) {
+		r.ComputeOps(1000, 1e-3, budget.Useful)
+	})
+	if math.Abs(res.Elapsed-1.0) > 1e-12 {
+		t.Errorf("elapsed = %g", res.Elapsed)
+	}
+}
+
+func TestSendRecvTransfersPayload(t *testing.T) {
+	res := mustRun(t, testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendFloats(1, 7, []float64{1, 2, 3})
+		} else {
+			data, from := r.RecvFloats(0, 7)
+			if from != 0 || len(data) != 3 || data[2] != 3 {
+				panic("bad payload")
+			}
+			r.SetResult(data[2])
+		}
+	})
+	if res.Values[1] != 3.0 {
+		t.Errorf("value = %v", res.Values[1])
+	}
+	if res.Msgs != 1 || res.Bytes != 24 {
+		t.Errorf("msgs=%d bytes=%d", res.Msgs, res.Bytes)
+	}
+}
+
+func TestSendFloatsCopies(t *testing.T) {
+	mustRun(t, testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float64{42}
+			r.SendFloats(1, 1, buf)
+			buf[0] = -1 // must not corrupt the in-flight message
+			r.Send(1, 2, 0, nil)
+		} else {
+			data, _ := r.RecvFloats(0, 1)
+			r.Recv(0, 2)
+			if data[0] != 42 {
+				panic("SendFloats aliased caller buffer")
+			}
+		}
+	})
+}
+
+func TestRecvBlocksAndChargesComm(t *testing.T) {
+	res := mustRun(t, testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(1.0, budget.Useful) // receiver waits ~1s
+			r.SendFloats(1, 3, []float64{1})
+		} else {
+			r.RecvFloats(0, 3)
+		}
+	})
+	lat := mesh.Paragon().Cost.MsgLatency
+	// Receiver finished at >= 1s + wire time; its comm budget covers
+	// nearly all its elapsed time.
+	if res.Completions[1] < 1.0+lat {
+		t.Errorf("receiver completed too early: %g", res.Completions[1])
+	}
+	// Receiver did no useful work; all its time is comm.
+	if res.Budget.MaxComm < 1.0 {
+		t.Errorf("receiver comm = %g, want >= 1.0 (blocked wait)", res.Budget.MaxComm)
+	}
+}
+
+func TestMessageOrderingFIFOPerPair(t *testing.T) {
+	res := mustRun(t, testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				r.SendFloats(1, 9, []float64{float64(i)})
+			}
+		} else {
+			got := make([]float64, 0, 5)
+			for i := 0; i < 5; i++ {
+				d, _ := r.RecvFloats(0, 9)
+				got = append(got, d[0])
+			}
+			r.SetResult(got)
+		}
+	})
+	got := res.Values[1].([]float64)
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}
+
+func TestAnySourceRecv(t *testing.T) {
+	res := mustRun(t, testConfig(3), func(r *Rank) {
+		if r.ID() == 0 {
+			sum := 0.0
+			for i := 0; i < 2; i++ {
+				d, _ := r.RecvFloats(AnySource, 4)
+				sum += d[0]
+			}
+			r.SetResult(sum)
+		} else {
+			r.SendFloats(0, 4, []float64{float64(r.ID())})
+		}
+	})
+	if res.Values[0] != 3.0 {
+		t.Errorf("sum = %v", res.Values[0])
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	res := mustRun(t, testConfig(1), func(r *Rank) {
+		r.SendFloats(0, 5, []float64{7})
+		d, _ := r.RecvFloats(0, 5)
+		r.SetResult(d[0])
+	})
+	if res.Values[0] != 7.0 {
+		t.Errorf("self-send value = %v", res.Values[0])
+	}
+	// Self-send must not pay message latency.
+	if res.Elapsed >= mesh.Paragon().Cost.MsgLatency {
+		t.Errorf("self-send paid network latency: %g", res.Elapsed)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(testConfig(2), func(r *Rank) {
+		r.Recv(1-r.ID(), 1) // both wait, nobody sends
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rank panic not propagated")
+		}
+	}()
+	Run(testConfig(2), func(r *Rank) {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+		r.Compute(1, budget.Useful)
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	prog := func(r *Rank) {
+		v := []float64{float64(r.ID())}
+		for i := 0; i < 3; i++ {
+			v = r.GSSumPrefix(v)
+			r.Compute(float64(r.ID()+1)*1e-3, budget.Useful)
+		}
+		r.Barrier()
+		r.SetResult(v[0])
+	}
+	r1 := mustRun(t, testConfig(8), prog)
+	r2 := mustRun(t, testConfig(8), prog)
+	if r1.Elapsed != r2.Elapsed {
+		t.Errorf("elapsed differs across identical runs: %g vs %g", r1.Elapsed, r2.Elapsed)
+	}
+	for i := range r1.Completions {
+		if r1.Completions[i] != r2.Completions[i] {
+			t.Errorf("rank %d completion differs", i)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	res := mustRun(t, testConfig(8), func(r *Rank) {
+		// Stagger ranks, then barrier: all completions within the
+		// barrier's own cost of each other.
+		r.Compute(float64(r.ID())*0.01, budget.Useful)
+		r.Barrier()
+	})
+	spread := res.Budget.MaxCompletion - res.Budget.MinCompletion
+	if spread > 0.05 {
+		t.Errorf("post-barrier spread = %g", spread)
+	}
+	if res.Elapsed < 0.07 {
+		t.Errorf("barrier finished before slowest rank: %g", res.Elapsed)
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root++ {
+			res := mustRun(t, testConfig(p), func(r *Rank) {
+				var data []float64
+				if r.ID() == root {
+					data = []float64{3.14, float64(root)}
+				}
+				out := r.Bcast(root, data)
+				r.SetResult(out[0])
+			})
+			for i, v := range res.Values {
+				if v != 3.14 {
+					t.Fatalf("p=%d root=%d rank=%d got %v", p, root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherOrdersByRank(t *testing.T) {
+	res := mustRun(t, testConfig(5), func(r *Rank) {
+		parts := r.Gather(2, []float64{float64(r.ID() * 10)})
+		if r.ID() == 2 {
+			flat := make([]float64, 0, 5)
+			for _, p := range parts {
+				flat = append(flat, p...)
+			}
+			r.SetResult(flat)
+		} else if parts != nil {
+			panic("non-root got parts")
+		}
+	})
+	flat := res.Values[2].([]float64)
+	for i, v := range flat {
+		if v != float64(i*10) {
+			t.Fatalf("gather order wrong: %v", flat)
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	res := mustRun(t, testConfig(4), func(r *Rank) {
+		var parts [][]float64
+		if r.ID() == 0 {
+			parts = [][]float64{{0}, {10}, {20}, {30}}
+		}
+		mine := r.Scatter(0, parts)
+		r.SetResult(mine[0])
+	})
+	for i, v := range res.Values {
+		if v != float64(i*10) {
+			t.Fatalf("scatter: rank %d got %v", i, v)
+		}
+	}
+}
+
+func TestGSSumNaiveAndPrefixAgree(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		var wantTotal float64
+		for i := 0; i < p; i++ {
+			wantTotal += float64(i + 1)
+		}
+		for _, usePrefix := range []bool{false, true} {
+			res := mustRun(t, testConfig(p), func(r *Rank) {
+				vec := []float64{float64(r.ID() + 1), 1}
+				var sum []float64
+				if usePrefix {
+					sum = r.GSSumPrefix(vec)
+				} else {
+					sum = r.GSSumNaive(vec)
+				}
+				r.SetResult(sum)
+			})
+			for i, v := range res.Values {
+				s := v.([]float64)
+				if s[0] != wantTotal || s[1] != float64(p) {
+					t.Fatalf("p=%d prefix=%v rank %d sum=%v", p, usePrefix, i, s)
+				}
+			}
+		}
+	}
+}
+
+func TestGSSumPrefixRequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for p=3")
+		}
+	}()
+	Run(testConfig(3), func(r *Rank) {
+		r.GSSumPrefix([]float64{1})
+	})
+}
+
+func TestGSSumPrefixBeatsNaiveAtScale(t *testing.T) {
+	// The Appendix B observation: gssum's many-to-many messaging stops
+	// scaling beyond ~8 processors, while the parallel-prefix version
+	// keeps communication at log2(P) rounds.
+	vec := make([]float64, 4096)
+	run := func(p int, prefix bool) float64 {
+		res := mustRun(t, testConfig(p), func(r *Rank) {
+			if prefix {
+				r.GSSumPrefix(vec)
+			} else {
+				r.GSSumNaive(vec)
+			}
+		})
+		return res.Elapsed
+	}
+	naive16, prefix16 := run(16, false), run(16, true)
+	if prefix16 >= naive16 {
+		t.Errorf("prefix (%g s) not faster than naive (%g s) at P=16", prefix16, naive16)
+	}
+	// Naive cost grows roughly linearly in P; prefix logarithmically.
+	naive4 := run(4, false)
+	prefix4 := run(4, true)
+	if naive16/naive4 < 2 {
+		t.Errorf("naive gssum did not degrade with P: %g -> %g", naive4, naive16)
+	}
+	if prefix16/prefix4 > 4 {
+		t.Errorf("prefix gssum degraded too fast: %g -> %g", prefix4, prefix16)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		res := mustRun(t, testConfig(p), func(r *Rank) {
+			out := r.AllGather([]float64{float64(r.ID()), float64(r.ID() * 2)})
+			r.SetResult(out)
+		})
+		for rank, v := range res.Values {
+			out := v.([]float64)
+			if len(out) != 2*p {
+				t.Fatalf("p=%d rank=%d len=%d", p, rank, len(out))
+			}
+			for i := 0; i < p; i++ {
+				if out[2*i] != float64(i) || out[2*i+1] != float64(2*i) {
+					t.Fatalf("p=%d rank=%d out=%v", p, rank, out)
+				}
+			}
+		}
+	}
+}
+
+func TestCommBudgetCharged(t *testing.T) {
+	res := mustRun(t, testConfig(4), func(r *Rank) {
+		r.Compute(0.1, budget.Useful)
+		r.GSSumPrefix(make([]float64, 1000))
+	})
+	if res.Budget.CommPct <= 0 {
+		t.Error("no communication charged")
+	}
+	if res.Budget.UsefulPct <= 0 {
+		t.Error("no useful time charged")
+	}
+	total := res.Budget.CommPct + res.Budget.UsefulPct
+	if total > 100+1e-9 {
+		t.Errorf("budget exceeds 100%%: %g", total)
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	mustRun(t, testConfig(4), func(r *Rank) {
+		if r.Procs() != 4 {
+			panic("Procs wrong")
+		}
+		if r.ID() < 0 || r.ID() >= 4 {
+			panic("ID out of range")
+		}
+		want := mesh.SnakePlacement{Width: 4}.Coord(r.ID(), 4)
+		if r.Coord() != want {
+			panic("Coord mismatch")
+		}
+		if r.Clock() != 0 {
+			panic("nonzero initial clock")
+		}
+		r.Compute(1, budget.Useful)
+		if r.Clock() != 1 {
+			panic("clock not advanced")
+		}
+		if r.Tracker().Get(budget.Useful) != 1 {
+			panic("tracker not charged")
+		}
+	})
+}
+
+func TestSendValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid destination")
+		}
+	}()
+	Run(testConfig(2), func(r *Rank) {
+		r.Send(5, 0, 0, nil)
+	})
+}
+
+func TestAllToAllTransposes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		res := mustRun(t, testConfig(p), func(r *Rank) {
+			parts := make([][]float64, p)
+			for i := range parts {
+				parts[i] = []float64{float64(r.ID()*100 + i)}
+			}
+			got := r.AllToAll(parts)
+			// Rank r receives from rank s the value s*100 + r.
+			for s, piece := range got {
+				if len(piece) != 1 || piece[0] != float64(s*100+r.ID()) {
+					panic("AllToAll misrouted")
+				}
+			}
+			r.SetResult(true)
+		})
+		for i, v := range res.Values {
+			if v != true {
+				t.Fatalf("p=%d rank %d failed", p, i)
+			}
+		}
+	}
+}
+
+func TestAllToAllPanicsOnBadParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for wrong part count")
+		}
+	}()
+	Run(testConfig(2), func(r *Rank) {
+		r.AllToAll(make([][]float64, 3))
+	})
+}
+
+func TestAllMaxPrefix(t *testing.T) {
+	res := mustRun(t, testConfig(8), func(r *Rank) {
+		v := []float64{float64(r.ID()), float64(-r.ID())}
+		out := r.AllMaxPrefix(v)
+		r.SetResult(out)
+	})
+	for i, v := range res.Values {
+		out := v.([]float64)
+		if out[0] != 7 || out[1] != 0 {
+			t.Fatalf("rank %d: AllMaxPrefix = %v", i, out)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	mustRun(t, testConfig(4), func(r *Rank) {
+		last := r.Clock()
+		for i := 0; i < 3; i++ {
+			r.Compute(0.01, budget.Useful)
+			r.Barrier()
+			if r.Clock() < last {
+				panic("clock went backwards")
+			}
+			last = r.Clock()
+		}
+	})
+}
+
+func TestMixedTagsDoNotCross(t *testing.T) {
+	res := mustRun(t, testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendFloats(1, 100, []float64{1})
+			r.SendFloats(1, 200, []float64{2})
+		} else {
+			// Receive in reverse tag order.
+			b, _ := r.RecvFloats(0, 200)
+			a, _ := r.RecvFloats(0, 100)
+			r.SetResult(a[0]*10 + b[0])
+		}
+	})
+	if res.Values[1] != 12.0 {
+		t.Errorf("tag crossing: got %v", res.Values[1])
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root += 2 {
+			res := mustRun(t, testConfig(p), func(r *Rank) {
+				out := r.Reduce(root, []float64{float64(r.ID() + 1), 1}, nil)
+				if r.ID() == root {
+					r.SetResult(out)
+				} else if out != nil {
+					panic("non-root got a reduction result")
+				}
+			})
+			out := res.Values[root].([]float64)
+			want := float64(p*(p+1)) / 2
+			if out[0] != want || out[1] != float64(p) {
+				t.Fatalf("p=%d root=%d: reduce = %v, want [%g %d]", p, root, out, want, p)
+			}
+		}
+	}
+}
+
+func TestReduceCustomCombiner(t *testing.T) {
+	res := mustRun(t, testConfig(4), func(r *Rank) {
+		out := r.Reduce(0, []float64{float64(r.ID())}, func(dst, src []float64) {
+			for i := range dst {
+				if src[i] > dst[i] {
+					dst[i] = src[i]
+				}
+			}
+		})
+		if r.ID() == 0 {
+			r.SetResult(out[0])
+		}
+	})
+	if res.Values[0] != 3.0 {
+		t.Errorf("max-reduce = %v, want 3", res.Values[0])
+	}
+}
+
+func TestIRecvOverlapHidesLatency(t *testing.T) {
+	// Blocking version: recv first, then compute. Overlapped version:
+	// post IRecv, compute, then wait. The overlapped receiver finishes
+	// earlier because the compute covers the transfer time.
+	payload := make([]float64, 1<<16)
+	run := func(overlap bool) float64 {
+		res := mustRun(t, testConfig(2), func(r *Rank) {
+			if r.ID() == 0 {
+				r.SendFloats(1, 5, payload)
+				return
+			}
+			if overlap {
+				req := r.IRecv(0, 5)
+				r.Compute(0.1, budget.Useful)
+				req.WaitFloats()
+			} else {
+				r.RecvFloats(0, 5)
+				r.Compute(0.1, budget.Useful)
+			}
+		})
+		return res.Completions[1]
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	if overlapped >= blocking {
+		t.Errorf("overlap (%g s) not faster than blocking (%g s)", overlapped, blocking)
+	}
+}
+
+func TestWaitTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Wait did not panic")
+		}
+	}()
+	Run(testConfig(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.SendFloats(1, 9, []float64{1})
+			r.SendFloats(1, 9, []float64{2})
+		} else {
+			req := r.IRecv(0, 9)
+			req.Wait()
+			req.Wait()
+		}
+	})
+}
+
+func TestComputeOpsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative ops did not panic")
+		}
+	}()
+	Run(testConfig(1), func(r *Rank) {
+		r.ComputeOps(-1, 1, budget.Useful)
+	})
+}

@@ -1,0 +1,141 @@
+package nx
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+)
+
+// sim is the discrete-event scheduler state of one run.
+type sim struct {
+	cfg     Config
+	ranks   []*Rank
+	net     *network
+	yielded chan int
+}
+
+// network wraps mesh.Network so ranks reserve links through one shared
+// reservation table.
+type network struct{ inner *mesh.Network }
+
+func (n *network) transfer(src, dst mesh.Coord, bytes int, start float64) float64 {
+	return n.inner.Transfer(src, dst, bytes, start)
+}
+
+// deliver places a message into the destination mailbox.
+func (s *sim) deliver(dst int, m message) {
+	r := s.ranks[dst]
+	k := mailKey{m.src, m.tag}
+	r.mail[k] = append(r.mail[k], m)
+}
+
+// Run executes prog on cfg.Procs simulated ranks and returns the collected
+// result. It returns an error for invalid configurations or when the
+// program deadlocks (every unfinished rank blocked on a Recv that can
+// never be satisfied).
+func Run(cfg Config, prog Program) (*Result, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("nx: Procs = %d, want >= 1", cfg.Procs)
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("nx: nil Machine")
+	}
+	if cfg.Placement == nil {
+		return nil, fmt.Errorf("nx: nil Placement")
+	}
+	if err := mesh.ValidatePlacement(cfg.Machine, cfg.Placement, cfg.Procs); err != nil {
+		return nil, err
+	}
+
+	s := &sim{
+		cfg:     cfg,
+		net:     &network{inner: mesh.NewNetwork(cfg.Machine)},
+		yielded: make(chan int),
+	}
+	s.ranks = make([]*Rank, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		s.ranks[i] = &Rank{
+			id:     i,
+			procs:  cfg.Procs,
+			sim:    s,
+			coord:  cfg.Placement.Coord(i, cfg.Procs),
+			state:  stReady,
+			resume: make(chan struct{}),
+			mail:   make(map[mailKey][]message),
+		}
+	}
+
+	// Launch each rank as a coroutine: it waits for its first resume,
+	// runs the program, and yields stDone at the end. A panic inside a
+	// rank is captured and re-raised from Run so tests see it.
+	panics := make(chan any, cfg.Procs)
+	for _, r := range s.ranks {
+		r := r
+		go func() {
+			<-r.resume
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+					r.state = stDone
+					s.yielded <- r.id
+					return
+				}
+			}()
+			prog(r)
+			r.yield(stDone)
+		}()
+	}
+
+	// Scheduler loop: resume the runnable rank with the smallest clock.
+	for {
+		pick := -1
+		for _, r := range s.ranks {
+			runnable := r.state == stReady ||
+				(r.state == stBlocked && r.hasMessage(r.waitSrc, r.waitTag))
+			if runnable && (pick == -1 || r.clock < s.ranks[pick].clock) {
+				pick = r.id
+			}
+		}
+		if pick == -1 {
+			allDone := true
+			var blocked []int
+			for _, r := range s.ranks {
+				if r.state != stDone {
+					allDone = false
+					blocked = append(blocked, r.id)
+				}
+			}
+			if allDone {
+				break
+			}
+			return nil, fmt.Errorf("nx: deadlock — ranks %v blocked in Recv with no pending message", blocked)
+		}
+		r := s.ranks[pick]
+		r.state = stRunning
+		r.resume <- struct{}{}
+		<-s.yielded
+		select {
+		case p := <-panics:
+			panic(p)
+		default:
+		}
+	}
+
+	res := &Result{
+		Completions: make([]float64, cfg.Procs),
+		Values:      make([]any, cfg.Procs),
+	}
+	trackers := make([]*budget.Tracker, cfg.Procs)
+	for i, r := range s.ranks {
+		res.Completions[i] = r.clock
+		res.Values[i] = r.result
+		trackers[i] = &r.tracker
+		if r.clock > res.Elapsed {
+			res.Elapsed = r.clock
+		}
+	}
+	res.Budget = budget.Aggregate(trackers, res.Completions)
+	res.Msgs, res.Bytes, res.ContendedMsgs, res.LinkWait = s.net.inner.Stats()
+	return res, nil
+}

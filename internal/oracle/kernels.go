@@ -1,0 +1,133 @@
+package oracle
+
+// Synthetic trace kernels standing in for the NAS Parallel Benchmark spy
+// traces of Appendix C (the SPARC binaries and the spy/SITA toolchain are
+// not reproducible; see DESIGN.md). Each kernel emits a deterministic
+// dynamic trace whose dependence structure (parallel chain count, phase
+// alternation) and operation mix are shaped to the report's published
+// centroids (its Table 7), so the downstream analyses — centroids,
+// similarity, smoothability — exercise the identical pipeline on
+// workloads with the same relationships (embar≈fftpde, buk≈cgm,
+// applu≈appbt, appsp an order of magnitude wider than everything else).
+
+// KernelSpec parameterizes a synthetic workload.
+type KernelSpec struct {
+	// Name is the benchmark label.
+	Name string
+	// Chains is the number of independent dependence chains — the
+	// resulting average parallelism is of this order.
+	Chains int
+	// ChainLen is the per-phase chain depth.
+	ChainLen int
+	// Phases alternate wide (all chains) and narrow (NarrowFrac·Chains)
+	// sections, giving realistic parallelism-profile variability.
+	Phases int
+	// NarrowFrac is the active-chain fraction of narrow phases.
+	NarrowFrac float64
+	// Mix is the relative frequency of each operation type.
+	Mix [NumOpTypes]float64
+}
+
+// Generate emits the kernel's dynamic trace. Types are dealt by largest-
+// remainder quotas per chain step, so the realized mix tracks Mix exactly
+// as counts grow; everything is deterministic.
+func (k KernelSpec) Generate() []Instr {
+	var mixTotal float64
+	for _, v := range k.Mix {
+		mixTotal += v
+	}
+	if mixTotal == 0 || k.Chains < 1 || k.ChainLen < 1 || k.Phases < 1 {
+		return nil
+	}
+	trace := make([]Instr, 0, k.Chains*k.ChainLen*k.Phases)
+	// Location ids: one running value per chain (register file), plus a
+	// private memory cell per chain for load/store flavor.
+	regOf := func(chain int) int32 { return int32(1 + chain) }
+	var quota [NumOpTypes]float64
+	typeFor := func() OpType {
+		// Largest-remainder selection keeps realized counts within one
+		// of the exact proportions.
+		best := OpType(0)
+		for t := OpType(0); t < NumOpTypes; t++ {
+			quota[t] += k.Mix[t] / mixTotal
+			if quota[t] > quota[best] {
+				best = t
+			}
+		}
+		quota[best]--
+		return best
+	}
+	for phase := 0; phase < k.Phases; phase++ {
+		active := k.Chains
+		if phase%2 == 1 {
+			active = int(float64(k.Chains) * k.NarrowFrac)
+			if active < 1 {
+				active = 1
+			}
+		}
+		// Emit level by level so same-cycle operations of different
+		// chains are adjacent in the trace (the order spy would see from
+		// an unrolled inner loop).
+		for step := 0; step < k.ChainLen; step++ {
+			for c := 0; c < active; c++ {
+				r := regOf(c)
+				trace = append(trace, Instr{Type: typeFor(), Src1: r, Dst: r})
+			}
+		}
+	}
+	return trace
+}
+
+// NASKernels returns the eight synthetic NAS-like workloads with chain
+// widths and mixes shaped to the report's Table 7 centroids.
+func NASKernels() []KernelSpec {
+	mk := func(name string, scale float64, intops, memops, fpops, ctlops, brops float64, phases int, narrow float64) KernelSpec {
+		total := intops + memops + fpops + ctlops + brops
+		chains := int(total*scale + 0.5)
+		if chains < 2 {
+			chains = 2
+		}
+		return KernelSpec{
+			Name:       name,
+			Chains:     chains,
+			ChainLen:   12,
+			Phases:     phases,
+			NarrowFrac: narrow,
+			Mix:        [NumOpTypes]float64{intops, memops, fpops, ctlops, brops},
+		}
+	}
+	return []KernelSpec{
+		// name, width scale, Intops, Memops, FPops, Ctlops, Branchops
+		mk("embar", 1, 81.3, 59.5, 14.4, 0.001, 37.3, 4, 0.25),
+		mk("mgrid", 1, 33.9, 19.5, 0.80, 0.05, 9.2, 2, 0.9),
+		mk("cgm", 1, 4.48, 3.80, 0.84, 0.001, 0.85, 4, 0.4),
+		mk("fftpde", 1, 184, 128, 33.5, 10.9, 57.8, 4, 0.5),
+		mk("buk", 1, 2.43, 1.74, 0.45, 0.001, 0.66, 2, 0.8),
+		mk("applu", 1, 1032, 559, 69.8, 0.05, 414, 2, 0.85),
+		mk("appsp", 1, 8261, 5263, 604.8, 26.2, 3504, 2, 0.82),
+		mk("appbt", 1, 2789, 848, 49.7, 4.3, 1065, 2, 0.95),
+	}
+}
+
+// ExampleSuite returns the five small workloads of the report's Section
+// 4.1 comparison study, expressed directly as parallel-instruction
+// streams (each row of the tables is one unique PI with a repeat count).
+func ExampleSuite() map[string][]PI {
+	expand := func(rows [][4]float64) []PI {
+		var out []PI
+		for _, r := range rows {
+			for i := 0; i < int(r[0]); i++ {
+				// Columns: #PIs, MEM, FP, INT.
+				out = append(out, PI{IntOp: r[3], MemOp: r[1], FPOp: r[2]})
+			}
+		}
+		return out
+	}
+	return map[string][]PI{
+		"WL1": expand([][4]float64{{5, 1, 0, 1}, {3, 0, 1, 0}, {7, 1, 0, 0}, {2, 0, 0, 1}}),
+		"WL2": expand([][4]float64{{2, 0, 1, 1}, {3, 1, 1, 0}, {7, 1, 0, 1}, {5, 1, 1, 1}}),
+		"WL3": expand([][4]float64{{5, 3, 2, 1}, {7, 4, 3, 0}}),
+		"WL4": expand([][4]float64{{3, 4, 3, 2}, {7, 3, 4, 2}}),
+		"WL5": expand([][4]float64{{4, 1, 1, 1}, {6, 2, 1, 0}, {5, 1, 0, 1}}),
+	}
+}

@@ -1,0 +1,98 @@
+package oracle
+
+import "fmt"
+
+// Architecture-dependent scheduling models. Appendix C's criticism of the
+// parallelism-matrix technique [18] is that it measured *executed*
+// parallelism on a specific machine (a Cray Y-MP simulator with three
+// floating-point and three memory functional units), making the workload
+// representation architecture-dependent. ScheduleTyped reproduces that
+// executed-parallelism model: per-cycle issue limits per operation type.
+// ScheduleWindowed models a finite reorder window, the other classical
+// restriction ILP studies impose between the oracle and real machines.
+
+// FULimits caps the per-cycle issue width of each operation type; zero
+// means unlimited for that type.
+type FULimits [NumOpTypes]int
+
+// CrayYMPLimits returns the functional-unit configuration of the
+// parallelism-matrix study's target: three floating-point units and
+// three memory ports (two load, one store), with other types unlimited.
+func CrayYMPLimits() FULimits {
+	var l FULimits
+	l[FPOp] = 3
+	l[MemOp] = 3
+	return l
+}
+
+// ScheduleTyped list-schedules the trace with per-type issue limits,
+// returning the executed parallel instructions (one PI per cycle). This
+// is the architecture-dependent profile whose matrices the report's
+// baseline technique compares.
+func ScheduleTyped(trace []Instr, limits FULimits) []PI {
+	ready := make(map[int32]int)
+	var pis []PI
+	for _, in := range trace {
+		earliest := 0
+		if in.Src1 != 0 {
+			if l, ok := ready[in.Src1]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		if in.Src2 != 0 {
+			if l, ok := ready[in.Src2]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		slot := earliest
+		limit := limits[in.Type]
+		for {
+			for len(pis) <= slot {
+				pis = append(pis, PI{})
+			}
+			if limit == 0 || int(pis[slot][in.Type]) < limit {
+				break
+			}
+			slot++
+		}
+		pis[slot][in.Type]++
+		if in.Dst != 0 {
+			ready[in.Dst] = slot + 1
+		}
+	}
+	return pis
+}
+
+// ScheduleWindowed schedules with a finite reorder window: an instruction
+// may issue no earlier than ⌊index/window⌋ cycles into the schedule
+// (instructions more than `window` positions ahead in program order
+// cannot be hoisted past the current fetch frontier). window must be
+// positive. The oracle is the window → ∞ limit.
+func ScheduleWindowed(trace []Instr, window int) []PI {
+	if window < 1 {
+		panic(fmt.Sprintf("oracle: window = %d", window))
+	}
+	ready := make(map[int32]int)
+	var pis []PI
+	for idx, in := range trace {
+		earliest := idx / window // fetch-frontier constraint
+		if in.Src1 != 0 {
+			if l, ok := ready[in.Src1]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		if in.Src2 != 0 {
+			if l, ok := ready[in.Src2]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		for len(pis) <= earliest {
+			pis = append(pis, PI{})
+		}
+		pis[earliest][in.Type]++
+		if in.Dst != 0 {
+			ready[in.Dst] = earliest + 1
+		}
+	}
+	return pis
+}

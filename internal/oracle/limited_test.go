@@ -1,0 +1,144 @@
+package oracle
+
+import "testing"
+
+func independentTrace(n int, tp OpType) []Instr {
+	trace := make([]Instr, n)
+	for i := range trace {
+		trace[i] = Instr{Type: tp, Dst: int32(i + 1)}
+	}
+	return trace
+}
+
+func TestScheduleTypedUnlimitedEqualsOracle(t *testing.T) {
+	spec := NASKernels()[2] // cgm
+	trace := spec.Generate()
+	oraclePIs := Schedule(trace)
+	typed := ScheduleTyped(trace, FULimits{})
+	if len(typed) != len(oraclePIs) {
+		t.Fatalf("unlimited typed CPL %d != oracle %d", len(typed), len(oraclePIs))
+	}
+	for i := range typed {
+		if typed[i] != oraclePIs[i] {
+			t.Fatalf("cycle %d differs: %v vs %v", i, typed[i], oraclePIs[i])
+		}
+	}
+}
+
+func TestScheduleTypedEnforcesLimits(t *testing.T) {
+	// 10 independent FP ops with a 3-wide FP unit need ceil(10/3) = 4
+	// cycles.
+	trace := independentTrace(10, FPOp)
+	var limits FULimits
+	limits[FPOp] = 3
+	pis := ScheduleTyped(trace, limits)
+	if len(pis) != 4 {
+		t.Fatalf("CPL = %d, want 4", len(pis))
+	}
+	for i, p := range pis {
+		if p[FPOp] > 3 {
+			t.Errorf("cycle %d issued %g FP ops", i, p[FPOp])
+		}
+	}
+}
+
+func TestScheduleTypedOnlyLimitsNamedTypes(t *testing.T) {
+	// Int ops remain unlimited under the Cray Y-MP configuration.
+	trace := independentTrace(50, IntOp)
+	pis := ScheduleTyped(trace, CrayYMPLimits())
+	if len(pis) != 1 {
+		t.Errorf("50 independent int ops took %d cycles under FP/MEM limits", len(pis))
+	}
+}
+
+func TestExecutedParallelismArchitectureDependence(t *testing.T) {
+	// The report's core argument: executed-parallelism profiles change
+	// with the machine, so matrices built from them are
+	// architecture-dependent. The same trace on two machine configs
+	// yields different profiles; the oracle profile is invariant.
+	trace := independentTrace(30, FPOp)
+	narrow := ScheduleTyped(trace, FULimits{FPOp: 1})
+	wide := ScheduleTyped(trace, FULimits{FPOp: 10})
+	if len(narrow) == len(wide) {
+		t.Error("executed parallelism identical across machine configurations")
+	}
+	if len(Schedule(trace)) != 1 {
+		t.Error("oracle schedule depends on nothing but dependencies")
+	}
+}
+
+func TestScheduleTypedRespectsDependencies(t *testing.T) {
+	trace := []Instr{
+		{Type: FPOp, Dst: 1},
+		{Type: FPOp, Src1: 1, Dst: 2},
+		{Type: FPOp, Src1: 2, Dst: 3},
+	}
+	pis := ScheduleTyped(trace, FULimits{FPOp: 8})
+	if len(pis) != 3 {
+		t.Errorf("dependence chain compressed: CPL = %d", len(pis))
+	}
+}
+
+func TestScheduleWindowedLimits(t *testing.T) {
+	trace := independentTrace(40, IntOp)
+	// Window 10: instruction 39 cannot issue before cycle 3.
+	pis := ScheduleWindowed(trace, 10)
+	if len(pis) != 4 {
+		t.Fatalf("CPL = %d, want 4", len(pis))
+	}
+	// Infinite-ish window equals the oracle for this trace.
+	wide := ScheduleWindowed(trace, 1<<20)
+	if len(wide) != 1 {
+		t.Errorf("wide window CPL = %d", len(wide))
+	}
+}
+
+func TestScheduleWindowedMonotoneInWindow(t *testing.T) {
+	trace := NASKernels()[0].Generate()
+	oracleCPL := len(Schedule(trace))
+	last := 1 << 30
+	for _, w := range []int{8, 64, 512, 1 << 20} {
+		cpl := len(ScheduleWindowed(trace, w))
+		if cpl > last {
+			t.Errorf("CPL grew when window widened to %d", w)
+		}
+		if cpl < oracleCPL {
+			t.Errorf("window %d beat the oracle: %d < %d", w, cpl, oracleCPL)
+		}
+		last = cpl
+	}
+}
+
+func TestScheduleWindowedPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for window 0")
+		}
+	}()
+	ScheduleWindowed(nil, 0)
+}
+
+func TestCrayYMPLimits(t *testing.T) {
+	l := CrayYMPLimits()
+	if l[FPOp] != 3 || l[MemOp] != 3 || l[IntOp] != 0 {
+		t.Errorf("limits = %v", l)
+	}
+}
+
+func TestTypedOpsConserved(t *testing.T) {
+	// Scheduling never loses or duplicates operations.
+	trace := NASKernels()[4].Generate() // buk
+	for _, pis := range [][]PI{
+		Schedule(trace),
+		ScheduleTyped(trace, CrayYMPLimits()),
+		ScheduleWindowed(trace, 32),
+	} {
+		var total float64
+		for _, p := range pis {
+			total += p.Total()
+		}
+		if int(total) != len(trace) {
+			t.Errorf("ops not conserved: %g vs %d", total, len(trace))
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package oracle implements Appendix C's idealized execution model: a
+// dynamic instruction trace is scheduled onto the "oracle" architecture —
+// unlimited processors, unit latency, and only true flow dependencies
+// respected — packing the sequential stream into parallel instructions
+// (PIs). It stands in for the SITA trace scheduler over SPARC spy traces
+// (see DESIGN.md: the traces themselves are synthesized by
+// wavelethpc/internal/oracle kernels with NAS-like operation mixes and
+// dependence structure, since the 1990s binaries and tracer are gone).
+package oracle
+
+import "fmt"
+
+// OpType is the instruction category. The five categories follow the
+// report's SPARC breakdown.
+type OpType int
+
+const (
+	// IntOp is arithmetic/logic/shift.
+	IntOp OpType = iota
+	// MemOp is load/store.
+	MemOp
+	// FPOp is floating-point operate.
+	FPOp
+	// CtlOp is read/write control register.
+	CtlOp
+	// BranchOp is control transfer.
+	BranchOp
+	// NumOpTypes is the category count.
+	NumOpTypes
+)
+
+// String returns the category name used in the report's tables.
+func (o OpType) String() string {
+	switch o {
+	case IntOp:
+		return "Intops"
+	case MemOp:
+		return "Memops"
+	case FPOp:
+		return "FPops"
+	case CtlOp:
+		return "Controlops"
+	case BranchOp:
+		return "Branchops"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(o))
+	}
+}
+
+// Instr is one dynamic instruction: a typed operation reading up to two
+// locations and writing one. Locations form a unified id space covering
+// registers and memory cells; location 0 means "none".
+type Instr struct {
+	Type       OpType
+	Src1, Src2 int32
+	Dst        int32
+}
+
+// PI is one parallel instruction: how many operations of each type issue
+// together in one oracle cycle.
+type PI [NumOpTypes]float64
+
+// Total returns the operation count of the parallel instruction.
+func (p PI) Total() float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// Schedule packs a trace onto the oracle: each instruction executes one
+// cycle after its latest producer, and the returned slice holds one PI
+// per cycle. The schedule respects only read-after-write dependencies —
+// "an Oracle is present to guide us at every conditional jump ... and
+// resolving all ambiguous memory references".
+func Schedule(trace []Instr) []PI {
+	ready := make(map[int32]int)
+	var pis []PI
+	for _, in := range trace {
+		lvl := 0
+		if in.Src1 != 0 {
+			if l, ok := ready[in.Src1]; ok && l > lvl {
+				lvl = l
+			}
+		}
+		if in.Src2 != 0 {
+			if l, ok := ready[in.Src2]; ok && l > lvl {
+				lvl = l
+			}
+		}
+		// Executes at cycle lvl (0-based), result ready for cycle lvl+1.
+		for len(pis) <= lvl {
+			pis = append(pis, PI{})
+		}
+		pis[lvl][in.Type]++
+		if in.Dst != 0 {
+			ready[in.Dst] = lvl + 1
+		}
+	}
+	return pis
+}
+
+// Stats summarizes a schedule.
+type Stats struct {
+	// Ops is the total dynamic operation count.
+	Ops float64
+	// CPL is the critical path length in cycles (number of PIs).
+	CPL int
+	// AvgParallelism is Ops / CPL.
+	AvgParallelism float64
+}
+
+// Summarize computes schedule statistics.
+func Summarize(pis []PI) Stats {
+	var s Stats
+	s.CPL = len(pis)
+	for _, p := range pis {
+		s.Ops += p.Total()
+	}
+	if s.CPL > 0 {
+		s.AvgParallelism = s.Ops / float64(s.CPL)
+	}
+	return s
+}
+
+// ScheduleLimited list-schedules the trace with at most width operations
+// per cycle (unit latency, in trace order — greedy first-fit), returning
+// the finite-width cycle count and the average operation delay: "the
+// average number of parallel instructions by which each operation is
+// delayed before it can be executed".
+func ScheduleLimited(trace []Instr, width int) (cycles int, avgDelay float64) {
+	if width < 1 {
+		panic(fmt.Sprintf("oracle: width = %d", width))
+	}
+	ready := make(map[int32]int)
+	load := make([]int, 0, 1024)
+	var totalDelay float64
+	for _, in := range trace {
+		earliest := 0
+		if in.Src1 != 0 {
+			if l, ok := ready[in.Src1]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		if in.Src2 != 0 {
+			if l, ok := ready[in.Src2]; ok && l > earliest {
+				earliest = l
+			}
+		}
+		slot := earliest
+		for {
+			for len(load) <= slot {
+				load = append(load, 0)
+			}
+			if load[slot] < width {
+				break
+			}
+			slot++
+		}
+		load[slot]++
+		totalDelay += float64(slot - earliest)
+		if in.Dst != 0 {
+			ready[in.Dst] = slot + 1
+		}
+		if slot+1 > cycles {
+			cycles = slot + 1
+		}
+	}
+	if len(trace) > 0 {
+		avgDelay = totalDelay / float64(len(trace))
+	}
+	return cycles, avgDelay
+}
+
+// Smoothability is the report's metric: the ratio of the unrestricted
+// (oracle) execution time to the execution time with the processor count
+// limited to the average degree of parallelism. Values near 1 mean the
+// parallelism profile is smooth enough for centroids to represent the
+// workload faithfully.
+func Smoothability(trace []Instr) (smooth float64, s Stats, limitedCycles int, avgDelay float64) {
+	pis := Schedule(trace)
+	s = Summarize(pis)
+	width := int(s.AvgParallelism)
+	if width < 1 {
+		width = 1
+	}
+	limitedCycles, avgDelay = ScheduleLimited(trace, width)
+	if limitedCycles > 0 {
+		smooth = float64(s.CPL) / float64(limitedCycles)
+	}
+	return smooth, s, limitedCycles, avgDelay
+}

@@ -1,0 +1,230 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTypeStrings(t *testing.T) {
+	want := map[OpType]string{IntOp: "Intops", MemOp: "Memops", FPOp: "FPops", CtlOp: "Controlops", BranchOp: "Branchops"}
+	for k, v := range want {
+		if k.String() != v {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestScheduleIndependentOpsPackTogether(t *testing.T) {
+	trace := []Instr{
+		{Type: IntOp, Dst: 1},
+		{Type: FPOp, Dst: 2},
+		{Type: MemOp, Dst: 3},
+	}
+	pis := Schedule(trace)
+	if len(pis) != 1 {
+		t.Fatalf("CPL = %d, want 1", len(pis))
+	}
+	if pis[0][IntOp] != 1 || pis[0][FPOp] != 1 || pis[0][MemOp] != 1 {
+		t.Errorf("PI = %v", pis[0])
+	}
+}
+
+func TestScheduleSerialChain(t *testing.T) {
+	trace := []Instr{
+		{Type: IntOp, Dst: 1},
+		{Type: IntOp, Src1: 1, Dst: 2},
+		{Type: IntOp, Src1: 2, Dst: 3},
+	}
+	pis := Schedule(trace)
+	if len(pis) != 3 {
+		t.Fatalf("CPL = %d, want 3", len(pis))
+	}
+	for i, p := range pis {
+		if p.Total() != 1 {
+			t.Errorf("level %d has %g ops", i, p.Total())
+		}
+	}
+}
+
+func TestScheduleDiamond(t *testing.T) {
+	// a; b<-a; c<-a; d<-b,c  => levels 1,2,2,3.
+	trace := []Instr{
+		{Type: IntOp, Dst: 1},
+		{Type: FPOp, Src1: 1, Dst: 2},
+		{Type: MemOp, Src1: 1, Dst: 3},
+		{Type: IntOp, Src1: 2, Src2: 3, Dst: 4},
+	}
+	pis := Schedule(trace)
+	if len(pis) != 3 {
+		t.Fatalf("CPL = %d, want 3", len(pis))
+	}
+	if pis[1][FPOp] != 1 || pis[1][MemOp] != 1 {
+		t.Errorf("level 1 = %v", pis[1])
+	}
+}
+
+func TestScheduleWAWIgnored(t *testing.T) {
+	// The oracle respects only true (flow) dependencies: two writes to
+	// the same location with no reads pack into one cycle.
+	trace := []Instr{
+		{Type: IntOp, Dst: 1},
+		{Type: IntOp, Dst: 1},
+	}
+	if pis := Schedule(trace); len(pis) != 1 {
+		t.Errorf("WAW serialized: CPL = %d", len(pis))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pis := []PI{{1, 2, 0, 0, 1}, {0, 0, 3, 0, 0}}
+	s := Summarize(pis)
+	if s.Ops != 7 || s.CPL != 2 || s.AvgParallelism != 3.5 {
+		t.Errorf("stats = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.AvgParallelism != 0 {
+		t.Error("empty workload parallelism != 0")
+	}
+}
+
+func TestScheduleLimitedWidth1IsSequential(t *testing.T) {
+	trace := make([]Instr, 10)
+	for i := range trace {
+		trace[i] = Instr{Type: IntOp, Dst: int32(i + 1)}
+	}
+	cycles, delay := ScheduleLimited(trace, 1)
+	if cycles != 10 {
+		t.Errorf("width-1 cycles = %d, want 10", cycles)
+	}
+	if delay <= 0 {
+		t.Error("expected queueing delay at width 1")
+	}
+}
+
+func TestScheduleLimitedWideEqualsOracle(t *testing.T) {
+	spec := KernelSpec{Name: "x", Chains: 8, ChainLen: 5, Phases: 2, NarrowFrac: 0.5, Mix: [NumOpTypes]float64{1, 1, 1, 0, 1}}
+	trace := spec.Generate()
+	pis := Schedule(trace)
+	cycles, delay := ScheduleLimited(trace, 1<<20)
+	if cycles != len(pis) {
+		t.Errorf("unlimited-width list schedule %d cycles != oracle %d", cycles, len(pis))
+	}
+	if delay != 0 {
+		t.Errorf("delay = %g with unlimited width", delay)
+	}
+}
+
+func TestScheduleLimitedPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for width 0")
+		}
+	}()
+	ScheduleLimited(nil, 0)
+}
+
+func TestSmoothabilityBounds(t *testing.T) {
+	for _, spec := range NASKernels()[:4] {
+		sm, stats, limited, delay := Smoothability(spec.Generate())
+		if sm <= 0 || sm > 1+1e-12 {
+			t.Errorf("%s: smoothability %g outside (0,1]", spec.Name, sm)
+		}
+		if limited < stats.CPL {
+			t.Errorf("%s: limited schedule shorter than oracle", spec.Name)
+		}
+		if delay < 0 {
+			t.Errorf("%s: negative delay", spec.Name)
+		}
+	}
+}
+
+func TestPerfectlySmoothWorkload(t *testing.T) {
+	// Constant-width independent chains have smoothability exactly 1.
+	spec := KernelSpec{Name: "flat", Chains: 10, ChainLen: 6, Phases: 1, NarrowFrac: 1, Mix: [NumOpTypes]float64{1, 0, 0, 0, 0}}
+	sm, stats, _, _ := Smoothability(spec.Generate())
+	if math.Abs(sm-1) > 1e-12 {
+		t.Errorf("flat workload smoothability = %g", sm)
+	}
+	if stats.AvgParallelism != 10 {
+		t.Errorf("avg parallelism = %g, want 10", stats.AvgParallelism)
+	}
+}
+
+func TestGenerateDeterministicAndMixExact(t *testing.T) {
+	spec := NASKernels()[0]
+	a := spec.Generate()
+	b := spec.Generate()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+	// Realized mix tracks the spec to within 1%.
+	var counts [NumOpTypes]float64
+	for _, in := range a {
+		counts[in.Type]++
+	}
+	var mixTotal float64
+	for _, v := range spec.Mix {
+		mixTotal += v
+	}
+	for tt := OpType(0); tt < NumOpTypes; tt++ {
+		want := spec.Mix[tt] / mixTotal
+		got := counts[tt] / float64(len(a))
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%v: realized %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestGenerateEmptyCases(t *testing.T) {
+	if tr := (KernelSpec{}).Generate(); tr != nil {
+		t.Error("zero spec generated a trace")
+	}
+}
+
+func TestNASKernelWidthsOrdered(t *testing.T) {
+	// The report's Table 7 ordering of average parallelism:
+	// appsp >> appbt > applu > fftpde > embar > mgrid > cgm > buk.
+	want := []string{"appsp", "appbt", "applu", "fftpde", "embar", "mgrid", "cgm", "buk"}
+	par := map[string]float64{}
+	for _, spec := range NASKernels() {
+		s := Summarize(Schedule(spec.Generate()))
+		par[spec.Name] = s.AvgParallelism
+	}
+	for i := 0; i+1 < len(want); i++ {
+		if par[want[i]] <= par[want[i+1]] {
+			t.Errorf("parallelism ordering violated: %s (%g) <= %s (%g)",
+				want[i], par[want[i]], want[i+1], par[want[i+1]])
+		}
+	}
+}
+
+func TestExampleSuiteShapes(t *testing.T) {
+	suite := ExampleSuite()
+	wantCounts := map[string]int{"WL1": 17, "WL2": 17, "WL3": 12, "WL4": 10, "WL5": 15}
+	for name, pis := range suite {
+		if len(pis) != wantCounts[name] {
+			t.Errorf("%s: %d PIs, want %d", name, len(pis), wantCounts[name])
+		}
+	}
+	// WL1's first unique row: 5 instances of (MEM=1, INT=1).
+	wl1 := suite["WL1"]
+	if wl1[0][MemOp] != 1 || wl1[0][IntOp] != 1 || wl1[0][FPOp] != 0 {
+		t.Errorf("WL1[0] = %v", wl1[0])
+	}
+}
+
+func TestPITotalProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := PI{float64(a), float64(b), float64(c)}
+		return p.Total() == float64(a)+float64(b)+float64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

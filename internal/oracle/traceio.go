@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace serialization. The 1990s pipeline collected spy traces to files
+// and analyzed them offline with SITA; this compact binary format plays
+// the same role: generate once (expensive for big kernels), schedule and
+// re-analyze many times.
+//
+// Format: magic "WTRC", uint32 version, uint64 count, then per
+// instruction one byte of type and three zigzag-varint location ids.
+
+const (
+	traceMagic   = "WTRC"
+	traceVersion = 1
+)
+
+// WriteTrace encodes a trace to w.
+func WriteTrace(w io.Writer, trace []Instr) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(trace)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen32]byte
+	for _, in := range trace {
+		if in.Type < 0 || in.Type >= NumOpTypes {
+			return fmt.Errorf("oracle: invalid op type %d", in.Type)
+		}
+		if err := bw.WriteByte(byte(in.Type)); err != nil {
+			return err
+		}
+		for _, v := range [3]int32{in.Src1, in.Src2, in.Dst} {
+			n := binary.PutUvarint(buf[:], uint64(uint32(v)))
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace decodes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Instr, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("oracle: short trace header: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("oracle: bad trace magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("oracle: short trace header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != traceVersion {
+		return nil, fmt.Errorf("oracle: unsupported trace version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("oracle: implausible trace length %d", count)
+	}
+	trace := make([]Instr, count)
+	for i := range trace {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("oracle: truncated trace at instruction %d: %w", i, err)
+		}
+		if OpType(tb) >= NumOpTypes {
+			return nil, fmt.Errorf("oracle: invalid op type %d at instruction %d", tb, i)
+		}
+		trace[i].Type = OpType(tb)
+		var vals [3]int32
+		for j := range vals {
+			u, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: truncated trace at instruction %d: %w", i, err)
+			}
+			vals[j] = int32(uint32(u))
+		}
+		trace[i].Src1, trace[i].Src2, trace[i].Dst = vals[0], vals[1], vals[2]
+	}
+	return trace, nil
+}
+
+// SaveTrace writes a trace to the named file.
+func SaveTrace(path string, trace []Instr) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, trace); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a trace from the named file.
+func LoadTrace(path string) ([]Instr, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

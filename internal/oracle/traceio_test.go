@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	trace := NASKernels()[2].Generate() // cgm
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trace) {
+		t.Fatalf("length %d != %d", len(back), len(trace))
+	}
+	for i := range trace {
+		if trace[i] != back[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, trace[i], back[i])
+		}
+	}
+}
+
+func TestTraceRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty trace read back %d instructions", len(back))
+	}
+}
+
+func TestTraceAnalysisSurvivesSerialization(t *testing.T) {
+	// The offline pipeline: schedules from a reloaded trace match the
+	// in-memory ones exactly.
+	trace := NASKernels()[4].Generate() // buk
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Summarize(Schedule(trace))
+	b := Summarize(Schedule(back))
+	if a != b {
+		t.Errorf("schedule stats differ after serialization: %+v vs %+v", a, b)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	trace := []Instr{
+		{Type: IntOp, Dst: 1},
+		{Type: FPOp, Src1: 1, Src2: 1, Dst: 2},
+		{Type: MemOp, Src1: 2, Dst: -5}, // negative ids survive zigzag-free encoding
+	}
+	path := t.TempDir() + "/k.trc"
+	if err := SaveTrace(path, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		if trace[i] != back[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	if _, err := LoadTrace(path + ".missing"); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad magic", "XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"},
+		{"bad version", "WTRC\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"},
+		{"truncated body", "WTRC\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00\x00"},
+		{"bad op type", "WTRC\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\xff\x00\x00\x00"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWriteTraceRejectsInvalidType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []Instr{{Type: NumOpTypes}}); err == nil {
+		t.Error("invalid op type written")
+	}
+}

@@ -1,0 +1,71 @@
+package pic
+
+import "math"
+
+// Simulation diagnostics: the standard conserved-ish quantities a PIC
+// practitioner watches (the report's authors used per-iteration physics
+// output to validate their ports across machines).
+
+// KineticEnergy returns Σ ½ m v².
+func KineticEnergy(particles []Particle) float64 {
+	var e float64
+	for i := range particles {
+		p := &particles[i]
+		e += 0.5 * p.Mass * (p.VX*p.VX + p.VY*p.VY + p.VZ*p.VZ)
+	}
+	return e
+}
+
+// FieldEnergy returns the electrostatic field energy ½ Σ |E|² over the
+// grid (unit cell volume).
+func FieldEnergy(f *Field) float64 {
+	var e float64
+	for i := range f.EX {
+		e += f.EX[i]*f.EX[i] + f.EY[i]*f.EY[i] + f.EZ[i]*f.EZ[i]
+	}
+	return e / 2
+}
+
+// Momentum returns the total particle momentum vector.
+func Momentum(particles []Particle) (px, py, pz float64) {
+	for i := range particles {
+		p := &particles[i]
+		px += p.Mass * p.VX
+		py += p.Mass * p.VY
+		pz += p.Mass * p.VZ
+	}
+	return px, py, pz
+}
+
+// ThermalSpeed returns the RMS particle speed.
+func ThermalSpeed(particles []Particle) float64 {
+	if len(particles) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range particles {
+		p := &particles[i]
+		s += p.VX*p.VX + p.VY*p.VY + p.VZ*p.VZ
+	}
+	return math.Sqrt(s / float64(len(particles)))
+}
+
+// DebyeBalanced reports whether the system is approximately
+// charge-neutral (|Σq| small against Σ|q|), the precondition for the
+// periodic field solve's zero-mode gauge to be physical.
+func DebyeBalanced(particles []Particle) bool {
+	var net, abs float64
+	for i := range particles {
+		q := particles[i].Charge
+		net += q
+		if q < 0 {
+			abs -= q
+		} else {
+			abs += q
+		}
+	}
+	if abs == 0 {
+		return true
+	}
+	return math.Abs(net)/abs < 0.05
+}

@@ -1,0 +1,121 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"wavelethpc/internal/fft"
+)
+
+func TestKineticEnergy(t *testing.T) {
+	ps := []Particle{
+		{VX: 3, VY: 4, Mass: 2},
+		{VZ: 1, Mass: 4},
+	}
+	if got := KineticEnergy(ps); got != 25+2 {
+		t.Errorf("kinetic = %g, want 27", got)
+	}
+	if KineticEnergy(nil) != 0 {
+		t.Error("empty kinetic != 0")
+	}
+}
+
+func TestMomentum(t *testing.T) {
+	ps := []Particle{{VX: 1, Mass: 2}, {VX: -1, Mass: 2}, {VY: 3, Mass: 1}}
+	px, py, pz := Momentum(ps)
+	if px != 0 || py != 3 || pz != 0 {
+		t.Errorf("momentum = %g,%g,%g", px, py, pz)
+	}
+}
+
+func TestThermalSpeed(t *testing.T) {
+	ps := []Particle{{VX: 2}, {VY: 2}}
+	if got := ThermalSpeed(ps); math.Abs(got-2) > 1e-12 {
+		t.Errorf("thermal speed %g, want 2", got)
+	}
+	if ThermalSpeed(nil) != 0 {
+		t.Error("empty thermal speed != 0")
+	}
+}
+
+func TestDebyeBalanced(t *testing.T) {
+	if !DebyeBalanced(NewUniform(100, 8, 1).Particles) {
+		t.Error("alternating-charge system not balanced")
+	}
+	if DebyeBalanced([]Particle{{Charge: 1}, {Charge: 1}}) {
+		t.Error("all-positive system reported balanced")
+	}
+	if !DebyeBalanced(nil) {
+		t.Error("empty system not balanced")
+	}
+}
+
+func TestFieldEnergyChargeSeparation(t *testing.T) {
+	// The same particles carry far more field energy when the charges
+	// are spatially separated by sign than when they are well mixed
+	// (mixed plasma fields are shot noise only).
+	mixed := NewUniform(4096, 8, 2)
+	separated := NewUniform(4096, 8, 2)
+	for i := range separated.Particles {
+		p := &separated.Particles[i]
+		// Positive charges to the left half, negative to the right.
+		if p.Charge > 0 {
+			p.X = wrap(p.X/2, 8)
+		} else {
+			p.X = wrap(4+p.X/2, 8)
+		}
+	}
+	energy := func(s *State) float64 {
+		rho, _ := fft.NewGrid3(8, 8, 8)
+		Deposit(s.Particles, rho)
+		f, err := SolveField(rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FieldEnergy(f)
+	}
+	mixedE, sepE := energy(mixed), energy(separated)
+	if sepE < 5*mixedE {
+		t.Errorf("separated field energy %g not well above mixed %g", sepE, mixedE)
+	}
+}
+
+func TestEnergyExchangeDipole(t *testing.T) {
+	// Two opposite charges at rest accelerate toward each other: field
+	// energy converts to kinetic energy over the first steps.
+	s := &State{M: 16, Particles: []Particle{
+		{X: 5, Y: 8, Z: 8, Charge: 4, Mass: 1},
+		{X: 11, Y: 8, Z: 8, Charge: -4, Mass: 1},
+	}}
+	ke0 := KineticEnergy(s.Particles)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Step(0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ke1 := KineticEnergy(s.Particles)
+	if ke1 <= ke0 {
+		t.Errorf("kinetic energy did not grow: %g -> %g", ke0, ke1)
+	}
+	// They moved toward each other along x.
+	if !(s.Particles[0].X > 5 && s.Particles[1].X < 11) {
+		t.Errorf("charges did not approach: x0=%g x1=%g", s.Particles[0].X, s.Particles[1].X)
+	}
+}
+
+func TestMomentumApproximatelyConserved(t *testing.T) {
+	s := NewUniform(2000, 8, 3)
+	px0, py0, pz0 := Momentum(s.Particles)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Step(0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	px1, py1, pz1 := Momentum(s.Particles)
+	drift := math.Abs(px1-px0) + math.Abs(py1-py0) + math.Abs(pz1-pz0)
+	// CIC deposit + trilinear gather is momentum-conserving up to the
+	// central-difference field asymmetry; drift stays small.
+	if drift > 0.5 {
+		t.Errorf("momentum drift %g", drift)
+	}
+}

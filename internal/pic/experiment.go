@@ -1,0 +1,153 @@
+package pic
+
+import (
+	"fmt"
+	"strings"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/mesh"
+)
+
+// Experiment drivers regenerating Appendix B's PIC artifacts: Figures 7-8
+// (Paragon scalability for m=32 and m=64), Figure 9 (superlinear paging
+// speedup), Figure 10 (average vs maximum communication), Figures 11-14
+// (performance budgets), and Figures 19-25 (the same on the T3D).
+
+// ScalingResult is one (particles, procs) cell of the PIC scalability
+// experiment.
+type ScalingResult struct {
+	Particles int
+	Grid      int
+	Procs     int
+	PerStep   float64
+	// Speedup uses the extrapolated in-memory serial time ("necessary to
+	// reflect realistic projections of speedup, non superlinear").
+	Speedup float64
+	// PagedSpeedup uses the measured (paged) serial time, reproducing
+	// Figure 9's superlinear jump beyond 640K particles.
+	PagedSpeedup float64
+	AvgComm      float64
+	MaxComm      float64
+	Budget       budget.Report
+}
+
+// placementFor returns the natural rank placement of a machine.
+func placementFor(m *mesh.Machine) mesh.Placement {
+	if m.Topology == mesh.Torus3D {
+		return mesh.LinearPlacement{M: m}
+	}
+	return mesh.SnakePlacement{Width: 4}
+}
+
+// RunScaling sweeps processor counts for one (particles, grid)
+// configuration on the named machine, using the parallel-prefix global
+// sum (the paper's final code).
+func RunScaling(machine string, particles, grid int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
+	m := mesh.ByName(machine)
+	if m == nil {
+		return nil, fmt.Errorf("pic: unknown machine %q", machine)
+	}
+	serial, err := SerialTime(machine, particles, grid, false)
+	if err != nil {
+		return nil, err
+	}
+	serialPaged, err := SerialTime(machine, particles, grid, true)
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalingResult
+	for _, p := range procs {
+		state := NewUniform(particles, grid, seed)
+		res, err := ParallelRun(state, ParallelConfig{
+			Machine:   m,
+			Placement: placementFor(m),
+			Procs:     p,
+			Steps:     steps,
+			DTMax:     0.1,
+			Sum:       PrefixSum,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pic: P=%d: %w", p, err)
+		}
+		sr := ScalingResult{
+			Particles: particles,
+			Grid:      grid,
+			Procs:     p,
+			PerStep:   res.PerStep,
+			AvgComm:   res.Sim.Budget.AvgComm / float64(steps),
+			MaxComm:   res.Sim.Budget.MaxComm / float64(steps),
+			Budget:    res.Sim.Budget,
+		}
+		if sr.PerStep > 0 {
+			sr.Speedup = serial / sr.PerStep
+			sr.PagedSpeedup = serialPaged / sr.PerStep
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// FormatScaling renders PIC scaling results as one figure panel.
+func FormatScaling(machine string, results []ScalingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PIC scalability on %s\n", machine)
+	fmt.Fprintf(&b, "%10s %5s %6s %12s %9s %12s %9s %8s %11s\n",
+		"particles", "m", "P", "per-step(s)", "speedup", "paged-spdup", "useful%", "comm%", "imbalance%")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%10d %5d %6d %12.4g %9.2f %12.2f %9.1f %8.1f %11.1f\n",
+			r.Particles, r.Grid, r.Procs, r.PerStep, r.Speedup, r.PagedSpeedup,
+			r.Budget.UsefulPct, r.Budget.CommPct, r.Budget.ImbalancePct)
+	}
+	return b.String()
+}
+
+// SerialTable reproduces the PIC rows of Appendix B Tables 1-2.
+func SerialTable() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %14s\n", "particles", "paragon m=32", "paragon m=64", "t3d m=32", "t3d m=64")
+	for _, np := range []int{256 << 10, 512 << 10, 1 << 20, 2 << 20} {
+		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%dK", np>>10))
+		for _, mc := range []struct {
+			machine string
+			m       int
+		}{{"paragon", 32}, {"paragon", 64}, {"t3d", 32}, {"t3d", 64}} {
+			t, err := SerialTime(mc.machine, np, mc.m, false)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, " %14.4g", t)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}
+
+// GlobalSumComparison measures one iteration's elapsed time with each
+// global-sum variant at the given processor count — the gssum ablation
+// behind the paper's Figures 7-8 discussion.
+func GlobalSumComparison(machine string, particles, grid, procs int, seed int64) (naive, prefix float64, err error) {
+	m := mesh.ByName(machine)
+	if m == nil {
+		return 0, 0, fmt.Errorf("pic: unknown machine %q", machine)
+	}
+	for _, sum := range []GlobalSum{NaiveGSSum, PrefixSum} {
+		state := NewUniform(particles, grid, seed)
+		res, runErr := ParallelRun(state, ParallelConfig{
+			Machine:   m,
+			Placement: placementFor(m),
+			Procs:     procs,
+			Steps:     1,
+			DTMax:     0.1,
+			Sum:       sum,
+		})
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		if sum == NaiveGSSum {
+			naive = res.PerStep
+		} else {
+			prefix = res.PerStep
+		}
+	}
+	return naive, prefix, nil
+}

@@ -1,0 +1,405 @@
+package pic
+
+import (
+	"fmt"
+	"math"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fft"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+)
+
+// The parallel PIC driver follows the report's worker-worker SPMD model:
+// particles are divided uniformly among processors, each processor
+// deposits its own particles, charges are combined with a global
+// summation, the FFT field solve proceeds over slab decompositions with
+// data rearrangement between dimensions, and the potential is made global
+// for the field calculation.
+
+// GlobalSum selects the charge-combination collective.
+type GlobalSum int
+
+const (
+	// PrefixSum is the parallel-prefix (recursive-doubling) global sum
+	// the authors implemented after gssum failed to scale.
+	PrefixSum GlobalSum = iota
+	// NaiveGSSum is the original NX gssum-style many-to-many global sum
+	// ("it works very efficiently for 4- and 8-processor partitions,
+	// but [not] for 16- and 32-processor ones").
+	NaiveGSSum
+)
+
+// String returns the variant name.
+func (g GlobalSum) String() string {
+	if g == NaiveGSSum {
+		return "gssum"
+	}
+	return "parallel-prefix"
+}
+
+// FieldExchange selects how the slab field solve moves data between
+// dimensions.
+type FieldExchange int
+
+const (
+	// TransposeExchange is the report's scheme: all-to-all transposes
+	// between dimension passes (grid/P volume per rank per phase).
+	TransposeExchange FieldExchange = iota
+	// GatherExchange replicates the grid with an all-gather after every
+	// phase — simpler but heavier on the wires; kept as an ablation.
+	GatherExchange
+	// ReplicateExchange trades all field-solve communication for
+	// duplication: every rank solves the full grid locally. This is the
+	// report's Section 5.3 observation made executable — "in many cases
+	// communications can be replaced by redundancy ... redundancy is
+	// cheaper than communications, in most cases."
+	ReplicateExchange
+)
+
+// String returns the variant name.
+func (f FieldExchange) String() string {
+	switch f {
+	case GatherExchange:
+		return "allgather"
+	case ReplicateExchange:
+		return "replicate"
+	default:
+		return "transpose"
+	}
+}
+
+// ParallelConfig describes one simulated parallel PIC run.
+type ParallelConfig struct {
+	Machine   *mesh.Machine
+	Placement mesh.Placement
+	Procs     int
+	Steps     int
+	DTMax     float64
+	Sum       GlobalSum
+	// Exchange selects the field-solve data movement (default: the
+	// report's transpose scheme).
+	Exchange FieldExchange
+}
+
+// ParallelResult is the outcome of a simulated run.
+type ParallelResult struct {
+	// State holds the final particles (gathered at rank 0).
+	State *State
+	// Sim carries timing, budget, and network statistics.
+	Sim *nx.Result
+	// PerStep is the mean elapsed virtual seconds per iteration.
+	PerStep float64
+}
+
+const tagParticles = 60
+
+// field-solve phase fractions of Costs.GridWork: the three slab passes
+// divide across ranks; the E = −∇φ gradient is duplicated on every rank
+// ("the potential data ... must be made global for electric field
+// calculations").
+const (
+	fracXY       = 0.28
+	fracZ        = 0.39
+	fracInvXY    = 0.28
+	fracGradient = 0.05
+)
+
+// ParallelRun advances the system cfg.Steps iterations on the simulated
+// machine. Real charge and field data flow through the collectives, so
+// the final particle state matches the serial integrator to floating-
+// point reordering tolerance.
+func ParallelRun(s *State, cfg ParallelConfig) (*ParallelResult, error) {
+	p := cfg.Procs
+	if p < 1 || p&(p-1) != 0 {
+		return nil, fmt.Errorf("pic: procs = %d, want a power of two", p)
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("pic: steps = %d", cfg.Steps)
+	}
+	if err := validGrid(s.M); err != nil {
+		return nil, err
+	}
+	if cfg.Exchange != ReplicateExchange && (s.M%p != 0 || s.M*s.M%p != 0) {
+		return nil, fmt.Errorf("pic: grid %d³ not divisible into %d slabs (replicate exchange lifts this)", s.M, p)
+	}
+	costs, err := MachineCosts(cfg.Machine.Name, s.M)
+	if err != nil {
+		return nil, err
+	}
+	m := s.M
+	n := len(s.Particles)
+	final := make([]Particle, n)
+
+	prog := func(r *nx.Rank) {
+		id := r.ID()
+		lo, hi := id*n/p, (id+1)*n/p
+		mine := make([]Particle, hi-lo)
+		copy(mine, s.Particles[lo:hi])
+		// Domain-decomposition setup.
+		r.ComputeOps(50, cfg.Machine.Cost.FlopTime, budget.UniqueRedundancy)
+
+		rho, _ := fft.NewGrid3(m, m, m)
+		for step := 0; step < cfg.Steps; step++ {
+			// Per-step loop setup duplicated on every rank.
+			r.ComputeOps(30, cfg.Machine.Cost.FlopTime, budget.Duplication)
+
+			// 1) Deposit local particles on a private full grid.
+			Deposit(mine, rho)
+			r.Compute(float64(len(mine))*costs.PerParticle*0.45, budget.Useful)
+
+			// 2) Global charge summation — the gssum-vs-prefix ablation.
+			flat := realParts(rho.Data)
+			var summed []float64
+			if cfg.Sum == NaiveGSSum {
+				summed = r.GSSumNaive(flat)
+			} else {
+				summed = r.GSSumPrefix(flat)
+			}
+			setRealParts(rho.Data, summed)
+
+			// 3) Field solve over slab decompositions. Every rank works
+			// on a private copy of the summed charge so the per-slab
+			// arithmetic matches the serial solver exactly.
+			var phi *fft.Grid3
+			switch cfg.Exchange {
+			case GatherExchange:
+				phi = solveSlabbed(r, rho, id, p, costs)
+			case ReplicateExchange:
+				phi = solveReplicated(r, rho, costs)
+			default:
+				phi = solveTransposed(r, rho, id, p, costs)
+			}
+
+			// Gradient duplicated on every rank (it needs the global
+			// potential, and every rank's particles span the domain).
+			f := GradientField(phi)
+			r.Compute(costs.GridWork*fracGradient, budget.Duplication)
+
+			// 4) Adaptive dt agreement and particle push.
+			vmax := r.AllMaxPrefix([]float64{MaxSpeed(mine)})[0]
+			dt := AdaptiveDT(vmax, cfg.DTMax)
+			Push(mine, f, dt, m)
+			r.Compute(float64(len(mine))*costs.PerParticle*0.55, budget.Useful)
+		}
+
+		// Return final particles to rank 0.
+		if id != 0 {
+			r.SendFloats(0, tagParticles, packParticles(mine))
+			r.Compute(float64(len(mine)*8)*costs.PerFloat, budget.UniqueRedundancy)
+		} else {
+			copy(final[lo:hi], mine)
+			for w := 1; w < p; w++ {
+				flat, src := r.RecvFloats(nx.AnySource, tagParticles)
+				wlo := src * n / p
+				unpackParticles(final[wlo:wlo+len(flat)/8], flat)
+			}
+		}
+	}
+
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelResult{
+		State:   &State{M: m, Particles: final},
+		Sim:     sim,
+		PerStep: sim.Elapsed / float64(cfg.Steps),
+	}, nil
+}
+
+// solveSlabbed performs the parallel field solve: forward x/y transforms
+// on this rank's z-slab, an all-gather rearrangement, z transforms and
+// the spectral division on this rank's share of z-lines, another
+// all-gather, and inverse x/y transforms on the z-slab, with a final
+// all-gather making the potential global. The numerical result equals
+// fft.SolvePoisson on the summed charge.
+func solveSlabbed(r *nx.Rank, rho *fft.Grid3, id, p int, costs Costs) *fft.Grid3 {
+	m := rho.NX
+	work := rho.Clone()
+	planes := m / p
+	z0 := id * planes
+
+	// Phase A: forward x and y transforms on own z-slab.
+	xyTransform(work, z0, z0+planes, false)
+	r.Compute(costs.GridWork*fracXY/float64(p), budget.Useful)
+	allGatherSlabs(r, work, planes)
+
+	// Phase C: z transforms + spectral division + inverse z transforms
+	// on this rank's contiguous share of (x,y) lines.
+	lines := m * m / p
+	l0 := id * lines
+	zLineSolve(work, l0, l0+lines)
+	r.Compute(costs.GridWork*fracZ/float64(p), budget.Useful)
+	allGatherLines(r, work, lines)
+
+	// Phase E: inverse x and y transforms on own z-slab.
+	xyTransform(work, z0, z0+planes, true)
+	r.Compute(costs.GridWork*fracInvXY/float64(p), budget.Useful)
+	allGatherSlabs(r, work, planes)
+	return work
+}
+
+// xyTransform applies forward or inverse x- and y-axis FFTs to planes
+// [z0,z1).
+func xyTransform(g *fft.Grid3, z0, z1 int, inverse bool) {
+	apply := fft.FFT
+	if inverse {
+		apply = fft.IFFT
+	}
+	m := g.NX
+	buf := make([]complex128, m)
+	for k := z0; k < z1; k++ {
+		for j := 0; j < m; j++ {
+			base := g.Idx(0, j, k)
+			if err := apply(g.Data[base : base+m]); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				buf[j] = g.At(i, j, k)
+			}
+			if err := apply(buf); err != nil {
+				panic(err)
+			}
+			for j := 0; j < m; j++ {
+				g.Set(i, j, k, buf[j])
+			}
+		}
+	}
+}
+
+// zLineSolve z-transforms lines [l0,l1) (line index li = i + m·j),
+// applies the spectral Poisson division, and inverse z-transforms.
+func zLineSolve(g *fft.Grid3, l0, l1 int) {
+	m := g.NX
+	buf := make([]complex128, m)
+	for li := l0; li < l1; li++ {
+		i, j := li%m, li/m
+		for k := 0; k < m; k++ {
+			buf[k] = g.At(i, j, k)
+		}
+		if err := fft.FFT(buf); err != nil {
+			panic(err)
+		}
+		spectralDivide(buf, i, j, m)
+		if err := fft.IFFT(buf); err != nil {
+			panic(err)
+		}
+		for k := 0; k < m; k++ {
+			g.Set(i, j, k, buf[k])
+		}
+	}
+}
+
+// spectralDivide applies φ_k = ρ_k / k̂² along one z-line with the same
+// discrete eigenvalues as fft.SolvePoisson.
+func spectralDivide(line []complex128, i, j, m int) {
+	sx := 2 * sinPi(i, m)
+	sy := 2 * sinPi(j, m)
+	for k := range line {
+		sz := 2 * sinPi(k, m)
+		k2 := sx*sx + sy*sy + sz*sz
+		if k2 == 0 {
+			line[k] = 0
+		} else {
+			line[k] /= complex(k2, 0)
+		}
+	}
+}
+
+// allGatherSlabs shares each rank's z-slab so every rank holds the full
+// grid.
+func allGatherSlabs(r *nx.Rank, g *fft.Grid3, planes int) {
+	m := g.NX
+	slab := g.Data[r.ID()*planes*m*m : (r.ID()+1)*planes*m*m]
+	full := r.AllGather(complexToFloats(slab))
+	floatsToComplex(g.Data, full)
+}
+
+// allGatherLines shares each rank's z-line block (contiguous in (i,j)
+// but strided over z), reassembling the full grid everywhere.
+func allGatherLines(r *nx.Rank, g *fft.Grid3, lines int) {
+	m := g.NX
+	l0 := r.ID() * lines
+	block := make([]complex128, lines*m)
+	idx := 0
+	for li := l0; li < l0+lines; li++ {
+		i, j := li%m, li/m
+		for k := 0; k < m; k++ {
+			block[idx] = g.At(i, j, k)
+			idx++
+		}
+	}
+	full := r.AllGather(complexToFloats(block))
+	// Scatter every rank's block back into the grid.
+	p := r.Procs()
+	for rank := 0; rank < p; rank++ {
+		base := rank * lines * m * 2
+		for bi := 0; bi < lines; bi++ {
+			li := rank*lines + bi
+			i, j := li%m, li/m
+			for k := 0; k < m; k++ {
+				off := base + (bi*m+k)*2
+				g.Set(i, j, k, complex(full[off], full[off+1]))
+			}
+		}
+	}
+}
+
+func realParts(data []complex128) []float64 {
+	out := make([]float64, len(data))
+	for i, v := range data {
+		out[i] = real(v)
+	}
+	return out
+}
+
+func setRealParts(data []complex128, re []float64) {
+	for i := range data {
+		data[i] = complex(re[i], 0)
+	}
+}
+
+func complexToFloats(data []complex128) []float64 {
+	out := make([]float64, 2*len(data))
+	for i, v := range data {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+func floatsToComplex(dst []complex128, flat []float64) {
+	for i := range dst {
+		dst[i] = complex(flat[2*i], flat[2*i+1])
+	}
+}
+
+// packParticles flattens particles (8 floats each).
+func packParticles(ps []Particle) []float64 {
+	out := make([]float64, 0, len(ps)*8)
+	for i := range ps {
+		p := &ps[i]
+		out = append(out, p.X, p.Y, p.Z, p.VX, p.VY, p.VZ, p.Charge, p.Mass)
+	}
+	return out
+}
+
+// unpackParticles inverts packParticles.
+func unpackParticles(dst []Particle, flat []float64) {
+	for i := range dst {
+		o := i * 8
+		dst[i] = Particle{
+			X: flat[o], Y: flat[o+1], Z: flat[o+2],
+			VX: flat[o+3], VY: flat[o+4], VZ: flat[o+5],
+			Charge: flat[o+6], Mass: flat[o+7],
+		}
+	}
+}
+
+// sinPi returns sin(π·k/m).
+func sinPi(k, m int) float64 {
+	return math.Sin(math.Pi * float64(k) / float64(m))
+}

@@ -1,0 +1,137 @@
+package pic
+
+import (
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fft"
+	"wavelethpc/internal/nx"
+)
+
+// solveTransposed is the faithful slab-FFT field solve of the report: x/y
+// transforms on this rank's z-slab, an all-to-all transpose so "the slabs
+// contain this third dimension", the z transforms and spectral division
+// on this rank's line block, the inverse transpose, inverse x/y
+// transforms, and a final all-gather making the potential global. Unlike
+// solveSlabbed (which all-gathers after every phase), the transposes move
+// only grid/P data per rank per phase — the communication-efficient
+// variant of the same algorithm. The numerical result is identical.
+func solveTransposed(r *nx.Rank, rho *fft.Grid3, id, p int, costs Costs) *fft.Grid3 {
+	m := rho.NX
+	work := rho.Clone()
+	planes := m / p
+	z0 := id * planes
+	lines := m * m / p
+
+	// Phase A: forward x and y transforms on own z-slab.
+	xyTransform(work, z0, z0+planes, false)
+	r.Compute(costs.GridWork*fracXY/float64(p), budget.Useful)
+
+	// Phase B: forward transpose. Part q carries, for line block q, this
+	// rank's plane range.
+	parts := make([][]float64, p)
+	for q := 0; q < p; q++ {
+		parts[q] = packLinePlanes(work, q*lines, (q+1)*lines, z0, z0+planes)
+	}
+	recv := r.AllToAll(parts)
+
+	// Assemble z-complete lines for this rank's line block: rank q's
+	// piece supplies planes [q·planes, (q+1)·planes).
+	l0 := id * lines
+	block := make([]complex128, lines*m) // block[(li-l0)*m + k]
+	for q := 0; q < p; q++ {
+		unpackLinePlanes(block, recv[q], lines, q*planes, planes, m)
+	}
+
+	// Phase C: z transform + spectral division + inverse z transform on
+	// the line block.
+	buf := make([]complex128, m)
+	for bi := 0; bi < lines; bi++ {
+		copy(buf, block[bi*m:(bi+1)*m])
+		if err := fft.FFT(buf); err != nil {
+			panic(err)
+		}
+		li := l0 + bi
+		spectralDivide(buf, li%m, li/m, m)
+		if err := fft.IFFT(buf); err != nil {
+			panic(err)
+		}
+		copy(block[bi*m:(bi+1)*m], buf)
+	}
+	r.Compute(costs.GridWork*fracZ/float64(p), budget.Useful)
+
+	// Phase D: inverse transpose — part q carries this rank's lines for
+	// plane range q.
+	for q := 0; q < p; q++ {
+		part := make([]float64, 0, lines*planes*2)
+		for bi := 0; bi < lines; bi++ {
+			for k := q * planes; k < (q+1)*planes; k++ {
+				v := block[bi*m+k]
+				part = append(part, real(v), imag(v))
+			}
+		}
+		parts[q] = part
+	}
+	recv = r.AllToAll(parts)
+	// Rank q's return piece carries line block q restricted to this
+	// rank's planes; scatter it back into the grid.
+	for q := 0; q < p; q++ {
+		flat := recv[q]
+		idx := 0
+		for bi := 0; bi < lines; bi++ {
+			li := q*lines + bi
+			i, j := li%m, li/m
+			for k := z0; k < z0+planes; k++ {
+				work.Set(i, j, k, complex(flat[idx], flat[idx+1]))
+				idx += 2
+			}
+		}
+	}
+
+	// Phase E: inverse x and y transforms on own z-slab, then make the
+	// potential global.
+	xyTransform(work, z0, z0+planes, true)
+	r.Compute(costs.GridWork*fracInvXY/float64(p), budget.Useful)
+	allGatherSlabs(r, work, planes)
+	return work
+}
+
+// packLinePlanes flattens, for lines [l0,l1), the plane range [k0,k1) of
+// g, two floats per complex value, line-major.
+func packLinePlanes(g *fft.Grid3, l0, l1, k0, k1 int) []float64 {
+	m := g.NX
+	out := make([]float64, 0, (l1-l0)*(k1-k0)*2)
+	for li := l0; li < l1; li++ {
+		i, j := li%m, li/m
+		for k := k0; k < k1; k++ {
+			v := g.At(i, j, k)
+			out = append(out, real(v), imag(v))
+		}
+	}
+	return out
+}
+
+// unpackLinePlanes writes a packLinePlanes payload into the z-complete
+// line block at the given plane offset.
+func unpackLinePlanes(block []complex128, flat []float64, lines, kOff, planes, m int) {
+	idx := 0
+	for bi := 0; bi < lines; bi++ {
+		for k := kOff; k < kOff+planes; k++ {
+			block[bi*m+k] = complex(flat[idx], flat[idx+1])
+			idx += 2
+		}
+	}
+}
+
+// solveReplicated performs the entire field solve locally on every rank:
+// no transposes, no gathers — the full grid work is duplicated. The time
+// charged is the whole GridWork as duplication redundancy (minus the
+// gradient, charged by the caller), trading communication for redundancy
+// per the report's Section 5.3.
+func solveReplicated(r *nx.Rank, rho *fft.Grid3, costs Costs) *fft.Grid3 {
+	work := rho.Clone()
+	phi, err := fft.SolvePoisson(work)
+	if err != nil {
+		panic(err)
+	}
+	r.Compute(costs.GridWork*(fracXY+fracZ+fracInvXY), budget.Duplication)
+	return phi
+}

@@ -1,0 +1,133 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"wavelethpc/internal/mesh"
+)
+
+func runExchange(t *testing.T, ex FieldExchange, p int) *ParallelResult {
+	t.Helper()
+	res, err := ParallelRun(NewUniform(300, 8, 11), ParallelConfig{
+		Machine:   mesh.Paragon(),
+		Placement: mesh.SnakePlacement{Width: 4},
+		Procs:     p,
+		Steps:     2,
+		DTMax:     0.1,
+		Sum:       PrefixSum,
+		Exchange:  ex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTransposeAndGatherAgree(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		a := runExchange(t, TransposeExchange, p)
+		b := runExchange(t, GatherExchange, p)
+		for i := range a.State.Particles {
+			pa, pb := a.State.Particles[i], b.State.Particles[i]
+			d := math.Abs(pa.X-pb.X) + math.Abs(pa.Y-pb.Y) + math.Abs(pa.Z-pb.Z) +
+				math.Abs(pa.VX-pb.VX) + math.Abs(pa.VY-pb.VY) + math.Abs(pa.VZ-pb.VZ)
+			if d > 1e-9 {
+				t.Fatalf("P=%d: exchange variants diverge on particle %d by %g", p, i, d)
+			}
+		}
+	}
+}
+
+func TestTransposeMatchesSerial(t *testing.T) {
+	serial := NewUniform(300, 8, 11)
+	for i := 0; i < 2; i++ {
+		if _, err := serial.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := runExchange(t, TransposeExchange, 4)
+	for i := range serial.Particles {
+		a, b := serial.Particles[i], res.State.Particles[i]
+		if d := math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y) + math.Abs(a.Z-b.Z); d > 1e-8 {
+			t.Fatalf("transpose solve drifted from serial by %g on particle %d", d, i)
+		}
+	}
+}
+
+func TestTransposeMovesFewerBytesThanGather(t *testing.T) {
+	// The point of the report's transpose: per-rank field-solve traffic
+	// is grid/P per phase instead of the full grid.
+	for _, p := range []int{4, 8} {
+		tr := runExchange(t, TransposeExchange, p)
+		ga := runExchange(t, GatherExchange, p)
+		if tr.Sim.Bytes >= ga.Sim.Bytes {
+			t.Errorf("P=%d: transpose moved %d bytes, gather %d", p, tr.Sim.Bytes, ga.Sim.Bytes)
+		}
+	}
+}
+
+func TestExchangeStrings(t *testing.T) {
+	if TransposeExchange.String() != "transpose" || GatherExchange.String() != "allgather" {
+		t.Error("FieldExchange.String wrong")
+	}
+}
+
+func TestTransposeFasterAtScale(t *testing.T) {
+	// Less wire volume should mean lower simulated elapsed time at
+	// nontrivial processor counts.
+	tr := runExchange(t, TransposeExchange, 8)
+	ga := runExchange(t, GatherExchange, 8)
+	if tr.Sim.Elapsed >= ga.Sim.Elapsed {
+		t.Errorf("transpose %g s not faster than gather %g s", tr.Sim.Elapsed, ga.Sim.Elapsed)
+	}
+}
+
+func TestReplicateExchangeCorrect(t *testing.T) {
+	a := runExchange(t, ReplicateExchange, 4)
+	b := runExchange(t, TransposeExchange, 4)
+	for i := range a.State.Particles {
+		pa, pb := a.State.Particles[i], b.State.Particles[i]
+		if math.Abs(pa.X-pb.X)+math.Abs(pa.Y-pb.Y)+math.Abs(pa.Z-pb.Z) > 1e-9 {
+			t.Fatalf("replicate solve diverges on particle %d", i)
+		}
+	}
+	if ReplicateExchange.String() != "replicate" {
+		t.Error("String wrong")
+	}
+}
+
+func TestRedundancyCheaperThanCommunicationWhenGridSmall(t *testing.T) {
+	// The report's Section 5.3: replacing communication with duplication
+	// wins when the communication is expensive relative to the
+	// duplicated work — here, a small grid on the latency-heavy Paragon
+	// at many ranks.
+	run := func(ex FieldExchange) *ParallelResult {
+		res, err := ParallelRun(NewUniform(1024, 8, 19), ParallelConfig{
+			Machine:   mesh.Paragon(),
+			Placement: mesh.SnakePlacement{Width: 4},
+			Procs:     8,
+			Steps:     1,
+			DTMax:     0.1,
+			Sum:       PrefixSum,
+			Exchange:  ex,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	repl := run(ReplicateExchange)
+	trans := run(TransposeExchange)
+	if repl.Sim.Elapsed >= trans.Sim.Elapsed {
+		t.Errorf("replicate (%g s) not faster than transpose (%g s) on a small grid",
+			repl.Sim.Elapsed, trans.Sim.Elapsed)
+	}
+	// And it shows up as duplication redundancy in the budget, not comm.
+	if repl.Sim.Budget.RedundancyPct <= trans.Sim.Budget.RedundancyPct {
+		t.Error("replicate did not increase the redundancy budget share")
+	}
+	if repl.Sim.Budget.CommPct >= trans.Sim.Budget.CommPct {
+		t.Error("replicate did not decrease the communication budget share")
+	}
+}

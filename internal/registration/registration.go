@@ -1,0 +1,179 @@
+// Package registration implements coarse-to-fine wavelet image
+// registration, one of the motivating applications in the paper's
+// introduction ("Wavelet transforms have been proven to be very useful
+// for such tasks as ... image registration [Lem94]"): the translation
+// between two images is estimated on the coarsest approximation band of
+// their Mallat pyramids, then refined level by level, so the search cost
+// is a tiny fraction of a full-resolution correlation.
+package registration
+
+import (
+	"fmt"
+	"math"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// Shift is a translation in pixels (rows down, columns right), with the
+// circular (periodic) convention matching the library's wavelet
+// extension.
+type Shift struct {
+	DY, DX int
+}
+
+// Result reports a registration estimate.
+type Result struct {
+	// Shift is the estimated translation of moving relative to fixed.
+	Shift Shift
+	// Score is the final sum of squared differences per pixel at the
+	// estimated shift (0 for a perfect circular-shift match).
+	Score float64
+	// Evaluations counts SSD evaluations performed — the work the
+	// pyramid search saves versus exhaustive full-resolution search.
+	Evaluations int
+}
+
+// CircularShift returns im translated by s with periodic wraparound.
+func CircularShift(im *image.Image, s Shift) *image.Image {
+	out := image.New(im.Rows, im.Cols)
+	for r := 0; r < im.Rows; r++ {
+		sr := ((r-s.DY)%im.Rows + im.Rows) % im.Rows
+		src := im.Row(sr)
+		dst := out.Row(r)
+		for c := 0; c < im.Cols; c++ {
+			sc := ((c-s.DX)%im.Cols + im.Cols) % im.Cols
+			dst[c] = src[sc]
+		}
+	}
+	return out
+}
+
+// ssd computes the mean squared difference between fixed and moving
+// shifted by s (circularly).
+func ssd(fixed, moving *image.Image, s Shift) float64 {
+	var sum float64
+	rows, cols := fixed.Rows, fixed.Cols
+	for r := 0; r < rows; r++ {
+		fr := fixed.Row(r)
+		// moving is fixed translated by s, i.e. moving[r] = fixed[r-dy];
+		// undo the translation by reading moving at r+dy.
+		mr := moving.Row(((r+s.DY)%rows + rows) % rows)
+		for c := 0; c < cols; c++ {
+			d := fr[c] - mr[((c+s.DX)%cols+cols)%cols]
+			sum += d * d
+		}
+	}
+	return sum / float64(rows*cols)
+}
+
+// Config tunes the registration search.
+type Config struct {
+	// Bank is the wavelet bank used for the pyramids (default D8).
+	Bank *filter.Bank
+	// Levels is the pyramid depth (default: as deep as the coarse
+	// search radius allows, at most 4).
+	Levels int
+	// CoarseRadius is the exhaustive search radius at the coarsest
+	// level, in coarse pixels (default 4).
+	CoarseRadius int
+}
+
+func (c *Config) fill(rows, cols int) error {
+	if c.Bank == nil {
+		c.Bank = filter.Daubechies8()
+	}
+	if c.CoarseRadius <= 0 {
+		c.CoarseRadius = 4
+	}
+	if c.Levels <= 0 {
+		c.Levels = 4
+		for c.Levels > 1 && (rows>>uint(c.Levels) < 8 || cols>>uint(c.Levels) < 8) {
+			c.Levels--
+		}
+	}
+	return wavelet.CheckDecomposable(rows, cols, c.Levels)
+}
+
+// Register estimates the circular translation of moving relative to
+// fixed by coarse-to-fine search over the wavelet pyramids' approximation
+// bands: exhaustive search on the coarsest band, then a ±1-pixel
+// refinement at each finer scale after doubling the estimate.
+func Register(fixed, moving *image.Image, cfg Config) (Result, error) {
+	if fixed.Rows != moving.Rows || fixed.Cols != moving.Cols {
+		return Result{}, fmt.Errorf("registration: image sizes differ: %dx%d vs %dx%d",
+			fixed.Rows, fixed.Cols, moving.Rows, moving.Cols)
+	}
+	if err := cfg.fill(fixed.Rows, fixed.Cols); err != nil {
+		return Result{}, err
+	}
+	fp, err := wavelet.Decompose(fixed, cfg.Bank, filter.Periodic, cfg.Levels)
+	if err != nil {
+		return Result{}, err
+	}
+	mp, err := wavelet.Decompose(moving, cfg.Bank, filter.Periodic, cfg.Levels)
+	if err != nil {
+		return Result{}, err
+	}
+	// Approximation bands from coarsest to finest: rebuild the LL chain
+	// by re-synthesizing level by level.
+	fixedBands := approxChain(fp)
+	movingBands := approxChain(mp)
+
+	var res Result
+	best := Shift{}
+	// Exhaustive search at the coarsest band.
+	r0 := cfg.CoarseRadius
+	bestScore := math.Inf(1)
+	for dy := -r0; dy <= r0; dy++ {
+		for dx := -r0; dx <= r0; dx++ {
+			s := Shift{DY: dy, DX: dx}
+			v := ssd(fixedBands[0], movingBands[0], s)
+			res.Evaluations++
+			if v < bestScore {
+				bestScore, best = v, s
+			}
+		}
+	}
+	// Refine down the pyramid.
+	for l := 1; l < len(fixedBands); l++ {
+		base := Shift{DY: best.DY * 2, DX: best.DX * 2}
+		bestScore = math.Inf(1)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				s := Shift{DY: base.DY + dy, DX: base.DX + dx}
+				v := ssd(fixedBands[l], movingBands[l], s)
+				res.Evaluations++
+				if v < bestScore {
+					bestScore, best = v, s
+				}
+			}
+		}
+	}
+	res.Shift = best
+	res.Score = bestScore
+	return res, nil
+}
+
+// approxChain returns the approximation band at every scale, coarsest
+// first, ending with the full-resolution image (reconstructed — for the
+// finest level this equals the original input up to float precision).
+func approxChain(p *wavelet.Pyramid) []*image.Image {
+	out := []*image.Image{p.Approx}
+	cur := p.Approx
+	for _, d := range p.Levels {
+		cur = wavelet.Synthesize2D(&wavelet.Subbands{LL: cur, LH: d.LH, HL: d.HL, HH: d.HH}, p.Bank, p.Ext)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// ExhaustiveEvaluations returns the SSD-evaluation count a direct
+// full-resolution search over the same total radius would need, for
+// comparing against Result.Evaluations.
+func ExhaustiveEvaluations(coarseRadius, levels int) int {
+	r := coarseRadius << uint(levels)
+	side := 2*r + 1
+	return side * side
+}

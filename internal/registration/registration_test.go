@@ -1,0 +1,114 @@
+package registration
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+func TestCircularShiftRoundTrip(t *testing.T) {
+	im := image.Landsat(32, 32, 1)
+	s := Shift{DY: 5, DX: -3}
+	back := CircularShift(CircularShift(im, s), Shift{DY: -s.DY, DX: -s.DX})
+	if !image.Equal(im, back, 0) {
+		t.Error("circular shift round trip failed")
+	}
+	// Shift by image size is identity.
+	same := CircularShift(im, Shift{DY: 32, DX: -32})
+	if !image.Equal(im, same, 0) {
+		t.Error("full-period shift not identity")
+	}
+}
+
+func TestCircularShiftMovesPixels(t *testing.T) {
+	im := image.New(4, 4)
+	im.Set(0, 0, 1)
+	out := CircularShift(im, Shift{DY: 1, DX: 2})
+	if out.At(1, 2) != 1 {
+		t.Errorf("pixel not moved: %v", out.Pix)
+	}
+	if out.At(0, 0) != 0 {
+		t.Error("source pixel not cleared")
+	}
+}
+
+func TestRegisterRecoversKnownShifts(t *testing.T) {
+	fixed := image.Landsat(128, 128, 42)
+	for _, want := range []Shift{{0, 0}, {3, 5}, {-7, 2}, {16, -16}, {31, 31}} {
+		moving := CircularShift(fixed, want)
+		res, err := Register(fixed, moving, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Shift != want {
+			t.Errorf("shift %v: estimated %v", want, res.Shift)
+		}
+		if res.Score > 1e-12 {
+			t.Errorf("shift %v: score %g for exact shift", want, res.Score)
+		}
+	}
+}
+
+func TestRegisterWithNoise(t *testing.T) {
+	fixed := image.Landsat(128, 128, 9)
+	want := Shift{DY: 6, DX: -11}
+	moving := CircularShift(fixed, want)
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < moving.Rows; r++ {
+		row := moving.Row(r)
+		for c := range row {
+			row[c] += rng.NormFloat64() * 3 // ~3 gray levels of noise
+		}
+	}
+	res, err := Register(fixed, moving, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shift != want {
+		t.Errorf("noisy registration: estimated %v, want %v", res.Shift, want)
+	}
+	if res.Score <= 0 {
+		t.Error("noisy registration scored zero")
+	}
+}
+
+func TestRegisterAlternativeConfigs(t *testing.T) {
+	fixed := image.Landsat(64, 64, 5)
+	want := Shift{DY: -4, DX: 9}
+	moving := CircularShift(fixed, want)
+	res, err := Register(fixed, moving, Config{Bank: filter.Haar(), Levels: 2, CoarseRadius: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shift != want {
+		t.Errorf("Haar/L2: estimated %v, want %v", res.Shift, want)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	a := image.Landsat(64, 64, 1)
+	b := image.Landsat(32, 32, 1)
+	if _, err := Register(a, b, Config{}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	c := image.Landsat(60, 60, 1) // not divisible for requested levels
+	if _, err := Register(c, c, Config{Levels: 3}); err == nil {
+		t.Error("non-decomposable size accepted")
+	}
+}
+
+func TestPyramidSearchCheaperThanExhaustive(t *testing.T) {
+	fixed := image.Landsat(128, 128, 7)
+	moving := CircularShift(fixed, Shift{DY: 12, DX: -20})
+	res, err := Register(fixed, moving, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive := ExhaustiveEvaluations(4, 4)
+	if res.Evaluations*5 > exhaustive {
+		t.Errorf("pyramid search used %d evaluations vs %d exhaustive — not cheap enough",
+			res.Evaluations, exhaustive)
+	}
+}

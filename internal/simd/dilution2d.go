@@ -1,0 +1,85 @@
+package simd
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// DilutedDecompose2D runs the full multi-level 2-D decomposition with the
+// dilution algorithm: coefficients never move through the global router —
+// they stay at their array positions, with live positions striding
+// 2^level apart in both dimensions, and the filters diluted to match.
+// Separate low- and high-pass planes model the second PE memory plane a
+// real MasPar implementation uses. The extracted pyramid is identical to
+// wavelet.Decompose.
+func DilutedDecompose2D(im *image.Image, bank *filter.Bank, levels int) (*wavelet.Pyramid, error) {
+	if err := wavelet.CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
+		return nil, err
+	}
+	if im.Rows != im.Cols {
+		return nil, fmt.Errorf("simd: dilution plane model needs a square image, got %dx%d", im.Rows, im.Cols)
+	}
+	n := im.Rows
+	p := &wavelet.Pyramid{Bank: bank, Ext: filter.Periodic, Levels: make([]wavelet.DetailBands, levels)}
+
+	// live holds the current approximation coefficients in place at
+	// stride-aligned positions.
+	live := im.Clone()
+	rowBuf := make([]float64, n)
+	colBuf := make([]float64, n)
+
+	for l := 0; l < levels; l++ {
+		stride := 1 << uint(l)
+		// Row pass on every live row: diluted convolution along x into
+		// the L and H planes.
+		planeL := image.New(n, n)
+		planeH := image.New(n, n)
+		for r := 0; r < n; r += stride {
+			copy(rowBuf, live.Row(r))
+			lo := DilutedConvolve(rowBuf, bank.Lo, stride)
+			hi := DilutedConvolve(rowBuf, bank.Hi, stride)
+			copy(planeL.Row(r), lo)
+			copy(planeH.Row(r), hi)
+		}
+		// Column pass on every live column of each plane.
+		outStride := 2 * stride
+		ll := image.New(n, n)
+		lh := image.New(n, n)
+		hl := image.New(n, n)
+		hh := image.New(n, n)
+		for c := 0; c < n; c += outStride {
+			colBuf = planeL.Col(c, colBuf)
+			ll.SetCol(c, DilutedConvolve(colBuf, bank.Lo, stride))
+			lh.SetCol(c, DilutedConvolve(colBuf, bank.Hi, stride))
+			colBuf = planeH.Col(c, colBuf)
+			hl.SetCol(c, DilutedConvolve(colBuf, bank.Lo, stride))
+			hh.SetCol(c, DilutedConvolve(colBuf, bank.Hi, stride))
+		}
+		p.Levels[levels-1-l] = wavelet.DetailBands{
+			LH: extractStrided2D(lh, outStride),
+			HL: extractStrided2D(hl, outStride),
+			HH: extractStrided2D(hh, outStride),
+		}
+		live = ll
+	}
+	p.Approx = extractStrided2D(live, 1<<uint(levels))
+	return p, nil
+}
+
+// extractStrided2D gathers the stride-aligned positions of a plane into a
+// dense image (the final read-out; on the real machine the coefficients
+// would simply stay distributed).
+func extractStrided2D(plane *image.Image, s int) *image.Image {
+	out := image.New(plane.Rows/s, plane.Cols/s)
+	for r := 0; r < out.Rows; r++ {
+		src := plane.Row(r * s)
+		dst := out.Row(r)
+		for c := 0; c < out.Cols; c++ {
+			dst[c] = src[c*s]
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package wavelet implements Mallat's multi-resolution discrete wavelet
+// transform: 1-D analysis/synthesis convolution kernels, single-level 2-D
+// separable decomposition into LL/LH/HL/HH subbands, and the multi-level
+// pyramid the paper applies to Landsat imagery (steps (0)-(5) of its
+// Section 2 description).
+package wavelet
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/filter"
+)
+
+// AnalyzeStep convolves signal x with filter h and decimates by two:
+// out[n] = Σ_k h[k]·x[2n+k], indices extended by ext. len(out) must be
+// len(x)/2 and len(x) must be even. dst may be nil, in which case a new
+// slice is allocated. Returns the output slice.
+func AnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) []float64 {
+	n := len(x)
+	if n%2 != 0 {
+		panic(fmt.Sprintf("wavelet: AnalyzeStep on odd-length signal %d", n))
+	}
+	half := n / 2
+	if cap(dst) < half {
+		dst = make([]float64, half)
+	}
+	dst = dst[:half]
+	if n == 0 {
+		return dst
+	}
+	// Fast path: the filter support 2i..2i+len(h)-1 is fully interior
+	// when 2i+len(h) <= n; borders fall back to extension indexing.
+	interior := (n - len(h)) / 2 // last i with 2i+len(h)-1 < n
+	if interior < 0 {
+		interior = -1
+	}
+	for i := 0; i <= interior; i++ {
+		base := 2 * i
+		var acc float64
+		for k, hk := range h {
+			acc += hk * x[base+k]
+		}
+		dst[i] = acc
+	}
+	for i := interior + 1; i < half; i++ {
+		var acc float64
+		for k, hk := range h {
+			j, ok := ext.Index(2*i+k, n)
+			if ok {
+				acc += hk * x[j]
+			}
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// SynthesizeStep is the adjoint of AnalyzeStep: it upsamples coefficient
+// vector c by two and convolves with h, accumulating into out (which must
+// have length 2·len(c)): out[(2n+k) mod N] += h[k]·c[n]. Only the Periodic
+// extension gives perfect reconstruction for orthonormal banks; other
+// extensions accumulate only in-range taps.
+func SynthesizeStep(c, h []float64, ext filter.Extension, out []float64) {
+	n := len(out)
+	if n != 2*len(c) {
+		panic(fmt.Sprintf("wavelet: SynthesizeStep output length %d, want %d", n, 2*len(c)))
+	}
+	if n == 0 {
+		return
+	}
+	for i, ci := range c {
+		if ci == 0 {
+			continue
+		}
+		base := 2 * i
+		if base+len(h) <= n {
+			for k, hk := range h {
+				out[base+k] += hk * ci
+			}
+			continue
+		}
+		for k, hk := range h {
+			j, ok := ext.Index(base+k, n)
+			if ok {
+				out[j] += hk * ci
+			}
+		}
+	}
+}
+
+// AnalyzeMACs returns the multiply-accumulate count of one AnalyzeStep over
+// a length-n signal with a length-f filter (used by the machine cost
+// models).
+func AnalyzeMACs(n, f int) int { return n / 2 * f }

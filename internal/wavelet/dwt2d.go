@@ -1,0 +1,128 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// Subbands is one level of 2-D wavelet decomposition. Following the
+// paper's Figure 1, the input is row-filtered and column-decimated into L
+// and H, then each is column-filtered and row-decimated:
+//
+//	LL — approximation (the I_{k+1} input to the next level)
+//	LH — horizontal lows, vertical highs (horizontal edges)
+//	HL — horizontal highs, vertical lows (vertical edges)
+//	HH — diagonal detail
+//
+// All four subbands have half the rows and half the columns of the input.
+type Subbands struct {
+	LL, LH, HL, HH *image.Image
+}
+
+// AnalyzeRows row-filters im by both channels of bank and decimates the
+// columns by two, producing the intermediate L and H images of the
+// paper's steps (1)-(2). Each output is Rows × Cols/2.
+func AnalyzeRows(im *image.Image, bank *filter.Bank, ext filter.Extension) (l, h *image.Image) {
+	if im.Cols%2 != 0 {
+		panic(fmt.Sprintf("wavelet: AnalyzeRows on odd column count %d", im.Cols))
+	}
+	l = image.New(im.Rows, im.Cols/2)
+	h = image.New(im.Rows, im.Cols/2)
+	for r := 0; r < im.Rows; r++ {
+		src := im.Row(r)
+		AnalyzeStep(src, bank.Lo, ext, l.Row(r))
+		AnalyzeStep(src, bank.Hi, ext, h.Row(r))
+	}
+	return l, h
+}
+
+// AnalyzeCols column-filters im by both channels of bank and decimates the
+// rows by two (the paper's steps (3)-(4) applied to one intermediate
+// image). Each output is Rows/2 × Cols.
+func AnalyzeCols(im *image.Image, bank *filter.Bank, ext filter.Extension) (lo, hi *image.Image) {
+	if im.Rows%2 != 0 {
+		panic(fmt.Sprintf("wavelet: AnalyzeCols on odd row count %d", im.Rows))
+	}
+	lo = image.New(im.Rows/2, im.Cols)
+	hi = image.New(im.Rows/2, im.Cols)
+	col := make([]float64, im.Rows)
+	outLo := make([]float64, im.Rows/2)
+	outHi := make([]float64, im.Rows/2)
+	for c := 0; c < im.Cols; c++ {
+		col = im.Col(c, col)
+		AnalyzeStep(col, bank.Lo, ext, outLo)
+		AnalyzeStep(col, bank.Hi, ext, outHi)
+		lo.SetCol(c, outLo)
+		hi.SetCol(c, outHi)
+	}
+	return lo, hi
+}
+
+// Analyze2D performs one full level of separable 2-D decomposition.
+func Analyze2D(im *image.Image, bank *filter.Bank, ext filter.Extension) *Subbands {
+	l, h := AnalyzeRows(im, bank, ext)
+	ll, lh := AnalyzeCols(l, bank, ext)
+	hl, hh := AnalyzeCols(h, bank, ext)
+	return &Subbands{LL: ll, LH: lh, HL: hl, HH: hh}
+}
+
+// SynthesizeCols inverts AnalyzeCols: it merges the column-filtered lo/hi
+// pair back into a Rows·2 × Cols image.
+func SynthesizeCols(lo, hi *image.Image, bank *filter.Bank, ext filter.Extension) *image.Image {
+	if lo.Rows != hi.Rows || lo.Cols != hi.Cols {
+		panic("wavelet: SynthesizeCols subband shape mismatch")
+	}
+	out := image.New(lo.Rows*2, lo.Cols)
+	colLo := make([]float64, lo.Rows)
+	colHi := make([]float64, lo.Rows)
+	full := make([]float64, lo.Rows*2)
+	for c := 0; c < lo.Cols; c++ {
+		colLo = lo.Col(c, colLo)
+		colHi = hi.Col(c, colHi)
+		for i := range full {
+			full[i] = 0
+		}
+		SynthesizeStep(colLo, bank.Lo, ext, full)
+		SynthesizeStep(colHi, bank.Hi, ext, full)
+		out.SetCol(c, full)
+	}
+	return out
+}
+
+// SynthesizeRows inverts AnalyzeRows: it merges the row-filtered l/h pair
+// back into a Rows × Cols·2 image.
+func SynthesizeRows(l, h *image.Image, bank *filter.Bank, ext filter.Extension) *image.Image {
+	if l.Rows != h.Rows || l.Cols != h.Cols {
+		panic("wavelet: SynthesizeRows subband shape mismatch")
+	}
+	out := image.New(l.Rows, l.Cols*2)
+	for r := 0; r < l.Rows; r++ {
+		dst := out.Row(r)
+		SynthesizeStep(l.Row(r), bank.Lo, ext, dst)
+		SynthesizeStep(h.Row(r), bank.Hi, ext, dst)
+	}
+	return out
+}
+
+// Synthesize2D inverts Analyze2D, reconstructing the parent image of a
+// subband quartet (the paper's Figure 2 reverse process).
+func Synthesize2D(sb *Subbands, bank *filter.Bank, ext filter.Extension) *image.Image {
+	l := SynthesizeCols(sb.LL, sb.LH, bank, ext)
+	h := SynthesizeCols(sb.HL, sb.HH, bank, ext)
+	return SynthesizeRows(l, h, bank, ext)
+}
+
+// Level2DMACs returns the multiply-accumulate count of one Analyze2D level
+// on a rows×cols image with a length-f filter: two channels of row
+// filtering plus two channels of column filtering on each of the two
+// intermediate images.
+func Level2DMACs(rows, cols, f int) int {
+	// L and H over every row.
+	rowPass := 2 * rows * AnalyzeMACs(cols, f)
+	// Each intermediate image is rows×(cols/2); both are column-filtered
+	// by both channels: 2 images × 2 channels × cols/2 columns.
+	colPass := 2 * 2 * (cols / 2) * AnalyzeMACs(rows, f)
+	return rowPass + colPass
+}

@@ -1,0 +1,182 @@
+// Package workload implements Appendix C's parallel-instruction
+// vector-space model for representing and comparing workloads: centroids
+// (the average parallel instruction), similarity via the normalized
+// Euclidean distance, and — as the comparison baseline — the
+// parallelism-matrix technique with the Frobenius norm, whose
+// shortcomings (identical-PI dependence, exponential storage) the report
+// quantifies.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wavelethpc/internal/oracle"
+)
+
+// Centroid returns the workload's centroid: "a parallel instruction in
+// which each component corresponds to the average occurrence of the
+// corresponding operation type over all parallel instructions" (report
+// equations 5-6). An empty workload has a zero centroid.
+func Centroid(pis []oracle.PI) oracle.PI {
+	var c oracle.PI
+	if len(pis) == 0 {
+		return c
+	}
+	for _, p := range pis {
+		for t := range c {
+			c[t] += p[t]
+		}
+	}
+	for t := range c {
+		c[t] /= float64(len(pis))
+	}
+	return c
+}
+
+// Distance is the Euclidean distance between two centroids (equation 7).
+func Distance(a, b oracle.PI) float64 {
+	var s float64
+	for t := range a {
+		d := a[t] - b[t]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// MaxCentroid is the element-wise maximum (equation 8).
+func MaxCentroid(a, b oracle.PI) oracle.PI {
+	var m oracle.PI
+	for t := range a {
+		m[t] = math.Max(a[t], b[t])
+	}
+	return m
+}
+
+// Similarity is the normalized Euclidean distance between two workload
+// centroids (equation 9): 0 means identical exercising of the machine,
+// 1 means orthogonal workloads. Two zero workloads are identical (0).
+func Similarity(a, b oracle.PI) float64 {
+	denom := Distance(MaxCentroid(a, b), oracle.PI{})
+	if denom == 0 {
+		return 0
+	}
+	return Distance(a, b) / denom
+}
+
+// SimilarityMatrix computes pairwise similarities for named workloads,
+// ordered by the given name list.
+func SimilarityMatrix(names []string, centroids map[string]oracle.PI) [][]float64 {
+	n := len(names)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = Similarity(centroids[names[i]], centroids[names[j]])
+		}
+	}
+	return out
+}
+
+// FormatSimilarity renders the lower triangle of a similarity matrix in
+// the layout of the report's Table 8.
+func FormatSimilarity(names []string, m [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %8s", n)
+	}
+	fmt.Fprintln(&b)
+	for i, row := range m {
+		fmt.Fprintf(&b, "%-8s", names[i])
+		for j := 0; j <= i; j++ {
+			fmt.Fprintf(&b, " %8.3f", row[j])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatCentroids renders named centroids in the layout of Table 7.
+func FormatCentroids(names []string, centroids map[string]oracle.PI) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %12s\n",
+		"workload", "Intops", "Memops", "FPops", "Controlops", "Branchops")
+	for _, n := range names {
+		c := centroids[n]
+		fmt.Fprintf(&b, "%-10s %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+			n, c[oracle.IntOp], c[oracle.MemOp], c[oracle.FPOp], c[oracle.CtlOp], c[oracle.BranchOp])
+	}
+	return b.String()
+}
+
+// --- The parallelism-matrix baseline ([18] in the report) ----------------
+
+// Matrix is the executed-parallelism profile: for each distinct parallel
+// instruction (quantized to integer multiplicities), the fraction of
+// cycles it occupied. This is the sparse representation of the report's
+// t-dimensional matrix with storage O(n^t) in the dense form.
+type Matrix struct {
+	frac map[oracle.PI]float64
+}
+
+// NewMatrix builds the parallelism matrix of a workload.
+func NewMatrix(pis []oracle.PI) *Matrix {
+	m := &Matrix{frac: make(map[oracle.PI]float64)}
+	if len(pis) == 0 {
+		return m
+	}
+	inv := 1 / float64(len(pis))
+	for _, p := range pis {
+		var q oracle.PI
+		for t := range p {
+			q[t] = math.Round(p[t])
+		}
+		m.frac[q] += inv
+	}
+	return m
+}
+
+// Entries returns the number of distinct parallel instructions tracked —
+// the sparse footprint of the O(n^t) dense matrix.
+func (m *Matrix) Entries() int { return len(m.frac) }
+
+// FrobeniusDiff computes the report's equation (3): the Frobenius norm of
+// the element-wise difference of two parallelism matrices, normalized by
+// its √2 maximum so results land in [0,1].
+func FrobeniusDiff(a, b *Matrix) float64 {
+	var s float64
+	for k, va := range a.frac {
+		d := va - b.frac[k]
+		s += d * d
+	}
+	for k, vb := range b.frac {
+		if _, seen := a.frac[k]; !seen {
+			s += vb * vb
+		}
+	}
+	return math.Sqrt(s) / math.Sqrt2
+}
+
+// SortedKeys lists the matrix's distinct PIs deterministically (for
+// rendering).
+func (m *Matrix) SortedKeys() []oracle.PI {
+	keys := make([]oracle.PI, 0, len(m.frac))
+	for k := range m.frac {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		for t := range keys[i] {
+			if keys[i][t] != keys[j][t] {
+				return keys[i][t] < keys[j][t]
+			}
+		}
+		return false
+	})
+	return keys
+}
+
+// Fraction returns the cycle fraction of one quantized PI.
+func (m *Matrix) Fraction(p oracle.PI) float64 { return m.frac[p] }

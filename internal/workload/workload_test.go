@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wavelethpc/internal/oracle"
+)
+
+func TestCentroidAverages(t *testing.T) {
+	pis := []oracle.PI{
+		{oracle.IntOp: 2, oracle.MemOp: 4},
+		{oracle.IntOp: 4, oracle.MemOp: 0, oracle.FPOp: 6},
+	}
+	c := Centroid(pis)
+	if c[oracle.IntOp] != 3 || c[oracle.MemOp] != 2 || c[oracle.FPOp] != 3 {
+		t.Errorf("centroid = %v", c)
+	}
+	if z := Centroid(nil); z.Total() != 0 {
+		t.Error("empty centroid non-zero")
+	}
+}
+
+func TestCentroidWorkedExample(t *testing.T) {
+	// Report Section 3.1 example vectors: a workload of PIs (4,7,2) etc.
+	// Using the example suite's WL3: 5×(3,2,1) + 7×(4,3,0) →
+	// centroid (MEM,FP,INT) = ((15+28)/12, (10+21)/12, 5/12).
+	suite := oracle.ExampleSuite()
+	c := Centroid(suite["WL3"])
+	if math.Abs(c[oracle.MemOp]-43.0/12) > 1e-12 {
+		t.Errorf("MEM = %g", c[oracle.MemOp])
+	}
+	if math.Abs(c[oracle.FPOp]-31.0/12) > 1e-12 {
+		t.Errorf("FP = %g", c[oracle.FPOp])
+	}
+	if math.Abs(c[oracle.IntOp]-5.0/12) > 1e-12 {
+		t.Errorf("INT = %g", c[oracle.IntOp])
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := oracle.PI{3, 4}
+	if d := Distance(a, oracle.PI{}); d != 5 {
+		t.Errorf("distance = %g", d)
+	}
+	if Distance(a, a) != 0 {
+		t.Error("self distance non-zero")
+	}
+}
+
+func TestSimilarityBoundsAndExtremes(t *testing.T) {
+	// Identical workloads: 0.
+	a := oracle.PI{1, 2, 3}
+	if s := Similarity(a, a); s != 0 {
+		t.Errorf("self similarity = %g", s)
+	}
+	// Orthogonal workloads (disjoint op types): 1... the normalized
+	// distance of (x,0) vs (0,y) is sqrt(x²+y²)/sqrt(x²+y²) = 1.
+	if s := Similarity(oracle.PI{5, 0}, oracle.PI{0, 7}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("orthogonal similarity = %g", s)
+	}
+	// Zero workloads are identical.
+	if s := Similarity(oracle.PI{}, oracle.PI{}); s != 0 {
+		t.Errorf("zero similarity = %g", s)
+	}
+}
+
+func TestSimilaritySymmetricAndBounded(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		a := oracle.PI{float64(a1), float64(a2), float64(a3)}
+		b := oracle.PI{float64(b1), float64(b2), float64(b3)}
+		s1, s2 := Similarity(a, b), Similarity(b, a)
+		return s1 == s2 && s1 >= 0 && s1 <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityScalesWithDivergence(t *testing.T) {
+	base := oracle.PI{10, 10, 10}
+	near := oracle.PI{11, 10, 10}
+	far := oracle.PI{30, 2, 1}
+	if Similarity(base, near) >= Similarity(base, far) {
+		t.Error("similarity does not scale with divergence")
+	}
+}
+
+func TestWorkedSimilarityWL2WL3(t *testing.T) {
+	// The report's Section 4.3 walk-through compares WL2 and WL3 via
+	// centroids and the normalized distance; verify our pipeline
+	// produces a value strictly between the extremes and equal to the
+	// direct formula.
+	suite := oracle.ExampleSuite()
+	c2 := Centroid(suite["WL2"])
+	c3 := Centroid(suite["WL3"])
+	want := Distance(c2, c3) / Distance(MaxCentroid(c2, c3), oracle.PI{})
+	if got := Similarity(c2, c3); got != want {
+		t.Errorf("Similarity = %g, want %g", got, want)
+	}
+	if got := Similarity(c2, c3); got <= 0 || got >= 1 {
+		t.Errorf("WL2-WL3 similarity = %g", got)
+	}
+}
+
+func TestSimilarityMatrixDiagonalZero(t *testing.T) {
+	suite := oracle.ExampleSuite()
+	names := []string{"WL1", "WL2", "WL3", "WL4", "WL5"}
+	cents := map[string]oracle.PI{}
+	for n, pis := range suite {
+		cents[n] = Centroid(pis)
+	}
+	m := SimilarityMatrix(names, cents)
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d] = %g", i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Error("matrix not symmetric")
+			}
+		}
+	}
+	out := FormatSimilarity(names, m)
+	if !strings.Contains(out, "WL5") {
+		t.Errorf("FormatSimilarity: %q", out)
+	}
+}
+
+func TestVectorSpaceDiscriminatesWhereMatrixSaturates(t *testing.T) {
+	// The report's central comparison (its Table 4): workloads with NO
+	// identical PIs all collapse to the same Frobenius distance under
+	// the parallelism-matrix technique, while the vector-space model
+	// still distinguishes them.
+	// Three single-PI workloads: A = (5,5,5)ⁿ, B = (6,5,5)ⁿ (nearly the
+	// same machine exercise), C = (50,1,0)ⁿ (completely different). None
+	// share an identical PI, so the matrix technique sees A-B exactly as
+	// far apart as A-C; the vector space model ranks them correctly.
+	rep := func(p oracle.PI) []oracle.PI {
+		out := make([]oracle.PI, 10)
+		for i := range out {
+			out[i] = p
+		}
+		return out
+	}
+	a := rep(oracle.PI{5, 5, 5})
+	b := rep(oracle.PI{6, 5, 5})
+	c := rep(oracle.PI{50, 1, 0})
+	dAB := FrobeniusDiff(NewMatrix(a), NewMatrix(b))
+	dAC := FrobeniusDiff(NewMatrix(a), NewMatrix(c))
+	if math.Abs(dAB-dAC) > 1e-12 {
+		t.Errorf("matrix technique distinguished disjoint workloads: %g vs %g", dAB, dAC)
+	}
+	if math.Abs(dAB-1) > 1e-12 {
+		t.Errorf("disjoint single-PI workloads should saturate at 1, got %g", dAB)
+	}
+	sAB := Similarity(Centroid(a), Centroid(b))
+	sAC := Similarity(Centroid(a), Centroid(c))
+	if !(sAB < 0.2 && sAC > 0.5 && sAB < sAC) {
+		t.Errorf("vector space ranking wrong: near=%g far=%g", sAB, sAC)
+	}
+}
+
+func TestFrobeniusSharedPIsReduceDistance(t *testing.T) {
+	// WL1 and WL2 share an identical PI (MEM=1,INT=1), so their distance
+	// drops below the saturation level (the report's 0.424 vs 0.549
+	// observation).
+	suite := oracle.ExampleSuite()
+	d12 := FrobeniusDiff(NewMatrix(suite["WL1"]), NewMatrix(suite["WL2"]))
+	d13 := FrobeniusDiff(NewMatrix(suite["WL1"]), NewMatrix(suite["WL3"]))
+	if d12 >= d13 {
+		t.Errorf("shared-PI pair (%g) not closer than disjoint pair (%g)", d12, d13)
+	}
+}
+
+func TestFrobeniusSelfZeroAndBounds(t *testing.T) {
+	suite := oracle.ExampleSuite()
+	for name, pis := range suite {
+		m := NewMatrix(pis)
+		if d := FrobeniusDiff(m, m); d != 0 {
+			t.Errorf("%s: self diff %g", name, d)
+		}
+	}
+	for _, a := range []string{"WL1", "WL2"} {
+		for _, b := range []string{"WL3", "WL4", "WL5"} {
+			d := FrobeniusDiff(NewMatrix(suite[a]), NewMatrix(suite[b]))
+			if d < 0 || d > 1+1e-12 {
+				t.Errorf("%s-%s: diff %g outside [0,1]", a, b, d)
+			}
+		}
+	}
+}
+
+func TestMatrixEntriesAndFractions(t *testing.T) {
+	suite := oracle.ExampleSuite()
+	m := NewMatrix(suite["WL1"]) // 4 unique PIs
+	if m.Entries() != 4 {
+		t.Errorf("entries = %d, want 4", m.Entries())
+	}
+	// 5 of 17 cycles were (MEM=1, INT=1).
+	p := oracle.PI{}
+	p[oracle.MemOp] = 1
+	p[oracle.IntOp] = 1
+	if f := m.Fraction(p); math.Abs(f-5.0/17) > 1e-12 {
+		t.Errorf("fraction = %g, want %g", f, 5.0/17)
+	}
+	keys := m.SortedKeys()
+	if len(keys) != 4 {
+		t.Errorf("sorted keys = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		// Keys strictly increasing lexicographically.
+		less := false
+		for t := range keys[i-1] {
+			if keys[i-1][t] != keys[i][t] {
+				less = keys[i-1][t] < keys[i][t]
+				break
+			}
+		}
+		if !less {
+			t.Error("SortedKeys not ordered")
+		}
+	}
+}
+
+func TestNASPipelineRelationships(t *testing.T) {
+	// End-to-end Appendix C pipeline on the synthetic NAS kernels: the
+	// report's Table 8 relationships hold — buk↔cgm and embar↔fftpde are
+	// among the most similar pairs; cgm↔fftpde and buk↔appsp are nearly
+	// orthogonal (> 0.9).
+	cents := map[string]oracle.PI{}
+	var names []string
+	for _, spec := range oracle.NASKernels() {
+		pis := oracle.Schedule(spec.Generate())
+		cents[spec.Name] = Centroid(pis)
+		names = append(names, spec.Name)
+	}
+	sim := func(a, b string) float64 { return Similarity(cents[a], cents[b]) }
+	if s := sim("buk", "cgm"); s > 0.5 {
+		t.Errorf("buk-cgm similarity %g, want low (similar workloads)", s)
+	}
+	// The report's Table 8 fftpde row orders embar < mgrid < cgm.
+	if !(sim("embar", "fftpde") < sim("mgrid", "fftpde") && sim("mgrid", "fftpde") < sim("cgm", "fftpde")) {
+		t.Errorf("fftpde similarity ordering broken: embar=%g mgrid=%g cgm=%g",
+			sim("embar", "fftpde"), sim("mgrid", "fftpde"), sim("cgm", "fftpde"))
+	}
+	if s := sim("cgm", "fftpde"); s < 0.9 {
+		t.Errorf("cgm-fftpde similarity %g, want near 1", s)
+	}
+	if s := sim("buk", "appsp"); s < 0.9 {
+		t.Errorf("buk-appsp similarity %g, want near 1", s)
+	}
+	out := FormatCentroids(names, cents)
+	if !strings.Contains(out, "appsp") || !strings.Contains(out, "Intops") {
+		t.Errorf("FormatCentroids: %q", out[:60])
+	}
+}
+
+func TestCentroidStorageConstant(t *testing.T) {
+	// The report's Table 5: vector-space representation is O(t) while
+	// the parallelism matrix grows with distinct PIs.
+	spec := oracle.NASKernels()[3] // fftpde
+	pis := oracle.Schedule(spec.Generate())
+	m := NewMatrix(pis)
+	if m.Entries() <= len(oracle.PI{}) {
+		t.Skip("workload too regular to show storage growth")
+	}
+	// A centroid is always exactly NumOpTypes floats.
+	c := Centroid(pis)
+	if len(c) != int(oracle.NumOpTypes) {
+		t.Errorf("centroid length %d", len(c))
+	}
+}
