@@ -1,7 +1,10 @@
 // Command exptables regenerates every table and figure of the paper and
 // its companion appendices in one run, printing the text equivalent of
 // each artifact. This is the one-stop reproduction entry point indexed in
-// DESIGN.md and EXPERIMENTS.md.
+// DESIGN.md and EXPERIMENTS.md. It is a thin shell over the "exptables"
+// experiment in the internal/harness registry; the independent artifact
+// groups run concurrently across real cores while the printed section
+// order stays fixed.
 //
 // Usage:
 //
@@ -10,198 +13,46 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
-	"wavelethpc/internal/core"
-	"wavelethpc/internal/filter"
-	"wavelethpc/internal/image"
-	"wavelethpc/internal/mesh"
-	"wavelethpc/internal/nbody"
-	"wavelethpc/internal/oracle"
-	"wavelethpc/internal/pic"
-	"wavelethpc/internal/simd"
-	"wavelethpc/internal/wavelet"
-	"wavelethpc/internal/workload"
+	"wavelethpc/internal/cli"
+	_ "wavelethpc/internal/experiments"
+	"wavelethpc/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("exptables: ")
-	quick := flag.Bool("quick", false, "smaller problem sizes and sweeps")
+	var f cli.Flags
+	f.AddWorkers(flag.CommandLine)
+	f.AddCSV(flag.CommandLine)
+	var (
+		quick = flag.Bool("quick", false, "smaller problem sizes and sweeps")
+		list  = flag.Bool("list", false, "list the registered experiments and exit")
+	)
 	flag.Parse()
-
-	procs := []int{1, 2, 4, 8, 16, 32}
-	nbodySizes := []int{1024, 4096, 32768}
-	picParticles := []int{256 << 10, 1 << 20}
-	imSize := 512
-	if *quick {
-		procs = []int{1, 4, 16}
-		nbodySizes = []int{1024, 4096}
-		picParticles = []int{65536}
-		imSize = 256
+	if *list {
+		cli.ListExperiments(os.Stdout)
+		return
 	}
 
-	im := image.Landsat(imSize, imSize, 42)
-	paragon := mesh.Paragon()
-
-	// ---- Appendix A -----------------------------------------------------
-	fmt.Println("################ APPENDIX A: WAVELET DECOMPOSITION ################")
-	fmt.Println()
-	fmt.Println("=== Table 1: comparative decomposition seconds (512x512 image) ===")
-	rows, err := core.Table1(image.Landsat(512, 512, 42), simd.Table1MasPar())
+	opt, err := f.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(core.FormatTable1(rows))
+	opt.Quick = *quick
 
-	figure := 5
-	for _, cfg := range core.PaperConfigs() {
-		fmt.Printf("=== Figure %d: Paragon performance, %s (%dx%d image) ===\n", figure, cfg.Label, imSize, imSize)
-		for _, pl := range []mesh.Placement{mesh.SnakePlacement{Width: 4}, mesh.NaivePlacement{Width: 4}} {
-			curve, err := core.RunScaling(im, paragon, pl, cfg, procs)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(curve)
-		}
-		figure++
-	}
-
-	fmt.Println("=== Section 4.1 ablation: MasPar algorithms and virtualizations (F8/L1) ===")
-	m2 := simd.MP2()
-	fmt.Printf("%-12s %-14s %12s\n", "algorithm", "virtualization", "seconds")
-	for _, alg := range []simd.Algorithm{simd.Systolic, simd.Dilution} {
-		for _, virt := range []simd.Virtualization{simd.Hierarchical, simd.CutAndStack} {
-			t, err := m2.DecomposeTime(alg, virt, 512, 8, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%-12s %-14s %12.5f\n", alg, virt, t)
-		}
-	}
-	fmt.Println()
-
-	// ---- Appendix B -----------------------------------------------------
-	fmt.Println("################ APPENDIX B: N-BODY AND PIC OVERHEAD ################")
-	fmt.Println()
-	nbodyTable, err := nbody.SerialTable(1)
+	rep, err := harness.RunByName(context.Background(), "exptables", opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("=== Tables 1-2 (N-body rows): serial per-iteration seconds ===")
-	fmt.Println(nbodyTable)
-	picTable, err := pic.SerialTable()
-	if err != nil {
+	if err := rep.Print(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("=== Tables 1-2 (PIC rows): serial per-iteration seconds ===")
-	fmt.Println(picTable)
-
-	for _, machine := range []string{"paragon", "t3d"} {
-		for _, n := range nbodySizes {
-			fmt.Printf("=== N-body scalability + budget, %d bodies, %s (Figures 3-6, 15-18) ===\n", n, machine)
-			res, err := nbody.RunScaling(machine, n, procs, 1, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(nbody.FormatScaling(machine, res))
-		}
-		for _, np := range picParticles {
-			fmt.Printf("=== PIC scalability + budget, %d particles m=32, %s (Figures 7-14, 19-25) ===\n", np, machine)
-			res, err := pic.RunScaling(machine, np, 32, procs, 1, 1)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(pic.FormatScaling(machine, res))
-		}
-	}
-
-	fmt.Println("=== gssum vs parallel-prefix global sum (Section 4.2.2) ===")
-	fmt.Printf("%6s %12s %12s\n", "P", "gssum(s)", "prefix(s)")
-	for _, p := range []int{4, 8, 16} {
-		naive, prefix, err := pic.GlobalSumComparison("paragon", 65536, 32, p, 1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%6d %12.4g %12.4g\n", p, naive, prefix)
-	}
-	fmt.Println()
-
-	// ---- Appendix C -----------------------------------------------------
-	fmt.Println("################ APPENDIX C: WORKLOAD CHARACTERIZATION ################")
-	fmt.Println()
-	specs := oracle.NASKernels()
-	names := make([]string, 0, len(specs))
-	cents := map[string]oracle.PI{}
-	fmt.Println("=== Table 9: smoothability (printed with Table 7 centroids) ===")
-	fmt.Printf("%-10s %14s %12s %10s %14s %12s\n",
-		"workload", "smoothability", "CPL(inf)", "P avg", "CPL(P avg)", "avg op delay")
-	for _, spec := range specs {
-		tr := spec.Generate()
-		names = append(names, spec.Name)
-		cents[spec.Name] = workload.Centroid(oracle.Schedule(tr))
-		sm, stats, limited, delay := oracle.Smoothability(tr)
-		fmt.Printf("%-10s %14.5f %12d %10.1f %14d %12.2f\n",
-			spec.Name, sm, stats.CPL, stats.AvgParallelism, limited, delay)
-	}
-	fmt.Println()
-	fmt.Println("=== Table 7: NAS-like workload centroids ===")
-	fmt.Println(workload.FormatCentroids(names, cents))
-	fmt.Println("=== Table 8: pairwise similarity ===")
-	fmt.Println(workload.FormatSimilarity(names, workload.SimilarityMatrix(names, cents)))
-
-	// ---- Extension artifacts (see DESIGN.md §4) -------------------------
-	fmt.Println("################ EXTENSION ABLATIONS ################")
-	fmt.Println()
-	fmt.Println("=== Figure 2: distributed reconstruction on the simulated Paragon ===")
-	pyr, err := wavelet.Decompose(im, core.PaperConfigs()[0].Bank, filter.Periodic, 1)
-	if err != nil {
+	if err := cli.ExportCSV(rep, opt.CSVDir, os.Stdout); err != nil {
 		log.Fatal(err)
-	}
-	_, rsim, err := core.DistributedReconstruct(pyr, core.DistConfig{
-		Machine: paragon, Placement: mesh.SnakePlacement{Width: 4},
-		Procs: 8, Bank: core.PaperConfigs()[0].Bank, Levels: 1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("F8/L1 reconstruction at P=8: %.4g simulated seconds (%s)"+"\n\n", rsim.Elapsed, rsim.Budget)
-
-	fmt.Println("=== Costzones vs ORB partitioning (8K bodies, 16 zones) ===")
-	bodies := nbody.UniformDisk(8192, 10, 1)
-	nbody.Step(bodies, 1e-3)
-	tree := nbody.Build(bodies)
-	tree.ComputeCenters()
-	cz := nbody.EvaluatePartition(bodies, tree.Costzones(16))
-	orb := nbody.EvaluatePartition(bodies, nbody.ORBPartition(bodies, 16))
-	fmt.Printf("costzones imbalance %.3f, ORB imbalance %.3f"+"\n", cz.Imbalance, orb.Imbalance)
-	cross, err := nbody.CrossoverSize("paragon", 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("Barnes-Hut overtakes direct summation at ~%d bodies on the Paragon model"+"\n\n", cross)
-
-	fmt.Println("=== PIC field exchange: transpose vs all-gather (4096 particles, m=16, P=8) ===")
-	for _, ex := range []pic.FieldExchange{pic.TransposeExchange, pic.GatherExchange} {
-		res, err := pic.ParallelRun(pic.NewUniform(4096, 16, 1), pic.ParallelConfig{
-			Machine: paragon, Placement: mesh.SnakePlacement{Width: 4},
-			Procs: 8, Steps: 1, DTMax: 0.1, Sum: pic.PrefixSum, Exchange: ex,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-12s %.4g s/step, %d bytes on the wires"+"\n", ex, res.PerStep, res.Sim.Bytes)
-	}
-	fmt.Println()
-
-	fmt.Println("=== Architecture dependence: oracle vs executed parallelism ===")
-	fmt.Printf("%-10s %14s %20s"+"\n", "workload", "oracle avg-par", "Y-MP-like avg-par")
-	for _, spec := range specs[:4] {
-		tr := spec.Generate()
-		o := oracle.Summarize(oracle.Schedule(tr))
-		e := oracle.Summarize(oracle.ScheduleTyped(tr, oracle.CrayYMPLimits()))
-		fmt.Printf("%-10s %14.1f %20.1f"+"\n", spec.Name, o.AvgParallelism, e.AvgParallelism)
 	}
 }

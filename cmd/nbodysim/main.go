@@ -1,7 +1,8 @@
 // Command nbodysim regenerates the Appendix B N-body experiments:
 // Figure 3 / Figure 15 scalability sweeps, the Figures 4-6 / 16-18
 // performance budgets, and the serial-time table rows, on the simulated
-// Paragon or T3D.
+// Paragon or T3D. It is a thin shell over the "nbody/scaling"
+// experiment in the internal/harness registry.
 //
 // Usage:
 //
@@ -11,47 +12,45 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
 	"wavelethpc/internal/cli"
-	"wavelethpc/internal/nbody"
+	_ "wavelethpc/internal/experiments"
+	"wavelethpc/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nbodysim: ")
-	var (
-		machine = flag.String("machine", "paragon", "machine preset: paragon or t3d")
-		sizes   = flag.String("sizes", "1024,4096,32768", "comma-separated body counts")
-		procsF  = flag.String("procs", "1,2,4,8,16,32", "comma-separated processor counts")
-		steps   = flag.Int("steps", 1, "simulated time steps per run")
-		seed    = flag.Int64("seed", 1, "initial-condition seed")
-	)
+	var f cli.Flags
+	f.AddMachine(flag.CommandLine, "paragon")
+	f.AddProcs(flag.CommandLine, "1,2,4,8,16,32")
+	f.AddSizes(flag.CommandLine, "sizes", "1024,4096,32768", "comma-separated body counts")
+	f.AddSteps(flag.CommandLine)
+	f.AddWorkers(flag.CommandLine)
+	f.AddCSV(flag.CommandLine)
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+	if *list {
+		cli.ListExperiments(os.Stdout)
+		return
+	}
 
-	table, err := nbody.SerialTable(*seed)
+	opt, err := f.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("=== Serial per-iteration times (Appendix B Tables 1-2, N-body rows) ===")
-	fmt.Println(table)
-
-	procs, err := cli.ParseInts(*procsF)
+	rep, err := harness.RunByName(context.Background(), "nbody/scaling", opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ns, err := cli.ParseInts(*sizes)
-	if err != nil {
+	if err := rep.Print(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	for _, n := range ns {
-		fmt.Printf("=== Scalability and performance budget, %d bodies on %s ===\n", n, *machine)
-		res, err := nbody.RunScaling(*machine, n, procs, *steps, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(nbody.FormatScaling(*machine, res))
+	if err := cli.ExportCSV(rep, opt.CSVDir, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

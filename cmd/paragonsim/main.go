@@ -2,124 +2,66 @@
 // simulated Intel Paragon wavelet decomposition versus processor count
 // for the three filter/level configurations, with both the snake-like and
 // the naive stripe placements, plus the block-decomposition ablation.
+// It is a thin shell over the "wavelet/scaling" experiment in the
+// internal/harness registry.
 //
 // Usage:
 //
 //	paragonsim                    # all three figures, snake + naive
 //	paragonsim -config F4/L2      # one figure
 //	paragonsim -block             # add the block-decomposition ablation
+//	paragonsim -trace out.json    # also write a per-rank nx event trace
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
 	"wavelethpc/internal/cli"
-	"wavelethpc/internal/core"
-	"wavelethpc/internal/image"
-	"wavelethpc/internal/mesh"
+	_ "wavelethpc/internal/experiments"
+	"wavelethpc/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paragonsim: ")
+	var f cli.Flags
+	f.AddMachine(flag.CommandLine, "paragon")
+	f.AddProcs(flag.CommandLine, "1,2,4,8,16,32")
+	f.AddImage(flag.CommandLine)
+	f.AddWorkers(flag.CommandLine)
+	f.AddTrace(flag.CommandLine)
+	f.AddCSV(flag.CommandLine)
 	var (
-		size     = flag.Int("size", 512, "square image size")
-		seed     = flag.Uint64("seed", 42, "synthetic scene seed")
-		config   = flag.String("config", "", "restrict to one configuration (F8/L1, F4/L2, F2/L4)")
-		block    = flag.Bool("block", false, "also run the block-decomposition ablation")
-		overlap  = flag.Bool("overlap", false, "also run the overlapped guard-exchange ablation")
-		machineF = flag.String("machine", "paragon", "machine preset: paragon or t3d")
-		procsF   = flag.String("procs", "1,2,4,8,16,32", "comma-separated processor counts")
-		csvDir   = flag.String("csv", "", "also write one CSV per curve into this directory")
+		config  = flag.String("config", "", "restrict to one configuration (F8/L1, F4/L2, F2/L4)")
+		block   = flag.Bool("block", false, "also run the block-decomposition ablation")
+		overlap = flag.Bool("overlap", false, "also run the overlapped guard-exchange ablation")
+		list    = flag.Bool("list", false, "list the registered experiments and exit")
 	)
 	flag.Parse()
+	if *list {
+		cli.ListExperiments(os.Stdout)
+		return
+	}
 
-	procs, err := cli.ParseInts(*procsF)
+	opt, err := f.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	im := image.Landsat(*size, *size, *seed)
-	machine := mesh.ByName(*machineF)
-	if machine == nil {
-		log.Fatalf("unknown machine %q", *machineF)
-	}
-	placements := []mesh.Placement{mesh.SnakePlacement{Width: 4}, mesh.NaivePlacement{Width: 4}}
-	if machine.Topology == mesh.Torus3D {
-		placements = []mesh.Placement{mesh.LinearPlacement{M: machine}}
-	}
+	opt.Config = *config
+	opt.Block = *block
+	opt.Overlap = *overlap
 
-	figure := 5
-	for _, cfg := range core.PaperConfigs() {
-		if *config != "" && cfg.Label != *config {
-			figure++
-			continue
-		}
-		fmt.Printf("=== Figure %d: %s performance, %s ===\n", figure, machine.Name, cfg.Label)
-		for _, pl := range placements {
-			curve, err := core.RunScaling(im, machine, pl, cfg, procs)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Println(curve)
-			if *csvDir != "" {
-				path := filepath.Join(*csvDir, curve.CSVName(machine.Name)+".csv")
-				f, err := os.Create(path)
-				if err != nil {
-					log.Fatal(err)
-				}
-				if err := curve.WriteCSV(f); err != nil {
-					log.Fatal(err)
-				}
-				if err := f.Close(); err != nil {
-					log.Fatal(err)
-				}
-				fmt.Printf("wrote %s\n\n", path)
-			}
-		}
-		if *overlap {
-			fmt.Printf("--- overlapped guard exchange, %s ---\n", cfg.Label)
-			fmt.Printf("%6s %14s %14s\n", "P", "blocking-guard", "overlap-guard")
-			for _, p := range procs {
-				baseCfg := core.DistConfig{Machine: machine, Placement: placements[0], Procs: p, Bank: cfg.Bank, Levels: cfg.Levels}
-				overCfg := baseCfg
-				overCfg.Overlap = true
-				rb, err := core.DistributedDecompose(im, baseCfg)
-				if err != nil {
-					fmt.Printf("%6d %14s (%v)\n", p, "-", err)
-					continue
-				}
-				ro, err := core.DistributedDecompose(im, overCfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				fmt.Printf("%6d %14.4g %14.4g\n", p, rb.GuardTime, ro.GuardTime)
-			}
-			fmt.Println()
-		}
-		if *block {
-			fmt.Printf("--- block-decomposition ablation, %s ---\n", cfg.Label)
-			serial := core.SerialTime(machine, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels)
-			fmt.Printf("%6s %12s %9s %8s\n", "P", "elapsed(s)", "speedup", "msgs")
-			for _, p := range procs {
-				res, err := core.BlockDecompose(im, core.DistConfig{
-					Machine:   machine,
-					Placement: placements[0],
-					Procs:     p,
-					Bank:      cfg.Bank,
-					Levels:    cfg.Levels,
-				})
-				if err != nil {
-					fmt.Printf("%6d %12s (%v)\n", p, "-", err)
-					continue
-				}
-				fmt.Printf("%6d %12.4g %9.2f %8d\n", p, res.Sim.Elapsed, serial/res.Sim.Elapsed, res.Sim.Msgs)
-			}
-			fmt.Println()
-		}
-		figure++
+	rep, err := harness.RunByName(context.Background(), "wavelet/scaling", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Print(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.ExportCSV(rep, opt.CSVDir, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

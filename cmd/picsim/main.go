@@ -2,7 +2,8 @@
 // and 19-20 scalability (including the superlinear paging column),
 // Figure 10 / 21 communication balance, Figures 11-14 / 22-25 performance
 // budgets, the serial tables, and the gssum-versus-parallel-prefix
-// ablation.
+// ablation. It is a thin shell over the "pic/scaling" experiment in the
+// internal/harness registry.
 //
 // Usage:
 //
@@ -13,69 +14,51 @@
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
 	"wavelethpc/internal/cli"
-	"wavelethpc/internal/pic"
+	_ "wavelethpc/internal/experiments"
+	"wavelethpc/internal/harness"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("picsim: ")
+	var f cli.Flags
+	f.AddMachine(flag.CommandLine, "paragon")
+	f.AddProcs(flag.CommandLine, "1,2,4,8,16,32")
+	f.AddSizes(flag.CommandLine, "particles", "262144,1048576", "comma-separated particle counts")
+	f.AddGrid(flag.CommandLine)
+	f.AddSteps(flag.CommandLine)
+	f.AddWorkers(flag.CommandLine)
+	f.AddCSV(flag.CommandLine)
 	var (
-		machine   = flag.String("machine", "paragon", "machine preset: paragon or t3d")
-		grid      = flag.Int("grid", 32, "grid edge (32 or 64 are calibrated)")
-		particles = flag.String("particles", "262144,1048576", "comma-separated particle counts")
-		procsF    = flag.String("procs", "1,2,4,8,16,32", "comma-separated processor counts (powers of two)")
-		steps     = flag.Int("steps", 1, "iterations per run")
-		seed      = flag.Int64("seed", 1, "initial-condition seed")
-		gssum     = flag.Bool("gssum", false, "run the gssum-vs-prefix global-sum ablation")
+		gssum = flag.Bool("gssum", false, "run the gssum-vs-prefix global-sum ablation")
+		list  = flag.Bool("list", false, "list the registered experiments and exit")
 	)
 	flag.Parse()
+	if *list {
+		cli.ListExperiments(os.Stdout)
+		return
+	}
 
-	table, err := pic.SerialTable()
+	opt, err := f.Options()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("=== Serial per-iteration times (Appendix B Tables 1-2, PIC rows) ===")
-	fmt.Println(table)
+	opt.GSSum = *gssum
 
-	procs, err := cli.ParseInts(*procsF)
+	rep, err := harness.RunByName(context.Background(), "pic/scaling", opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nps, err := cli.ParseInts(*particles)
-	if err != nil {
+	if err := rep.Print(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	for _, np := range nps {
-		fmt.Printf("=== PIC scalability, %d particles, m=%d, %s ===\n", np, *grid, *machine)
-		res, err := pic.RunScaling(*machine, np, *grid, procs, *steps, *seed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(pic.FormatScaling(*machine, res))
-		fmt.Printf("%6s %14s %14s   (communication balance, Figure 10)\n", "P", "avg comm(s)", "max comm(s)")
-		for _, r := range res {
-			fmt.Printf("%6d %14.4g %14.4g\n", r.Procs, r.AvgComm, r.MaxComm)
-		}
-		fmt.Println()
-	}
-
-	if *gssum {
-		fmt.Println("=== Global-sum ablation: gssum vs parallel-prefix (per-iteration seconds) ===")
-		fmt.Printf("%6s %12s %12s %8s\n", "P", "gssum", "prefix", "ratio")
-		for _, p := range procs {
-			if p < 2 {
-				continue
-			}
-			naive, prefix, err := pic.GlobalSumComparison(*machine, 65536, *grid, p, *seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("%6d %12.4g %12.4g %8.2f\n", p, naive, prefix, naive/prefix)
-		}
+	if err := cli.ExportCSV(rep, opt.CSVDir, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -3,99 +3,39 @@
 // (Tables 2 and 7), the vector-space versus parallelism-matrix similarity
 // comparison (Tables 1, 3, 4), the pairwise NAS similarity matrix
 // (Table 8), and smoothability with finite-processor critical paths
-// (Table 9).
+// (Table 9). It is a thin shell over the "workloads/tables" experiment
+// in the internal/harness registry.
 package main
 
 import (
+	"context"
 	"flag"
-	"fmt"
-	"sort"
+	"log"
+	"os"
 
-	"wavelethpc/internal/oracle"
-	"wavelethpc/internal/workload"
+	"wavelethpc/internal/cli"
+	_ "wavelethpc/internal/experiments"
+	"wavelethpc/internal/harness"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("workloads: ")
 	var (
 		section = flag.String("section", "all", "which tables to print: example, centroids, similarity, smooth, machines, or all")
+		list    = flag.Bool("list", false, "list the registered experiments and exit")
 	)
 	flag.Parse()
-	all := *section == "all"
-
-	if all || *section == "example" {
-		exampleSuite()
+	if *list {
+		cli.ListExperiments(os.Stdout)
+		return
 	}
 
-	// Schedule the NAS-like kernels once.
-	if all || *section == "centroids" || *section == "similarity" || *section == "smooth" || *section == "machines" {
-		specs := oracle.NASKernels()
-		names := make([]string, 0, len(specs))
-		traces := map[string][]oracle.Instr{}
-		cents := map[string]oracle.PI{}
-		for _, spec := range specs {
-			names = append(names, spec.Name)
-			tr := spec.Generate()
-			traces[spec.Name] = tr
-			cents[spec.Name] = workload.Centroid(oracle.Schedule(tr))
-		}
-		if all || *section == "centroids" {
-			fmt.Println("=== Table 7: centroids of the NAS-like workloads ===")
-			fmt.Println(workload.FormatCentroids(names, cents))
-		}
-		if all || *section == "similarity" {
-			fmt.Println("=== Table 8: pairwise similarity (0 identical, 1 orthogonal) ===")
-			fmt.Println(workload.FormatSimilarity(names, workload.SimilarityMatrix(names, cents)))
-		}
-		if all || *section == "machines" {
-			fmt.Println("=== Architecture dependence: oracle vs executed parallelism (Cray-Y-MP-like FUs) ===")
-			fmt.Printf("%-10s %14s %20s %14s"+"\n", "workload", "oracle avg-par", "executed avg-par", "window-64")
-			for _, n := range names {
-				tr := traces[n]
-				o := oracle.Summarize(oracle.Schedule(tr))
-				e := oracle.Summarize(oracle.ScheduleTyped(tr, oracle.CrayYMPLimits()))
-				w := oracle.Summarize(oracle.ScheduleWindowed(tr, 64))
-				fmt.Printf("%-10s %14.1f %20.1f %14.1f"+"\n", n, o.AvgParallelism, e.AvgParallelism, w.AvgParallelism)
-			}
-			fmt.Println()
-		}
-		if all || *section == "smooth" {
-			fmt.Println("=== Table 9: smoothability and finite-processor critical paths ===")
-			fmt.Printf("%-10s %14s %12s %10s %14s %12s\n",
-				"workload", "smoothability", "CPL(inf)", "P avg", "CPL(P avg)", "avg op delay")
-			for _, n := range names {
-				sm, stats, limited, delay := oracle.Smoothability(traces[n])
-				fmt.Printf("%-10s %14.5f %12d %10.1f %14d %12.2f\n",
-					n, sm, stats.CPL, stats.AvgParallelism, limited, delay)
-			}
-			fmt.Println()
-		}
+	rep, err := harness.RunByName(context.Background(), "workloads/tables", harness.Options{Section: *section})
+	if err != nil {
+		log.Fatal(err)
 	}
-}
-
-// exampleSuite prints the Section 4 comparison of the two techniques on
-// the five-workload example.
-func exampleSuite() {
-	suite := oracle.ExampleSuite()
-	names := make([]string, 0, len(suite))
-	for n := range suite {
-		names = append(names, n)
+	if err := rep.Print(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	sort.Strings(names)
-
-	fmt.Println("=== Table 2: example-suite centroids ===")
-	cents := map[string]oracle.PI{}
-	for _, n := range names {
-		cents[n] = workload.Centroid(suite[n])
-	}
-	fmt.Println(workload.FormatCentroids(names, cents))
-
-	fmt.Println("=== Tables 1/3/4: parallelism-matrix vs vector-space similarity ===")
-	fmt.Printf("%-12s %20s %20s\n", "pair", "parallelism-matrix", "vector-space")
-	pairs := [][2]string{{"WL1", "WL2"}, {"WL1", "WL3"}, {"WL1", "WL4"}, {"WL1", "WL5"}, {"WL3", "WL4"}}
-	for _, pr := range pairs {
-		frob := workload.FrobeniusDiff(workload.NewMatrix(suite[pr[0]]), workload.NewMatrix(suite[pr[1]]))
-		vs := workload.Similarity(cents[pr[0]], cents[pr[1]])
-		fmt.Printf("%-12s %20.4f %20.4f\n", pr[0]+" & "+pr[1], frob, vs)
-	}
-	fmt.Println()
 }

@@ -1,21 +1,32 @@
-// Package cli holds small helpers shared by the cmd/ tools: list-flag
-// parsing and aligned table writing.
+// Package cli holds the flag plumbing shared by the cmd/ tools:
+// list-flag parsing with validation, and the common experiment flags
+// that translate into a harness.Options.
 package cli
 
 import (
+	"flag"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+
+	"wavelethpc/internal/harness"
 )
 
-// ParseInts parses a comma-separated list of positive integers such as a
-// processor-count sweep ("1,2,4,8,16,32").
+// ParseInts parses a comma-separated list of positive integers such as
+// a processor-count sweep ("1,2,4,8,16,32"). Non-positive and
+// duplicate values are rejected up front — a "-procs 0,4" or
+// "-procs 4,4" sweep would otherwise fail deep inside the simulator
+// (or silently run a point twice).
 func ParseInts(s string) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("cli: empty list")
 	}
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
+	seen := make(map[int]bool, len(parts))
 	for _, part := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
@@ -24,6 +35,10 @@ func ParseInts(s string) ([]int, error) {
 		if v < 1 {
 			return nil, fmt.Errorf("cli: value %d must be positive", v)
 		}
+		if seen[v] {
+			return nil, fmt.Errorf("cli: duplicate value %d", v)
+		}
+		seen[v] = true
 		out = append(out, v)
 	}
 	return out, nil
@@ -38,4 +53,137 @@ func PowersOfTwo(vals []int) bool {
 		}
 	}
 	return true
+}
+
+// Flags bundles the experiment flags shared by the cmd/ tools. Each
+// command registers the subset it needs and converts the parsed values
+// into a harness.Options with Options().
+type Flags struct {
+	Machine   string
+	Procs     string
+	Sizes     string
+	Grid      int
+	Size      int
+	Seed      int64
+	Steps     int
+	Workers   int
+	Trace     string
+	CSVDir    string
+	sizesName string
+}
+
+// AddMachine registers -machine.
+func (f *Flags) AddMachine(fs *flag.FlagSet, def string) {
+	fs.StringVar(&f.Machine, "machine", def, "machine preset: paragon, t3d, or dec5000")
+}
+
+// AddProcs registers -procs.
+func (f *Flags) AddProcs(fs *flag.FlagSet, def string) {
+	fs.StringVar(&f.Procs, "procs", def, "comma-separated processor counts")
+}
+
+// AddSizes registers a problem-size sweep flag under the given name
+// (e.g. "sizes" for body counts, "particles" for particle counts).
+func (f *Flags) AddSizes(fs *flag.FlagSet, name, def, usage string) {
+	f.sizesName = name
+	fs.StringVar(&f.Sizes, name, def, usage)
+}
+
+// AddImage registers -size and -seed for the wavelet experiments.
+func (f *Flags) AddImage(fs *flag.FlagSet) {
+	fs.IntVar(&f.Size, "size", 512, "square image size")
+	fs.Int64Var(&f.Seed, "seed", 42, "synthetic scene seed")
+}
+
+// AddSteps registers -steps and -seed for the application experiments.
+func (f *Flags) AddSteps(fs *flag.FlagSet) {
+	fs.IntVar(&f.Steps, "steps", 1, "simulated time steps per run")
+	fs.Int64Var(&f.Seed, "seed", 1, "initial-condition seed")
+}
+
+// AddWorkers registers -workers, the sweep-concurrency bound.
+func (f *Flags) AddWorkers(fs *flag.FlagSet) {
+	fs.IntVar(&f.Workers, "workers", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+}
+
+// AddTrace registers -trace, the nx event-trace output path.
+func (f *Flags) AddTrace(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write an nx event trace of one representative run "+
+		"(Chrome trace_event JSON; a .jsonl suffix selects JSONL)")
+}
+
+// AddCSV registers -csv, the per-artifact CSV export directory.
+func (f *Flags) AddCSV(fs *flag.FlagSet) {
+	fs.StringVar(&f.CSVDir, "csv", "", "also write one CSV per curve/table into this directory")
+}
+
+// AddGrid registers -grid for the PIC experiments.
+func (f *Flags) AddGrid(fs *flag.FlagSet) {
+	fs.IntVar(&f.Grid, "grid", 32, "grid edge (32 or 64 are calibrated)")
+}
+
+// ListExperiments prints the registered experiment catalog, one
+// "name - description" line each.
+func ListExperiments(w io.Writer) {
+	for _, name := range harness.Names() {
+		e, err := harness.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %s\n", name, e.Description())
+	}
+}
+
+// ExportCSV writes every artifact of the report as <name>.csv into dir,
+// logging one "wrote <path>" line per file to w. A nil report or empty
+// dir is a no-op.
+func ExportCSV(rep *harness.Report, dir string, w io.Writer) error {
+	if rep == nil || dir == "" {
+		return nil
+	}
+	for _, a := range rep.Artifacts() {
+		path := filepath.Join(dir, a.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := a.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// Options validates the parsed flags and builds the harness options.
+func (f *Flags) Options() (harness.Options, error) {
+	opt := harness.Options{
+		Machine:   f.Machine,
+		Grid:      f.Grid,
+		Size:      f.Size,
+		Seed:      f.Seed,
+		Steps:     f.Steps,
+		Workers:   f.Workers,
+		TracePath: f.Trace,
+		CSVDir:    f.CSVDir,
+	}
+	if f.Procs != "" {
+		procs, err := ParseInts(f.Procs)
+		if err != nil {
+			return opt, fmt.Errorf("-procs: %w", err)
+		}
+		opt.Procs = procs
+	}
+	if f.Sizes != "" {
+		sizes, err := ParseInts(f.Sizes)
+		if err != nil {
+			return opt, fmt.Errorf("-%s: %w", f.sizesName, err)
+		}
+		opt.Sizes = sizes
+	}
+	return opt, nil
 }

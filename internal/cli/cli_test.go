@@ -1,7 +1,9 @@
 package cli
 
 import (
+	"flag"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +22,61 @@ func TestParseIntsErrors(t *testing.T) {
 		if _, err := ParseInts(s); err == nil {
 			t.Errorf("ParseInts(%q) accepted", s)
 		}
+	}
+}
+
+func TestParseIntsRejectsNonPositive(t *testing.T) {
+	for _, s := range []string{"0,4", "4,0", "1,-2,4"} {
+		_, err := ParseInts(s)
+		if err == nil {
+			t.Fatalf("ParseInts(%q) accepted a non-positive sweep", s)
+		}
+		if !strings.Contains(err.Error(), "positive") {
+			t.Errorf("ParseInts(%q) error %q does not name the positivity rule", s, err)
+		}
+	}
+}
+
+func TestParseIntsRejectsDuplicates(t *testing.T) {
+	for _, s := range []string{"4,4", "1,2,4,2", "8, 8"} {
+		_, err := ParseInts(s)
+		if err == nil {
+			t.Fatalf("ParseInts(%q) accepted a duplicate sweep", s)
+		}
+		if !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("ParseInts(%q) error %q does not name the duplicate", s, err)
+		}
+	}
+}
+
+func TestFlagsOptions(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.AddMachine(fs, "paragon")
+	f.AddProcs(fs, "1,2,4")
+	f.AddWorkers(fs)
+	f.AddTrace(fs)
+	if err := fs.Parse([]string{"-procs", "2,8", "-machine", "t3d", "-trace", "out.json"}); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Machine != "t3d" || !reflect.DeepEqual(opt.Procs, []int{2, 8}) || opt.TracePath != "out.json" {
+		t.Errorf("Options = %+v", opt)
+	}
+}
+
+func TestFlagsOptionsBadProcs(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.AddProcs(fs, "1,2")
+	if err := fs.Parse([]string{"-procs", "0,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Options(); err == nil {
+		t.Error("Options accepted -procs 0,4")
 	}
 }
 

@@ -184,7 +184,7 @@ func BlockDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) {
 		r.SetResult(ph)
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}, prog)
 	if err != nil {
 		return nil, err
 	}

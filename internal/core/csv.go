@@ -1,72 +1,34 @@
 package core
 
 import (
-	"encoding/csv"
-	"fmt"
 	"io"
-	"strconv"
+
+	"wavelethpc/internal/harness"
 )
 
 // CSV emitters: the figure benches print text tables; these writers emit
 // the same series in a plot-ready form so the paper's figures can be
-// regenerated graphically (gnuplot, matplotlib, a spreadsheet).
+// regenerated graphically. The column layout and formatting live in the
+// shared harness result model (see ScalingCurve.Curve and Table1Table).
 
 // WriteCSV emits the scaling curve as CSV with a header row.
 func (c *ScalingCurve) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"config", "placement", "procs", "elapsed_s", "speedup", "guard_s", "conflicts", "linkwait_s"}); err != nil {
-		return err
-	}
-	for _, p := range c.Points {
-		rec := []string{
-			c.Config.Label,
-			c.Placement,
-			strconv.Itoa(p.Procs),
-			formatF(p.Elapsed),
-			formatF(p.Speedup),
-			formatF(p.GuardTime),
-			strconv.Itoa(p.Contended),
-			formatF(p.LinkWait),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return c.Curve("").WriteCSV(w)
+}
+
+// WriteJSON emits the scaling curve, including per-point budget
+// breakdowns, as JSON.
+func (c *ScalingCurve) WriteJSON(w io.Writer) error {
+	return c.Curve("").WriteJSON(w)
 }
 
 // WriteTable1CSV emits Table 1 rows as CSV.
 func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"machine", "f8l1_s", "f4l2_s", "f2l4_s"}); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		rec := []string{r.Machine, formatF(r.Seconds[0]), formatF(r.Seconds[1]), formatF(r.Seconds[2])}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return Table1Table(rows).WriteCSV(w)
 }
-
-func formatF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
 
 // CSVName returns a filesystem-friendly name for the curve's series, e.g.
 // "paragon_f8l1_snake".
 func (c *ScalingCurve) CSVName(machine string) string {
-	label := ""
-	for _, r := range c.Config.Label {
-		switch {
-		case r >= 'A' && r <= 'Z':
-			label += string(r - 'A' + 'a')
-		case r == '/':
-			// drop
-		default:
-			label += string(r)
-		}
-	}
-	return fmt.Sprintf("%s_%s_%s", machine, label, c.Placement)
+	return harness.SeriesName(machine, c.Config.Label, c.Placement)
 }

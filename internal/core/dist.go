@@ -30,6 +30,9 @@ type DistConfig struct {
 	// favors ("the use of asynchronous rather than synchronous
 	// communications").
 	Overlap bool
+	// Trace, when non-nil, records the run's nx event trace
+	// (send/recv/compute/link-wait per rank; see nx.Trace).
+	Trace *nx.Trace
 }
 
 // DistResult is the outcome of a simulated distributed decomposition.
@@ -232,7 +235,7 @@ func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) 
 		r.SetResult(ph)
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}, prog)
 	if err != nil {
 		return nil, err
 	}

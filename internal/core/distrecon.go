@@ -102,7 +102,7 @@ func DistributedReconstruct(p *wavelet.Pyramid, cfg DistConfig) (*image.Image, *
 		}
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: procs}, prog)
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: procs, Trace: cfg.Trace}, prog)
 	if err != nil {
 		return nil, nil, err
 	}

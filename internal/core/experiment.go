@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wavelethpc/internal/budget"
 	"wavelethpc/internal/filter"
+	"wavelethpc/internal/harness"
 	"wavelethpc/internal/image"
 	"wavelethpc/internal/mesh"
 	"wavelethpc/internal/wavelet"
@@ -68,14 +70,24 @@ type ScalingCurve struct {
 
 // RunScaling sweeps the simulated distributed decomposition over the given
 // processor counts, computing speedups against the calibrated serial time
-// of the machine (the paper's "1 Proc." reference).
+// of the machine (the paper's "1 Proc." reference). The sweep points are
+// independent deterministic simulations, so they run concurrently across
+// real cores (see RunScalingCtx for bounds).
 func RunScaling(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg PaperConfig, procs []int) (*ScalingCurve, error) {
+	return RunScalingCtx(context.Background(), 0, im, m, pl, cfg, procs)
+}
+
+// RunScalingCtx is RunScaling with an explicit context and sweep
+// concurrency bound (workers <= 0 uses GOMAXPROCS). Results are
+// byte-identical to a sequential point-by-point loop: every simulation
+// is bit-reproducible and points share no state.
+func RunScalingCtx(ctx context.Context, workers int, im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg PaperConfig, procs []int) (*ScalingCurve, error) {
 	curve := &ScalingCurve{
 		Placement: pl.Name(),
 		Config:    cfg,
 		Serial:    SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels),
 	}
-	for _, p := range procs {
+	points, err := harness.Sweep(ctx, procs, workers, func(ctx context.Context, p int) (ScalingPoint, error) {
 		res, err := DistributedDecompose(im, DistConfig{
 			Machine:   m,
 			Placement: pl,
@@ -84,7 +96,7 @@ func RunScaling(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg PaperCo
 			Levels:    cfg.Levels,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: P=%d: %w", p, err)
+			return ScalingPoint{}, fmt.Errorf("core: P=%d: %w", p, err)
 		}
 		pt := ScalingPoint{
 			Procs:     p,
@@ -97,19 +109,54 @@ func RunScaling(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg PaperCo
 		if pt.Elapsed > 0 {
 			pt.Speedup = curve.Serial / pt.Elapsed
 		}
-		curve.Points = append(curve.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	curve.Points = points
 	return curve, nil
+}
+
+// scalingColumns is the shared column layout of the Figures 5-7 panels.
+func scalingColumns() []harness.Column {
+	return []harness.Column{
+		{Name: "P", CSV: "procs", Width: 6, Kind: harness.Int},
+		{Name: "elapsed(s)", CSV: "elapsed_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+		{Name: "speedup", CSV: "speedup", Width: 9, Prec: 2, Verb: 'f'},
+		{Name: "guard(s)", CSV: "guard_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+		{Name: "conflicts", CSV: "conflicts", Width: 10, Kind: harness.Int},
+		{Name: "linkwait(s)", CSV: "linkwait_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+	}
+}
+
+// Curve converts the sweep into the harness result model; machine names
+// the simulated platform in the series id.
+func (c *ScalingCurve) Curve(machine string) *harness.Curve {
+	hc := &harness.Curve{
+		Name:  harness.SeriesName(machine, c.Config.Label, c.Placement),
+		Title: fmt.Sprintf("%s, %s placement (serial %.4g s)", c.Config.Label, c.Placement, c.Serial),
+		Labels: []harness.Label{
+			{Key: "config", Value: c.Config.Label},
+			{Key: "placement", Value: c.Placement},
+		},
+		Columns: scalingColumns(),
+	}
+	for _, p := range c.Points {
+		b := p.Budget
+		hc.Points = append(hc.Points, harness.Point{
+			Values: []float64{float64(p.Procs), p.Elapsed, p.Speedup, p.GuardTime, float64(p.Contended), p.LinkWait},
+			Budget: &b,
+		})
+	}
+	return hc
 }
 
 // String renders the curve as the text equivalent of one figure panel.
 func (c *ScalingCurve) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s, %s placement (serial %.4g s)\n", c.Config.Label, c.Placement, c.Serial)
-	fmt.Fprintf(&b, "%6s %12s %9s %12s %10s %12s\n", "P", "elapsed(s)", "speedup", "guard(s)", "conflicts", "linkwait(s)")
-	for _, p := range c.Points {
-		fmt.Fprintf(&b, "%6d %12.4g %9.2f %12.4g %10d %12.4g\n",
-			p.Procs, p.Elapsed, p.Speedup, p.GuardTime, p.Contended, p.LinkWait)
+	if err := c.Curve("").WriteText(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
 	}
 	return b.String()
 }
@@ -152,12 +199,30 @@ func Table1(im *image.Image, masparSeconds [3]float64) ([]Table1Row, error) {
 	return append(rows, p1, p32, decRow), nil
 }
 
+// Table1Table converts Table 1 rows into the harness result model.
+func Table1Table(rows []Table1Row) *harness.Table {
+	t := &harness.Table{
+		Name:     "table1",
+		RowHead:  "",
+		RowCSV:   "machine",
+		RowWidth: 24,
+		Columns: []harness.Column{
+			{Name: "F8/L1", CSV: "f8l1_s", Unit: "s", Width: 10, Prec: 4, Verb: 'g'},
+			{Name: "F4/L2", CSV: "f4l2_s", Unit: "s", Width: 10, Prec: 4, Verb: 'g'},
+			{Name: "F2/L4", CSV: "f2l4_s", Unit: "s", Width: 10, Prec: 4, Verb: 'g'},
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, harness.Row{Label: r.Machine, Values: []float64{r.Seconds[0], r.Seconds[1], r.Seconds[2]}})
+	}
+	return t
+}
+
 // FormatTable1 renders Table 1 rows in the paper's layout.
 func FormatTable1(rows []Table1Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "", "F8/L1", "F4/L2", "F2/L4")
-	for _, r := range rows {
-		fmt.Fprintf(&b, "%-24s %10.4g %10.4g %10.4g\n", r.Machine, r.Seconds[0], r.Seconds[1], r.Seconds[2])
+	if err := Table1Table(rows).WriteText(&b); err != nil {
+		panic(err)
 	}
 	return b.String()
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+)
+
+// TestScalingSweepDeterministic runs the same Figure-5 sweep twice
+// through the concurrent scheduler and requires byte-identical curve
+// output: each sweep point is an independent bit-reproducible
+// simulation, so real-core concurrency must not perturb results.
+func TestScalingSweepDeterministic(t *testing.T) {
+	im := image.Landsat(256, 256, 3)
+	m := mesh.Paragon()
+	pl := mesh.SnakePlacement{Width: 4}
+	cfg := PaperConfigs()[0]
+	procs := []int{1, 2, 4, 8, 16}
+
+	render := func() string {
+		curve, err := RunScaling(im, m, pl, cfg, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(curve.String())
+		if err := curve.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := render()
+	second := render()
+	if first != second {
+		t.Fatalf("concurrent sweep not deterministic:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestScalingSweepMatchesSequential compares the concurrent sweep
+// point-for-point against a sequential workers=1 run of the same
+// points in the same order.
+func TestScalingSweepMatchesSequential(t *testing.T) {
+	im := image.Landsat(256, 256, 3)
+	m := mesh.Paragon()
+	pl := mesh.SnakePlacement{Width: 4}
+	cfg := PaperConfigs()[1]
+	procs := []int{1, 2, 4, 8}
+
+	seq, err := RunScalingCtx(context.Background(), 1, im, m, pl, cfg, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunScalingCtx(context.Background(), 4, im, m, pl, cfg, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(conc.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(seq.Points), len(conc.Points))
+	}
+	for i := range seq.Points {
+		if seq.Points[i] != conc.Points[i] {
+			t.Errorf("point %d differs:\nseq:  %+v\nconc: %+v", i, seq.Points[i], conc.Points[i])
+		}
+	}
+	if seq.Serial != conc.Serial || seq.Placement != conc.Placement {
+		t.Error("curve metadata differs between sequential and concurrent runs")
+	}
+}
+
+// TestScalingSweepCancellation verifies a cancelled context aborts the
+// sweep instead of running every point.
+func TestScalingSweepCancellation(t *testing.T) {
+	im := image.Landsat(128, 128, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunScalingCtx(ctx, 2, im, mesh.Paragon(), mesh.SnakePlacement{Width: 4}, PaperConfigs()[0], []int{1, 2, 4})
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+}

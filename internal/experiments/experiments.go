@@ -1,0 +1,18 @@
+// Package experiments is the catalog of the repo's paper-reproduction
+// drivers. Importing it registers every experiment with the harness
+// registry (internal/harness); the cmd/ tools are thin shells that look
+// experiments up by name, run them, and print or export the returned
+// report. See DESIGN.md §5.
+package experiments
+
+import (
+	"wavelethpc/internal/harness"
+)
+
+func init() {
+	harness.Register(waveletScaling())
+	harness.Register(nbodyScaling())
+	harness.Register(picScaling())
+	harness.Register(workloadTables())
+	harness.Register(expTables())
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/harness"
+)
+
+func TestCatalogRegistered(t *testing.T) {
+	for _, name := range []string{"wavelet/scaling", "nbody/scaling", "pic/scaling", "workloads/tables", "exptables"} {
+		if _, err := harness.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}
+
+func TestWaveletScalingReport(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	rep, err := harness.RunByName(context.Background(), "wavelet/scaling", harness.Options{
+		Size:      64,
+		Procs:     []int{1, 2},
+		Config:    "F8/L1",
+		TracePath: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "=== Figure 5: paragon performance, F8/L1 ===") {
+		t.Errorf("missing figure heading:\n%s", out)
+	}
+	if !strings.Contains(out, "snake placement") || !strings.Contains(out, "naive placement") {
+		t.Errorf("missing placement curves:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 6") {
+		t.Errorf("-config filter did not restrict the figures:\n%s", out)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Error("trace file is not in Chrome trace_event format")
+	}
+	arts := rep.Artifacts()
+	if len(arts) != 2 {
+		t.Fatalf("artifact count = %d, want 2 (snake + naive curve)", len(arts))
+	}
+}
+
+func TestWorkloadTablesSections(t *testing.T) {
+	rep, err := harness.RunByName(context.Background(), "workloads/tables", harness.Options{Section: "centroids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table 7: centroids") {
+		t.Errorf("missing centroids table:\n%s", out)
+	}
+	if strings.Contains(out, "Table 8") || strings.Contains(out, "Table 2") {
+		t.Errorf("-section centroids printed other tables:\n%s", out)
+	}
+}

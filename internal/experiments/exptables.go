@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nbody"
+	"wavelethpc/internal/oracle"
+	"wavelethpc/internal/pic"
+	"wavelethpc/internal/simd"
+	"wavelethpc/internal/wavelet"
+	"wavelethpc/internal/workload"
+)
+
+// expTables is cmd/exptables' experiment: every table and figure of the
+// paper and its appendices in one report. The independent artifact
+// groups are scheduled concurrently through harness.Sweep (each group's
+// processor sweep is itself concurrent), while the report preserves the
+// established section order.
+func expTables() harness.Experiment {
+	return &harness.Func{
+		ExpName: "exptables",
+		Desc:    "every paper/appendix table and figure in one run (Quick shrinks sweeps)",
+		RunFunc: runExpTables,
+	}
+}
+
+type sectionsJob func(ctx context.Context) ([]harness.Section, error)
+
+func runExpTables(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	procs := opt.ProcsOr(defaultProcs)
+	nbodySizes := []int{1024, 4096, 32768}
+	picParticles := []int{256 << 10, 1 << 20}
+	imSize := harness.IntOr(opt.Size, 512)
+	if opt.Quick {
+		procs = opt.ProcsOr([]int{1, 4, 16})
+		nbodySizes = []int{1024, 4096}
+		picParticles = []int{65536}
+		imSize = harness.IntOr(opt.Size, 256)
+	}
+	im := image.Landsat(imSize, imSize, 42)
+	paragon := mesh.Paragon()
+	workers := opt.Workers
+
+	banner := func(s string) sectionsJob {
+		return func(context.Context) ([]harness.Section, error) {
+			return []harness.Section{{Text: s + "\n\n"}}, nil
+		}
+	}
+
+	var jobs []sectionsJob
+
+	// ---- Appendix A -----------------------------------------------------
+	jobs = append(jobs, banner("################ APPENDIX A: WAVELET DECOMPOSITION ################"))
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		rows, err := core.Table1(image.Landsat(512, 512, 42), simd.Table1MasPar())
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Section{{
+			Heading: "Table 1: comparative decomposition seconds (512x512 image)",
+			Tables:  []*harness.Table{core.Table1Table(rows)},
+		}}, nil
+	})
+	figure := 5
+	for _, cfg := range core.PaperConfigs() {
+		cfg := cfg
+		fig := figure
+		jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+			sec := harness.Section{
+				Heading: fmt.Sprintf("Figure %d: Paragon performance, %s (%dx%d image)", fig, cfg.Label, imSize, imSize),
+			}
+			for _, pl := range []mesh.Placement{mesh.SnakePlacement{Width: 4}, mesh.NaivePlacement{Width: 4}} {
+				curve, err := core.RunScalingCtx(ctx, workers, im, paragon, pl, cfg, procs)
+				if err != nil {
+					return nil, err
+				}
+				sec.Curves = append(sec.Curves, curve.Curve(""))
+			}
+			return []harness.Section{sec}, nil
+		})
+		figure++
+	}
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		txt, err := masparAblation()
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Section{{
+			Heading: "Section 4.1 ablation: MasPar algorithms and virtualizations (F8/L1)",
+			Text:    txt,
+		}}, nil
+	})
+
+	// ---- Appendix B -----------------------------------------------------
+	jobs = append(jobs, banner("################ APPENDIX B: N-BODY AND PIC OVERHEAD ################"))
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		serial, err := nbody.SerialTableData(1)
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Section{{
+			Heading: "Tables 1-2 (N-body rows): serial per-iteration seconds",
+			Tables:  []*harness.Table{serial},
+		}}, nil
+	})
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		serial, err := pic.SerialTableData()
+		if err != nil {
+			return nil, err
+		}
+		return []harness.Section{{
+			Heading: "Tables 1-2 (PIC rows): serial per-iteration seconds",
+			Tables:  []*harness.Table{serial},
+		}}, nil
+	})
+	for _, machine := range []string{"paragon", "t3d"} {
+		machine := machine
+		for _, n := range nbodySizes {
+			n := n
+			jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+				res, err := nbody.RunScalingCtx(ctx, workers, machine, n, procs, 1, 1)
+				if err != nil {
+					return nil, err
+				}
+				return []harness.Section{{
+					Heading: fmt.Sprintf("N-body scalability + budget, %d bodies, %s (Figures 3-6, 15-18)", n, machine),
+					Curves:  []*harness.Curve{nbody.Curve(machine, res)},
+				}}, nil
+			})
+		}
+		for _, np := range picParticles {
+			np := np
+			jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+				res, err := pic.RunScalingCtx(ctx, workers, machine, np, 32, procs, 1, 1)
+				if err != nil {
+					return nil, err
+				}
+				return []harness.Section{{
+					Heading: fmt.Sprintf("PIC scalability + budget, %d particles m=32, %s (Figures 7-14, 19-25)", np, machine),
+					Curves:  []*harness.Curve{pic.Curve(machine, res)},
+				}}, nil
+			})
+		}
+	}
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%6s %12s %12s\n", "P", "gssum(s)", "prefix(s)")
+		for _, p := range []int{4, 8, 16} {
+			naive, prefix, err := pic.GlobalSumComparison("paragon", 65536, 32, p, 1)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, "%6d %12.4g %12.4g\n", p, naive, prefix)
+		}
+		b.WriteByte('\n')
+		return []harness.Section{{
+			Heading: "gssum vs parallel-prefix global sum (Section 4.2.2)",
+			Text:    b.String(),
+		}}, nil
+	})
+
+	// ---- Appendix C -----------------------------------------------------
+	jobs = append(jobs, banner("################ APPENDIX C: WORKLOAD CHARACTERIZATION ################"))
+	jobs = append(jobs, appendixCJob)
+
+	// ---- Extension artifacts (see DESIGN.md §4) -------------------------
+	jobs = append(jobs, banner("################ EXTENSION ABLATIONS ################"))
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		return reconstructionSection(im, paragon)
+	})
+	jobs = append(jobs, costzonesJob)
+	jobs = append(jobs, func(ctx context.Context) ([]harness.Section, error) {
+		return fieldExchangeSection(paragon)
+	})
+	jobs = append(jobs, architectureJob)
+
+	groups, err := harness.Sweep(ctx, jobs, workers, func(ctx context.Context, job sectionsJob) ([]harness.Section, error) {
+		return job(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &harness.Report{Experiment: "exptables"}
+	for _, g := range groups {
+		rep.Sections = append(rep.Sections, g...)
+	}
+	return rep, nil
+}
+
+// masparAblation renders the Section 4.1 algorithm/virtualization grid.
+func masparAblation() (string, error) {
+	m2 := simd.MP2()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %12s\n", "algorithm", "virtualization", "seconds")
+	for _, alg := range []simd.Algorithm{simd.Systolic, simd.Dilution} {
+		for _, virt := range []simd.Virtualization{simd.Hierarchical, simd.CutAndStack} {
+			t, err := m2.DecomposeTime(alg, virt, 512, 8, 1)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-12s %-14s %12.5f\n", alg, virt, t)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// appendixCJob builds the workload-characterization tables (Tables 7-9).
+func appendixCJob(ctx context.Context) ([]harness.Section, error) {
+	specs := oracle.NASKernels()
+	names := make([]string, 0, len(specs))
+	cents := map[string]oracle.PI{}
+	var smooth strings.Builder
+	fmt.Fprintf(&smooth, "%-10s %14s %12s %10s %14s %12s\n",
+		"workload", "smoothability", "CPL(inf)", "P avg", "CPL(P avg)", "avg op delay")
+	for _, spec := range specs {
+		tr := spec.Generate()
+		names = append(names, spec.Name)
+		cents[spec.Name] = workload.Centroid(oracle.Schedule(tr))
+		sm, stats, limited, delay := oracle.Smoothability(tr)
+		fmt.Fprintf(&smooth, "%-10s %14.5f %12d %10.1f %14d %12.2f\n",
+			spec.Name, sm, stats.CPL, stats.AvgParallelism, limited, delay)
+	}
+	smooth.WriteByte('\n')
+	return []harness.Section{
+		{
+			Heading: "Table 9: smoothability (printed with Table 7 centroids)",
+			Text:    smooth.String(),
+		},
+		{
+			Heading: "Table 7: NAS-like workload centroids",
+			Text:    workload.FormatCentroids(names, cents) + "\n",
+		},
+		{
+			Heading: "Table 8: pairwise similarity",
+			Text:    workload.FormatSimilarity(names, workload.SimilarityMatrix(names, cents)) + "\n",
+		},
+	}, nil
+}
+
+// reconstructionSection runs the Figure 2 distributed reconstruction.
+func reconstructionSection(im *image.Image, paragon *mesh.Machine) ([]harness.Section, error) {
+	pyr, err := wavelet.Decompose(im, core.PaperConfigs()[0].Bank, filter.Periodic, 1)
+	if err != nil {
+		return nil, err
+	}
+	_, rsim, err := core.DistributedReconstruct(pyr, core.DistConfig{
+		Machine: paragon, Placement: mesh.SnakePlacement{Width: 4},
+		Procs: 8, Bank: core.PaperConfigs()[0].Bank, Levels: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Section{{
+		Heading: "Figure 2: distributed reconstruction on the simulated Paragon",
+		Text:    fmt.Sprintf("F8/L1 reconstruction at P=8: %.4g simulated seconds (%s)\n\n", rsim.Elapsed, rsim.Budget),
+	}}, nil
+}
+
+// costzonesJob compares Costzones and ORB partitioning quality.
+func costzonesJob(ctx context.Context) ([]harness.Section, error) {
+	bodies := nbody.UniformDisk(8192, 10, 1)
+	nbody.Step(bodies, 1e-3)
+	tree := nbody.Build(bodies)
+	tree.ComputeCenters()
+	cz := nbody.EvaluatePartition(bodies, tree.Costzones(16))
+	orb := nbody.EvaluatePartition(bodies, nbody.ORBPartition(bodies, 16))
+	cross, err := nbody.CrossoverSize("paragon", 1)
+	if err != nil {
+		return nil, err
+	}
+	return []harness.Section{{
+		Heading: "Costzones vs ORB partitioning (8K bodies, 16 zones)",
+		Text: fmt.Sprintf("costzones imbalance %.3f, ORB imbalance %.3f\n", cz.Imbalance, orb.Imbalance) +
+			fmt.Sprintf("Barnes-Hut overtakes direct summation at ~%d bodies on the Paragon model\n\n", cross),
+	}}, nil
+}
+
+// fieldExchangeSection compares the PIC field-exchange strategies.
+func fieldExchangeSection(paragon *mesh.Machine) ([]harness.Section, error) {
+	var b strings.Builder
+	for _, ex := range []pic.FieldExchange{pic.TransposeExchange, pic.GatherExchange} {
+		res, err := pic.ParallelRun(pic.NewUniform(4096, 16, 1), pic.ParallelConfig{
+			Machine: paragon, Placement: mesh.SnakePlacement{Width: 4},
+			Procs: 8, Steps: 1, DTMax: 0.1, Sum: pic.PrefixSum, Exchange: ex,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%-12s %.4g s/step, %d bytes on the wires\n", ex, res.PerStep, res.Sim.Bytes)
+	}
+	b.WriteByte('\n')
+	return []harness.Section{{
+		Heading: "PIC field exchange: transpose vs all-gather (4096 particles, m=16, P=8)",
+		Text:    b.String(),
+	}}, nil
+}
+
+// architectureJob compares oracle and resource-limited parallelism.
+func architectureJob(ctx context.Context) ([]harness.Section, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %20s\n", "workload", "oracle avg-par", "Y-MP-like avg-par")
+	for _, spec := range oracle.NASKernels()[:4] {
+		tr := spec.Generate()
+		o := oracle.Summarize(oracle.Schedule(tr))
+		e := oracle.Summarize(oracle.ScheduleTyped(tr, oracle.CrayYMPLimits()))
+		fmt.Fprintf(&b, "%-10s %14.1f %20.1f\n", spec.Name, o.AvgParallelism, e.AvgParallelism)
+	}
+	return []harness.Section{{
+		Heading: "Architecture dependence: oracle vs executed parallelism",
+		Text:    b.String(),
+	}}, nil
+}

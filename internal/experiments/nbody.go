@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/nbody"
+)
+
+// nbodyScaling is cmd/nbodysim's experiment: the Appendix B N-body
+// serial table plus per-size scalability/budget sweeps.
+func nbodyScaling() harness.Experiment {
+	return &harness.Func{
+		ExpName: "nbody/scaling",
+		Desc:    "Appendix B Figures 3-6, 15-18: N-body scalability and performance budgets",
+		RunFunc: runNbodyScaling,
+	}
+}
+
+func runNbodyScaling(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	machine := machineOr(opt, "paragon")
+	steps := harness.IntOr(opt.Steps, 1)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rep := &harness.Report{Experiment: "nbody/scaling"}
+
+	serial, err := nbody.SerialTableData(seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.Sections = append(rep.Sections, harness.Section{
+		Heading: "Serial per-iteration times (Appendix B Tables 1-2, N-body rows)",
+		Tables:  []*harness.Table{serial},
+	})
+
+	for _, n := range opt.SizesOr([]int{1024, 4096, 32768}) {
+		res, err := nbody.RunScalingCtx(ctx, opt.Workers, machine, n, opt.ProcsOr(defaultProcs), steps, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: fmt.Sprintf("Scalability and performance budget, %d bodies on %s", n, machine),
+			Curves:  []*harness.Curve{nbody.Curve(machine, res)},
+		})
+	}
+	return rep, nil
+}

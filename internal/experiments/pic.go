@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/pic"
+)
+
+// picScaling is cmd/picsim's experiment: the Appendix B PIC serial
+// table, per-particle-count scalability sweeps with the Figure 10
+// communication-balance panel, and the optional global-sum ablation.
+func picScaling() harness.Experiment {
+	return &harness.Func{
+		ExpName: "pic/scaling",
+		Desc:    "Appendix B Figures 7-14, 19-25: PIC scalability, budgets, and gssum ablation",
+		RunFunc: runPicScaling,
+	}
+}
+
+func runPicScaling(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	machine := machineOr(opt, "paragon")
+	grid := harness.IntOr(opt.Grid, 32)
+	steps := harness.IntOr(opt.Steps, 1)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	procs := opt.ProcsOr(defaultProcs)
+	rep := &harness.Report{Experiment: "pic/scaling"}
+
+	serial, err := pic.SerialTableData()
+	if err != nil {
+		return nil, err
+	}
+	rep.Sections = append(rep.Sections, harness.Section{
+		Heading: "Serial per-iteration times (Appendix B Tables 1-2, PIC rows)",
+		Tables:  []*harness.Table{serial},
+	})
+
+	for _, np := range opt.SizesOr([]int{262144, 1048576}) {
+		res, err := pic.RunScalingCtx(ctx, opt.Workers, machine, np, grid, procs, steps, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: fmt.Sprintf("PIC scalability, %d particles, m=%d, %s", np, grid, machine),
+			Curves:  []*harness.Curve{pic.Curve(machine, res)},
+			Text:    commBalance(res),
+		})
+	}
+
+	if opt.GSSum {
+		txt, err := gssumAblation(machine, grid, procs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: "Global-sum ablation: gssum vs parallel-prefix (per-iteration seconds)",
+			Text:    txt,
+		})
+	}
+	return rep, nil
+}
+
+// commBalance renders the Figure 10 average- vs maximum-communication
+// panel for one sweep.
+func commBalance(res []pic.ScalingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %14s %14s   (communication balance, Figure 10)\n", "P", "avg comm(s)", "max comm(s)")
+	for _, r := range res {
+		fmt.Fprintf(&b, "%6d %14.4g %14.4g\n", r.Procs, r.AvgComm, r.MaxComm)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// gssumAblation compares the paper's gssum against the parallel-prefix
+// replacement across processor counts.
+func gssumAblation(machine string, grid int, procs []int, seed int64) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s %12s %12s %8s\n", "P", "gssum", "prefix", "ratio")
+	for _, p := range procs {
+		if p < 2 {
+			continue
+		}
+		naive, prefix, err := pic.GlobalSumComparison(machine, 65536, grid, p, seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%6d %12.4g %12.4g %8.2f\n", p, naive, prefix, naive/prefix)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+)
+
+// defaultProcs is the processor sweep of the paper's figures.
+var defaultProcs = []int{1, 2, 4, 8, 16, 32}
+
+// placementsFor returns the placements the Appendix A figures compare on
+// the given machine: snake vs naive striping on the 2D mesh, linear on
+// the T3D torus (where the paper's snake argument does not apply).
+func placementsFor(m *mesh.Machine) []mesh.Placement {
+	if m.Topology == mesh.Torus3D {
+		return []mesh.Placement{mesh.LinearPlacement{M: m}}
+	}
+	return []mesh.Placement{mesh.SnakePlacement{Width: 4}, mesh.NaivePlacement{Width: 4}}
+}
+
+// waveletScaling is cmd/paragonsim's experiment: the paper's Figures 5-7
+// speedup sweeps with optional overlap/block ablations and an optional
+// nx event trace of one representative run.
+func waveletScaling() harness.Experiment {
+	return &harness.Func{
+		ExpName: "wavelet/scaling",
+		Desc:    "Figures 5-7: distributed wavelet decomposition speedup vs processor count",
+		RunFunc: runWaveletScaling,
+	}
+}
+
+func runWaveletScaling(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	machine, err := mesh.MachineByName(machineOr(opt, "paragon"))
+	if err != nil {
+		return nil, err
+	}
+	size := harness.IntOr(opt.Size, 512)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	im := image.Landsat(size, size, uint64(seed))
+	procs := opt.ProcsOr(defaultProcs)
+	placements := placementsFor(machine)
+
+	rep := &harness.Report{Experiment: "wavelet/scaling"}
+	figure := 5
+	for _, cfg := range core.PaperConfigs() {
+		if opt.Config != "" && cfg.Label != opt.Config {
+			figure++
+			continue
+		}
+		sec := harness.Section{
+			Heading: fmt.Sprintf("Figure %d: %s performance, %s", figure, machine.Name, cfg.Label),
+		}
+		for _, pl := range placements {
+			curve, err := core.RunScalingCtx(ctx, opt.Workers, im, machine, pl, cfg, procs)
+			if err != nil {
+				return nil, err
+			}
+			sec.Curves = append(sec.Curves, curve.Curve(machine.Name))
+		}
+		if opt.Overlap {
+			txt, err := overlapAblation(im, machine, placements[0], cfg, procs)
+			if err != nil {
+				return nil, err
+			}
+			sec.Text += txt
+		}
+		if opt.Block {
+			txt, err := blockAblation(im, machine, placements[0], cfg, procs)
+			if err != nil {
+				return nil, err
+			}
+			sec.Text += txt
+		}
+		rep.Sections = append(rep.Sections, sec)
+		figure++
+	}
+
+	if opt.TracePath != "" {
+		txt, err := traceRun(im, machine, placements[0], opt, procs)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, harness.Section{Text: txt})
+	}
+	return rep, nil
+}
+
+// overlapAblation reproduces the blocking- vs overlapped-guard panel.
+func overlapAblation(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg core.PaperConfig, procs []int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- overlapped guard exchange, %s ---\n", cfg.Label)
+	fmt.Fprintf(&b, "%6s %14s %14s\n", "P", "blocking-guard", "overlap-guard")
+	for _, p := range procs {
+		baseCfg := core.DistConfig{Machine: m, Placement: pl, Procs: p, Bank: cfg.Bank, Levels: cfg.Levels}
+		overCfg := baseCfg
+		overCfg.Overlap = true
+		rb, err := core.DistributedDecompose(im, baseCfg)
+		if err != nil {
+			fmt.Fprintf(&b, "%6d %14s (%v)\n", p, "-", err)
+			continue
+		}
+		ro, err := core.DistributedDecompose(im, overCfg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%6d %14.4g %14.4g\n", p, rb.GuardTime, ro.GuardTime)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// blockAblation reproduces the block-decomposition comparison panel.
+func blockAblation(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg core.PaperConfig, procs []int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- block-decomposition ablation, %s ---\n", cfg.Label)
+	serial := core.SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels)
+	fmt.Fprintf(&b, "%6s %12s %9s %8s\n", "P", "elapsed(s)", "speedup", "msgs")
+	for _, p := range procs {
+		res, err := core.BlockDecompose(im, core.DistConfig{
+			Machine:   m,
+			Placement: pl,
+			Procs:     p,
+			Bank:      cfg.Bank,
+			Levels:    cfg.Levels,
+		})
+		if err != nil {
+			fmt.Fprintf(&b, "%6d %12s (%v)\n", p, "-", err)
+			continue
+		}
+		fmt.Fprintf(&b, "%6d %12.4g %9.2f %8d\n", p, res.Sim.Elapsed, serial/res.Sim.Elapsed, res.Sim.Msgs)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// traceRun re-runs one representative decomposition point with the nx
+// event trace enabled and writes it to opt.TracePath. Tracing a
+// dedicated run (rather than a sweep point) keeps the trace buffer out
+// of the concurrent sweep and makes the traced configuration explicit.
+func traceRun(im *image.Image, m *mesh.Machine, pl mesh.Placement, opt harness.Options, procs []int) (string, error) {
+	cfg := core.PaperConfigs()[0]
+	if opt.Config != "" {
+		for _, c := range core.PaperConfigs() {
+			if c.Label == opt.Config {
+				cfg = c
+			}
+		}
+	}
+	p := procs[len(procs)-1]
+	tr := &nx.Trace{Label: fmt.Sprintf("%s %s P=%d wavelet decomposition", m.Name, cfg.Label, p)}
+	_, err := core.DistributedDecompose(im, core.DistConfig{
+		Machine:   m,
+		Placement: pl,
+		Procs:     p,
+		Bank:      cfg.Bank,
+		Levels:    cfg.Levels,
+		Trace:     tr,
+	})
+	if err != nil {
+		return "", fmt.Errorf("traced run: %w", err)
+	}
+	f, err := os.Create(opt.TracePath)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.WriteFile(f, opt.TracePath); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("wrote %s (%d events, %s %s P=%d)\n", opt.TracePath, len(tr.Events), m.Name, cfg.Label, p), nil
+}
+
+// machineOr returns the configured machine name or the default.
+func machineOr(opt harness.Options, def string) string {
+	if opt.Machine != "" {
+		return opt.Machine
+	}
+	return def
+}

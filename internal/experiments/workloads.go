@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/oracle"
+	"wavelethpc/internal/workload"
+)
+
+// workloadTables is cmd/workloads' experiment: the Appendix C
+// characterization tables. Options.Section restricts the output to one
+// table group (example, centroids, similarity, smooth, machines).
+func workloadTables() harness.Experiment {
+	return &harness.Func{
+		ExpName: "workloads/tables",
+		Desc:    "Appendix C Tables 1-9: workload centroids, similarity, and smoothability",
+		RunFunc: runWorkloadTables,
+	}
+}
+
+func runWorkloadTables(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	section := opt.Section
+	if section == "" {
+		section = "all"
+	}
+	switch section {
+	case "all", "example", "centroids", "similarity", "smooth", "machines":
+	default:
+		return nil, fmt.Errorf("workloads: unknown section %q (known: all, example, centroids, similarity, smooth, machines)", section)
+	}
+	all := section == "all"
+	rep := &harness.Report{Experiment: "workloads/tables"}
+
+	if all || section == "example" {
+		rep.Sections = append(rep.Sections, exampleSuiteSections()...)
+	}
+
+	if section == "example" {
+		return rep, nil
+	}
+
+	// Schedule the NAS-like kernels once.
+	specs := oracle.NASKernels()
+	names := make([]string, 0, len(specs))
+	traces := map[string][]oracle.Instr{}
+	cents := map[string]oracle.PI{}
+	for _, spec := range specs {
+		names = append(names, spec.Name)
+		tr := spec.Generate()
+		traces[spec.Name] = tr
+		cents[spec.Name] = workload.Centroid(oracle.Schedule(tr))
+	}
+	if all || section == "centroids" {
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: "Table 7: centroids of the NAS-like workloads",
+			Text:    workload.FormatCentroids(names, cents) + "\n",
+		})
+	}
+	if all || section == "similarity" {
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: "Table 8: pairwise similarity (0 identical, 1 orthogonal)",
+			Text:    workload.FormatSimilarity(names, workload.SimilarityMatrix(names, cents)) + "\n",
+		})
+	}
+	if all || section == "machines" {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-10s %14s %20s %14s\n", "workload", "oracle avg-par", "executed avg-par", "window-64")
+		for _, n := range names {
+			tr := traces[n]
+			o := oracle.Summarize(oracle.Schedule(tr))
+			e := oracle.Summarize(oracle.ScheduleTyped(tr, oracle.CrayYMPLimits()))
+			w := oracle.Summarize(oracle.ScheduleWindowed(tr, 64))
+			fmt.Fprintf(&b, "%-10s %14.1f %20.1f %14.1f\n", n, o.AvgParallelism, e.AvgParallelism, w.AvgParallelism)
+		}
+		b.WriteByte('\n')
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: "Architecture dependence: oracle vs executed parallelism (Cray-Y-MP-like FUs)",
+			Text:    b.String(),
+		})
+	}
+	if all || section == "smooth" {
+		rep.Sections = append(rep.Sections, harness.Section{
+			Heading: "Table 9: smoothability and finite-processor critical paths",
+			Text:    smoothabilityPanel(names, traces) + "\n",
+		})
+	}
+	return rep, nil
+}
+
+// smoothabilityPanel renders the Table 9 rows for the given traces.
+func smoothabilityPanel(names []string, traces map[string][]oracle.Instr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %12s %10s %14s %12s\n",
+		"workload", "smoothability", "CPL(inf)", "P avg", "CPL(P avg)", "avg op delay")
+	for _, n := range names {
+		sm, stats, limited, delay := oracle.Smoothability(traces[n])
+		fmt.Fprintf(&b, "%-10s %14.5f %12d %10.1f %14d %12.2f\n",
+			n, sm, stats.CPL, stats.AvgParallelism, limited, delay)
+	}
+	return b.String()
+}
+
+// exampleSuiteSections reproduces the Section 4 comparison of the two
+// techniques on the five-workload example.
+func exampleSuiteSections() []harness.Section {
+	suite := oracle.ExampleSuite()
+	names := make([]string, 0, len(suite))
+	for n := range suite {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	cents := map[string]oracle.PI{}
+	for _, n := range names {
+		cents[n] = workload.Centroid(suite[n])
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %20s %20s\n", "pair", "parallelism-matrix", "vector-space")
+	pairs := [][2]string{{"WL1", "WL2"}, {"WL1", "WL3"}, {"WL1", "WL4"}, {"WL1", "WL5"}, {"WL3", "WL4"}}
+	for _, pr := range pairs {
+		frob := workload.FrobeniusDiff(workload.NewMatrix(suite[pr[0]]), workload.NewMatrix(suite[pr[1]]))
+		vs := workload.Similarity(cents[pr[0]], cents[pr[1]])
+		fmt.Fprintf(&b, "%-12s %20.4f %20.4f\n", pr[0]+" & "+pr[1], frob, vs)
+	}
+	b.WriteByte('\n')
+
+	return []harness.Section{
+		{
+			Heading: "Table 2: example-suite centroids",
+			Text:    workload.FormatCentroids(names, cents) + "\n",
+		},
+		{
+			Heading: "Tables 1/3/4: parallelism-matrix vs vector-space similarity",
+			Text:    b.String(),
+		},
+	}
+}

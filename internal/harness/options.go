@@ -1,0 +1,72 @@
+package harness
+
+// Options carries the shared knobs of the experiment drivers. Each
+// experiment reads the fields it understands and applies its own
+// defaults for zero values, so one options struct serves the whole
+// registry and the cmd/ flag plumbing stays in one place
+// (internal/cli).
+type Options struct {
+	// Machine selects the preset ("paragon", "t3d", "dec5000"; the
+	// Appendix A/B sweeps default to "paragon").
+	Machine string
+	// Procs is the processor-count sweep (default per experiment).
+	Procs []int
+	// Sizes is the problem-size sweep: body counts for the N-body
+	// experiments, particle counts for PIC.
+	Sizes []int
+	// Grid is the PIC grid edge (default 32).
+	Grid int
+	// Size is the square image edge for the wavelet experiments
+	// (default 512).
+	Size int
+	// Seed feeds the synthetic scenes and initial conditions.
+	Seed int64
+	// Steps is the simulated time steps per run (default 1).
+	Steps int
+	// Quick shrinks sweeps for a fast sanity pass (cmd/exptables
+	// -quick).
+	Quick bool
+	// Workers bounds the sweep concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// Config restricts the wavelet experiments to one paper
+	// configuration label (F8/L1, F4/L2, F2/L4); empty runs all.
+	Config string
+	// Block and Overlap enable the wavelet ablation panels.
+	Block, Overlap bool
+	// GSSum enables the PIC global-sum ablation.
+	GSSum bool
+	// Section restricts the workload experiment to one table group.
+	Section string
+	// TracePath, when non-empty, makes the experiment run one
+	// representative point with the nx event trace enabled and write
+	// it there (Chrome trace_event format; ".jsonl" suffix selects
+	// JSONL). See internal/nx.Trace.
+	TracePath string
+	// CSVDir, when non-empty, also writes each artifact as CSV into
+	// this directory.
+	CSVDir string
+}
+
+// ProcsOr returns the configured sweep or the given default.
+func (o Options) ProcsOr(def []int) []int {
+	if len(o.Procs) > 0 {
+		return o.Procs
+	}
+	return def
+}
+
+// SizesOr returns the configured problem sizes or the given default.
+func (o Options) SizesOr(def []int) []int {
+	if len(o.Sizes) > 0 {
+		return o.Sizes
+	}
+	return def
+}
+
+// IntOr returns v when positive, else def.
+func IntOr(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

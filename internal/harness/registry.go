@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Experiment is one named paper-reproduction driver: it runs its sweeps
+// (concurrently, via Sweep) under the shared Options and returns a
+// structured Report. The cmd/ tools are thin shells that look
+// experiments up by name and print or export the report.
+type Experiment interface {
+	// Name is the registry key, e.g. "wavelet/scaling".
+	Name() string
+	// Description is a one-line summary for -list output.
+	Description() string
+	// Run executes the experiment.
+	Run(ctx context.Context, opt Options) (*Report, error)
+}
+
+// Func adapts a function to the Experiment interface.
+type Func struct {
+	// ExpName and Desc fill Name() and Description().
+	ExpName, Desc string
+	// RunFunc is invoked by Run.
+	RunFunc func(ctx context.Context, opt Options) (*Report, error)
+}
+
+// Name implements Experiment.
+func (f Func) Name() string { return f.ExpName }
+
+// Description implements Experiment.
+func (f Func) Description() string { return f.Desc }
+
+// Run implements Experiment.
+func (f Func) Run(ctx context.Context, opt Options) (*Report, error) {
+	return f.RunFunc(ctx, opt)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment under its name. Registering an empty
+// name or the same name twice panics — both are programmer errors in
+// the experiment catalog.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("harness: Register with empty experiment name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("harness: duplicate experiment %q", name))
+	}
+	registry[name] = e
+}
+
+// Lookup returns the named experiment or an error listing the known
+// names.
+func Lookup(name string) (Experiment, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", name, Names())
+	}
+	return e, nil
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunByName looks an experiment up and runs it.
+func RunByName(ctx context.Context, name string, opt Options) (*Report, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, opt)
+}

@@ -1,0 +1,397 @@
+// Package harness is the shared experiment layer: a named registry of
+// the repo's paper-reproduction drivers, a concurrent sweep scheduler
+// that fans independent simulation points out over real cores, and a
+// structured result model (Point/Curve/Table) with common text, CSV,
+// and JSON emitters. Every artifact of the paper and its appendices is
+// defined as an Experiment, executed through Sweep, and reported
+// through this model, so the cmd/ tools are thin shells instead of
+// hand-rolled drivers (see DESIGN.md §5).
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wavelethpc/internal/budget"
+)
+
+// ColKind distinguishes integer from floating-point columns so the text
+// and CSV emitters can reproduce the repo's established table layouts.
+type ColKind int
+
+const (
+	// Float renders with the column's verb ('g' or 'f') and precision.
+	Float ColKind = iota
+	// Int renders as a decimal integer.
+	Int
+)
+
+// Column describes one value column of a Curve or Table: its text
+// header, CSV/JSON field name, unit, and text formatting.
+type Column struct {
+	// Name is the text-table header, e.g. "elapsed(s)".
+	Name string
+	// CSV is the CSV/JSON field name, e.g. "elapsed_s". Empty defaults
+	// to Name.
+	CSV string
+	// Unit is the value unit ("s", "%", ""), carried into JSON.
+	Unit string
+	// Width is the text column width; Prec the float precision.
+	Width, Prec int
+	// Kind selects integer or float rendering.
+	Kind ColKind
+	// Verb is the float format verb, 'g' or 'f' (default 'g').
+	Verb byte
+}
+
+func (c Column) key() string {
+	if c.CSV != "" {
+		return c.CSV
+	}
+	return c.Name
+}
+
+// cell renders one value for the text table.
+func (c Column) cell(v float64) string {
+	if c.Kind == Int {
+		return fmt.Sprintf("%*d", c.Width, int64(v))
+	}
+	verb := c.Verb
+	if verb == 0 {
+		verb = 'g'
+	}
+	return fmt.Sprintf("%*.*"+string(verb), c.Width, c.Prec, v)
+}
+
+// csvCell renders one value for CSV (full precision, layout-free).
+func (c Column) csvCell(v float64) string {
+	if c.Kind == Int {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}
+
+// Label is a constant per-series annotation (e.g. config=F8/L1),
+// emitted as leading CSV columns and as JSON metadata.
+type Label struct {
+	Key, Value string
+}
+
+// Point is one row of a Curve: the measured values aligned with the
+// curve's Columns, plus the run's optional budget breakdown.
+type Point struct {
+	Values []float64      `json:"values"`
+	Budget *budget.Report `json:"budget,omitempty"`
+}
+
+// Curve is one experiment series — the content of one figure panel:
+// a heading, constant labels, named columns, and swept points.
+type Curve struct {
+	// Name is a filesystem-friendly series id, e.g. "paragon_f8l1_snake".
+	Name string
+	// Title is the heading line printed above the text table ("" = none).
+	Title string
+	// Labels annotate every point of the series.
+	Labels []Label
+	// Columns describe the per-point values.
+	Columns []Column
+	// Points hold the swept measurements in sweep order.
+	Points []Point
+}
+
+// WriteText renders the curve as an aligned text table, the form the
+// cmd/ tools print as "text equivalents" of the paper's figures.
+func (c *Curve) WriteText(w io.Writer) error {
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	cells := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		cells[i] = fmt.Sprintf("%*s", col.Width, col.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+		return err
+	}
+	for _, p := range c.Points {
+		for i, col := range c.Columns {
+			cells[i] = col.cell(p.Values[i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the series with a header row: label columns first,
+// then one column per value.
+func (c *Curve) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := make([]string, 0, len(c.Labels)+len(c.Columns))
+	for _, l := range c.Labels {
+		head = append(head, l.Key)
+	}
+	for _, col := range c.Columns {
+		head = append(head, col.key())
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, p := range c.Points {
+		rec := make([]string, 0, len(head))
+		for _, l := range c.Labels {
+			rec = append(rec, l.Value)
+		}
+		for i, col := range c.Columns {
+			rec = append(rec, col.csvCell(p.Values[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// curveJSON is the serialized shape of a Curve.
+type curveJSON struct {
+	Name    string            `json:"name"`
+	Title   string            `json:"title,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Columns []columnJSON      `json:"columns"`
+	Points  []Point           `json:"points"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// WriteJSON emits the series as one indented JSON document.
+func (c *Curve) WriteJSON(w io.Writer) error {
+	doc := curveJSON{Name: c.Name, Title: c.Title, Points: c.Points}
+	if len(c.Labels) > 0 {
+		doc.Labels = make(map[string]string, len(c.Labels))
+		for _, l := range c.Labels {
+			doc.Labels[l.Key] = l.Value
+		}
+	}
+	for _, col := range c.Columns {
+		doc.Columns = append(doc.Columns, columnJSON{Name: col.key(), Unit: col.Unit})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Row is one labeled row of a Table.
+type Row struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// Table is a labeled-row artifact (Table 1, the serial-time tables,
+// the workload centroid tables): a label column plus value columns.
+type Table struct {
+	// Name is a filesystem-friendly artifact id.
+	Name string
+	// Title is printed above the table ("" = none).
+	Title string
+	// RowHead is the label column's header (often empty); RowWidth its
+	// text width (rendered left-aligned). RowCSV overrides the CSV/JSON
+	// name of the label column (default RowHead, or "label").
+	RowHead  string
+	RowCSV   string
+	RowWidth int
+	Columns  []Column
+	Rows     []Row
+}
+
+// WriteText renders the table in the repo's aligned-text layout.
+func (t *Table) WriteText(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	cells := []string{fmt.Sprintf("%-*s", t.RowWidth, t.RowHead)}
+	for _, col := range t.Columns {
+		cells = append(cells, fmt.Sprintf("%*s", col.Width, col.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		cells = cells[:0]
+		cells = append(cells, fmt.Sprintf("%-*s", t.RowWidth, r.Label))
+		for i, col := range t.Columns {
+			cells = append(cells, col.cell(r.Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the table with the row-label column first.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := []string{t.labelHeader()}
+	for _, col := range t.Columns {
+		head = append(head, col.key())
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := []string{r.Label}
+		for i, col := range t.Columns {
+			rec = append(rec, col.csvCell(r.Values[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func (t *Table) labelHeader() string {
+	if t.RowCSV != "" {
+		return t.RowCSV
+	}
+	if t.RowHead != "" {
+		return t.RowHead
+	}
+	return "label"
+}
+
+// tableJSON is the serialized shape of a Table.
+type tableJSON struct {
+	Name    string       `json:"name"`
+	Title   string       `json:"title,omitempty"`
+	RowHead string       `json:"row_head,omitempty"`
+	Columns []columnJSON `json:"columns"`
+	Rows    []Row        `json:"rows"`
+}
+
+// WriteJSON emits the table as one indented JSON document.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := tableJSON{Name: t.Name, Title: t.Title, RowHead: t.RowHead, Rows: t.Rows}
+	for _, col := range t.Columns {
+		doc.Columns = append(doc.Columns, columnJSON{Name: col.key(), Unit: col.Unit})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SeriesName builds a filesystem-friendly series id from parts:
+// lower-cased, with '/' dropped and spaces turned into underscores
+// ("paragon", "F8/L1", "snake" -> "paragon_f8l1_snake").
+func SeriesName(parts ...string) string {
+	var b strings.Builder
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte('_')
+		}
+		for _, r := range part {
+			switch {
+			case r >= 'A' && r <= 'Z':
+				b.WriteRune(r - 'A' + 'a')
+			case r == '/':
+				// drop
+			case r == ' ':
+				b.WriteByte('_')
+			default:
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Report is what an Experiment returns: an ordered list of sections,
+// each holding curves, tables, or preformatted text.
+type Report struct {
+	// Experiment is the registry name that produced the report.
+	Experiment string
+	Sections   []Section
+}
+
+// Section is one printable unit of a report.
+type Section struct {
+	// Heading is printed as "=== Heading ===" when non-empty.
+	Heading string
+	Curves  []*Curve
+	Tables  []*Table
+	// Text is a preformatted block printed verbatim (ablation panels
+	// and one-off summaries that have no tabular shape).
+	Text string
+}
+
+// Print renders the report's sections as the cmd/ tools' text output.
+func (r *Report) Print(w io.Writer) error {
+	for _, s := range r.Sections {
+		if s.Heading != "" {
+			if _, err := fmt.Fprintf(w, "=== %s ===\n", s.Heading); err != nil {
+				return err
+			}
+		}
+		for _, t := range s.Tables {
+			if err := t.WriteText(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		for _, c := range s.Curves {
+			if err := c.WriteText(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if s.Text != "" {
+			if _, err := io.WriteString(w, s.Text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Artifacts returns every curve and table of the report, in order, as
+// (name, writer-triple) pairs usable for -csv/-json exports.
+type Artifact struct {
+	Name      string
+	WriteText func(io.Writer) error
+	WriteCSV  func(io.Writer) error
+	WriteJSON func(io.Writer) error
+}
+
+// Artifacts enumerates the report's curves and tables in section order.
+func (r *Report) Artifacts() []Artifact {
+	var out []Artifact
+	for _, s := range r.Sections {
+		for _, t := range s.Tables {
+			out = append(out, Artifact{Name: t.Name, WriteText: t.WriteText, WriteCSV: t.WriteCSV, WriteJSON: t.WriteJSON})
+		}
+		for _, c := range s.Curves {
+			out = append(out, Artifact{Name: c.Name, WriteText: c.WriteText, WriteCSV: c.WriteCSV, WriteJSON: c.WriteJSON})
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Sweep runs fn once per item with bounded concurrency and returns the
+// results in item order. Every simulated run in this repo is
+// deterministic and independent (the nx scheduler is bit-reproducible
+// per run), so sweep points — the (processor count, problem size) grid
+// cells behind every figure — can execute on real cores concurrently
+// without changing any result byte.
+//
+// workers <= 0 uses GOMAXPROCS. The first error (by item index)
+// cancels the sweep's context and is returned; later items that never
+// started are skipped.
+func Sweep[T, R any](ctx context.Context, items []T, workers int, fn func(ctx context.Context, item T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	report := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if errIdx == -1 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		cancel()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := fn(ctx, items[i])
+				if err != nil {
+					report(i, err)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range items {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

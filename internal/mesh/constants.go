@@ -1,5 +1,10 @@
 package mesh
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Machine presets. The compute constants (MACTime, CoefTime) are
 // calibrated against the paper's published single-processor wavelet
 // timings (Appendix A Table 1) by fitting the two-parameter kernel model
@@ -83,8 +88,24 @@ func DEC5000() *Machine {
 	}
 }
 
+// MachineNames returns the known preset names.
+func MachineNames() []string { return []string{"paragon", "t3d", "dec5000"} }
+
+// MachineByName returns the preset machine with the given name, or an
+// error naming the known presets.
+func MachineByName(name string) (*Machine, error) {
+	if m := ByName(name); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("mesh: unknown machine %q (known presets: %s)",
+		name, strings.Join(MachineNames(), ", "))
+}
+
 // ByName returns the preset machine with the given name ("paragon",
 // "t3d", or "dec5000"), or nil when unknown.
+//
+// Deprecated: use MachineByName, which reports unknown names with the
+// list of presets instead of returning nil.
 func ByName(name string) *Machine {
 	switch name {
 	case "paragon":

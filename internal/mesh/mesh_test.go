@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -351,5 +352,48 @@ func TestTopologyAndPlacementNames(t *testing.T) {
 	}
 	if (Coord{X: 1, Y: 2, Z: 3}).String() != "(1,2,3)" {
 		t.Error("Coord.String wrong")
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range MachineNames() {
+		m, err := MachineByName(name)
+		if err != nil {
+			t.Fatalf("MachineByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Errorf("MachineByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	_, err := MachineByName("cm5")
+	if err == nil {
+		t.Fatal("MachineByName accepted an unknown machine")
+	}
+	for _, name := range MachineNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list preset %q", err, name)
+		}
+	}
+}
+
+func TestTransferInfoReportsWait(t *testing.T) {
+	m := Paragon()
+	n := NewNetwork(m)
+	a := Coord{X: 0, Y: 0}
+	b := Coord{X: 3, Y: 0}
+	arr1, wait1 := n.TransferInfo(a, b, 1024, 0)
+	if wait1 != 0 {
+		t.Errorf("first transfer waited %g", wait1)
+	}
+	// Same path while the first transfer still occupies its links.
+	arr2, wait2 := n.TransferInfo(a, b, 1024, 0)
+	if wait2 <= 0 {
+		t.Errorf("contended transfer reported wait %g", wait2)
+	}
+	if arr2 <= arr1 {
+		t.Errorf("contended arrival %g not after %g", arr2, arr1)
+	}
+	if got := n.Transfer(a, b, 1024, arr2); got <= arr2 {
+		t.Errorf("Transfer arrival %g not after start", got)
 	}
 }

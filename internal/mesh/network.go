@@ -33,12 +33,20 @@ func (n *Network) Reset() {
 // message is fully delivered. Self-sends cost a local copy and reserve
 // nothing.
 func (n *Network) Transfer(src, dst Coord, bytes int, start float64) (arrival float64) {
+	arrival, _ = n.TransferInfo(src, dst, bytes, start)
+	return arrival
+}
+
+// TransferInfo is Transfer plus the time the message spent waiting for
+// busy links before its wormhole path was free — the per-message
+// contention signal the nx event trace records.
+func (n *Network) TransferInfo(src, dst Coord, bytes int, start float64) (arrival, wait float64) {
 	n.totalMsgs++
 	n.totalBytes += int64(bytes)
 	path := n.m.Route(src, dst)
 	dur := n.m.Cost.MsgTime(bytes, len(path))
 	if len(path) == 0 {
-		return start + dur
+		return start + dur, 0
 	}
 	// Wormhole: the transfer begins when the sender is ready and every
 	// link on the path is free; it then occupies all of them for dur.
@@ -56,7 +64,7 @@ func (n *Network) Transfer(src, dst Coord, bytes int, start float64) (arrival fl
 	for _, l := range path {
 		n.free[l] = end
 	}
-	return end
+	return end, t - start
 }
 
 // Stats reports cumulative traffic counters: messages, bytes, messages

@@ -1,10 +1,12 @@
 package nbody
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wavelethpc/internal/budget"
+	"wavelethpc/internal/harness"
 	"wavelethpc/internal/mesh"
 )
 
@@ -31,18 +33,24 @@ type ScalingResult struct {
 
 // RunScaling sweeps processor counts for one problem size on the named
 // machine preset, computing speedup against the calibrated serial
-// per-iteration time.
+// per-iteration time. The points are independent deterministic
+// simulations and run concurrently (see RunScalingCtx).
 func RunScaling(machine string, nBodies int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
-	m := mesh.ByName(machine)
-	if m == nil {
-		return nil, fmt.Errorf("nbody: unknown machine %q", machine)
+	return RunScalingCtx(context.Background(), 0, machine, nBodies, procs, steps, seed)
+}
+
+// RunScalingCtx is RunScaling with an explicit context and sweep
+// concurrency bound (workers <= 0 uses GOMAXPROCS).
+func RunScalingCtx(ctx context.Context, workers int, machine string, nBodies int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
+	m, err := mesh.MachineByName(machine)
+	if err != nil {
+		return nil, fmt.Errorf("nbody: %w", err)
 	}
 	serial, err := SerialTime(machine, nBodies, seed)
 	if err != nil {
 		return nil, err
 	}
-	var out []ScalingResult
-	for _, p := range procs {
+	return harness.Sweep(ctx, procs, workers, func(ctx context.Context, p int) (ScalingResult, error) {
 		bodies := UniformDisk(nBodies, 10, seed)
 		// Warm the Costzones weights so partitioning reflects real costs
 		// (the report's runs measure steady-state iterations).
@@ -55,7 +63,7 @@ func RunScaling(machine string, nBodies int, procs []int, steps int, seed int64)
 			DT:        1e-3,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("nbody: P=%d: %w", p, err)
+			return ScalingResult{}, fmt.Errorf("nbody: P=%d: %w", p, err)
 		}
 		sr := ScalingResult{
 			Bodies:  nBodies,
@@ -66,40 +74,89 @@ func RunScaling(machine string, nBodies int, procs []int, steps int, seed int64)
 		if sr.PerStep > 0 {
 			sr.Speedup = serial / sr.PerStep
 		}
-		out = append(out, sr)
+		return sr, nil
+	})
+}
+
+// Curve converts scaling results into the harness result model.
+func Curve(machine string, results []ScalingResult) *harness.Curve {
+	size := ""
+	if len(results) > 0 {
+		size = fmt.Sprintf("%d", results[0].Bodies)
 	}
-	return out, nil
+	hc := &harness.Curve{
+		Name:  harness.SeriesName("nbody", machine, size),
+		Title: fmt.Sprintf("N-body scalability on %s", machine),
+		Labels: []harness.Label{
+			{Key: "machine", Value: machine},
+		},
+		Columns: []harness.Column{
+			{Name: "bodies", CSV: "bodies", Width: 8, Kind: harness.Int},
+			{Name: "P", CSV: "procs", Width: 6, Kind: harness.Int},
+			{Name: "per-step(s)", CSV: "per_step_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+			{Name: "speedup", CSV: "speedup", Width: 9, Prec: 2, Verb: 'f'},
+			{Name: "useful%", CSV: "useful_pct", Unit: "%", Width: 8, Prec: 1, Verb: 'f'},
+			{Name: "comm%", CSV: "comm_pct", Unit: "%", Width: 8, Prec: 1, Verb: 'f'},
+			{Name: "redundancy%", CSV: "redundancy_pct", Unit: "%", Width: 11, Prec: 1, Verb: 'f'},
+			{Name: "imbalance%", CSV: "imbalance_pct", Unit: "%", Width: 10, Prec: 1, Verb: 'f'},
+		},
+	}
+	for _, r := range results {
+		b := r.Budget
+		hc.Points = append(hc.Points, harness.Point{
+			Values: []float64{float64(r.Bodies), float64(r.Procs), r.PerStep, r.Speedup,
+				b.UsefulPct, b.CommPct, b.RedundancyPct, b.ImbalancePct},
+			Budget: &b,
+		})
+	}
+	return hc
 }
 
 // FormatScaling renders scaling results as one figure panel.
 func FormatScaling(machine string, results []ScalingResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "N-body scalability on %s\n", machine)
-	fmt.Fprintf(&b, "%8s %6s %12s %9s %8s %8s %11s %10s\n",
-		"bodies", "P", "per-step(s)", "speedup", "useful%", "comm%", "redundancy%", "imbalance%")
-	for _, r := range results {
-		fmt.Fprintf(&b, "%8d %6d %12.4g %9.2f %8.1f %8.1f %11.1f %10.1f\n",
-			r.Bodies, r.Procs, r.PerStep, r.Speedup,
-			r.Budget.UsefulPct, r.Budget.CommPct, r.Budget.RedundancyPct, r.Budget.ImbalancePct)
+	if err := Curve(machine, results).WriteText(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
 	}
 	return b.String()
 }
 
-// SerialTable reproduces the N-body rows of Appendix B Tables 1-2: serial
-// per-iteration times for 1K/8K/32K bodies on both machines.
-func SerialTable(seed int64) (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %12s %12s\n", "size", "paragon(s)", "t3d(s)")
+// SerialTableData reproduces the N-body rows of Appendix B Tables 1-2 in
+// the harness result model: serial per-iteration times for 1K/8K/32K
+// bodies on both machines.
+func SerialTableData(seed int64) (*harness.Table, error) {
+	t := &harness.Table{
+		Name:     "nbody_serial",
+		RowHead:  "size",
+		RowWidth: 10,
+		Columns: []harness.Column{
+			{Name: "paragon(s)", CSV: "paragon_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+			{Name: "t3d(s)", CSV: "t3d_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+		},
+	}
 	for _, n := range []int{1024, 8192, 32768} {
 		pt, err := SerialTime("paragon", n, seed)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		tt, err := SerialTime("t3d", n, seed)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		fmt.Fprintf(&b, "%-10s %12.4g %12.4g\n", fmt.Sprintf("%dK", n/1024), pt, tt)
+		t.Rows = append(t.Rows, harness.Row{Label: fmt.Sprintf("%dK", n/1024), Values: []float64{pt, tt}})
+	}
+	return t, nil
+}
+
+// SerialTable renders SerialTableData as text.
+func SerialTable(seed int64) (string, error) {
+	tab, err := SerialTableData(seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		return "", err
 	}
 	return b.String(), nil
 }

@@ -45,6 +45,8 @@ type ParallelConfig struct {
 	DT        float64
 	// Partition selects the domain decomposition (default Costzones).
 	Partition PartitionMethod
+	// Trace, when non-nil, records the run's nx event trace.
+	Trace *nx.Trace
 }
 
 // ParallelResult is the outcome of a simulated parallel run.
@@ -159,7 +161,7 @@ func ParallelRun(bodies []Body, cfg ParallelConfig) (*ParallelResult, error) {
 		}
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}, prog)
 	if err != nil {
 		return nil, err
 	}

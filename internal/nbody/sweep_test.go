@@ -1,0 +1,37 @@
+package nbody
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScalingSweepMatchesSequential compares the concurrent processor
+// sweep point-for-point against a sequential workers=1 run.
+func TestScalingSweepMatchesSequential(t *testing.T) {
+	procs := []int{1, 2, 4}
+	seq, err := RunScalingCtx(context.Background(), 1, "paragon", 256, procs, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := RunScalingCtx(context.Background(), 3, "paragon", 256, procs, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(conc) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(conc))
+	}
+	for i := range seq {
+		if seq[i] != conc[i] {
+			t.Errorf("point %d differs:\nseq:  %+v\nconc: %+v", i, seq[i], conc[i])
+		}
+	}
+	if FormatScaling("paragon", seq) != FormatScaling("paragon", conc) {
+		t.Error("rendered output differs between sequential and concurrent runs")
+	}
+}
+
+func TestRunScalingUnknownMachine(t *testing.T) {
+	if _, err := RunScaling("cm5", 256, []int{1}, 1, 7); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

@@ -21,13 +21,15 @@ func (r *Rank) Barrier() {
 	if p == 1 {
 		return
 	}
-	tag := r.nextCollTag()
-	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
-		to := (r.id + dist) % p
-		from := (r.id - dist + p) % p
-		r.Send(to, tag+round, 0, nil)
-		r.Recv(from, tag+round)
-	}
+	r.span("barrier", func() {
+		tag := r.nextCollTag()
+		for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+			to := (r.id + dist) % p
+			from := (r.id - dist + p) % p
+			r.Send(to, tag+round, 0, nil)
+			r.Recv(from, tag+round)
+		}
+	})
 }
 
 // Bcast distributes data from root to every rank along a binomial tree and
@@ -38,65 +40,71 @@ func (r *Rank) Bcast(root int, data []float64) []float64 {
 	if p == 1 {
 		return data
 	}
-	// Renumber so the root is virtual rank 0, then double the informed
-	// set each round: in round k, virtual ranks below 2^k forward to
-	// their partner 2^k above.
-	vr := (r.id - root + p) % p
-	for dist := 1; dist < p; dist *= 2 {
-		switch {
-		case vr < dist:
-			if child := vr + dist; child < p {
-				r.SendFloats((child+root)%p, tag, data)
+	r.span("bcast", func() {
+		// Renumber so the root is virtual rank 0, then double the
+		// informed set each round: in round k, virtual ranks below 2^k
+		// forward to their partner 2^k above.
+		vr := (r.id - root + p) % p
+		for dist := 1; dist < p; dist *= 2 {
+			switch {
+			case vr < dist:
+				if child := vr + dist; child < p {
+					r.SendFloats((child+root)%p, tag, data)
+				}
+			case vr < 2*dist:
+				parent := (vr - dist + root) % p
+				data, _ = r.RecvFloats(parent, tag)
 			}
-		case vr < 2*dist:
-			parent := (vr - dist + root) % p
-			data, _ = r.RecvFloats(parent, tag)
 		}
-	}
+	})
 	return data
 }
 
 // Gather collects a slice from every rank at root; root receives them in
 // rank order and returns the concatenation ordered by rank. Non-roots
 // return nil.
-func (r *Rank) Gather(root int, data []float64) [][]float64 {
+func (r *Rank) Gather(root int, data []float64) (parts [][]float64) {
 	tag := r.nextCollTag()
-	if r.id != root {
-		r.SendFloats(root, tag, data)
-		return nil
-	}
-	parts := make([][]float64, r.procs)
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	parts[root] = cp
-	for i := 0; i < r.procs; i++ {
-		if i == root {
-			continue
+	r.span("gather", func() {
+		if r.id != root {
+			r.SendFloats(root, tag, data)
+			return
 		}
-		parts[i], _ = r.RecvFloats(i, tag)
-	}
+		parts = make([][]float64, r.procs)
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		parts[root] = cp
+		for i := 0; i < r.procs; i++ {
+			if i == root {
+				continue
+			}
+			parts[i], _ = r.RecvFloats(i, tag)
+		}
+	})
 	return parts
 }
 
 // Scatter distributes parts[i] to rank i from root, returning this rank's
 // part. len(parts) must equal Procs on the root; it is ignored elsewhere.
-func (r *Rank) Scatter(root int, parts [][]float64) []float64 {
+func (r *Rank) Scatter(root int, parts [][]float64) (out []float64) {
 	tag := r.nextCollTag()
-	if r.id == root {
-		if len(parts) != r.procs {
-			panic(fmt.Sprintf("nx: Scatter with %d parts for %d ranks", len(parts), r.procs))
-		}
-		for i, part := range parts {
-			if i == root {
-				continue
+	r.span("scatter", func() {
+		if r.id == root {
+			if len(parts) != r.procs {
+				panic(fmt.Sprintf("nx: Scatter with %d parts for %d ranks", len(parts), r.procs))
 			}
-			r.SendFloats(i, tag, part)
+			for i, part := range parts {
+				if i == root {
+					continue
+				}
+				r.SendFloats(i, tag, part)
+			}
+			out = make([]float64, len(parts[root]))
+			copy(out, parts[root])
+			return
 		}
-		cp := make([]float64, len(parts[root]))
-		copy(cp, parts[root])
-		return cp
-	}
-	out, _ := r.RecvFloats(root, tag)
+		out, _ = r.RecvFloats(root, tag)
+	})
 	return out
 }
 
@@ -110,21 +118,23 @@ func (r *Rank) GSSumNaive(vec []float64) []float64 {
 	tag := r.nextCollTag()
 	sum := make([]float64, len(vec))
 	copy(sum, vec)
-	for i := 0; i < r.procs; i++ {
-		if i == r.id {
-			continue
+	r.span("gssum", func() {
+		for i := 0; i < r.procs; i++ {
+			if i == r.id {
+				continue
+			}
+			r.SendFloats(i, tag, vec)
 		}
-		r.SendFloats(i, tag, vec)
-	}
-	for i := 0; i < r.procs; i++ {
-		if i == r.id {
-			continue
+		for i := 0; i < r.procs; i++ {
+			if i == r.id {
+				continue
+			}
+			other, _ := r.RecvFloats(i, tag)
+			for j := range sum {
+				sum[j] += other[j]
+			}
 		}
-		other, _ := r.RecvFloats(i, tag)
-		for j := range sum {
-			sum[j] += other[j]
-		}
-	}
+	})
 	return sum
 }
 
@@ -163,12 +173,14 @@ func (r *Rank) AllCombinePrefix(vec []float64, combine func(dst, src []float64))
 	tag := r.nextCollTag()
 	acc := make([]float64, len(vec))
 	copy(acc, vec)
-	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
-		partner := r.id ^ dist
-		r.SendFloats(partner, tag+round, acc)
-		other, _ := r.RecvFloats(partner, tag+round)
-		combine(acc, other)
-	}
+	r.span("all-combine", func() {
+		for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+			partner := r.id ^ dist
+			r.SendFloats(partner, tag+round, acc)
+			other, _ := r.RecvFloats(partner, tag+round)
+			combine(acc, other)
+		}
+	})
 	return acc
 }
 
@@ -187,14 +199,17 @@ func (r *Rank) AllToAll(parts [][]float64) [][]float64 {
 	cp := make([]float64, len(parts[r.id]))
 	copy(cp, parts[r.id])
 	out[r.id] = cp
-	// Phased pairwise exchange: in round k, exchange with rank id XOR k
-	// when p is a power of two; otherwise a simple shifted schedule.
-	for shift := 1; shift < p; shift++ {
-		dst := (r.id + shift) % p
-		src := (r.id - shift + p) % p
-		r.SendFloats(dst, tag+shift, parts[dst])
-		out[src], _ = r.RecvFloats(src, tag+shift)
-	}
+	r.span("all-to-all", func() {
+		// Phased pairwise exchange: in round k, exchange with rank id
+		// XOR k when p is a power of two; otherwise a simple shifted
+		// schedule.
+		for shift := 1; shift < p; shift++ {
+			dst := (r.id + shift) % p
+			src := (r.id - shift + p) % p
+			r.SendFloats(dst, tag+shift, parts[dst])
+			out[src], _ = r.RecvFloats(src, tag+shift)
+		}
+	})
 	return out
 }
 
@@ -210,20 +225,22 @@ func (r *Rank) AllGather(data []float64) []float64 {
 	copy(cur, data)
 	right := (r.id + 1) % p
 	left := (r.id - 1 + p) % p
-	for step := 0; step < p-1; step++ {
-		r.SendFloats(right, tag+step, cur)
-		recv, _ := r.RecvFloats(left, tag+step)
-		owner := (r.id - 1 - step + 2*p) % p
-		copy(out[owner*n:(owner+1)*n], recv)
-		cur = recv
-	}
+	r.span("all-gather", func() {
+		for step := 0; step < p-1; step++ {
+			r.SendFloats(right, tag+step, cur)
+			recv, _ := r.RecvFloats(left, tag+step)
+			owner := (r.id - 1 - step + 2*p) % p
+			copy(out[owner*n:(owner+1)*n], recv)
+			cur = recv
+		}
+	})
 	return out
 }
 
 // Reduce combines every rank's equal-length vector at the root with a
 // binomial tree, applying combine(dst, src) at each merge (sum by
 // default when combine is nil). Non-roots return nil.
-func (r *Rank) Reduce(root int, vec []float64, combine func(dst, src []float64)) []float64 {
+func (r *Rank) Reduce(root int, vec []float64, combine func(dst, src []float64)) (result []float64) {
 	if combine == nil {
 		combine = func(dst, src []float64) {
 			for i := range dst {
@@ -235,28 +252,31 @@ func (r *Rank) Reduce(root int, vec []float64, combine func(dst, src []float64))
 	tag := r.nextCollTag()
 	acc := make([]float64, len(vec))
 	copy(acc, vec)
-	// Renumber so the root is virtual rank 0, then fold the doubling
-	// tree in reverse: in round dist, virtual ranks in [dist, 2·dist)
-	// send to their partner dist below.
-	vr := (r.id - root + p) % p
-	highest := 1
-	for highest < p {
-		highest *= 2
-	}
-	for dist := highest / 2; dist >= 1; dist /= 2 {
-		switch {
-		case vr >= dist && vr < 2*dist:
-			r.SendFloats((vr-dist+root)%p, tag+dist, acc)
-			return nil
-		case vr < dist:
-			if child := vr + dist; child < p {
-				other, _ := r.RecvFloats((child+root)%p, tag+dist)
-				combine(acc, other)
+	r.span("reduce", func() {
+		// Renumber so the root is virtual rank 0, then fold the
+		// doubling tree in reverse: in round dist, virtual ranks in
+		// [dist, 2·dist) send to their partner dist below.
+		vr := (r.id - root + p) % p
+		highest := 1
+		for highest < p {
+			highest *= 2
+		}
+		for dist := highest / 2; dist >= 1; dist /= 2 {
+			switch {
+			case vr >= dist && vr < 2*dist:
+				r.SendFloats((vr-dist+root)%p, tag+dist, acc)
+				return
+			case vr < dist:
+				if child := vr + dist; child < p {
+					other, _ := r.RecvFloats((child+root)%p, tag+dist)
+					combine(acc, other)
+				}
 			}
 		}
-	}
-	if vr != 0 {
-		return nil
-	}
-	return acc
+		if vr != 0 {
+			return
+		}
+		result = acc
+	})
+	return result
 }

@@ -32,6 +32,10 @@ type Config struct {
 	Placement mesh.Placement
 	// Procs is the number of SPMD ranks.
 	Procs int
+	// Trace, when non-nil, records every send/recv/compute/collective
+	// with its virtual time and link wait (see Trace). Opt-in: nil
+	// costs nothing.
+	Trace *Trace
 }
 
 // Result summarizes a completed run.
@@ -113,6 +117,10 @@ func (r *Rank) Compute(seconds float64, kind budget.Kind) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("nx: negative compute %g", seconds))
 	}
+	r.sim.cfg.Trace.add(TraceEvent{
+		Rank: r.id, Kind: "compute", Start: r.clock, Dur: seconds,
+		Peer: -1, Detail: kind.String(),
+	})
 	r.clock += seconds
 	r.tracker.Add(kind, seconds)
 	r.yield(stReady)
@@ -149,16 +157,32 @@ func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	if dst == r.id {
 		overhead = 0
 	}
+	sendStart := r.clock
 	r.clock += overhead
 	r.tracker.Add(budget.Comm, overhead)
 	dstCoord := r.sim.ranks[dst].coord
-	var arrival float64
+	var arrival, linkWait float64
 	if dst == r.id {
 		arrival = r.clock + float64(bytes)*cost.MemByteTime
 	} else {
-		arrival = r.sim.net.transfer(r.coord, dstCoord, bytes, r.clock)
+		arrival, linkWait = r.sim.net.transfer(r.coord, dstCoord, bytes, r.clock)
 	}
 	r.sim.deliver(dst, message{src: r.id, tag: tag, bytes: bytes, arrival: arrival, payload: payload})
+	if tr := r.sim.cfg.Trace; tr != nil {
+		tr.add(TraceEvent{
+			Rank: r.id, Kind: "send", Start: sendStart, Dur: overhead,
+			Peer: dst, Tag: tag, Bytes: bytes, LinkWait: linkWait,
+		})
+		if linkWait > 0 {
+			// The wire transfer stalled on busy links; show the stall
+			// on the sender's timeline where the message entered the
+			// network.
+			tr.add(TraceEvent{
+				Rank: r.id, Kind: "link-wait", Start: r.clock, Dur: linkWait,
+				Peer: dst, Tag: tag, Bytes: bytes, LinkWait: linkWait,
+			})
+		}
+	}
 	r.yield(stReady)
 }
 
@@ -193,6 +217,10 @@ func (r *Rank) Recv(src, tag int) Message {
 		r.clock += r.sim.cfg.Machine.Cost.MsgLatency * recvOverheadFrac
 	}
 	r.tracker.Add(budget.Comm, r.clock-start)
+	r.sim.cfg.Trace.add(TraceEvent{
+		Rank: r.id, Kind: "recv", Start: start, Dur: r.clock - start,
+		Peer: msg.src, Tag: msg.tag, Bytes: msg.bytes,
+	})
 	r.yield(stReady)
 	return Message{Src: msg.src, Tag: msg.tag, Bytes: msg.bytes, Payload: msg.payload}
 }

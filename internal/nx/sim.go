@@ -19,8 +19,8 @@ type sim struct {
 // reservation table.
 type network struct{ inner *mesh.Network }
 
-func (n *network) transfer(src, dst mesh.Coord, bytes int, start float64) float64 {
-	return n.inner.Transfer(src, dst, bytes, start)
+func (n *network) transfer(src, dst mesh.Coord, bytes int, start float64) (arrival, linkWait float64) {
+	return n.inner.TransferInfo(src, dst, bytes, start)
 }
 
 // deliver places a message into the destination mailbox.

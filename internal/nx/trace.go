@@ -1,0 +1,166 @@
+package nx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Trace is an opt-in per-run event log: set Config.Trace to a fresh
+// Trace and the scheduler records every send, receive, compute slice,
+// and collective with its rank, virtual time, byte count, and link
+// wait. Because exactly one rank runs at a time, recording needs no
+// locking and the event order is as bit-reproducible as the run
+// itself.
+//
+// The trace exports as JSONL (one event per line, for ad-hoc analysis)
+// and as the Chrome trace_event format, loadable in chrome://tracing
+// or https://ui.perfetto.dev — each rank appears as one timeline, so
+// contention cliffs such as the naive placement's 4-processor ceiling
+// show up as link-wait bars instead of only aggregate counters.
+type Trace struct {
+	// Label names the run in the Chrome trace's process name.
+	Label string
+	// Events holds the recorded events in scheduling order.
+	Events []TraceEvent
+}
+
+// TraceEvent is one recorded simulator action.
+type TraceEvent struct {
+	// Rank is the SPMD rank the event happened on.
+	Rank int `json:"rank"`
+	// Kind is the event type: "compute", "send", "recv", "link-wait",
+	// or a collective name ("barrier", "reduce", "bcast", ...).
+	Kind string `json:"kind"`
+	// Start is the rank's virtual time in seconds when the event
+	// began; Dur its duration in virtual seconds.
+	Start float64 `json:"start_s"`
+	Dur   float64 `json:"dur_s"`
+	// Peer is the other rank of a send/recv (-1 when not applicable).
+	Peer int `json:"peer"`
+	// Tag is the message tag of a send/recv.
+	Tag int `json:"tag,omitempty"`
+	// Bytes is the message size of a send/recv.
+	Bytes int `json:"bytes,omitempty"`
+	// LinkWait is the time a sent message waited on busy mesh links
+	// before its wormhole path was free.
+	LinkWait float64 `json:"link_wait_s,omitempty"`
+	// Detail carries the budget kind of a compute slice.
+	Detail string `json:"detail,omitempty"`
+}
+
+// add appends an event; nil-safe so call sites can stay unconditional.
+func (t *Trace) add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, ev)
+}
+
+// sorted returns the events ordered by start time, then rank —
+// insertion order breaks remaining ties, keeping output deterministic.
+func (t *Trace) sorted() []TraceEvent {
+	evs := make([]TraceEvent, len(t.Events))
+	copy(evs, t.Events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Rank < evs[j].Rank
+	})
+	return evs
+}
+
+// WriteJSONL emits one JSON object per event, ordered by start time.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.sorted() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one trace_event record. Times are microseconds of
+// virtual time ("X" = complete event, "M" = metadata).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the run as a Chrome trace_event JSON document
+// ({"traceEvents": [...]}) with one thread per rank.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	label := t.Label
+	if label == "" {
+		label = "nx run"
+	}
+	ranks := map[int]bool{}
+	events := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": label},
+	}}
+	const usec = 1e6 // virtual seconds -> trace microseconds
+	for _, ev := range t.sorted() {
+		if !ranks[ev.Rank] {
+			ranks[ev.Rank] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 0, TID: ev.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", ev.Rank)},
+			})
+		}
+		args := map[string]any{}
+		if ev.Peer >= 0 && (ev.Kind == "send" || ev.Kind == "recv") {
+			args["peer"] = ev.Peer
+			args["tag"] = ev.Tag
+			args["bytes"] = ev.Bytes
+		}
+		if ev.LinkWait > 0 {
+			args["link_wait_us"] = ev.LinkWait * usec
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		name := ev.Kind
+		if ev.Kind == "compute" && ev.Detail != "" {
+			name = "compute:" + ev.Detail
+		}
+		events = append(events, chromeEvent{
+			Name: name, Phase: "X",
+			TS: ev.Start * usec, Dur: ev.Dur * usec,
+			PID: 0, TID: ev.Rank, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteFile writes the trace to w in the format implied by the path:
+// a ".jsonl" suffix selects JSONL, anything else the Chrome
+// trace_event format.
+func (t *Trace) WriteFile(w io.Writer, path string) error {
+	if strings.HasSuffix(path, ".jsonl") {
+		return t.WriteJSONL(w)
+	}
+	return t.WriteChromeTrace(w)
+}
+
+// span records a collective or phase event covering a callback.
+func (r *Rank) span(kind string, fn func()) {
+	tr := r.sim.cfg.Trace
+	if tr == nil {
+		fn()
+		return
+	}
+	start := r.clock
+	fn()
+	tr.add(TraceEvent{Rank: r.id, Kind: kind, Start: start, Dur: r.clock - start, Peer: -1})
+}

@@ -1,0 +1,152 @@
+package nx
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/budget"
+)
+
+// traceProgram is a two-rank exchange with a barrier, touching every
+// event kind the tracer records.
+func traceProgram(r *Rank) {
+	r.Compute(1e-3, budget.Useful)
+	if r.ID() == 0 {
+		r.Send(1, 0, 1024, nil)
+		r.Recv(1, 1)
+	} else {
+		r.Recv(0, 0)
+		r.Send(0, 1, 2048, nil)
+	}
+	r.Barrier()
+}
+
+func runTraced(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{Label: "trace-test"}
+	cfg := testConfig(2)
+	cfg.Trace = tr
+	mustRun(t, cfg, traceProgram)
+	return tr
+}
+
+func TestTraceCapturesEvents(t *testing.T) {
+	tr := runTraced(t)
+	kinds := map[string]int{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind]++
+		if ev.Rank < 0 || ev.Rank > 1 {
+			t.Errorf("event rank %d out of range", ev.Rank)
+		}
+		if ev.Start < 0 || ev.Dur < 0 {
+			t.Errorf("negative time in event %+v", ev)
+		}
+	}
+	for _, want := range []string{"compute", "send", "recv", "barrier"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events recorded (kinds: %v)", want, kinds)
+		}
+	}
+	// The barrier's internal messages are traced too, so expect at least
+	// the program's own exchange plus whatever the collective adds.
+	if kinds["send"] < 2 || kinds["recv"] < 2 {
+		t.Errorf("send/recv counts = %d/%d, want >= 2 each", kinds["send"], kinds["recv"])
+	}
+	sized := map[int]bool{}
+	for _, ev := range tr.Events {
+		if ev.Kind == "send" {
+			sized[ev.Bytes] = true
+		}
+	}
+	if !sized[1024] || !sized[2048] {
+		t.Errorf("program sends (1024, 2048 bytes) missing from trace: %v", sized)
+	}
+}
+
+func TestTraceWriteJSONL(t *testing.T) {
+	tr := runTraced(t)
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", n, err, sc.Text())
+		}
+		n++
+	}
+	if n != len(tr.Events) {
+		t.Fatalf("JSONL has %d lines, trace has %d events", n, len(tr.Events))
+	}
+}
+
+func TestTraceWriteChromeTrace(t *testing.T) {
+	tr := runTraced(t)
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	var meta, spans int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur in %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// process_name + one thread_name per rank.
+	if meta < 3 {
+		t.Errorf("metadata events = %d, want >= 3", meta)
+	}
+	if spans != len(tr.Events) {
+		t.Errorf("span events = %d, trace has %d", spans, len(tr.Events))
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a, b := runTraced(t), runTraced(t)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs:\n%+v\n%+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestUntracedRunRecordsNothing(t *testing.T) {
+	cfg := testConfig(2)
+	res := mustRun(t, cfg, traceProgram)
+	if res == nil {
+		t.Fatal("run failed")
+	}
+	if cfg.Trace != nil {
+		t.Fatal("config gained a trace")
+	}
+}

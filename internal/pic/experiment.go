@@ -1,10 +1,12 @@
 package pic
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wavelethpc/internal/budget"
+	"wavelethpc/internal/harness"
 	"wavelethpc/internal/mesh"
 )
 
@@ -41,11 +43,18 @@ func placementFor(m *mesh.Machine) mesh.Placement {
 
 // RunScaling sweeps processor counts for one (particles, grid)
 // configuration on the named machine, using the parallel-prefix global
-// sum (the paper's final code).
+// sum (the paper's final code). The points are independent deterministic
+// simulations and run concurrently (see RunScalingCtx).
 func RunScaling(machine string, particles, grid int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
-	m := mesh.ByName(machine)
-	if m == nil {
-		return nil, fmt.Errorf("pic: unknown machine %q", machine)
+	return RunScalingCtx(context.Background(), 0, machine, particles, grid, procs, steps, seed)
+}
+
+// RunScalingCtx is RunScaling with an explicit context and sweep
+// concurrency bound (workers <= 0 uses GOMAXPROCS).
+func RunScalingCtx(ctx context.Context, workers int, machine string, particles, grid int, procs []int, steps int, seed int64) ([]ScalingResult, error) {
+	m, err := mesh.MachineByName(machine)
+	if err != nil {
+		return nil, fmt.Errorf("pic: %w", err)
 	}
 	serial, err := SerialTime(machine, particles, grid, false)
 	if err != nil {
@@ -55,8 +64,7 @@ func RunScaling(machine string, particles, grid int, procs []int, steps int, see
 	if err != nil {
 		return nil, err
 	}
-	var out []ScalingResult
-	for _, p := range procs {
+	return harness.Sweep(ctx, procs, workers, func(ctx context.Context, p int) (ScalingResult, error) {
 		state := NewUniform(particles, grid, seed)
 		res, err := ParallelRun(state, ParallelConfig{
 			Machine:   m,
@@ -67,7 +75,7 @@ func RunScaling(machine string, particles, grid int, procs []int, steps int, see
 			Sum:       PrefixSum,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("pic: P=%d: %w", p, err)
+			return ScalingResult{}, fmt.Errorf("pic: P=%d: %w", p, err)
 		}
 		sr := ScalingResult{
 			Particles: particles,
@@ -82,42 +90,96 @@ func RunScaling(machine string, particles, grid int, procs []int, steps int, see
 			sr.Speedup = serial / sr.PerStep
 			sr.PagedSpeedup = serialPaged / sr.PerStep
 		}
-		out = append(out, sr)
+		return sr, nil
+	})
+}
+
+// Curve converts PIC scaling results into the harness result model.
+func Curve(machine string, results []ScalingResult) *harness.Curve {
+	var size, grid string
+	if len(results) > 0 {
+		size = fmt.Sprintf("%dk", results[0].Particles>>10)
+		grid = fmt.Sprintf("m%d", results[0].Grid)
 	}
-	return out, nil
+	hc := &harness.Curve{
+		Name:  harness.SeriesName("pic", machine, size, grid),
+		Title: fmt.Sprintf("PIC scalability on %s", machine),
+		Labels: []harness.Label{
+			{Key: "machine", Value: machine},
+		},
+		Columns: []harness.Column{
+			{Name: "particles", CSV: "particles", Width: 10, Kind: harness.Int},
+			{Name: "m", CSV: "grid", Width: 5, Kind: harness.Int},
+			{Name: "P", CSV: "procs", Width: 6, Kind: harness.Int},
+			{Name: "per-step(s)", CSV: "per_step_s", Unit: "s", Width: 12, Prec: 4, Verb: 'g'},
+			{Name: "speedup", CSV: "speedup", Width: 9, Prec: 2, Verb: 'f'},
+			{Name: "paged-spdup", CSV: "paged_speedup", Width: 12, Prec: 2, Verb: 'f'},
+			{Name: "useful%", CSV: "useful_pct", Unit: "%", Width: 9, Prec: 1, Verb: 'f'},
+			{Name: "comm%", CSV: "comm_pct", Unit: "%", Width: 8, Prec: 1, Verb: 'f'},
+			{Name: "imbalance%", CSV: "imbalance_pct", Unit: "%", Width: 11, Prec: 1, Verb: 'f'},
+		},
+	}
+	for _, r := range results {
+		b := r.Budget
+		hc.Points = append(hc.Points, harness.Point{
+			Values: []float64{float64(r.Particles), float64(r.Grid), float64(r.Procs),
+				r.PerStep, r.Speedup, r.PagedSpeedup,
+				b.UsefulPct, b.CommPct, b.ImbalancePct},
+			Budget: &b,
+		})
+	}
+	return hc
 }
 
 // FormatScaling renders PIC scaling results as one figure panel.
 func FormatScaling(machine string, results []ScalingResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "PIC scalability on %s\n", machine)
-	fmt.Fprintf(&b, "%10s %5s %6s %12s %9s %12s %9s %8s %11s\n",
-		"particles", "m", "P", "per-step(s)", "speedup", "paged-spdup", "useful%", "comm%", "imbalance%")
-	for _, r := range results {
-		fmt.Fprintf(&b, "%10d %5d %6d %12.4g %9.2f %12.2f %9.1f %8.1f %11.1f\n",
-			r.Particles, r.Grid, r.Procs, r.PerStep, r.Speedup, r.PagedSpeedup,
-			r.Budget.UsefulPct, r.Budget.CommPct, r.Budget.ImbalancePct)
+	if err := Curve(machine, results).WriteText(&b); err != nil {
+		panic(err) // strings.Builder cannot fail
 	}
 	return b.String()
 }
 
-// SerialTable reproduces the PIC rows of Appendix B Tables 1-2.
-func SerialTable() (string, error) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %14s %14s %14s %14s\n", "particles", "paragon m=32", "paragon m=64", "t3d m=32", "t3d m=64")
+// SerialTableData reproduces the PIC rows of Appendix B Tables 1-2 in the
+// harness result model.
+func SerialTableData() (*harness.Table, error) {
+	t := &harness.Table{
+		Name:     "pic_serial",
+		RowHead:  "particles",
+		RowWidth: 10,
+		Columns: []harness.Column{
+			{Name: "paragon m=32", CSV: "paragon_m32_s", Unit: "s", Width: 14, Prec: 4, Verb: 'g'},
+			{Name: "paragon m=64", CSV: "paragon_m64_s", Unit: "s", Width: 14, Prec: 4, Verb: 'g'},
+			{Name: "t3d m=32", CSV: "t3d_m32_s", Unit: "s", Width: 14, Prec: 4, Verb: 'g'},
+			{Name: "t3d m=64", CSV: "t3d_m64_s", Unit: "s", Width: 14, Prec: 4, Verb: 'g'},
+		},
+	}
 	for _, np := range []int{256 << 10, 512 << 10, 1 << 20, 2 << 20} {
-		fmt.Fprintf(&b, "%-10s", fmt.Sprintf("%dK", np>>10))
+		row := harness.Row{Label: fmt.Sprintf("%dK", np>>10)}
 		for _, mc := range []struct {
 			machine string
 			m       int
 		}{{"paragon", 32}, {"paragon", 64}, {"t3d", 32}, {"t3d", 64}} {
-			t, err := SerialTime(mc.machine, np, mc.m, false)
+			st, err := SerialTime(mc.machine, np, mc.m, false)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			fmt.Fprintf(&b, " %14.4g", t)
+			row.Values = append(row.Values, st)
 		}
-		fmt.Fprintln(&b)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// SerialTable renders SerialTableData as text.
+func SerialTable() (string, error) {
+	tab, err := SerialTableData()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		return "", err
 	}
 	return b.String(), nil
 }
@@ -126,9 +188,9 @@ func SerialTable() (string, error) {
 // global-sum variant at the given processor count — the gssum ablation
 // behind the paper's Figures 7-8 discussion.
 func GlobalSumComparison(machine string, particles, grid, procs int, seed int64) (naive, prefix float64, err error) {
-	m := mesh.ByName(machine)
-	if m == nil {
-		return 0, 0, fmt.Errorf("pic: unknown machine %q", machine)
+	m, err := mesh.MachineByName(machine)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pic: %w", err)
 	}
 	for _, sum := range []GlobalSum{NaiveGSSum, PrefixSum} {
 		state := NewUniform(particles, grid, seed)

@@ -80,6 +80,8 @@ type ParallelConfig struct {
 	// Exchange selects the field-solve data movement (default: the
 	// report's transpose scheme).
 	Exchange FieldExchange
+	// Trace, when non-nil, records the run's nx event trace.
+	Trace *nx.Trace
 }
 
 // ParallelResult is the outcome of a simulated run.
@@ -197,7 +199,7 @@ func ParallelRun(s *State, cfg ParallelConfig) (*ParallelResult, error) {
 		}
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p}, prog)
+	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}, prog)
 	if err != nil {
 		return nil, err
 	}
