@@ -13,7 +13,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"log"
 	"os"
@@ -29,6 +28,7 @@ func main() {
 	var f cli.Flags
 	f.AddWorkers(flag.CommandLine)
 	f.AddCSV(flag.CommandLine)
+	f.AddTimeout(flag.CommandLine)
 	var (
 		quick = flag.Bool("quick", false, "smaller problem sizes and sweeps")
 		list  = flag.Bool("list", false, "list the registered experiments and exit")
@@ -45,7 +45,9 @@ func main() {
 	}
 	opt.Quick = *quick
 
-	rep, err := harness.RunByName(context.Background(), "exptables", opt)
+	ctx, cancel := f.Context()
+	defer cancel()
+	rep, err := harness.RunByName(ctx, "exptables", opt)
 	if err != nil {
 		log.Fatal(err)
 	}

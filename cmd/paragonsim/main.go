@@ -11,10 +11,11 @@
 //	paragonsim -config F4/L2      # one figure
 //	paragonsim -block             # add the block-decomposition ablation
 //	paragonsim -trace out.json    # also write a per-rank nx event trace
+//	paragonsim -faults            # chaos sweep: fault injection + recovery
+//	paragonsim -timeout 2m        # abort cleanly if a run hangs
 package main
 
 import (
-	"context"
 	"flag"
 	"log"
 	"os"
@@ -34,10 +35,12 @@ func main() {
 	f.AddWorkers(flag.CommandLine)
 	f.AddTrace(flag.CommandLine)
 	f.AddCSV(flag.CommandLine)
+	f.AddTimeout(flag.CommandLine)
 	var (
 		config  = flag.String("config", "", "restrict to one configuration (F8/L1, F4/L2, F2/L4)")
 		block   = flag.Bool("block", false, "also run the block-decomposition ablation")
 		overlap = flag.Bool("overlap", false, "also run the overlapped guard-exchange ablation")
+		faults  = flag.Bool("faults", false, "run the wavelet/faults chaos experiment instead of the scaling figures")
 		list    = flag.Bool("list", false, "list the registered experiments and exit")
 	)
 	flag.Parse()
@@ -53,8 +56,14 @@ func main() {
 	opt.Config = *config
 	opt.Block = *block
 	opt.Overlap = *overlap
+	name := "wavelet/scaling"
+	if *faults {
+		name = "wavelet/faults"
+	}
 
-	rep, err := harness.RunByName(context.Background(), "wavelet/scaling", opt)
+	ctx, cancel := f.Context()
+	defer cancel()
+	rep, err := harness.RunByName(ctx, name, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"wavelethpc/internal/harness"
 )
@@ -69,6 +71,7 @@ type Flags struct {
 	Workers   int
 	Trace     string
 	CSVDir    string
+	Timeout   time.Duration
 	sizesName string
 }
 
@@ -115,6 +118,20 @@ func (f *Flags) AddTrace(fs *flag.FlagSet) {
 // AddCSV registers -csv, the per-artifact CSV export directory.
 func (f *Flags) AddCSV(fs *flag.FlagSet) {
 	fs.StringVar(&f.CSVDir, "csv", "", "also write one CSV per curve/table into this directory")
+}
+
+// AddTimeout registers -timeout, the wall-clock run bound.
+func (f *Flags) AddTimeout(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the run after this wall-clock duration, e.g. 30s (0 = no limit)")
+}
+
+// Context returns the run's base context, honoring -timeout when set.
+// The caller must invoke the returned cancel function.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(context.Background(), f.Timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // AddGrid registers -grid for the PIC experiments.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wavelethpc/internal/budget"
@@ -48,12 +49,17 @@ type DistResult struct {
 	// GuardTime is the largest per-rank total time spent in guard-zone
 	// exchanges — where the naive placement's routing conflicts land.
 	GuardTime float64
+	// CheckpointTime is the largest per-rank time spent writing (and on
+	// restart, reading) stripe checkpoints; zero outside fault-tolerant
+	// runs.
+	CheckpointTime float64
 }
 
 // phase clocks reported by each rank through SetResult.
 type rankPhases struct {
 	afterScatter, afterDecompose, done float64
 	guard                              float64
+	ckpt                               float64
 }
 
 // message tags for the distributed programs.
@@ -92,6 +98,21 @@ func validateStriped(rows, cols, p, f, levels int) error {
 // data flows through the simulator, so the assembled pyramid is verified
 // against the sequential transform by the tests.
 func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) {
+	return DistributedDecomposeCtx(context.Background(), im, cfg)
+}
+
+// DistributedDecomposeCtx is DistributedDecompose with cooperative
+// cancellation: a canceled context aborts the simulation between events.
+func DistributedDecomposeCtx(ctx context.Context, im *image.Image, cfg DistConfig) (*DistResult, error) {
+	return distributedDecompose(ctx, im, cfg, nil)
+}
+
+// distributedDecompose runs the striped program, optionally under a
+// fault-tolerance driver: ft (nil outside FaultTolerantDecompose) injects
+// the fault plan, resumes from a stripe checkpoint instead of scattering,
+// and writes periodic checkpoints at level boundaries. With ft == nil the
+// run is byte-identical to the original fault-free program.
+func distributedDecompose(ctx context.Context, im *image.Image, cfg DistConfig, ft *ftRun) (*DistResult, error) {
 	p := cfg.Procs
 	f := cfg.Bank.Len()
 	if err := validateStriped(im.Rows, im.Cols, p, f, cfg.Levels); err != nil {
@@ -105,26 +126,34 @@ func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) 
 	prog := func(r *nx.Rank) {
 		id := r.ID()
 		var ph rankPhases
+		var stripe *image.Image
+		myBands := stripeBands{details: make([][3][]float64, cfg.Levels)}
+		start := 0
 
-		// --- Scatter ---------------------------------------------------
-		lr := im.Rows / p
-		cc := im.Cols
-		var parts [][]float64
-		if id == 0 {
-			parts = make([][]float64, p)
-			for i := 0; i < p; i++ {
-				parts[i] = flattenRows(im, i*lr, (i+1)*lr)
+		if ft.resuming() {
+			// --- Restart: read the last consistent checkpoint ----------
+			start = ft.startLevel
+			stripe, myBands = ft.restore(r, &ph)
+		} else {
+			// --- Scatter -----------------------------------------------
+			lr := im.Rows / p
+			cc := im.Cols
+			var parts [][]float64
+			if id == 0 {
+				parts = make([][]float64, p)
+				for i := 0; i < p; i++ {
+					parts[i] = flattenRows(im, i*lr, (i+1)*lr)
+				}
+				// Slicing the image into send buffers is parallelization
+				// redundancy: a sequential program never copies.
+				r.Compute(float64(im.Rows*im.Cols*8)*cost.MemByteTime, budget.UniqueRedundancy)
 			}
-			// Slicing the image into send buffers is parallelization
-			// redundancy: a sequential program never copies.
-			r.Compute(float64(im.Rows*im.Cols*8)*cost.MemByteTime, budget.UniqueRedundancy)
+			stripe = imageFromFlat(lr, cc, r.Scatter(0, parts))
 		}
-		stripe := imageFromFlat(lr, cc, r.Scatter(0, parts))
 		ph.afterScatter = r.Clock()
 
 		// --- Decomposition loop -----------------------------------------
-		myBands := stripeBands{details: make([][3][]float64, cfg.Levels)}
-		for l := 0; l < cfg.Levels; l++ {
+		for l := start; l < cfg.Levels; l++ {
 			// Per-level loop setup duplicated on every rank.
 			r.ComputeOps(50, cost.FlopTime, budget.Duplication)
 			// Domain-decomposition index arithmetic.
@@ -197,6 +226,9 @@ func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) 
 			// Level-end synchronization before the next decomposition
 			// level starts.
 			r.Barrier()
+			if ft.checkpointDue(l+1, cfg.Levels) {
+				ft.writeCheckpoint(r, l+1, stripe, myBands, &ph)
+			}
 		}
 		myBands.approx = flattenRows(stripe, 0, stripe.Rows)
 		ph.afterDecompose = r.Clock()
@@ -235,7 +267,12 @@ func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) 
 		r.SetResult(ph)
 	}
 
-	sim, err := nx.Run(nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}, prog)
+	ncfg := nx.Config{Machine: cfg.Machine, Placement: cfg.Placement, Procs: p, Trace: cfg.Trace}
+	if ft != nil {
+		ncfg.Fault = ft.plan
+		ncfg.Reliable = ft.reliable
+	}
+	sim, err := nx.RunCtx(ctx, ncfg, prog)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +284,7 @@ func DistributedDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) 
 		res.DecomposeTime = maxf(res.DecomposeTime, ph.afterDecompose-ph.afterScatter)
 		res.GatherTime = maxf(res.GatherTime, ph.done-ph.afterDecompose)
 		res.GuardTime = maxf(res.GuardTime, ph.guard)
+		res.CheckpointTime = maxf(res.CheckpointTime, ph.ckpt)
 	}
 
 	// Assemble the pyramid from the collected stripes.

@@ -88,7 +88,7 @@ func RunScalingCtx(ctx context.Context, workers int, im *image.Image, m *mesh.Ma
 		Serial:    SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels),
 	}
 	points, err := harness.Sweep(ctx, procs, workers, func(ctx context.Context, p int) (ScalingPoint, error) {
-		res, err := DistributedDecompose(im, DistConfig{
+		res, err := DistributedDecomposeCtx(ctx, im, DistConfig{
 			Machine:   m,
 			Placement: pl,
 			Procs:     p,

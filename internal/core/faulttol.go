@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fault"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+)
+
+// FTConfig configures a fault-tolerant distributed decomposition: the
+// striped algorithm of DistributedDecompose run under a fault plan, with
+// periodic stripe-level checkpoints and automatic restart after node
+// crashes.
+type FTConfig struct {
+	DistConfig
+	// Plan is the fault scenario (nil runs fault-free).
+	Plan *fault.Plan
+	// Reliable configures ack/retransmit delivery for transient loss.
+	Reliable nx.ReliableConfig
+	// CheckpointEvery writes a stripe checkpoint after every that many
+	// completed decomposition levels (0 disables checkpointing: a crash
+	// restarts the job from the beginning).
+	CheckpointEvery int
+	// MaxRestarts bounds crash recoveries before the job is abandoned.
+	// Zero means 8.
+	MaxRestarts int
+}
+
+// FTResult is the outcome of a fault-tolerant run.
+type FTResult struct {
+	// DistResult is the completing attempt's result (nil when the job was
+	// abandoned). The pyramid is bit-identical to a fault-free run.
+	*DistResult
+	// Completed reports whether the decomposition finished.
+	Completed bool
+	// Attempts counts executions of the job (1 = no restart needed).
+	Attempts int
+	// Restarts counts crash recoveries (Attempts - 1 when completed).
+	Restarts int
+	// RestartLevels records the decomposition level each restart resumed
+	// from (0 = from scratch).
+	RestartLevels []int
+	// WastedTime is the virtual time consumed by aborted attempts.
+	WastedTime float64
+	// TotalTime is WastedTime plus the completing attempt's elapsed time —
+	// the job's end-to-end virtual cost including recovery.
+	TotalTime float64
+	// FailErr is the terminal error of an abandoned job (nil when
+	// Completed).
+	FailErr error
+}
+
+// Overhead returns the fractional virtual-time cost of fault tolerance
+// relative to a fault-free baseline: (TotalTime - baseline) / baseline.
+func (r *FTResult) Overhead(baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return (r.TotalTime - baseline) / baseline
+}
+
+// ckptSnap is one rank's stripe checkpoint at a level boundary: the
+// current approximation stripe plus every detail band computed so far.
+// Snapshots reference the live images, which are safe to share — the
+// program never mutates a stripe or band after the level that produced it.
+type ckptSnap struct {
+	stripe  *image.Image
+	details [][3][]float64
+}
+
+// bytes is the checkpoint's stable-storage footprint.
+func (s *ckptSnap) bytes() int {
+	n := 8 * len(s.stripe.Pix)
+	for _, d := range s.details {
+		n += 8 * (len(d[0]) + len(d[1]) + len(d[2]))
+	}
+	return n
+}
+
+// ftRun carries one attempt's fault-tolerance state through
+// distributedDecompose. A nil *ftRun (the plain entry points) disables
+// every hook.
+type ftRun struct {
+	plan     *fault.Plan
+	reliable nx.ReliableConfig
+	every    int
+	procs    int
+	cost     mesh.CostModel
+	// startLevel and resume describe the checkpoint this attempt resumes
+	// from (startLevel 0 = fresh start).
+	startLevel int
+	resume     []*ckptSnap
+	// saved accumulates checkpoints written during the attempt, keyed by
+	// completed-level count; it aliases the driver's persistent store, so
+	// checkpoints survive the attempt's abort (stable storage).
+	saved map[int][]*ckptSnap
+}
+
+// resuming reports whether this attempt starts from a checkpoint.
+func (ft *ftRun) resuming() bool { return ft != nil && ft.startLevel > 0 }
+
+// checkpointDue reports whether a checkpoint is written after levelsDone
+// completed levels (never after the final level — the job is about to
+// finish anyway).
+func (ft *ftRun) checkpointDue(levelsDone, total int) bool {
+	return ft != nil && ft.every > 0 && levelsDone < total && levelsDone%ft.every == 0
+}
+
+// ioTime models checkpoint I/O as a transfer to a station I/O node: the
+// message startup plus the byte cost at wire bandwidth.
+func (ft *ftRun) ioTime(bytes int) float64 {
+	return ft.cost.MsgLatency + float64(bytes)*ft.cost.ByteTime
+}
+
+// writeCheckpoint snapshots the rank's stripe state after levelsDone
+// levels and charges the I/O as parallelization redundancy (a sequential
+// program checkpoints nothing).
+func (ft *ftRun) writeCheckpoint(r *nx.Rank, levelsDone int, stripe *image.Image, bands stripeBands, ph *rankPhases) {
+	snap := &ckptSnap{
+		stripe:  stripe,
+		details: append([][3][]float64(nil), bands.details...),
+	}
+	start := r.Clock()
+	r.Compute(ft.ioTime(snap.bytes()), budget.UniqueRedundancy)
+	ph.ckpt += r.Clock() - start
+	if ft.saved[levelsDone] == nil {
+		ft.saved[levelsDone] = make([]*ckptSnap, ft.procs)
+	}
+	ft.saved[levelsDone][r.ID()] = snap
+}
+
+// restore reads the rank's resume checkpoint back, charging the read I/O.
+func (ft *ftRun) restore(r *nx.Rank, ph *rankPhases) (*image.Image, stripeBands) {
+	snap := ft.resume[r.ID()]
+	start := r.Clock()
+	r.Compute(ft.ioTime(snap.bytes()), budget.UniqueRedundancy)
+	ph.ckpt += r.Clock() - start
+	bands := stripeBands{details: append([][3][]float64(nil), snap.details...)}
+	return snap.stripe, bands
+}
+
+// safeCheckpoint returns the deepest level for which every rank has a
+// stored snapshot — the last globally consistent state — or 0 when no
+// complete checkpoint exists.
+func safeCheckpoint(saved map[int][]*ckptSnap, procs int) (int, []*ckptSnap) {
+	best := 0
+	var snaps []*ckptSnap
+	for level, s := range saved {
+		complete := true
+		for i := 0; i < procs; i++ {
+			if s[i] == nil {
+				complete = false
+				break
+			}
+		}
+		if complete && level > best {
+			best, snaps = level, s
+		}
+	}
+	return best, snaps
+}
+
+// rehostPlacement overrides the base placement for ranks whose original
+// node died: the restarted job runs the crashed rank on a spare node.
+type rehostPlacement struct {
+	base  mesh.Placement
+	moved map[int]mesh.Coord
+}
+
+// Name implements mesh.Placement.
+func (p rehostPlacement) Name() string { return p.base.Name() + "+rehost" }
+
+// Coord implements mesh.Placement.
+func (p rehostPlacement) Coord(rank, procs int) mesh.Coord {
+	if c, ok := p.moved[rank]; ok {
+		return c
+	}
+	return p.base.Coord(rank, procs)
+}
+
+// findSpare returns the first machine node (row-major scan) hosting no
+// rank and not previously declared dead — the deterministic spare-node
+// pool of the restart driver.
+func findSpare(m *mesh.Machine, pl mesh.Placement, procs int, dead map[mesh.Coord]bool) (mesh.Coord, bool) {
+	used := make(map[mesh.Coord]bool, procs)
+	for r := 0; r < procs; r++ {
+		used[pl.Coord(r, procs)] = true
+	}
+	for z := 0; z < m.DimZ; z++ {
+		for y := 0; y < m.DimY; y++ {
+			for x := 0; x < m.DimX; x++ {
+				c := mesh.Coord{X: x, Y: y, Z: z}
+				if !used[c] && !dead[c] {
+					return c, true
+				}
+			}
+		}
+	}
+	return mesh.Coord{}, false
+}
+
+// FaultTolerantDecompose runs the striped decomposition under the given
+// fault plan with checkpoint/restart recovery: when a node crash aborts
+// the job, the crashed rank is re-hosted on a spare node, the crash is
+// retired from the plan (a node dies once), and the job restarts from the
+// deepest checkpoint every rank completed — or from scratch when none
+// exists. The recovered pyramid is bit-identical to a fault-free run's:
+// checkpointed state is exact and the simulation is deterministic.
+//
+// Transient faults are handled inside the attempt (reliable retransmission
+// and link rerouting); only crashes trigger restarts. Deterministically
+// fatal faults — an unreachable destination or exhausted retries, which
+// would recur on every restart — and an exhausted restart budget abandon
+// the job: the returned result has Completed == false and FailErr set.
+// The error return is reserved for invalid configurations, program bugs,
+// and context cancellation.
+func FaultTolerantDecompose(ctx context.Context, im *image.Image, cfg FTConfig) (*FTResult, error) {
+	if err := cfg.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 8
+	}
+	plan := cfg.Plan
+	placement := cfg.Placement
+	dead := make(map[mesh.Coord]bool)
+	saved := make(map[int][]*ckptSnap)
+	res := &FTResult{}
+
+	for {
+		ft := &ftRun{
+			plan:     plan,
+			reliable: cfg.Reliable,
+			every:    cfg.CheckpointEvery,
+			procs:    cfg.Procs,
+			cost:     cfg.Machine.Cost,
+			saved:    saved,
+		}
+		if level, snaps := safeCheckpoint(saved, cfg.Procs); level > 0 {
+			ft.startLevel, ft.resume = level, snaps
+		}
+		if res.Attempts > 0 {
+			res.RestartLevels = append(res.RestartLevels, ft.startLevel)
+		}
+		dcfg := cfg.DistConfig
+		dcfg.Placement = placement
+		dres, err := distributedDecompose(ctx, im, dcfg, ft)
+		res.Attempts++
+		if err == nil {
+			res.DistResult = dres
+			res.Completed = true
+			res.TotalTime = res.WastedTime + dres.Sim.Elapsed
+			return res, nil
+		}
+		var fe *nx.FaultError
+		if !errors.As(err, &fe) {
+			return nil, err
+		}
+		if fe.Kind != nx.FaultCrash {
+			// Unreachable or retries exhausted: deterministic, a restart
+			// would hit it again.
+			res.FailErr = err
+			res.TotalTime = res.WastedTime + fe.At
+			return res, nil
+		}
+		res.WastedTime += fe.At
+		if res.Restarts >= maxRestarts {
+			res.FailErr = fmt.Errorf("core: restart budget (%d) exhausted: %w", maxRestarts, err)
+			res.TotalTime = res.WastedTime
+			return res, nil
+		}
+		spare, ok := findSpare(cfg.Machine, placement, cfg.Procs, dead)
+		if !ok {
+			res.FailErr = fmt.Errorf("core: no spare node to re-host rank %d: %w", fe.Rank, err)
+			res.TotalTime = res.WastedTime
+			return res, nil
+		}
+		dead[placement.Coord(fe.Rank, cfg.Procs)] = true
+		rp, isRehost := placement.(rehostPlacement)
+		if !isRehost {
+			rp = rehostPlacement{base: placement, moved: make(map[int]mesh.Coord)}
+		}
+		rp.moved[fe.Rank] = spare
+		placement = rp
+		plan = plan.WithoutCrash(fe.Rank)
+		res.Restarts++
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/fault"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+)
+
+func ftCfg(p int, levels int) FTConfig {
+	return FTConfig{DistConfig: distCfg(p, filter.Haar(), levels)}
+}
+
+func TestFaultTolerantMatchesPlainWithoutFaults(t *testing.T) {
+	im := testImage()
+	plain, err := DistributedDecompose(im, distCfg(4, filter.Haar(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := FaultTolerantDecompose(context.Background(), im, ftCfg(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Completed || ft.Attempts != 1 || ft.Restarts != 0 {
+		t.Fatalf("fault-free FT run: completed=%v attempts=%d restarts=%d", ft.Completed, ft.Attempts, ft.Restarts)
+	}
+	// No plan, no checkpoints: the run must be byte-identical to the
+	// plain entry point — the fault layer is strictly opt-in.
+	if !reflect.DeepEqual(plain.Sim, ft.Sim) {
+		t.Error("fault-free FT simulation differs from plain run")
+	}
+	if !pyramidsEqual(plain.Pyramid, ft.Pyramid, 0) {
+		t.Error("fault-free FT pyramid differs from plain run")
+	}
+	if ft.TotalTime != plain.Sim.Elapsed {
+		t.Errorf("total time %g != plain elapsed %g", ft.TotalTime, plain.Sim.Elapsed)
+	}
+}
+
+func TestCheckpointOverheadMeasured(t *testing.T) {
+	im := testImage()
+	plain, err := DistributedDecompose(im, distCfg(4, filter.Haar(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ftCfg(4, 4)
+	cfg.CheckpointEvery = 1
+	ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Completed {
+		t.Fatal("checkpointing run did not complete")
+	}
+	if ft.CheckpointTime <= 0 {
+		t.Error("no checkpoint time recorded")
+	}
+	if ft.TotalTime <= plain.Sim.Elapsed {
+		t.Errorf("checkpointed run (%g s) not slower than plain (%g s)", ft.TotalTime, plain.Sim.Elapsed)
+	}
+	if ov := ft.Overhead(plain.Sim.Elapsed); ov <= 0 || ov > 1 {
+		t.Errorf("checkpoint overhead = %g, want small positive fraction", ov)
+	}
+	if !pyramidsEqual(plain.Pyramid, ft.Pyramid, 0) {
+		t.Error("checkpointing changed the pyramid")
+	}
+}
+
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	im := testImage()
+	plain, err := DistributedDecompose(im, distCfg(4, filter.Haar(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ftCfg(4, 4)
+	cfg.CheckpointEvery = 1
+	// Crash rank 2 most of the way through the decomposition: several
+	// checkpoints exist by then.
+	crashAt := plain.ScatterTime + 0.9*plain.DecomposeTime
+	cfg.Plan = &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: crashAt}}}
+	ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Completed || ft.Attempts != 2 || ft.Restarts != 1 {
+		t.Fatalf("crash recovery: completed=%v attempts=%d restarts=%d failErr=%v",
+			ft.Completed, ft.Attempts, ft.Restarts, ft.FailErr)
+	}
+	if len(ft.RestartLevels) != 1 || ft.RestartLevels[0] < 1 {
+		t.Errorf("restart levels = %v, want one restart from a checkpointed level", ft.RestartLevels)
+	}
+	// The acceptance bar: recovery reconstructs the pyramid bit-for-bit.
+	if !pyramidsEqual(plain.Pyramid, ft.Pyramid, 0) {
+		t.Error("recovered pyramid differs from fault-free run")
+	}
+	if ft.WastedTime != crashAt {
+		t.Errorf("wasted time %g, want crash time %g", ft.WastedTime, crashAt)
+	}
+	if ft.TotalTime <= plain.Sim.Elapsed {
+		t.Errorf("recovered run (%g s) not slower than fault-free (%g s)", ft.TotalTime, plain.Sim.Elapsed)
+	}
+}
+
+func TestCrashWithoutCheckpointsRestartsFromScratch(t *testing.T) {
+	im := testImage()
+	plain, err := DistributedDecompose(im, distCfg(4, filter.Haar(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ftCfg(4, 2)
+	cfg.Plan = &fault.Plan{Crashes: []fault.Crash{{Rank: 1, At: 0.5 * plain.Sim.Elapsed}}}
+	ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.Completed || ft.Restarts != 1 {
+		t.Fatalf("completed=%v restarts=%d failErr=%v", ft.Completed, ft.Restarts, ft.FailErr)
+	}
+	if len(ft.RestartLevels) != 1 || ft.RestartLevels[0] != 0 {
+		t.Errorf("restart levels = %v, want [0] (no checkpoints)", ft.RestartLevels)
+	}
+	if !pyramidsEqual(plain.Pyramid, ft.Pyramid, 0) {
+		t.Error("restarted pyramid differs from fault-free run")
+	}
+}
+
+func TestFaultTolerantRunsAreDeterministic(t *testing.T) {
+	im := testImage()
+	run := func() *FTResult {
+		cfg := ftCfg(4, 4)
+		cfg.CheckpointEvery = 2
+		cfg.Plan = &fault.Plan{
+			Seed:     11,
+			DropProb: 0.05,
+			Crashes:  []fault.Crash{{Rank: 3, At: 0.02}},
+		}
+		cfg.Reliable = nx.ReliableConfig{Enabled: true}
+		ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ft
+	}
+	a, b := run(), run()
+	if a.TotalTime != b.TotalTime || a.Attempts != b.Attempts ||
+		!reflect.DeepEqual(a.RestartLevels, b.RestartLevels) ||
+		!reflect.DeepEqual(a.Sim.Faults, b.Sim.Faults) {
+		t.Errorf("same-seed FT runs differ: %+v vs %+v", a, b)
+	}
+	if a.Completed && !pyramidsEqual(a.Pyramid, b.Pyramid, 0) {
+		t.Error("same-seed FT pyramids differ")
+	}
+}
+
+func TestRestartBudgetExhaustion(t *testing.T) {
+	im := testImage()
+	cfg := ftCfg(4, 2)
+	cfg.MaxRestarts = 1
+	cfg.Plan = &fault.Plan{Crashes: []fault.Crash{
+		{Rank: 0, At: 0.001},
+		{Rank: 1, At: 0.001},
+	}}
+	ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Completed {
+		t.Fatal("job completed despite exhausted restart budget")
+	}
+	if ft.FailErr == nil || !strings.Contains(ft.FailErr.Error(), "restart budget") {
+		t.Errorf("fail err = %v, want restart budget exhaustion", ft.FailErr)
+	}
+	if ft.Attempts != 2 || ft.Restarts != 1 {
+		t.Errorf("attempts=%d restarts=%d, want 2/1", ft.Attempts, ft.Restarts)
+	}
+}
+
+func TestUnreachableAbandonsJob(t *testing.T) {
+	im := testImage()
+	cfg := ftCfg(4, 2)
+	// Ranks 0 and 1 are adjacent on row 0 under the snake placement;
+	// killing both directions of their link leaves no detour.
+	a, b := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	cfg.Plan = &fault.Plan{Links: []fault.LinkFailure{
+		{Link: mesh.Link{From: a, To: b}},
+		{Link: mesh.Link{From: b, To: a}},
+	}}
+	ft, err := FaultTolerantDecompose(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Completed {
+		t.Fatal("job completed over an unreachable pair")
+	}
+	if ft.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (unreachability is deterministic)", ft.Attempts)
+	}
+	if ft.FailErr == nil || !strings.Contains(ft.FailErr.Error(), "unreachable") {
+		t.Errorf("fail err = %v, want unreachable", ft.FailErr)
+	}
+}
+
+func TestDistributedDecomposeCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DistributedDecomposeCtx(ctx, testImage(), distCfg(4, filter.Haar(), 2))
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("err = %v, want context cancellation", err)
+	}
+}

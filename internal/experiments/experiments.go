@@ -11,6 +11,7 @@ import (
 
 func init() {
 	harness.Register(waveletScaling())
+	harness.Register(waveletFaults())
 	harness.Register(nbodyScaling())
 	harness.Register(picScaling())
 	harness.Register(workloadTables())

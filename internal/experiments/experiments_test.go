@@ -11,7 +11,7 @@ import (
 )
 
 func TestCatalogRegistered(t *testing.T) {
-	for _, name := range []string{"wavelet/scaling", "nbody/scaling", "pic/scaling", "workloads/tables", "exptables"} {
+	for _, name := range []string{"wavelet/scaling", "wavelet/faults", "nbody/scaling", "pic/scaling", "workloads/tables", "exptables"} {
 		if _, err := harness.Lookup(name); err != nil {
 			t.Errorf("Lookup(%q): %v", name, err)
 		}
@@ -53,6 +53,66 @@ func TestWaveletScalingReport(t *testing.T) {
 	arts := rep.Artifacts()
 	if len(arts) != 2 {
 		t.Fatalf("artifact count = %d, want 2 (snake + naive curve)", len(arts))
+	}
+}
+
+func TestWaveletFaultsReport(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	rep, err := harness.RunByName(context.Background(), "wavelet/faults", harness.Options{
+		Quick:     true,
+		TracePath: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Chaos sweep",
+		"Completion and overhead vs drop rate",
+		"Link failures",
+		"completed",
+		"reroutes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The trace of the chaos run must record the injected faults and the
+	// recovery machinery at work.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{`"drop"`, `"retry"`, `"reroute"`, `"crash"`} {
+		if !strings.Contains(string(data), kind) {
+			t.Errorf("trace has no %s event", kind)
+		}
+	}
+}
+
+// TestWaveletFaultsDeterministic is the acceptance check that the chaos
+// experiment's measured overheads reproduce across same-seed runs.
+func TestWaveletFaultsDeterministic(t *testing.T) {
+	run := func() string {
+		rep, err := harness.RunByName(context.Background(), "wavelet/faults", harness.Options{
+			Quick: true,
+			Seed:  7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := rep.Print(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same-seed chaos reports differ:\n%s\nvs\n%s", a, b)
 	}
 }
 

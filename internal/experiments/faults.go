@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/fault"
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+	"wavelethpc/internal/wavelet"
+)
+
+// waveletFaults is the chaos experiment: the striped decomposition under
+// deterministic fault injection — transient message loss with reliable
+// retransmission, a node crash with checkpoint/restart recovery, and
+// failed links with YX rerouting — swept over fault rate and checkpoint
+// interval.
+func waveletFaults() harness.Experiment {
+	return &harness.Func{
+		ExpName: "wavelet/faults",
+		Desc:    "chaos sweep: completion probability and fault-tolerance overhead vs fault rate and checkpoint interval",
+		RunFunc: runWaveletFaults,
+	}
+}
+
+// faultCell is one (drop rate, checkpoint interval) sweep point.
+type faultCell struct {
+	rate     float64
+	interval int
+}
+
+// cellStats aggregates the trials of one sweep point.
+type cellStats struct {
+	cell       faultCell
+	trials     int
+	completed  int
+	exact      int
+	attempts   float64
+	restarts   float64
+	overhead   float64 // summed over completed trials
+	ckpt       float64
+	retries    float64
+	rerouteSum float64
+	wasted     float64
+	budget     *harness.Point // representative completed trial's budget
+}
+
+// faultTrials is the per-cell trial count (halved under -quick).
+const faultTrials = 4
+
+func runWaveletFaults(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	machine, err := mesh.MachineByName(machineOr(opt, "paragon"))
+	if err != nil {
+		return nil, err
+	}
+	// The chaos sweep runs many restarting simulations per cell, so it
+	// defaults to a smaller image than the scaling figures.
+	size := harness.IntOr(opt.Size, 128)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	im := image.Landsat(size, size, uint64(seed))
+	procs := opt.ProcsOr([]int{8})
+	p := procs[len(procs)-1]
+	cfg := core.PaperConfigs()[2] // F2/L4: four levels give the interval sweep room
+	if opt.Config != "" {
+		for _, c := range core.PaperConfigs() {
+			if c.Label == opt.Config {
+				cfg = c
+			}
+		}
+	}
+
+	baseCfg := core.DistConfig{
+		Machine:   machine,
+		Placement: mesh.SnakePlacement{Width: 4},
+		Procs:     p,
+		Bank:      cfg.Bank,
+		Levels:    cfg.Levels,
+	}
+	baseline, err := core.DistributedDecomposeCtx(ctx, im, baseCfg)
+	if err != nil {
+		return nil, fmt.Errorf("wavelet/faults: fault-free baseline: %w", err)
+	}
+
+	rates := []float64{0, 0.02, 0.05, 0.1}
+	intervals := []int{0, 1, 2}
+	trials := faultTrials
+	if opt.Quick {
+		rates = []float64{0, 0.05}
+		intervals = []int{0, 1}
+		trials = 2
+	}
+
+	rep := &harness.Report{Experiment: "wavelet/faults"}
+	rep.Sections = append(rep.Sections, harness.Section{
+		Heading: fmt.Sprintf("Chaos sweep: %s %s P=%d, %dx%d image, %d trials/cell, fault-free baseline %.4g s",
+			machine.Name, cfg.Label, p, size, size, trials, baseline.Sim.Elapsed),
+	})
+
+	// --- Section 1: transient loss × checkpoint interval, with a crash --
+	var cells []faultCell
+	for _, iv := range intervals {
+		for _, rate := range rates {
+			cells = append(cells, faultCell{rate: rate, interval: iv})
+		}
+	}
+	stats, err := harness.Sweep(ctx, cells, opt.Workers, func(ctx context.Context, c faultCell) (cellStats, error) {
+		return runFaultCell(ctx, im, baseCfg, baseline, c, trials, seed, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sec := harness.Section{
+		Heading: "Completion and overhead vs drop rate, one crash per trial, reliable delivery",
+	}
+	for _, iv := range intervals {
+		curve := &harness.Curve{
+			Name:    harness.SeriesName("faults", fmt.Sprintf("ckpt%d", iv)),
+			Title:   fmt.Sprintf("checkpoint interval %s", intervalLabel(iv)),
+			Labels:  []harness.Label{{Key: "checkpoint_every", Value: fmt.Sprint(iv)}},
+			Columns: faultColumns("droprate"),
+		}
+		for _, s := range stats {
+			if s.cell.interval == iv {
+				curve.Points = append(curve.Points, s.point(s.cell.rate))
+			}
+		}
+		sec.Curves = append(sec.Curves, curve)
+	}
+	rep.Sections = append(rep.Sections, sec)
+
+	// --- Section 2: permanent link failures and rerouting ---------------
+	// The barrier's power-of-two exchange partners become column-aligned
+	// once the job spans more than two snake rows, so beyond P=8 every
+	// interior link lies on some same-row/column pair's only route and a
+	// single failure deterministically partitions the job. The rerouting
+	// sweep therefore runs on a sub-job capped at 8 ranks, where exchange
+	// partners span both dimensions and a YX detour exists.
+	pLink := p
+	if pLink > 8 {
+		pLink = 8
+	}
+	linkCfg := baseCfg
+	linkCfg.Procs = pLink
+	linkBase := baseline
+	if pLink != p {
+		linkBase, err = core.DistributedDecomposeCtx(ctx, im, linkCfg)
+		if err != nil {
+			return nil, fmt.Errorf("wavelet/faults: link-sweep baseline: %w", err)
+		}
+	}
+	linkCounts := []int{0, 1, 2, 3}
+	if opt.Quick {
+		linkCounts = []int{0, 2}
+	}
+	linkStats, err := harness.Sweep(ctx, linkCounts, opt.Workers, func(ctx context.Context, n int) (cellStats, error) {
+		return runLinkCell(ctx, im, linkCfg, linkBase, n, trials, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	linkCurve := &harness.Curve{
+		Name:    harness.SeriesName("faults", "links"),
+		Title:   "failed links: rerouting until both dimension orders are cut",
+		Columns: faultColumns("links"),
+	}
+	for i, s := range linkStats {
+		linkCurve.Points = append(linkCurve.Points, s.point(float64(linkCounts[i])))
+	}
+	rep.Sections = append(rep.Sections, harness.Section{
+		Heading: fmt.Sprintf("Link failures (P=%d, checkpoint interval 1, drop rate 0.02)", pLink),
+		Curves:  []*harness.Curve{linkCurve},
+	})
+
+	if opt.TracePath != "" {
+		txt, err := faultTraceRun(ctx, im, linkCfg, linkBase, seed, opt.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sections = append(rep.Sections, harness.Section{Text: txt})
+	}
+	return rep, nil
+}
+
+func intervalLabel(iv int) string {
+	if iv == 0 {
+		return "none (restart from scratch)"
+	}
+	return fmt.Sprintf("every %d level(s)", iv)
+}
+
+// faultColumns is the shared column layout of the chaos tables; first is
+// the swept variable.
+func faultColumns(sweep string) []harness.Column {
+	return []harness.Column{
+		{Name: sweep, CSV: sweep, Width: 9, Prec: 3, Verb: 'f'},
+		{Name: "completed", CSV: "completed", Width: 10, Prec: 2, Verb: 'f'},
+		{Name: "exact", CSV: "exact", Width: 7, Prec: 2, Verb: 'f'},
+		{Name: "attempts", CSV: "attempts", Width: 9, Prec: 2, Verb: 'f'},
+		{Name: "overhead", CSV: "overhead", Width: 9, Prec: 3, Verb: 'f'},
+		{Name: "ckpt(s)", CSV: "ckpt_s", Unit: "s", Width: 10, Prec: 3, Verb: 'g'},
+		{Name: "retries", CSV: "retries", Width: 8, Prec: 1, Verb: 'f'},
+		{Name: "reroutes", CSV: "reroutes", Width: 9, Prec: 1, Verb: 'f'},
+		{Name: "wasted(s)", CSV: "wasted_s", Unit: "s", Width: 10, Prec: 3, Verb: 'g'},
+	}
+}
+
+// point renders the aggregated cell with the given sweep value, attaching
+// the representative budget.
+func (s *cellStats) point(sweepVal float64) harness.Point {
+	n := float64(s.trials)
+	done := float64(s.completed)
+	pt := harness.Point{Values: []float64{
+		sweepVal,
+		done / n,
+		float64(s.exact) / n,
+		s.attempts / n,
+		meanOver(s.overhead, done),
+		meanOver(s.ckpt, done),
+		s.retries / n,
+		s.rerouteSum / n,
+		s.wasted / n,
+	}}
+	if s.budget != nil {
+		pt.Budget = s.budget.Budget
+	}
+	return pt
+}
+
+// meanOver divides a completed-trials accumulator, guarding n == 0.
+func meanOver(sum, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// runFaultCell executes one (rate, interval) cell: trials deterministic
+// fault-tolerant runs, each with per-message loss at the cell's rate and
+// (when withCrash) one rank crash at a seeded fraction of the baseline
+// time.
+func runFaultCell(ctx context.Context, im *image.Image, baseCfg core.DistConfig, baseline *core.DistResult, c faultCell, trials int, seed int64, withCrash bool) (cellStats, error) {
+	stats := cellStats{cell: c, trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(seed<<16 ^ int64(trial)<<4 ^ int64(c.interval)))
+		plan := &fault.Plan{
+			Seed:     uint64(seed)<<8 ^ uint64(trial),
+			DropProb: c.rate,
+		}
+		if withCrash {
+			plan.Crashes = []fault.Crash{{
+				Rank: rng.Intn(baseCfg.Procs),
+				At:   (0.1 + 0.8*rng.Float64()) * baseline.Sim.Elapsed,
+			}}
+		}
+		ft, err := core.FaultTolerantDecompose(ctx, im, core.FTConfig{
+			DistConfig:      baseCfg,
+			Plan:            plan,
+			Reliable:        nx.ReliableConfig{Enabled: true},
+			CheckpointEvery: c.interval,
+		})
+		if err != nil {
+			return stats, fmt.Errorf("wavelet/faults: rate=%g interval=%d trial=%d: %w", c.rate, c.interval, trial, err)
+		}
+		stats.accumulate(ft, baseline)
+	}
+	return stats, nil
+}
+
+// detourableLinks filters the region's links down to those whose failure
+// leaves the striped decomposition's traffic a YX detour. Links between
+// ring-adjacent ranks (the single-hop guard channels) and links on rank
+// 0's straight scatter/gather row and column have identical XY and YX
+// routes, so failing one partitions a communicating pair and the job is
+// deterministically lost — that regime is exercised by the unreachable
+// tests; the sweep here measures graceful degradation through rerouting.
+func detourableLinks(pl mesh.Placement, procs int, region []mesh.Link) []mesh.Link {
+	host := make(map[mesh.Coord]int, procs)
+	maxX, maxY := 0, 0
+	c0 := pl.Coord(0, procs)
+	for r := 0; r < procs; r++ {
+		c := pl.Coord(r, procs)
+		host[c] = r
+		if c.Y == c0.Y && c.Z == c0.Z && c.X > maxX {
+			maxX = c.X
+		}
+		if c.X == c0.X && c.Z == c0.Z && c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	var out []mesh.Link
+	for _, l := range region {
+		if a, ok := host[l.From]; ok {
+			if b, ok := host[l.To]; ok && (a-b == 1 || b-a == 1) {
+				continue // guard channel between ring neighbors
+			}
+		}
+		if l.From.Z == c0.Z && l.To.Z == c0.Z {
+			if l.From.Y == c0.Y && l.To.Y == c0.Y && l.From.X <= maxX && l.To.X <= maxX {
+				continue // rank 0's straight scatter/gather row
+			}
+			if l.From.X == c0.X && l.To.X == c0.X && l.From.Y <= maxY && l.To.Y <= maxY {
+				continue // rank 0's straight scatter/gather column
+			}
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// runLinkCell executes one failed-link-count cell: trials runs with n
+// randomly failed detourable region links, a small drop rate, reliable
+// delivery, and checkpointing. Single failures always reroute; stacked
+// failures can still cut both dimension orders of a pair, in which case
+// the non-completion shows up as an unreachable abandonment.
+func runLinkCell(ctx context.Context, im *image.Image, baseCfg core.DistConfig, baseline *core.DistResult, n, trials int, seed int64) (cellStats, error) {
+	stats := cellStats{trials: trials}
+	h := (baseCfg.Procs + 3) / 4
+	region := detourableLinks(baseCfg.Placement, baseCfg.Procs, fault.RegionLinks(baseCfg.Machine, 4, h))
+	for trial := 0; trial < trials; trial++ {
+		plan := &fault.Plan{
+			Seed:     uint64(seed)<<8 ^ uint64(trial),
+			DropProb: 0.02,
+		}
+		plan.FailRandomLinks(region, n, 0, uint64(trial)+1)
+		ft, err := core.FaultTolerantDecompose(ctx, im, core.FTConfig{
+			DistConfig:      baseCfg,
+			Plan:            plan,
+			Reliable:        nx.ReliableConfig{Enabled: true},
+			CheckpointEvery: 1,
+		})
+		if err != nil {
+			return stats, fmt.Errorf("wavelet/faults: links=%d trial=%d: %w", n, trial, err)
+		}
+		stats.accumulate(ft, baseline)
+	}
+	return stats, nil
+}
+
+// accumulate folds one trial into the cell.
+func (s *cellStats) accumulate(ft *core.FTResult, baseline *core.DistResult) {
+	s.attempts += float64(ft.Attempts)
+	s.restarts += float64(ft.Restarts)
+	s.wasted += ft.WastedTime
+	if !ft.Completed {
+		return
+	}
+	s.completed++
+	s.overhead += ft.Overhead(baseline.Sim.Elapsed)
+	s.ckpt += ft.CheckpointTime
+	s.retries += float64(ft.Sim.Faults.Retries)
+	s.rerouteSum += float64(ft.Sim.Faults.Reroutes)
+	if pyramidsBitEqual(ft.Pyramid, baseline.Pyramid) {
+		s.exact++
+	}
+	if s.budget == nil {
+		b := ft.Sim.Budget
+		s.budget = &harness.Point{Budget: &b}
+	}
+}
+
+// pyramidsBitEqual reports bit-for-bit equality of two pyramids — the
+// acceptance bar for checkpoint/restart recovery.
+func pyramidsBitEqual(a, b *wavelet.Pyramid) bool {
+	if a == nil || b == nil || a.Depth() != b.Depth() {
+		return false
+	}
+	if !image.Equal(a.Approx, b.Approx, 0) {
+		return false
+	}
+	for i := range a.Levels {
+		if !image.Equal(a.Levels[i].LH, b.Levels[i].LH, 0) ||
+			!image.Equal(a.Levels[i].HL, b.Levels[i].HL, 0) ||
+			!image.Equal(a.Levels[i].HH, b.Levels[i].HH, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// faultTraceRun re-runs one faulty configuration with the nx event trace
+// enabled, so drop/retry/reroute/crash events land in the exported file.
+func faultTraceRun(ctx context.Context, im *image.Image, baseCfg core.DistConfig, baseline *core.DistResult, seed int64, path string) (string, error) {
+	tr := &nx.Trace{Label: fmt.Sprintf("fault-injected %s P=%d wavelet decomposition", baseCfg.Machine.Name, baseCfg.Procs)}
+	cfg := baseCfg
+	cfg.Trace = tr
+	plan := &fault.Plan{
+		Seed:     uint64(seed),
+		DropProb: 0.05,
+		Crashes:  []fault.Crash{{Rank: 1, At: 0.5 * baseline.Sim.Elapsed}},
+	}
+	if cfg.Procs > 4 {
+		// Fail the first vertical hop of rank 0's XY scatter route into the
+		// second row: scatter traffic must take the YX detour, so the trace
+		// records reroute events alongside the drops, retries, and crash.
+		c0 := cfg.Placement.Coord(0, cfg.Procs)
+		plan.Links = []fault.LinkFailure{{Link: mesh.Link{
+			From: mesh.Coord{X: c0.X + 1, Y: c0.Y, Z: c0.Z},
+			To:   mesh.Coord{X: c0.X + 1, Y: c0.Y + 1, Z: c0.Z},
+		}}}
+	}
+	ft, err := core.FaultTolerantDecompose(ctx, im, core.FTConfig{
+		DistConfig:      cfg,
+		Plan:            plan,
+		Reliable:        nx.ReliableConfig{Enabled: true},
+		CheckpointEvery: 1,
+	})
+	if err != nil {
+		return "", fmt.Errorf("traced fault run: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := tr.WriteFile(f, path); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("wrote %s (%d events across %d attempt(s), completed=%v)\n",
+		path, len(tr.Events), ft.Attempts, ft.Completed), nil
+}

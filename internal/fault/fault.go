@@ -1,0 +1,231 @@
+// Package fault defines deterministic fault-injection plans for the nx
+// runtime and the mesh network model. A Plan is a pure description of a
+// fault scenario — permanent link failures, transient per-message loss or
+// corruption, and rank crashes at virtual times — evaluated with a seeded
+// counter-based generator, so the same plan produces bit-identical fault
+// decisions on every run regardless of scheduling.
+//
+// Per-message decisions are keyed on (seed, src, dst, tag, n) where n
+// counts prior messages on the same (src, dst, tag) triple. The key is
+// hashed with SplitMix64, so decisions are independent of evaluation
+// order and of each other; two runs with the same seed drop exactly the
+// same messages.
+//
+// The plan is strictly opt-in: a nil *Plan injects nothing, and every
+// query on a nil plan returns the fault-free answer.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wavelethpc/internal/mesh"
+)
+
+// LinkFailure marks one directed mesh link permanently down from virtual
+// time At onward (At = 0 fails it for the whole run). Messages routed
+// after At detour around the link; messages already reserved are not
+// recalled — link failures have per-transfer granularity.
+type LinkFailure struct {
+	Link mesh.Link
+	At   float64
+}
+
+// Crash kills the rank's hosting node at virtual time At. Under the nx
+// runtime's checkpoint/restart model the whole job aborts at At with a
+// *nx.FaultError; a fault-tolerant driver restarts from its last
+// checkpoint (see core.FaultTolerantDecompose).
+type Crash struct {
+	Rank int
+	At   float64
+}
+
+// Plan is one deterministic fault scenario.
+type Plan struct {
+	// Seed keys every probabilistic decision of the plan.
+	Seed uint64
+	// DropProb is the per-message probability of transient loss in the
+	// network (the message occupies links but is never delivered).
+	DropProb float64
+	// CorruptProb is the per-message probability that the payload
+	// arrives corrupted. Receivers detect corruption by checksum: an
+	// unreliable receiver discards the message, a reliable sender
+	// retransmits it.
+	CorruptProb float64
+	// Links lists permanent link failures.
+	Links []LinkFailure
+	// Crashes lists rank crashes at virtual times.
+	Crashes []Crash
+}
+
+// Active reports whether the plan injects anything. Nil-safe.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.DropProb > 0 || p.CorruptProb > 0 || len(p.Links) > 0 || len(p.Crashes) > 0
+}
+
+// Validate rejects out-of-range probabilities and negative times.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.DropProb < 0 || p.DropProb >= 1 {
+		return fmt.Errorf("fault: DropProb %g outside [0, 1)", p.DropProb)
+	}
+	if p.CorruptProb < 0 || p.CorruptProb >= 1 {
+		return fmt.Errorf("fault: CorruptProb %g outside [0, 1)", p.CorruptProb)
+	}
+	if p.DropProb+p.CorruptProb >= 1 {
+		return fmt.Errorf("fault: DropProb+CorruptProb = %g, want < 1", p.DropProb+p.CorruptProb)
+	}
+	for _, l := range p.Links {
+		if l.At < 0 {
+			return fmt.Errorf("fault: link failure at negative time %g", l.At)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: crash of negative rank %d", c.Rank)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("fault: crash at negative time %g", c.At)
+		}
+	}
+	return nil
+}
+
+// CrashTime returns the earliest crash time planned for the rank, or
+// (0, false) when the rank never crashes. Nil-safe.
+func (p *Plan) CrashTime(rank int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	var at float64
+	found := false
+	for _, c := range p.Crashes {
+		if c.Rank == rank && (!found || c.At < at) {
+			at, found = c.At, true
+		}
+	}
+	return at, found
+}
+
+// WithoutCrash returns a copy of the plan with every crash of the given
+// rank removed — what remains of the scenario after a restart replaces
+// the dead node. The receiver is not modified.
+func (p *Plan) WithoutCrash(rank int) *Plan {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.Crashes = nil
+	for _, c := range p.Crashes {
+		if c.Rank != rank {
+			cp.Crashes = append(cp.Crashes, c)
+		}
+	}
+	return &cp
+}
+
+// Drop decision salts: distinct per decision type so the drop and corrupt
+// streams are independent.
+const (
+	saltDrop    = 0x9e3779b97f4a7c15
+	saltCorrupt = 0xc2b2ae3d27d4eb4f
+)
+
+// Drops reports whether the n-th message from src to dst under tag is
+// lost in transit. Nil-safe.
+func (p *Plan) Drops(src, dst, tag int, n uint64) bool {
+	if p == nil || p.DropProb <= 0 {
+		return false
+	}
+	return unit(p.Seed, saltDrop, src, dst, tag, n) < p.DropProb
+}
+
+// Corrupts reports whether the n-th message from src to dst under tag
+// arrives corrupted. A message is never both dropped and corrupted: the
+// drop decision wins. Nil-safe.
+func (p *Plan) Corrupts(src, dst, tag int, n uint64) bool {
+	if p == nil || p.CorruptProb <= 0 {
+		return false
+	}
+	if p.Drops(src, dst, tag, n) {
+		return false
+	}
+	return unit(p.Seed, saltCorrupt, src, dst, tag, n) < p.CorruptProb
+}
+
+// unit hashes the message key into [0, 1).
+func unit(seed, salt uint64, src, dst, tag int, n uint64) float64 {
+	h := splitmix(seed ^ salt)
+	h = splitmix(h ^ uint64(src)*0x9e3779b97f4a7c15)
+	h = splitmix(h ^ uint64(dst)*0xbf58476d1ce4e5b9)
+	h = splitmix(h ^ uint64(tag)*0x94d049bb133111eb)
+	h = splitmix(h ^ n)
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix is the SplitMix64 finalizer, a well-mixed 64-bit permutation.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RegionLinks enumerates every directed link between adjacent nodes of
+// the w×h×1 sub-mesh at the machine's origin (the region a placement of
+// up to w·h ranks occupies), in a deterministic order. It is the candidate
+// set for random link-failure scenarios.
+func RegionLinks(m *mesh.Machine, w, h int) []mesh.Link {
+	if w > m.DimX {
+		w = m.DimX
+	}
+	if h > m.DimY {
+		h = m.DimY
+	}
+	var links []mesh.Link
+	add := func(a, b mesh.Coord) {
+		links = append(links, mesh.Link{From: a, To: b}, mesh.Link{From: b, To: a})
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := mesh.Coord{X: x, Y: y}
+			if x+1 < w {
+				add(c, mesh.Coord{X: x + 1, Y: y})
+			}
+			if y+1 < h {
+				add(c, mesh.Coord{X: x, Y: y + 1})
+			}
+		}
+	}
+	return links
+}
+
+// FailRandomLinks appends n distinct link failures at time at, drawn from
+// candidates with the plan's seed (offset by salt so several scenarios can
+// share one seed). The selection is deterministic: the same seed, salt,
+// and candidate order always fail the same links.
+func (p *Plan) FailRandomLinks(candidates []mesh.Link, n int, at float64, salt uint64) {
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	idx := make([]int, len(candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(int64(splitmix(p.Seed ^ salt))))
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	picked := idx[:n]
+	sort.Ints(picked)
+	for _, i := range picked {
+		p.Links = append(p.Links, LinkFailure{Link: candidates[i], At: at})
+	}
+}

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"testing"
+
+	"wavelethpc/internal/mesh"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Active() {
+		t.Error("nil plan active")
+	}
+	if p.Drops(0, 1, 2, 0) || p.Corrupts(0, 1, 2, 0) {
+		t.Error("nil plan injects message faults")
+	}
+	if _, ok := p.CrashTime(0); ok {
+		t.Error("nil plan crashes ranks")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("nil plan invalid: %v", err)
+	}
+	if p.WithoutCrash(0) != nil {
+		t.Error("nil plan WithoutCrash not nil")
+	}
+}
+
+func TestValidateRejectsBadProbabilities(t *testing.T) {
+	for _, p := range []*Plan{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{CorruptProb: 1.5},
+		{DropProb: 0.6, CorruptProb: 0.5},
+		{Crashes: []Crash{{Rank: -1, At: 1}}},
+		{Crashes: []Crash{{Rank: 0, At: -1}}},
+		{Links: []LinkFailure{{At: -2}}},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %+v accepted", p)
+		}
+	}
+	ok := &Plan{DropProb: 0.1, CorruptProb: 0.05, Crashes: []Crash{{Rank: 1, At: 2}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestDropDecisionsDeterministicAndSeedDependent(t *testing.T) {
+	a := &Plan{Seed: 7, DropProb: 0.3}
+	b := &Plan{Seed: 7, DropProb: 0.3}
+	c := &Plan{Seed: 8, DropProb: 0.3}
+	same, diff := 0, 0
+	for n := uint64(0); n < 2000; n++ {
+		if a.Drops(0, 1, 9, n) != b.Drops(0, 1, 9, n) {
+			t.Fatalf("same seed diverged at n=%d", n)
+		}
+		if a.Drops(0, 1, 9, n) == c.Drops(0, 1, 9, n) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical drop stream")
+	}
+}
+
+func TestDropRateApproximatesProbability(t *testing.T) {
+	p := &Plan{Seed: 42, DropProb: 0.2}
+	dropped := 0
+	const trials = 20000
+	for n := uint64(0); n < trials; n++ {
+		if p.Drops(3, 5, 11, n) {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / trials
+	if rate < 0.17 || rate > 0.23 {
+		t.Errorf("drop rate %g for DropProb 0.2", rate)
+	}
+}
+
+func TestDropAndCorruptMutuallyExclusive(t *testing.T) {
+	p := &Plan{Seed: 1, DropProb: 0.4, CorruptProb: 0.4}
+	for n := uint64(0); n < 5000; n++ {
+		if p.Drops(0, 1, 2, n) && p.Corrupts(0, 1, 2, n) {
+			t.Fatalf("message %d both dropped and corrupted", n)
+		}
+	}
+}
+
+func TestCrashTimePicksEarliest(t *testing.T) {
+	p := &Plan{Crashes: []Crash{{Rank: 2, At: 5}, {Rank: 2, At: 3}, {Rank: 1, At: 1}}}
+	if at, ok := p.CrashTime(2); !ok || at != 3 {
+		t.Errorf("CrashTime(2) = %g, %v", at, ok)
+	}
+	if _, ok := p.CrashTime(0); ok {
+		t.Error("rank 0 crash invented")
+	}
+	rest := p.WithoutCrash(2)
+	if _, ok := rest.CrashTime(2); ok {
+		t.Error("WithoutCrash kept rank 2 crash")
+	}
+	if at, ok := rest.CrashTime(1); !ok || at != 1 {
+		t.Error("WithoutCrash dropped rank 1 crash")
+	}
+	if len(p.Crashes) != 3 {
+		t.Error("WithoutCrash mutated the receiver")
+	}
+}
+
+func TestRegionLinksCountsAndBounds(t *testing.T) {
+	m := mesh.Paragon()
+	links := RegionLinks(m, 4, 4)
+	// A 4x4 open mesh has 2*(3*4 + 3*4) = 48 directed links.
+	if len(links) != 48 {
+		t.Fatalf("4x4 region links = %d, want 48", len(links))
+	}
+	for _, l := range links {
+		for _, c := range []mesh.Coord{l.From, l.To} {
+			if c.X < 0 || c.X >= 4 || c.Y < 0 || c.Y >= 4 || c.Z != 0 {
+				t.Fatalf("link %v outside region", l)
+			}
+		}
+		if m.Hops(l.From, l.To) != 1 {
+			t.Fatalf("link %v not between neighbors", l)
+		}
+	}
+	// Width clamps to the machine.
+	if got := RegionLinks(m, 100, 1); len(got) != 2*(m.DimX-1) {
+		t.Errorf("clamped row links = %d", len(got))
+	}
+}
+
+func TestFailRandomLinksDeterministic(t *testing.T) {
+	m := mesh.Paragon()
+	cand := RegionLinks(m, 4, 4)
+	a := &Plan{Seed: 9}
+	b := &Plan{Seed: 9}
+	a.FailRandomLinks(cand, 3, 1.5, 77)
+	b.FailRandomLinks(cand, 3, 1.5, 77)
+	if len(a.Links) != 3 || len(b.Links) != 3 {
+		t.Fatalf("picked %d and %d links, want 3", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("same seed picked different links: %v vs %v", a.Links[i], b.Links[i])
+		}
+	}
+	c := &Plan{Seed: 10}
+	c.FailRandomLinks(cand, 3, 1.5, 77)
+	identical := true
+	for i := range a.Links {
+		if a.Links[i] != c.Links[i] {
+			identical = false
+		}
+	}
+	if identical {
+		t.Error("different seeds picked identical links")
+	}
+	over := &Plan{Seed: 1}
+	over.FailRandomLinks(cand[:2], 10, 0, 0)
+	if len(over.Links) != 2 {
+		t.Errorf("overdraw picked %d links from 2 candidates", len(over.Links))
+	}
+}

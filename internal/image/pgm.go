@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 )
 
 // WritePGM encodes im as a binary (P5) PGM with maxval 255. Pixels are
@@ -39,13 +40,24 @@ func clampByte(v float64) byte {
 	return byte(v)
 }
 
+// maxPGMDim bounds each PGM dimension and maxPGMPixels their product:
+// the reader allocates the pixel plane before streaming the data, so a
+// hostile header must not be able to demand an absurd allocation.
+const (
+	maxPGMDim    = 1 << 16
+	maxPGMPixels = 1 << 24
+)
+
 // ReadPGM decodes a binary (P5) PGM image. Comments and arbitrary
 // whitespace in the header are handled; maxval up to 255 is supported.
+// Malformed input — a truncated header or pixel stream, non-numeric or
+// oversized dimensions, an unsupported maxval — yields an error, never a
+// panic or an unbounded allocation.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
 	magic, err := pgmToken(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("image: bad PGM header: %w", err)
 	}
 	if magic != "P5" {
 		return nil, fmt.Errorf("image: bad PGM magic %q (only binary P5 supported)", magic)
@@ -54,15 +66,19 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	for i := range dims {
 		tok, err := pgmToken(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("image: bad PGM header: %w", err)
 		}
-		if _, err := fmt.Sscanf(tok, "%d", &dims[i]); err != nil {
+		dims[i], err = strconv.Atoi(tok)
+		if err != nil {
 			return nil, fmt.Errorf("image: bad PGM header token %q", tok)
 		}
 	}
 	cols, rows, maxval := dims[0], dims[1], dims[2]
-	if cols <= 0 || rows <= 0 {
+	if cols <= 0 || rows <= 0 || cols > maxPGMDim || rows > maxPGMDim {
 		return nil, fmt.Errorf("image: bad PGM dimensions %dx%d", cols, rows)
+	}
+	if cols*rows > maxPGMPixels {
+		return nil, fmt.Errorf("image: PGM size %dx%d exceeds %d pixels", cols, rows, maxPGMPixels)
 	}
 	if maxval <= 0 || maxval > 255 {
 		return nil, fmt.Errorf("image: unsupported PGM maxval %d", maxval)
@@ -81,6 +97,11 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	return im, nil
 }
 
+// maxPGMToken bounds a header token's length; no valid magic, dimension,
+// or maxval comes close, and the cap keeps a whitespace-free input from
+// accumulating into one giant token.
+const maxPGMToken = 32
+
 // pgmToken returns the next whitespace-delimited header token, skipping
 // '#' comments. The single whitespace byte after the final header token is
 // consumed by the caller's read of this token's trailing delimiter.
@@ -96,7 +117,7 @@ func pgmToken(br *bufio.Reader) (string, error) {
 		}
 		switch {
 		case b == '#':
-			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+			if err := skipPGMComment(br); err != nil {
 				return "", err
 			}
 		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
@@ -104,7 +125,28 @@ func pgmToken(br *bufio.Reader) (string, error) {
 				return string(tok), nil
 			}
 		default:
+			if len(tok) >= maxPGMToken {
+				return "", fmt.Errorf("header token longer than %d bytes", maxPGMToken)
+			}
 			tok = append(tok, b)
+		}
+	}
+}
+
+// skipPGMComment consumes the rest of a '#' comment line without
+// buffering it (ReadString would otherwise hold an arbitrarily long
+// comment in memory).
+func skipPGMComment(br *bufio.Reader) error {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if b == '\n' {
+			return nil
 		}
 	}
 }

@@ -1,0 +1,174 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRouteYXOrdersDimensions(t *testing.T) {
+	m := Paragon()
+	a := Coord{X: 0, Y: 0}
+	b := Coord{X: 3, Y: 2}
+	yx := m.RouteYX(a, b)
+	if len(yx) != 5 {
+		t.Fatalf("YX path length %d, want 5", len(yx))
+	}
+	// Y moves first: the first two hops change Y, the last three X.
+	for i, l := range yx {
+		dy := l.To.Y - l.From.Y
+		dx := l.To.X - l.From.X
+		if i < 2 && (dy != 1 || dx != 0) {
+			t.Fatalf("hop %d of YX path moved %+d,%+d, want Y first", i, dx, dy)
+		}
+		if i >= 2 && (dx != 1 || dy != 0) {
+			t.Fatalf("hop %d of YX path moved %+d,%+d, want X last", i, dx, dy)
+		}
+	}
+	// Same endpoints, same length as XY.
+	if xy := m.Route(a, b); len(xy) != len(yx) {
+		t.Errorf("XY %d hops vs YX %d hops", len(xy), len(yx))
+	}
+}
+
+func TestRouteAvoidingDetours(t *testing.T) {
+	m := Paragon()
+	a := Coord{X: 0, Y: 0}
+	b := Coord{X: 2, Y: 1}
+	// Fail the first link of the XY path.
+	blocked := Link{From: a, To: Coord{X: 1, Y: 0}}
+	down := func(l Link) bool { return l == blocked }
+
+	path, rerouted, err := m.RouteAvoiding(a, b, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rerouted {
+		t.Fatal("XY path through failed link not rerouted")
+	}
+	// The YX detour has the same Manhattan length on an open mesh.
+	if len(path) != 3 {
+		t.Errorf("detour length %d, want 3", len(path))
+	}
+	for _, l := range path {
+		if l == blocked {
+			t.Fatalf("detour crosses the failed link %v", l)
+		}
+	}
+	// Fault-free routing is untouched.
+	clean, rr, err := m.RouteAvoiding(a, b, func(Link) bool { return false })
+	if err != nil || rr {
+		t.Fatalf("clean route rerouted=%v err=%v", rr, err)
+	}
+	xy := m.Route(a, b)
+	for i := range xy {
+		if clean[i] != xy[i] {
+			t.Fatal("clean RouteAvoiding differs from Route")
+		}
+	}
+}
+
+func TestRouteAvoidingUnreachable(t *testing.T) {
+	m := Paragon()
+	a := Coord{X: 0, Y: 0}
+	b := Coord{X: 1, Y: 0}
+	// a and b are adjacent in X: the XY path is the single direct link,
+	// the YX path is the same link (no Y distance). Failing it isolates
+	// the pair.
+	down := func(l Link) bool { return l == Link{From: a, To: b} }
+	_, _, err := m.RouteAvoiding(a, b, down)
+	if err == nil {
+		t.Fatal("unreachable destination not reported")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("error %q does not mention unreachability", err)
+	}
+}
+
+func TestTransferAvoidingMatchesTransferInfoWhenClean(t *testing.T) {
+	m := Paragon()
+	a, b := Coord{X: 0, Y: 0}, Coord{X: 3, Y: 2}
+	n1 := NewNetwork(m)
+	n2 := NewNetwork(m)
+	for i := 0; i < 5; i++ {
+		start := float64(i) * 1e-4
+		a1, w1 := n1.TransferInfo(a, b, 4096, start)
+		a2, w2, rr, err := n2.TransferAvoiding(a, b, 4096, start)
+		if err != nil || rr {
+			t.Fatalf("clean transfer rerouted=%v err=%v", rr, err)
+		}
+		if a1 != a2 || w1 != w2 {
+			t.Fatalf("transfer %d: (%g, %g) vs (%g, %g)", i, a1, w1, a2, w2)
+		}
+	}
+	m1, b1, c1, w1 := n1.Stats()
+	m2, b2, c2, w2 := n2.Stats()
+	if m1 != m2 || b1 != b2 || c1 != c2 || w1 != w2 {
+		t.Error("stats diverge between TransferInfo and clean TransferAvoiding")
+	}
+}
+
+func TestTransferAvoidingDetourAccounting(t *testing.T) {
+	m := Paragon()
+	src := Coord{X: 0, Y: 0}
+	dst := Coord{X: 2, Y: 1}
+	n := NewNetwork(m)
+	n.FailLinkAt(Link{From: src, To: Coord{X: 1, Y: 0}}, 0)
+
+	// First transfer detours via YX.
+	arr1, w1, rr, err := n.TransferAvoiding(src, dst, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr || n.Rerouted() != 1 {
+		t.Fatalf("rerouted=%v count=%d", rr, n.Rerouted())
+	}
+	if w1 != 0 {
+		t.Errorf("first transfer waited %g on an idle mesh", w1)
+	}
+	// Same-length detour costs the same as the clean path would.
+	want := m.Cost.MsgTime(1024, 3)
+	if arr1 != want {
+		t.Errorf("detour arrival %g, want %g", arr1, want)
+	}
+
+	// A second transfer over the same detour at the same start must
+	// queue behind the first: contention accounting is preserved on the
+	// rerouted path.
+	_, w2, _, err := n.TransferAvoiding(src, dst, 1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 <= 0 {
+		t.Error("second transfer on occupied detour links did not wait")
+	}
+	_, _, contended, _ := n.Stats()
+	if contended != 1 {
+		t.Errorf("contended = %d, want 1", contended)
+	}
+}
+
+func TestTransferAvoidingUnreachableError(t *testing.T) {
+	m := Paragon()
+	a, b := Coord{X: 0, Y: 0}, Coord{X: 1, Y: 0}
+	n := NewNetwork(m)
+	n.FailLinkAt(Link{From: a, To: b}, 0)
+	if _, _, _, err := n.TransferAvoiding(a, b, 8, 0); err == nil {
+		t.Fatal("transfer over isolated pair did not error")
+	}
+}
+
+func TestFailLinkAtTimeGates(t *testing.T) {
+	m := Paragon()
+	src := Coord{X: 0, Y: 0}
+	dst := Coord{X: 2, Y: 1}
+	n := NewNetwork(m)
+	n.FailLinkAt(Link{From: src, To: Coord{X: 1, Y: 0}}, 5.0)
+	// Before the failure time the primary path is used.
+	if _, _, rr, err := n.TransferAvoiding(src, dst, 8, 1.0); err != nil || rr {
+		t.Fatalf("pre-failure transfer rerouted=%v err=%v", rr, err)
+	}
+	// From the failure time on, the detour kicks in.
+	if _, _, rr, err := n.TransferAvoiding(src, dst, 8, 5.0); err != nil || !rr {
+		t.Fatalf("post-failure transfer rerouted=%v err=%v", rr, err)
+	}
+}

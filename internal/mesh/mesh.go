@@ -107,6 +107,24 @@ func (c *CostModel) MsgTime(bytes, hops int) float64 {
 // Torus3D each dimension takes the shorter way around the ring. a == b
 // yields an empty path.
 func (m *Machine) Route(a, b Coord) []Link {
+	return m.route(a, b, dimOrderXYZ)
+}
+
+// RouteYX returns the reverse-dimension-ordered path from a to b: the
+// full Y distance first, then X (then Z). It is the detour a fault-aware
+// router falls back to when the primary XY path crosses a failed link —
+// the classic pair of deadlock-free dimension orders on a mesh.
+func (m *Machine) RouteYX(a, b Coord) []Link {
+	return m.route(a, b, dimOrderYXZ)
+}
+
+// dimension traversal orders for route: indices into {X, Y, Z}.
+var (
+	dimOrderXYZ = [3]int{0, 1, 2}
+	dimOrderYXZ = [3]int{1, 0, 2}
+)
+
+func (m *Machine) route(a, b Coord, order [3]int) []Link {
 	if !m.Contains(a) || !m.Contains(b) {
 		panic(fmt.Sprintf("mesh: Route %v -> %v outside %dx%dx%d machine", a, b, m.DimX, m.DimY, m.DimZ))
 	}
@@ -130,16 +148,51 @@ func (m *Machine) Route(a, b Coord) []Link {
 			step(set(cur, next))
 		}
 	}
-	getX := func(c Coord) int { return c.X }
-	setX := func(c Coord, v int) Coord { c.X = v; return c }
-	getY := func(c Coord) int { return c.Y }
-	setY := func(c Coord, v int) Coord { c.Y = v; return c }
-	getZ := func(c Coord) int { return c.Z }
-	setZ := func(c Coord, v int) Coord { c.Z = v; return c }
-	advance(getX, setX, m.DimX, b.X)
-	advance(getY, setY, m.DimY, b.Y)
-	advance(getZ, setZ, m.DimZ, b.Z)
+	gets := [3]func(Coord) int{
+		func(c Coord) int { return c.X },
+		func(c Coord) int { return c.Y },
+		func(c Coord) int { return c.Z },
+	}
+	sets := [3]func(Coord, int) Coord{
+		func(c Coord, v int) Coord { c.X = v; return c },
+		func(c Coord, v int) Coord { c.Y = v; return c },
+		func(c Coord, v int) Coord { c.Z = v; return c },
+	}
+	dims := [3]int{m.DimX, m.DimY, m.DimZ}
+	targets := [3]int{b.X, b.Y, b.Z}
+	for _, d := range order {
+		advance(gets[d], sets[d], dims[d], targets[d])
+	}
 	return path
+}
+
+// RouteAvoiding returns a path from a to b that crosses no link for which
+// down returns true: the primary dimension-ordered (XY) path when it is
+// clean, otherwise the reverse-order (YX) detour. rerouted reports that
+// the detour was taken. When both orders cross failed links the
+// destination is unreachable and an error is returned — the model stops
+// at the two deadlock-free dimension orders rather than searching
+// arbitrary adaptive routes.
+func (m *Machine) RouteAvoiding(a, b Coord, down func(Link) bool) (path []Link, rerouted bool, err error) {
+	primary := m.Route(a, b)
+	if !pathBlocked(primary, down) {
+		return primary, false, nil
+	}
+	detour := m.RouteYX(a, b)
+	if !pathBlocked(detour, down) {
+		return detour, true, nil
+	}
+	return nil, false, fmt.Errorf("mesh: %v -> %v unreachable: XY and YX paths both cross failed links", a, b)
+}
+
+// pathBlocked reports whether any link of the path is down.
+func pathBlocked(path []Link, down func(Link) bool) bool {
+	for _, l := range path {
+		if down(l) {
+			return true
+		}
+	}
+	return false
 }
 
 // torusStep returns the next ring position moving from pos toward target

@@ -10,11 +10,15 @@ package mesh
 type Network struct {
 	m    *Machine
 	free map[Link]float64 // earliest time each directed link is free
+	// failed maps a directed link to the virtual time it goes
+	// permanently down (fault injection; nil/empty when fault-free).
+	failed map[Link]float64
 	// stats
 	totalMsgs    int
 	totalBytes   int64
 	contendedMsg int
 	waitTime     float64
+	rerouted     int
 }
 
 // NewNetwork returns an empty reservation table for machine m.
@@ -22,10 +26,22 @@ func NewNetwork(m *Machine) *Network {
 	return &Network{m: m, free: make(map[Link]float64)}
 }
 
-// Reset clears all reservations and statistics.
+// Reset clears all reservations and statistics; injected link failures
+// are kept (they describe the scenario, not the run state).
 func (n *Network) Reset() {
 	n.free = make(map[Link]float64)
-	n.totalMsgs, n.totalBytes, n.contendedMsg, n.waitTime = 0, 0, 0, 0
+	n.totalMsgs, n.totalBytes, n.contendedMsg, n.waitTime, n.rerouted = 0, 0, 0, 0, 0
+}
+
+// FailLinkAt marks the directed link permanently down from virtual time
+// at onward. Transfers starting at or after at route around it.
+func (n *Network) FailLinkAt(l Link, at float64) {
+	if n.failed == nil {
+		n.failed = make(map[Link]float64)
+	}
+	if prev, ok := n.failed[l]; !ok || at < prev {
+		n.failed[l] = at
+	}
 }
 
 // Transfer reserves the path from src to dst for a message of the given
@@ -44,12 +60,42 @@ func (n *Network) TransferInfo(src, dst Coord, bytes int, start float64) (arriva
 	n.totalMsgs++
 	n.totalBytes += int64(bytes)
 	path := n.m.Route(src, dst)
+	arrival, wait = n.reserve(path, bytes, start)
+	return arrival, wait
+}
+
+// TransferAvoiding is TransferInfo with fault-aware routing: links failed
+// at or before start are avoided via the YX detour, with the same
+// wormhole reservation (and therefore the same contention accounting) on
+// whichever path is taken. rerouted reports the detour; an error means
+// both dimension orders cross failed links and the destination is
+// unreachable. With no failed links it behaves exactly like TransferInfo.
+func (n *Network) TransferAvoiding(src, dst Coord, bytes int, start float64) (arrival, wait float64, rerouted bool, err error) {
+	n.totalMsgs++
+	n.totalBytes += int64(bytes)
+	down := func(l Link) bool {
+		at, ok := n.failed[l]
+		return ok && at <= start
+	}
+	path, rerouted, err := n.m.RouteAvoiding(src, dst, down)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if rerouted {
+		n.rerouted++
+	}
+	arrival, wait = n.reserve(path, bytes, start)
+	return arrival, wait, rerouted, nil
+}
+
+// reserve applies the wormhole reservation discipline to the chosen
+// path: the transfer begins when the sender is ready and every link on
+// the path is free, then occupies all of them for the message duration.
+func (n *Network) reserve(path []Link, bytes int, start float64) (arrival, wait float64) {
 	dur := n.m.Cost.MsgTime(bytes, len(path))
 	if len(path) == 0 {
 		return start + dur, 0
 	}
-	// Wormhole: the transfer begins when the sender is ready and every
-	// link on the path is free; it then occupies all of them for dur.
 	t := start
 	for _, l := range path {
 		if f := n.free[l]; f > t {
@@ -72,3 +118,7 @@ func (n *Network) TransferInfo(src, dst Coord, bytes int, start float64) (arriva
 func (n *Network) Stats() (msgs int, bytes int64, contended int, wait float64) {
 	return n.totalMsgs, n.totalBytes, n.contendedMsg, n.waitTime
 }
+
+// Rerouted reports how many transfers took the YX detour around failed
+// links.
+func (n *Network) Rerouted() int { return n.rerouted }

@@ -1,0 +1,81 @@
+package nx
+
+import "fmt"
+
+// RankError is returned by Run when a rank's program panics: the panic is
+// recovered inside the rank goroutine, the remaining ranks are shut down
+// cleanly, and the failure surfaces as an error instead of crashing the
+// whole process — so one bad program fails its sweep point, not the
+// entire concurrent sweep.
+type RankError struct {
+	// Rank is the SPMD rank whose program panicked.
+	Rank int
+	// Recovered is the recovered panic value.
+	Recovered any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("nx: rank %d panicked: %v", e.Rank, e.Recovered)
+}
+
+// FaultKind classifies injected-fault failures.
+type FaultKind int
+
+const (
+	// FaultCrash: the rank's node died at the planned virtual time. The
+	// job aborts at that time; a fault-tolerant driver restarts it from
+	// the last checkpoint (core.FaultTolerantDecompose).
+	FaultCrash FaultKind = iota
+	// FaultUnreachable: a message had no failure-free route (both the XY
+	// and the YX dimension orders cross failed links).
+	FaultUnreachable
+	// FaultRetriesExhausted: reliable delivery gave up after the
+	// configured number of retransmissions.
+	FaultRetriesExhausted
+)
+
+// String returns the kind name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultUnreachable:
+		return "unreachable"
+	case FaultRetriesExhausted:
+		return "retries-exhausted"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultError is returned by Run when an injected fault (see
+// internal/fault) terminates the run: a planned rank crash, an
+// unreachable destination after link failures, or exhausted
+// retransmissions under reliable delivery.
+type FaultError struct {
+	// Kind classifies the failure.
+	Kind FaultKind
+	// Rank is the rank that observed (or suffered) the fault.
+	Rank int
+	// At is the virtual time of the failure; for a crash it is the
+	// elapsed virtual time the aborted attempt consumed.
+	At float64
+	// Err carries detail (e.g. the mesh unreachability error). May be
+	// nil.
+	Err error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	msg := fmt.Sprintf("nx: fault (%s) at rank %d, t=%.6g s", e.Kind, e.Rank, e.At)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the wrapped detail error.
+func (e *FaultError) Unwrap() error { return e.Err }

@@ -1,0 +1,242 @@
+package nx
+
+import (
+	"fmt"
+	"math"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fault"
+	"wavelethpc/internal/mesh"
+)
+
+// ReliableConfig enables ack/retransmit delivery under fault injection.
+// With it disabled (the default), a dropped or corrupted message is simply
+// never delivered and a rank blocked on it deadlocks — the raw behaviour
+// of an unreliable network. With it enabled, every remote send blocks
+// until an acknowledgement returns; a send whose data message is lost
+// times out in virtual time and retransmits with exponential backoff.
+//
+// Acknowledgements are modeled as zero-byte control messages on the
+// reverse path, uncontended and immune to injected loss (in a real NX-era
+// network they would ride a separate flow-controlled virtual channel);
+// this keeps the protocol free of duplicate-delivery bookkeeping while
+// still charging the sender the full round-trip plus backoff waits.
+type ReliableConfig struct {
+	// Enabled turns the protocol on. Only consulted when Config.Fault is
+	// active; without a fault plan delivery is already exact.
+	Enabled bool
+	// Timeout is the virtual-time wait before the first retransmission.
+	// Zero means 8× the machine's MsgLatency.
+	Timeout float64
+	// Backoff multiplies the timeout after every failed attempt. Values
+	// below 1 (including zero) mean 2.
+	Backoff float64
+	// MaxRetries bounds retransmissions per message; when all attempts
+	// fail the run aborts with a *FaultError (FaultRetriesExhausted).
+	// Zero or negative means 8.
+	MaxRetries int
+}
+
+// reliable protocol defaults.
+const (
+	defaultReliableTimeoutMult = 8.0
+	defaultReliableBackoff     = 2.0
+	defaultReliableMaxRetries  = 8
+)
+
+// FaultStats counts injected-fault activity during a run. All zero when
+// no fault plan is active.
+type FaultStats struct {
+	// Dropped is the number of data messages lost in transit.
+	Dropped int
+	// Corrupted is the number of data messages delivered with a failed
+	// checksum (discarded by the receiver, retransmitted under reliable
+	// delivery).
+	Corrupted int
+	// Retries is the number of retransmissions performed.
+	Retries int
+	// Reroutes is the number of transfers that took the YX detour around
+	// failed links.
+	Reroutes int
+	// RetryWait is the total virtual time senders spent in timeout
+	// backoff waiting to retransmit.
+	RetryWait float64
+}
+
+// seqKey identifies one (src, dst, tag) message stream for the
+// deterministic per-message fault decisions.
+type seqKey struct{ src, dst, tag int }
+
+// faultState is the compiled per-run fault-injection state.
+type faultState struct {
+	plan *fault.Plan
+	// crashAt[r] is the earliest planned crash time of rank r's node
+	// (+Inf when it never crashes).
+	crashAt []float64
+	// msgSeq counts messages per (src, dst, tag) stream; the counter
+	// feeds the plan's counter-based drop/corrupt decisions, so the
+	// decisions depend only on the stream history, not on scheduling.
+	msgSeq map[seqKey]uint64
+	stats  FaultStats
+}
+
+// newFaultState compiles the plan: link failures are installed into the
+// network's failure table and crash times indexed by rank. Crashes of
+// ranks outside [0, Procs) are ignored, so one plan can be swept across
+// machine sizes.
+func newFaultState(cfg Config, net *mesh.Network) *faultState {
+	fs := &faultState{
+		plan:    cfg.Fault,
+		crashAt: make([]float64, cfg.Procs),
+		msgSeq:  make(map[seqKey]uint64),
+	}
+	for i := range fs.crashAt {
+		fs.crashAt[i] = math.Inf(1)
+	}
+	for _, c := range cfg.Fault.Crashes {
+		if c.Rank < cfg.Procs && c.At < fs.crashAt[c.Rank] {
+			fs.crashAt[c.Rank] = c.At
+		}
+	}
+	for _, lf := range cfg.Fault.Links {
+		net.FailLinkAt(lf.Link, lf.At)
+	}
+	return fs
+}
+
+// crashBefore returns the rank whose planned crash time is earliest and
+// no later than next (the virtual time of the scheduler's next event), or
+// (-1, 0) when no crash is due. Ties break toward the lower rank.
+func (fs *faultState) crashBefore(next float64) (rank int, at float64) {
+	rank, at = -1, 0
+	for i, t := range fs.crashAt {
+		if math.IsInf(t, 1) {
+			continue
+		}
+		if t <= next && (rank == -1 || t < at) {
+			rank, at = i, t
+		}
+	}
+	return rank, at
+}
+
+// nextSeq returns the stream position of the next message from src to dst
+// under tag.
+func (fs *faultState) nextSeq(src, dst, tag int) uint64 {
+	k := seqKey{src, dst, tag}
+	n := fs.msgSeq[k]
+	fs.msgSeq[k] = n + 1
+	return n
+}
+
+// sendFaulty is the remote-send path under an active fault plan: routing
+// avoids failed links (YX detour), per-message loss and corruption are
+// decided by the plan's seeded generator, and — under reliable delivery —
+// the sender blocks for the ack round-trip and retransmits lost messages
+// after exponential-backoff timeouts. The caller has validated dst and
+// bytes; dst != r.id.
+func (r *Rank) sendFaulty(dst, tag, bytes int, payload any) {
+	s := r.sim
+	fs := s.fault
+	cost := s.cfg.Machine.Cost
+	rel := s.cfg.Reliable
+
+	sendStart := r.clock
+	overhead := cost.MsgLatency * sendOverheadFrac
+	r.clock += overhead
+	r.tracker.Add(budget.Comm, overhead)
+	dstCoord := s.ranks[dst].coord
+
+	timeout := rel.Timeout
+	if timeout <= 0 {
+		timeout = defaultReliableTimeoutMult * cost.MsgLatency
+	}
+	backoff := rel.Backoff
+	if backoff < 1 {
+		backoff = defaultReliableBackoff
+	}
+	maxRetries := rel.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = defaultReliableMaxRetries
+	}
+
+	for attempt := 0; ; attempt++ {
+		n := fs.nextSeq(r.id, dst, tag)
+		arrival, linkWait, rerouted, err := s.net.inner.TransferAvoiding(r.coord, dstCoord, bytes, r.clock)
+		if err != nil {
+			panic(&FaultError{Kind: FaultUnreachable, Rank: r.id, At: r.clock, Err: err})
+		}
+		if tr := s.cfg.Trace; tr != nil {
+			tr.add(TraceEvent{
+				Rank: r.id, Kind: "send", Start: sendStart, Dur: overhead,
+				Peer: dst, Tag: tag, Bytes: bytes, LinkWait: linkWait,
+			})
+			if rerouted {
+				tr.add(TraceEvent{
+					Rank: r.id, Kind: "reroute", Start: r.clock, Dur: 0,
+					Peer: dst, Tag: tag, Bytes: bytes,
+					Detail: "YX detour around failed link",
+				})
+			}
+			if linkWait > 0 {
+				tr.add(TraceEvent{
+					Rank: r.id, Kind: "link-wait", Start: r.clock, Dur: linkWait,
+					Peer: dst, Tag: tag, Bytes: bytes, LinkWait: linkWait,
+				})
+			}
+		}
+
+		dropped := fs.plan.Drops(r.id, dst, tag, n)
+		corrupted := fs.plan.Corrupts(r.id, dst, tag, n)
+		if !dropped && !corrupted {
+			s.deliver(dst, message{src: r.id, tag: tag, bytes: bytes, arrival: arrival, payload: payload})
+			if rel.Enabled {
+				// Block for the zero-byte ack's uncontended return trip.
+				hops := s.cfg.Machine.Hops(dstCoord, r.coord)
+				ackArrival := arrival + cost.MsgTime(0, hops)
+				if ackArrival > r.clock {
+					r.tracker.Add(budget.Comm, ackArrival-r.clock)
+					r.clock = ackArrival
+				}
+			}
+			break
+		}
+
+		// The message is lost: it occupied links (the reservation above
+		// stands, as a wormhole consumes its path before dying) but never
+		// reaches the destination mailbox.
+		detail := "dropped in transit"
+		if corrupted {
+			fs.stats.Corrupted++
+			detail = "checksum failure at receiver"
+		} else {
+			fs.stats.Dropped++
+		}
+		s.cfg.Trace.add(TraceEvent{
+			Rank: r.id, Kind: "drop", Start: r.clock, Dur: 0,
+			Peer: dst, Tag: tag, Bytes: bytes, Detail: detail,
+		})
+		if !rel.Enabled {
+			// Unreliable delivery: the loss is final. A rank blocked on
+			// this message will deadlock, which Run reports as an error.
+			break
+		}
+		if attempt == maxRetries {
+			panic(&FaultError{
+				Kind: FaultRetriesExhausted, Rank: r.id, At: r.clock,
+				Err: fmt.Errorf("send to rank %d tag %d: %d attempts lost", dst, tag, attempt+1),
+			})
+		}
+		wait := timeout * math.Pow(backoff, float64(attempt))
+		fs.stats.Retries++
+		fs.stats.RetryWait += wait
+		s.cfg.Trace.add(TraceEvent{
+			Rank: r.id, Kind: "retry", Start: r.clock, Dur: wait,
+			Peer: dst, Tag: tag, Bytes: bytes,
+			Detail: fmt.Sprintf("timeout, retransmission %d", attempt+1),
+		})
+		r.clock += wait
+		r.tracker.Add(budget.Comm, wait)
+	}
+	r.yield(stReady)
+}

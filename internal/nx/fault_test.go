@@ -1,0 +1,251 @@
+package nx
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fault"
+	"wavelethpc/internal/mesh"
+)
+
+// ringProg sends a token around the ring a few times — enough remote
+// traffic for drop/reroute scenarios to bite.
+func ringProg(rounds int) Program {
+	return func(r *Rank) {
+		next := (r.ID() + 1) % r.Procs()
+		prev := (r.ID() - 1 + r.Procs()) % r.Procs()
+		for i := 0; i < rounds; i++ {
+			r.SendFloats(next, 40+i, []float64{float64(r.ID())})
+			d, _ := r.RecvFloats(prev, 40+i)
+			r.Compute(1e-4, budget.Useful)
+			r.SetResult(d[0])
+		}
+	}
+}
+
+func TestInactiveFaultPlanIsByteIdentical(t *testing.T) {
+	prog := ringProg(3)
+	base := mustRun(t, testConfig(4), prog)
+
+	// Both a nil plan and a present-but-empty plan must leave the run on
+	// the fault-free fast path with an identical Result.
+	cfgEmpty := testConfig(4)
+	cfgEmpty.Fault = &fault.Plan{Seed: 42}
+	cfgEmpty.Reliable = ReliableConfig{Enabled: true} // ignored: plan inactive
+	withEmpty := mustRun(t, cfgEmpty, prog)
+	if !reflect.DeepEqual(base, withEmpty) {
+		t.Errorf("inactive fault plan changed the result:\n%+v\nvs\n%+v", base, withEmpty)
+	}
+}
+
+func TestUnreliableDropsCauseDiagnosedDeadlock(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Fault = &fault.Plan{Seed: 7, DropProb: 0.9}
+	_, err := Run(cfg, ringProg(3))
+	if err == nil {
+		t.Fatal("run with 90% loss and no retransmission succeeded")
+	}
+	if !strings.Contains(err.Error(), "deadlock") || !strings.Contains(err.Error(), "injected faults") {
+		t.Errorf("err = %v, want deadlock diagnosis mentioning injected faults", err)
+	}
+}
+
+func TestReliableDeliverySurvivesDrops(t *testing.T) {
+	clean := mustRun(t, testConfig(4), ringProg(4))
+
+	cfg := testConfig(4)
+	cfg.Fault = &fault.Plan{Seed: 7, DropProb: 0.3, CorruptProb: 0.1}
+	cfg.Reliable = ReliableConfig{Enabled: true}
+	res := mustRun(t, cfg, ringProg(4))
+
+	if res.Faults.Dropped+res.Faults.Corrupted == 0 {
+		t.Fatal("no messages lost at 40% combined loss")
+	}
+	if res.Faults.Retries < res.Faults.Dropped+res.Faults.Corrupted {
+		t.Errorf("retries = %d < losses = %d", res.Faults.Retries, res.Faults.Dropped+res.Faults.Corrupted)
+	}
+	if res.Faults.RetryWait <= 0 {
+		t.Error("no backoff time accumulated")
+	}
+	if res.Elapsed <= clean.Elapsed {
+		t.Errorf("lossy run (%g s) not slower than clean run (%g s)", res.Elapsed, clean.Elapsed)
+	}
+	// Every rank still computed the right values.
+	for i, v := range res.Values {
+		want := float64((i - 1 + 4) % 4)
+		if v != want {
+			t.Errorf("rank %d result = %v, want %g", i, v, want)
+		}
+	}
+}
+
+// exchangeProg pairs rank i with rank i+P/2 for pairwise exchanges. Under
+// SnakePlacement the partners differ in both X and Y, so their traffic is
+// multi-hop and can take the YX detour when a link fails (ring neighbors,
+// by contrast, are physically adjacent and have no alternative path).
+func exchangeProg(rounds int) Program {
+	return func(r *Rank) {
+		partner := (r.ID() + r.Procs()/2) % r.Procs()
+		for i := 0; i < rounds; i++ {
+			r.SendFloats(partner, 60+i, []float64{float64(r.ID())})
+			d, _ := r.RecvFloats(partner, 60+i)
+			r.Compute(1e-4, budget.Useful)
+			r.SetResult(d[0])
+		}
+	}
+}
+
+func TestFaultRunsAreDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := testConfig(8)
+		cfg.Fault = &fault.Plan{Seed: 99, DropProb: 0.2}
+		// One failed link: every exchange pair spans both dimensions, so
+		// the YX detour always survives a single failure.
+		cfg.Fault.FailRandomLinks(fault.RegionLinks(cfg.Machine, 4, 2), 1, 0, 1)
+		cfg.Reliable = ReliableConfig{Enabled: true}
+		return mustRun(t, cfg, exchangeProg(3))
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("same seed produced different results:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if r1.Faults.Dropped == 0 {
+		t.Error("determinism test exercised no drops; raise DropProb")
+	}
+}
+
+func TestCrashAbortsWithFaultError(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Fault = &fault.Plan{Crashes: []fault.Crash{{Rank: 2, At: 2e-4}}}
+	tr := &Trace{Label: "crash"}
+	cfg.Trace = tr
+	_, err := Run(cfg, ringProg(50))
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError", err, err)
+	}
+	if fe.Kind != FaultCrash || fe.Rank != 2 || fe.At != 2e-4 {
+		t.Errorf("fault = %+v, want crash of rank 2 at 2e-4", fe)
+	}
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Kind == "crash" && ev.Rank == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no crash event in trace")
+	}
+}
+
+func TestCrashAfterCompletionDoesNotFire(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Fault = &fault.Plan{Crashes: []fault.Crash{{Rank: 0, At: 1e9}}}
+	if _, err := Run(cfg, ringProg(1)); err != nil {
+		t.Errorf("crash planned after job end aborted the run: %v", err)
+	}
+}
+
+func TestLinkFailureReroutesTraffic(t *testing.T) {
+	// Rank 1 sits at (1,0) and its exchange partner rank 5 at (2,1).
+	// Failing the XY path's first hop forces the YX detour.
+	cfg := testConfig(8)
+	cfg.Fault = &fault.Plan{Links: []fault.LinkFailure{{
+		Link: mesh.Link{From: mesh.Coord{X: 1, Y: 0}, To: mesh.Coord{X: 2, Y: 0}},
+	}}}
+	tr := &Trace{Label: "reroute"}
+	cfg.Trace = tr
+	res := mustRun(t, cfg, exchangeProg(2))
+	if res.Faults.Reroutes == 0 {
+		t.Fatal("no transfers rerouted around the failed link")
+	}
+	found := false
+	for _, ev := range tr.Events {
+		if ev.Kind == "reroute" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no reroute event in trace")
+	}
+	// Every rank still received its partner's value.
+	for i, v := range res.Values {
+		want := float64((i + 4) % 8)
+		if v != want {
+			t.Errorf("rank %d result = %v, want %g", i, v, want)
+		}
+	}
+}
+
+func TestUnreachableDestinationFaults(t *testing.T) {
+	// Ranks 0 and 1 are X-adjacent on row 0; failing both directions of
+	// their only direct link leaves no XY or YX alternative.
+	cfg := testConfig(2)
+	a, b := mesh.Coord{X: 0, Y: 0}, mesh.Coord{X: 1, Y: 0}
+	cfg.Fault = &fault.Plan{Links: []fault.LinkFailure{
+		{Link: mesh.Link{From: a, To: b}},
+		{Link: mesh.Link{From: b, To: a}},
+	}}
+	_, err := Run(cfg, ringProg(1))
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError", err, err)
+	}
+	if fe.Kind != FaultUnreachable {
+		t.Errorf("kind = %v, want unreachable", fe.Kind)
+	}
+}
+
+func TestRetriesExhaustedFaults(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Fault = &fault.Plan{Seed: 3, DropProb: 0.95}
+	cfg.Reliable = ReliableConfig{Enabled: true, MaxRetries: 2}
+	_, err := Run(cfg, ringProg(4))
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v (%T), want *FaultError", err, err)
+	}
+	if fe.Kind != FaultRetriesExhausted {
+		t.Errorf("kind = %v, want retries-exhausted", fe.Kind)
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, testConfig(4), ringProg(100))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDropAndRetryEventsTraced(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Fault = &fault.Plan{Seed: 7, DropProb: 0.3}
+	cfg.Reliable = ReliableConfig{Enabled: true}
+	tr := &Trace{Label: "faults"}
+	cfg.Trace = tr
+	res := mustRun(t, cfg, ringProg(4))
+	kinds := map[string]int{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds["drop"] != res.Faults.Dropped+res.Faults.Corrupted {
+		t.Errorf("drop events = %d, losses = %d", kinds["drop"], res.Faults.Dropped+res.Faults.Corrupted)
+	}
+	if kinds["retry"] != res.Faults.Retries {
+		t.Errorf("retry events = %d, retries = %d", kinds["retry"], res.Faults.Retries)
+	}
+}
+
+func TestFaultPlanValidatedByRun(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Fault = &fault.Plan{DropProb: 1.5}
+	if _, err := Run(cfg, ringProg(1)); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"wavelethpc/internal/budget"
+	"wavelethpc/internal/fault"
 	"wavelethpc/internal/mesh"
 )
 
@@ -36,6 +37,15 @@ type Config struct {
 	// with its virtual time and link wait (see Trace). Opt-in: nil
 	// costs nothing.
 	Trace *Trace
+	// Fault, when non-nil and active, injects the plan's deterministic
+	// faults: failed links are routed around (or reported unreachable),
+	// messages are dropped or corrupted per the plan's seeded decisions,
+	// and planned rank crashes abort the run with a *FaultError. Nil or
+	// inactive plans leave every run bit-identical to a fault-free one.
+	Fault *fault.Plan
+	// Reliable configures ack/retransmit delivery; consulted only when
+	// Fault is active.
+	Reliable ReliableConfig
 }
 
 // Result summarizes a completed run.
@@ -55,6 +65,8 @@ type Result struct {
 	Bytes         int64
 	ContendedMsgs int
 	LinkWait      float64
+	// Faults counts injected-fault activity (all zero without a plan).
+	Faults FaultStats
 }
 
 const (
@@ -151,6 +163,10 @@ func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	}
 	if bytes < 0 {
 		panic("nx: negative message size")
+	}
+	if r.sim.fault != nil && dst != r.id {
+		r.sendFaulty(dst, tag, bytes, payload)
+		return
 	}
 	cost := r.sim.cfg.Machine.Cost
 	overhead := cost.MsgLatency * sendOverheadFrac
@@ -293,11 +309,13 @@ func (r *Rank) takeMessage(src, tag int) (message, bool) {
 }
 
 // yield hands control back to the scheduler with the given next state.
+// Parking goes through await so a scheduler shutdown can unwind the
+// goroutine even when it is never resumed again.
 func (r *Rank) yield(state int) {
 	r.state = state
 	r.sim.yielded <- r.id
 	if state != stDone {
-		<-r.resume
+		r.await()
 	}
 }
 

@@ -1,6 +1,7 @@
 package nx
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -24,6 +25,20 @@ func mustRun(t *testing.T, cfg Config, prog Program) *Result {
 		t.Fatal(err)
 	}
 	return res
+}
+
+// wantRankError runs prog and asserts it fails with a *RankError.
+func wantRankError(t *testing.T, cfg Config, prog Program) *RankError {
+	t.Helper()
+	_, err := Run(cfg, prog)
+	if err == nil {
+		t.Fatal("run succeeded, want *RankError")
+	}
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *RankError", err, err)
+	}
+	return re
 }
 
 func TestRunValidation(t *testing.T) {
@@ -187,17 +202,24 @@ func TestDeadlockDetected(t *testing.T) {
 }
 
 func TestPanicPropagates(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("rank panic not propagated")
-		}
-	}()
-	Run(testConfig(2), func(r *Rank) {
+	re := wantRankError(t, testConfig(2), func(r *Rank) {
 		if r.ID() == 1 {
 			panic("boom")
 		}
 		r.Compute(1, budget.Useful)
 	})
+	if re.Rank != 1 {
+		t.Errorf("failing rank = %d, want 1", re.Rank)
+	}
+	if re.Recovered != "boom" {
+		t.Errorf("recovered value = %v, want boom", re.Recovered)
+	}
+	if len(re.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(re.Error(), "rank 1") || !strings.Contains(re.Error(), "boom") {
+		t.Errorf("error text %q lacks rank and panic value", re.Error())
+	}
 }
 
 func TestDeterminism(t *testing.T) {
@@ -323,12 +345,7 @@ func TestGSSumNaiveAndPrefixAgree(t *testing.T) {
 }
 
 func TestGSSumPrefixRequiresPowerOfTwo(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for p=3")
-		}
-	}()
-	Run(testConfig(3), func(r *Rank) {
+	wantRankError(t, testConfig(3), func(r *Rank) {
 		r.GSSumPrefix([]float64{1})
 	})
 }
@@ -426,12 +443,7 @@ func TestRankAccessors(t *testing.T) {
 }
 
 func TestSendValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for invalid destination")
-		}
-	}()
-	Run(testConfig(2), func(r *Rank) {
+	wantRankError(t, testConfig(2), func(r *Rank) {
 		r.Send(5, 0, 0, nil)
 	})
 }
@@ -461,12 +473,7 @@ func TestAllToAllTransposes(t *testing.T) {
 }
 
 func TestAllToAllPanicsOnBadParts(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for wrong part count")
-		}
-	}()
-	Run(testConfig(2), func(r *Rank) {
+	wantRankError(t, testConfig(2), func(r *Rank) {
 		r.AllToAll(make([][]float64, 3))
 	})
 }
@@ -584,12 +591,7 @@ func TestIRecvOverlapHidesLatency(t *testing.T) {
 }
 
 func TestWaitTwicePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("double Wait did not panic")
-		}
-	}()
-	Run(testConfig(2), func(r *Rank) {
+	wantRankError(t, testConfig(2), func(r *Rank) {
 		if r.ID() == 0 {
 			r.SendFloats(1, 9, []float64{1})
 			r.SendFloats(1, 9, []float64{2})
@@ -602,12 +604,7 @@ func TestWaitTwicePanics(t *testing.T) {
 }
 
 func TestComputeOpsNegativePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("negative ops did not panic")
-		}
-	}()
-	Run(testConfig(1), func(r *Rank) {
+	wantRankError(t, testConfig(1), func(r *Rank) {
 		r.ComputeOps(-1, 1, budget.Useful)
 	})
 }

@@ -1,7 +1,10 @@
 package nx
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"runtime/debug"
 
 	"wavelethpc/internal/budget"
 	"wavelethpc/internal/mesh"
@@ -13,6 +16,16 @@ type sim struct {
 	ranks   []*Rank
 	net     *network
 	yielded chan int
+	// quit, when closed, aborts every parked rank goroutine (scheduler
+	// shutdown on error, fault, or context cancellation).
+	quit chan struct{}
+	// fault carries the compiled fault-injection state; nil for the
+	// fault-free fast path.
+	fault *faultState
+	// failure records the first rank failure (*RankError or
+	// *FaultError). Written by the failing rank goroutine before its
+	// final yield, read by the scheduler after receiving that yield.
+	failure error
 }
 
 // network wraps mesh.Network so ranks reserve links through one shared
@@ -30,11 +43,65 @@ func (s *sim) deliver(dst int, m message) {
 	r.mail[k] = append(r.mail[k], m)
 }
 
-// Run executes prog on cfg.Procs simulated ranks and returns the collected
-// result. It returns an error for invalid configurations or when the
-// program deadlocks (every unfinished rank blocked on a Recv that can
-// never be satisfied).
+// rankKilled is the panic sentinel that unwinds a rank goroutine during
+// scheduler shutdown; it is recovered by the goroutine wrapper and never
+// escapes.
+type rankKilled struct{}
+
+// await parks the rank until the scheduler resumes it; a closed quit
+// channel unwinds the goroutine instead.
+func (r *Rank) await() {
+	select {
+	case <-r.resume:
+	case <-r.sim.quit:
+		panic(rankKilled{})
+	}
+}
+
+// shutdown aborts every unfinished rank goroutine and waits for each to
+// unwind, so Run never leaks goroutines on an error return. The undone
+// count is taken before quit closes: at that point every unfinished rank
+// is parked (their states are stable and ordered by past yields), while
+// afterwards the woken goroutines write their own state concurrently.
+func (s *sim) shutdown() {
+	undone := 0
+	for _, r := range s.ranks {
+		if r.state != stDone {
+			undone++
+		}
+	}
+	close(s.quit)
+	for i := 0; i < undone; i++ {
+		<-s.yielded
+	}
+}
+
+// fail records the first failure; later ones (there are none today, as
+// exactly one rank runs at a time) would be dropped.
+func (s *sim) fail(err error) {
+	if s.failure == nil {
+		s.failure = err
+	}
+}
+
+// ctxCheckMask throttles context polling to every 64 scheduler events:
+// cancellation latency stays microscopic while the hot loop pays nothing.
+const ctxCheckMask = 63
+
+// Run executes prog on cfg.Procs simulated ranks and returns the
+// collected result. It returns an error for invalid configurations, when
+// the program deadlocks (every unfinished rank blocked on a Recv that can
+// never be satisfied), when a rank's program panics (*RankError), or when
+// an injected fault terminates the run (*FaultError).
 func Run(cfg Config, prog Program) (*Result, error) {
+	return RunCtx(context.Background(), cfg, prog)
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is canceled the
+// scheduler stops between events, shuts every rank goroutine down, and
+// returns the context error — a hung or runaway simulation aborts cleanly
+// instead of wedging its caller.
+func RunCtx(ctx context.Context, cfg Config, prog Program) (*Result, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("nx: Procs = %d, want >= 1", cfg.Procs)
 	}
@@ -47,11 +114,18 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	if err := mesh.ValidatePlacement(cfg.Machine, cfg.Placement, cfg.Procs); err != nil {
 		return nil, err
 	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
+	}
 
 	s := &sim{
 		cfg:     cfg,
 		net:     &network{inner: mesh.NewNetwork(cfg.Machine)},
 		yielded: make(chan int),
+		quit:    make(chan struct{}),
+	}
+	if cfg.Fault.Active() {
+		s.fault = newFaultState(cfg, s.net.inner)
 	}
 	s.ranks = make([]*Rank, cfg.Procs)
 	for i := 0; i < cfg.Procs; i++ {
@@ -68,57 +142,94 @@ func Run(cfg Config, prog Program) (*Result, error) {
 
 	// Launch each rank as a coroutine: it waits for its first resume,
 	// runs the program, and yields stDone at the end. A panic inside a
-	// rank is captured and re-raised from Run so tests see it.
-	panics := make(chan any, cfg.Procs)
+	// rank is recovered and surfaced from Run as a *RankError (or, for
+	// injected faults, the *FaultError the fault layer raised), so one
+	// bad program fails its run instead of crashing the process.
 	for _, r := range s.ranks {
 		r := r
 		go func() {
-			<-r.resume
 			defer func() {
 				if p := recover(); p != nil {
-					panics <- p
 					r.state = stDone
+					switch e := p.(type) {
+					case rankKilled:
+						// Scheduler shutdown; nothing to report.
+					case *FaultError:
+						s.fail(e)
+					default:
+						s.fail(&RankError{Rank: r.id, Recovered: p, Stack: debug.Stack()})
+					}
 					s.yielded <- r.id
 					return
 				}
 			}()
+			r.await()
 			prog(r)
 			r.yield(stDone)
 		}()
 	}
 
 	// Scheduler loop: resume the runnable rank with the smallest clock.
-	for {
+	for iter := 0; ; iter++ {
+		if iter&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				s.shutdown()
+				return nil, fmt.Errorf("nx: run aborted: %w", err)
+			}
+		}
 		pick := -1
+		allDone := true
 		for _, r := range s.ranks {
+			if r.state != stDone {
+				allDone = false
+			}
 			runnable := r.state == stReady ||
 				(r.state == stBlocked && r.hasMessage(r.waitSrc, r.waitTag))
 			if runnable && (pick == -1 || r.clock < s.ranks[pick].clock) {
 				pick = r.id
 			}
 		}
+		if allDone {
+			break
+		}
+		// Injected rank crashes fire at their planned virtual time:
+		// before the next event starts (or when nothing else can run),
+		// the job aborts — the checkpoint/restart model of 1990s batch
+		// MPP jobs, where a dead node killed the job and the scheduler
+		// restarted it from checkpoint files.
+		if s.fault != nil {
+			next := math.Inf(1)
+			if pick >= 0 {
+				next = s.ranks[pick].clock
+			}
+			if crashed, at := s.fault.crashBefore(next); crashed >= 0 {
+				s.cfg.Trace.add(TraceEvent{Rank: crashed, Kind: "crash", Start: at, Peer: -1})
+				s.shutdown()
+				return nil, &FaultError{Kind: FaultCrash, Rank: crashed, At: at}
+			}
+		}
 		if pick == -1 {
-			allDone := true
 			var blocked []int
 			for _, r := range s.ranks {
 				if r.state != stDone {
-					allDone = false
 					blocked = append(blocked, r.id)
 				}
 			}
-			if allDone {
-				break
+			err := fmt.Errorf("nx: deadlock — ranks %v blocked in Recv with no pending message", blocked)
+			if s.fault != nil && s.fault.stats.Dropped+s.fault.stats.Corrupted > 0 {
+				err = fmt.Errorf("%w (%d messages lost to injected faults; enable Reliable delivery to retransmit)",
+					err, s.fault.stats.Dropped+s.fault.stats.Corrupted)
 			}
-			return nil, fmt.Errorf("nx: deadlock — ranks %v blocked in Recv with no pending message", blocked)
+			s.shutdown()
+			return nil, err
 		}
 		r := s.ranks[pick]
 		r.state = stRunning
 		r.resume <- struct{}{}
 		<-s.yielded
-		select {
-		case p := <-panics:
-			panic(p)
-		default:
+		if s.failure != nil {
+			s.shutdown()
+			return nil, s.failure
 		}
 	}
 
@@ -137,5 +248,9 @@ func Run(cfg Config, prog Program) (*Result, error) {
 	}
 	res.Budget = budget.Aggregate(trackers, res.Completions)
 	res.Msgs, res.Bytes, res.ContendedMsgs, res.LinkWait = s.net.inner.Stats()
+	if s.fault != nil {
+		res.Faults = s.fault.stats
+		res.Faults.Reroutes = s.net.inner.Rerouted()
+	}
 	return res, nil
 }
