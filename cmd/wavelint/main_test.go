@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWavelint compiles the vettool into a temp dir and returns its
+// path.
+func buildWavelint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "wavelint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building wavelint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestVettoolCleanOnInternal is the acceptance gate: the repo's own
+// internal tree must come out wavelint-clean under the go vet protocol.
+func TestVettoolCleanOnInternal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole internal tree")
+	}
+	bin := buildWavelint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -vettool reported diagnostics: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneCleanOnInternal exercises the go-list-based loader.
+func TestStandaloneCleanOnInternal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and lints the whole internal tree")
+	}
+	bin := buildWavelint(t)
+	cmd := exec.Command(bin, "./internal/...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("standalone wavelint reported diagnostics: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFindsViolation drives the full vet protocol against a
+// scratch module containing a determinism violation: the run must fail
+// and name the offending call.
+func TestVettoolFindsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool")
+	}
+	bin := buildWavelint(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	src := "package sim\n\nimport \"time\"\n\n// Stamp leaks the wall clock.\nfunc Stamp() int64 { return time.Now().UnixNano() }\n"
+	if err := os.MkdirAll(filepath.Join(dir, "sim"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sim", "sim.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a module with a wall-clock read:\n%s", out)
+	}
+	if !strings.Contains(string(out), "wall-clock read time.Now") {
+		t.Fatalf("diagnostic missing from vet output:\n%s", out)
+	}
+}
+
+// TestVetProtocolProbes checks the three probe invocations the go
+// command uses before handing the tool real work.
+func TestVetProtocolProbes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "wavelint version ") {
+		t.Fatalf("-V=full output %q lacks the name-version form the go command parses", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"determinism", "nxapi", "structerr", "registrycheck"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}

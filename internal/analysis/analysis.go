@@ -1,0 +1,261 @@
+// Package analysis implements wavelint, the repo's custom static-analysis
+// suite. The simulator's headline property — bit-identical replay of every
+// run for a given seed (DESIGN.md §1, §6) — is protected at runtime only by
+// golden tests that fail long after the offending change lands. The four
+// analyzers in this package move that enforcement to the source level:
+//
+//   - determinism: wall-clock reads, implicitly seeded math/rand, and
+//     map-order-dependent emission in simulator packages
+//   - nxapi: provable misuse of the nx runtime API
+//   - structerr: raw string panics where the typed-error contract
+//     (*nx.FaultError / *nx.RankError / *nx.UsageError, *mesh.RouteError)
+//     exists
+//   - registrycheck: harness.Register outside init, empty or duplicate
+//     experiment names
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only, so the repo stays dependency-free. cmd/wavelint drives it both
+// standalone and as a `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments.
+	Name string
+	// Doc is a one-paragraph description for -list output.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one typechecked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the import path as the build system reported it (for
+	// vettool runs this may be a test-variant ID).
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix records a finding at pos that carries a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix string, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Fix: fix})
+}
+
+// SourceFiles returns the package's non-test files. Test files are exempt
+// from every wavelint rule: tests may read clocks, use convenience
+// randomness, and deliberately trigger the panics the analyzers forbid.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Diagnostic is one finding inside a package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Fix, when non-empty, is a human-readable suggested fix.
+	Fix string
+}
+
+// Finding is a resolved diagnostic: position plus the analyzer that
+// produced it.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	Fix      string
+}
+
+// String formats the finding as file:line:col: message [analyzer] with the
+// suggested fix, if any, on a tab-indented continuation line.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+	if f.Fix != "" {
+		s += "\n\tsuggested fix: " + f.Fix
+	}
+	return s
+}
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// IgnoreDirective is the comment prefix that suppresses a finding:
+//
+//	//wavelint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line immediately above it. The reason
+// is mandatory in spirit (reviewers will ask) but not enforced.
+const IgnoreDirective = "wavelint:ignore"
+
+// Analyze runs the analyzers over the package and returns the surviving
+// findings sorted by position. Suppressed findings (see IgnoreDirective)
+// are dropped.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	suppressed := collectSuppressions(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Path:      pkg.Path,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if suppressed[suppressKey{pos.Filename, pos.Line, name}] {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Pos:      pos,
+				Message:  d.Message,
+				Fix:      d.Fix,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectSuppressions indexes every //wavelint:ignore directive: the named
+// analyzer is silenced on the directive's line and the line below it (so
+// the directive can trail the flagged statement or sit on its own line
+// above).
+func collectSuppressions(pkg *Package) map[suppressKey]bool {
+	out := map[suppressKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, IgnoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, IgnoreDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
+				out[suppressKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	return out
+}
+
+// All returns the wavelint analyzer suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, NXAPI, StructErr, RegistryCheck}
+}
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil when the callee is not a known *types.Func (builtins, func-typed
+// variables, type conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgName.name
+// (matched by package name so analysistest fixtures can stub the package).
+func isPkgFunc(fn *types.Func, pkgName, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Name() == pkgName
+}
+
+// recvTypeName returns the named type of fn's method receiver ("" for
+// non-methods), along with the receiver package name.
+func recvTypeName(fn *types.Func) (pkg, typ string) {
+	if fn == nil {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Name(), named.Obj().Name()
+}

@@ -1,0 +1,235 @@
+// Package analysistest runs wavelint analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring the
+// golang.org/x/tools analysistest convention on the standard library
+// only.
+//
+// Fixtures live under <testdata>/src/<import path>/, GOPATH-style: a
+// fixture importing "nx" resolves to <testdata>/src/nx. Standard-library
+// imports are typechecked from the compiler's export data (fetched once
+// per test binary via `go list -export`). Expected diagnostics are
+// written as trailing comments:
+//
+//	_ = time.Now() // want `wall-clock read`
+//
+// Each quoted or backquoted string is a regexp that must match one
+// diagnostic reported on that line; unmatched diagnostics and unmatched
+// expectations both fail the test.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"wavelethpc/internal/analysis"
+)
+
+// stdRoots are the standard-library packages fixtures may import; their
+// transitive dependencies come along via go list -deps.
+var stdRoots = []string{"fmt", "sort", "time", "math/rand"}
+
+var (
+	stdOnce    sync.Once
+	stdExports map[string]string
+	stdErr     error
+)
+
+// stdExportMap resolves export-data files for the standard library, once
+// per test binary.
+func stdExportMap() (map[string]string, error) {
+	stdOnce.Do(func() {
+		args := append([]string{"list", "-export", "-json", "-deps"}, stdRoots...)
+		var stderr bytes.Buffer
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			stdErr = fmt.Errorf("go list std roots: %v\n%s", err, stderr.String())
+			return
+		}
+		stdExports = map[string]string{}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdErr = err
+				return
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return stdExports, stdErr
+}
+
+// loader typechecks fixture packages, resolving fixture-local imports
+// recursively and everything else from standard-library export data.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*analysis.Package
+}
+
+func newLoader(testdata string) (*loader, error) {
+	exports, err := stdExportMap()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		std: analysis.ExportImporter(fset, func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("fixture imports %q: not a fixture package and not in analysistest.stdRoots", path)
+			}
+			return os.Open(file)
+		}),
+		pkgs: map[string]*analysis.Package{},
+	}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files under %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if fi, err := os.Stat(filepath.Join(l.testdata, "src", filepath.FromSlash(p))); err == nil && fi.IsDir() {
+			pkg, err := l.load(p)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+		return l.std.Import(p)
+	})
+	typesPkg, info, err := analysis.TypeCheck(path, l.fset, files, imp, "")
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Files: files, Types: typesPkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one // want pattern waiting for a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantPatterns extracts the string literals following "want" in a
+// comment: backquoted or double-quoted Go strings.
+var wantPatterns = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range wantPatterns.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// expectations as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := newLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		expects := collectExpectations(t, pkg.Fset, pkg.Files)
+		findings, err := analysis.Analyze(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analyzing fixture %s: %v", path, err)
+		}
+	nextFinding:
+		for _, f := range findings {
+			for _, e := range expects {
+				if !e.matched && e.file == f.Pos.Filename && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+					e.matched = true
+					continue nextFinding
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", path, f)
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %q at %s:%d", path, e.raw, e.file, e.line)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wavelethpc/internal/analysis"
+	"wavelethpc/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "determinism/a")
+}
+
+// TestDeterminismExemptions: package main and cmd/ trees may read the
+// wall clock; the fixture files contain time.Now with no want comments,
+// so any diagnostic fails the test.
+func TestDeterminismExemptions(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "determinism/exempt", "cmd/inner")
+}
+
+func TestNXAPI(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NXAPI, "nxapi/a")
+}
+
+// TestNXAPISkipsRuntime: the stub nx package itself contains Rank methods
+// but must not be analyzed (the runtime manipulates raw ranks).
+func TestNXAPISkipsRuntime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NXAPI, "nx")
+}
+
+func TestStructErr(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.StructErr, "structerr/nx", "structerr/other")
+}
+
+func TestRegistryCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RegistryCheck, "registrycheck/a")
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism flags source constructs that silently break bit-identical
+// replay in simulator code:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until);
+//   - the implicitly seeded global math/rand functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...), and rand.New whose source is not
+//     constructed in place with rand.NewSource;
+//   - `range` over a map that emits (fmt print family, Write*/Emit
+//     methods, trace add) or appends to a slice that is never sorted in
+//     the enclosing function.
+//
+// Command-line front ends (package main, any package under cmd/ or
+// examples/) are exempt: wall-clock timing of a real CLI run is
+// legitimate there. Test files are exempt everywhere.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flags wall-clock reads, implicitly seeded math/rand use, and " +
+		"map-order-dependent emission that break deterministic replay",
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the time-package reads that leak host time into a
+// run. time.Duration arithmetic and timers configured from constants are
+// fine; only sampling the clock is not.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededConstructors are the math/rand functions allowed at top level:
+// they build explicitly seeded generators rather than consuming the
+// global one.
+var seededConstructors = map[string]bool{
+	"NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if determinismExempt(pass) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkDeterminismCall(pass, call)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			body := fd.Body
+			ast.Inspect(body, func(n ast.Node) bool {
+				if rs, ok := n.(*ast.RangeStmt); ok {
+					checkMapRange(pass, body, rs)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// determinismExempt reports whether the package is outside the
+// deterministic-replay contract: command-line front ends measure real
+// wall time and may seed from it.
+func determinismExempt(pass *Pass) bool {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return true
+	}
+	for _, seg := range strings.Split(pass.Path, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		// Methods on an explicitly constructed *rand.Rand (or time.Time
+		// values already in hand) are fine; only the package-level entry
+		// points are gated.
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.ReportFix(call.Pos(),
+				"use the simulator's virtual clock (nx.Rank.Clock) or accept the timestamp as a parameter",
+				"wall-clock read time.%s breaks deterministic replay", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		checkRandCall(pass, call, fn)
+	}
+}
+
+func checkRandCall(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	name := fn.Name()
+	if seededConstructors[name] {
+		return
+	}
+	if name != "New" {
+		pass.ReportFix(call.Pos(),
+			"construct a seeded generator: rng := rand.New(rand.NewSource(seed))",
+			"global %s.%s uses the implicitly seeded process-wide generator; runs are not reproducible",
+			fn.Pkg().Name(), name)
+		return
+	}
+	// rand.New(src): accept only a source constructed in place, where the
+	// seed expression is visible at the call site. Anything else (a
+	// variable, a function result) cannot be proved deterministic here.
+	if len(call.Args) == 1 {
+		if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+			if innerFn := calleeFunc(pass.TypesInfo, inner); innerFn != nil &&
+				innerFn.Pkg() != nil && strings.HasPrefix(innerFn.Pkg().Path(), "math/rand") &&
+				seededConstructors[innerFn.Name()] {
+				return
+			}
+		}
+	}
+	pass.ReportFix(call.Pos(),
+		"pass the source inline so the seed is auditable: rand.New(rand.NewSource(seed))",
+		"rand.New with a source not constructed in place; wavelint cannot prove the generator is seeded deterministically")
+}
+
+// emitMethodNames are method names that write ordered output: calling one
+// inside a map range makes the output order depend on map iteration.
+var emitMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAll": true, "WriteByte": true,
+	"WriteRune": true, "Emit": true,
+}
+
+// checkMapRange flags `for ... := range m` over a map when the body emits
+// ordered output or appends to a slice that the enclosing function never
+// sorts — both make results depend on Go's randomized map iteration
+// order.
+func checkMapRange(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var appended []types.Object
+	reported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isEmitCall(pass, n) {
+				pass.ReportFix(rs.Pos(),
+					"collect the keys, sort them, and iterate the sorted slice",
+					"map iteration order is nondeterministic; emitting inside this range breaks reproducible output")
+				reported = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				callRhs, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, callRhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						appended = append(appended, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+	for _, obj := range appended {
+		if !sortedInFunc(pass, body, obj) {
+			pass.ReportFix(rs.Pos(),
+				"sort the slice after the loop (sort.Slice / sort.Strings / slices.Sort) or sort the keys first",
+				"map iteration order is nondeterministic; appending %q inside this range without a later sort breaks reproducibility",
+				obj.Name())
+			return
+		}
+	}
+}
+
+func isEmitCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	pkg, typ := recvTypeName(fn)
+	if pkg == "" {
+		return false
+	}
+	if emitMethodNames[fn.Name()] {
+		return true
+	}
+	// The nx trace collector: events are replayed in insertion order, so
+	// adding them in map order is exactly the latent flake the golden
+	// trace tests catch weeks later.
+	if typ == "Trace" && (fn.Name() == "add" || fn.Name() == "Add") {
+		return true
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortFuncs are the sort/slices entry points that impose a deterministic
+// order on a slice built from map iteration.
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedInFunc reports whether the enclosing function body contains a
+// sort.X(obj, ...) or slices.SortX(obj, ...) call on the given slice
+// variable anywhere (before or after the range; both orders appear in
+// legitimate code).
+func sortedInFunc(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || !sortFuncs[fn.Name()] {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

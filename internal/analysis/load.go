@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// TypeCheck parses nothing itself: given parsed files it typechecks them
+// into a *types.Package with the Info tables the analyzers need. Soft
+// type errors are tolerated (the analyzers degrade gracefully on nil type
+// info); a package that fails to produce any types at all is an error.
+func TypeCheck(path string, fset *token.FileSet, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var soft []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: normalizeGoVersion(goVersion),
+		Error:     func(err error) { soft = append(soft, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, nil, err
+	}
+	if len(soft) > 0 {
+		return pkg, info, fmt.Errorf("typecheck %s: %w", path, errors.Join(soft...))
+	}
+	return pkg, info, nil
+}
+
+// normalizeGoVersion maps build-system version strings onto what
+// types.Config accepts, dropping anything it would reject.
+func normalizeGoVersion(v string) string {
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -export -json -deps` run in
+// dir and typechecks every matched package from source, importing
+// dependencies from the compiler's export data (offline: the build cache
+// supplies it). Test files are not part of `go list -deps` output, which
+// is fine — every wavelint rule exempts them anyway.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exportOf := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exportOf[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (io.ReadCloser, error) {
+		file, ok := exportOf[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		typesPkg, info, err := TypeCheck(t.ImportPath, fset, files, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  t.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: typesPkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ExportImporter builds a types.Importer that reads gc export data
+// through lookup, with the unsafe package special-cased (it has no export
+// data).
+func ExportImporter(fset *token.FileSet, lookup func(string) (io.ReadCloser, error)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NXAPI flags provable misuse of the nx runtime API in client code:
+//
+//   - Send/Recv (and the Floats/IRecv variants) whose peer argument is the
+//     caller's own rank, written as r.ID() on the same receiver — a
+//     self-message that is almost always a copy-paste slip;
+//   - negative literal sizes and compute amounts, which panic at run time;
+//   - Request.Wait reachable twice on the same request within one block
+//     (the second Wait always panics);
+//   - an ignored error result from nx.Run / nx.RunCtx (a deadlocked or
+//     faulted run would go unnoticed);
+//   - raw `go` statements inside rank programs, which escape the
+//     deterministic cooperative scheduler.
+//
+// The nx package itself is exempt: the runtime internals legitimately
+// manipulate raw ranks and goroutines.
+var NXAPI = &Analyzer{
+	Name: "nxapi",
+	Doc: "flags provable misuse of the nx runtime: self-sends, negative " +
+		"literals, double Wait, ignored Run errors, and goroutines in rank programs",
+	Run: runNXAPI,
+}
+
+// peerMethods maps Rank methods to the index of their peer-rank argument.
+var peerMethods = map[string]int{
+	"Send": 0, "SendFloats": 0, "Recv": 0, "RecvFloats": 0, "IRecv": 0,
+}
+
+// negativeArgChecks maps Rank methods to the argument positions that must
+// not be negative literals, with a human name per position.
+var negativeArgChecks = map[string][]struct {
+	index int
+	name  string
+}{
+	"Send":       {{0, "destination rank"}, {2, "message size"}},
+	"SendFloats": {{0, "destination rank"}},
+	"Compute":    {{0, "compute seconds"}},
+	"ComputeOps": {{0, "op count"}, {1, "per-op cost"}},
+}
+
+func runNXAPI(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "nx" {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNXCall(pass, n)
+			case *ast.BlockStmt:
+				checkDoubleWait(pass, n)
+			case *ast.ExprStmt:
+				checkIgnoredRun(pass, n)
+			case *ast.AssignStmt:
+				checkBlankRunError(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil && isRankProgram(pass, pass.TypesInfo.Defs[n.Name]) {
+					checkNoGoStmts(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				if isRankProgramType(pass.TypesInfo.TypeOf(n)) {
+					checkNoGoStmts(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRankMethod reports whether fn is a method on nx.Rank (or nx.Request
+// when typ is "Request").
+func isNxMethod(fn *types.Func, typ string) bool {
+	p, t := recvTypeName(fn)
+	return p == "nx" && t == typ
+}
+
+func checkNXCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !isNxMethod(fn, "Rank") {
+		return
+	}
+	name := fn.Name()
+	if idx, ok := peerMethods[name]; ok && idx < len(call.Args) {
+		checkSelfPeer(pass, call, name, call.Args[idx])
+	}
+	for _, c := range negativeArgChecks[name] {
+		if c.index >= len(call.Args) {
+			continue
+		}
+		if lit, val := negativeLiteral(call.Args[c.index]); lit != nil {
+			pass.Reportf(call.Args[c.index].Pos(),
+				"negative %s literal %s in %s always panics at run time", c.name, val, name)
+		}
+	}
+}
+
+// checkSelfPeer flags r.Send(r.ID(), ...) — the peer argument is a call to
+// ID() on the very rank doing the send/receive.
+func checkSelfPeer(pass *Pass, call *ast.CallExpr, method string, peer ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recvID, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	peerCall, ok := ast.Unparen(peer).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	peerFn := calleeFunc(pass.TypesInfo, peerCall)
+	if peerFn == nil || peerFn.Name() != "ID" || !isNxMethod(peerFn, "Rank") {
+		return
+	}
+	peerSel, ok := ast.Unparen(peerCall.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	peerRecv, ok := ast.Unparen(peerSel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pass.TypesInfo.ObjectOf(recvID) != nil &&
+		pass.TypesInfo.ObjectOf(recvID) == pass.TypesInfo.ObjectOf(peerRecv) {
+		pass.Reportf(peer.Pos(),
+			"%s with the caller's own rank %s.ID(): the rank messages itself", method, peerRecv.Name)
+	}
+}
+
+// negativeLiteral matches a unary minus applied to a numeric literal and
+// returns the literal node plus its source text.
+func negativeLiteral(e ast.Expr) (*ast.BasicLit, string) {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "-" {
+		return nil, ""
+	}
+	lit, ok := ast.Unparen(u.X).(*ast.BasicLit)
+	if !ok {
+		return nil, ""
+	}
+	return lit, "-" + lit.Value
+}
+
+// firstWait records the first statement-level Wait on a request within a
+// block.
+type firstWait struct {
+	method string
+	line   int
+}
+
+// checkDoubleWait scans the immediate statements of one block for two
+// statement-level Wait/WaitFloats calls on the same request variable with
+// no reassignment in between. Both calls execute on every pass through
+// the block, and the second always panics.
+func checkDoubleWait(pass *Pass, block *ast.BlockStmt) {
+	seen := map[types.Object]firstWait{}
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			reportWait(pass, s.X, seen)
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				reportWait(pass, rhs, seen)
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						delete(seen, obj)
+					}
+				}
+			}
+		}
+	}
+}
+
+// reportWait records (or reports) a direct id.Wait()/id.WaitFloats() call
+// at the top of a statement expression.
+func reportWait(pass *Pass, e ast.Expr, seen map[types.Object]firstWait) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !isNxMethod(fn, "Request") {
+		return
+	}
+	if fn.Name() != "Wait" && fn.Name() != "WaitFloats" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if prev, dup := seen[obj]; dup {
+		pass.Reportf(call.Pos(),
+			"%s.%s called twice in this block (first %s on line %d): the second Wait always panics",
+			id.Name, fn.Name(), prev.method, prev.line)
+		return
+	}
+	seen[obj] = firstWait{method: fn.Name(), line: pass.Fset.Position(call.Pos()).Line}
+}
+
+// checkIgnoredRun flags nx.Run / nx.RunCtx used as a bare statement.
+func checkIgnoredRun(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if isPkgFunc(fn, "nx", "Run") || isPkgFunc(fn, "nx", "RunCtx") {
+		pass.Reportf(stmt.Pos(),
+			"error result of nx.%s ignored: a deadlocked or faulted run would go unnoticed", fn.Name())
+	}
+}
+
+// checkBlankRunError flags `res, _ := nx.Run(...)`.
+func checkBlankRunError(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !isPkgFunc(fn, "nx", "Run") && !isPkgFunc(fn, "nx", "RunCtx") {
+		return
+	}
+	if id, ok := ast.Unparen(assign.Lhs[1]).(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(assign.Lhs[1].Pos(),
+			"error result of nx.%s discarded with _: a deadlocked or faulted run would go unnoticed", fn.Name())
+	}
+}
+
+// isRankProgram reports whether obj is a function taking a *nx.Rank
+// parameter — i.e. an SPMD rank program executed under the deterministic
+// scheduler.
+func isRankProgram(pass *Pass, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return isRankProgramType(obj.Type())
+}
+
+func isRankProgramType(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := pt.Elem().(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Name() == "Rank" && named.Obj().Pkg().Name() == "nx" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNoGoStmts reports every go statement inside a rank program body.
+func checkNoGoStmts(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			pass.Reportf(g.Pos(),
+				"go statement inside a rank program: spawned goroutines escape the deterministic cooperative scheduler")
+		}
+		return true
+	})
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// RegistryCheck polices the experiment catalog: harness.Register must be
+// called from init (registration at any other time races the concurrent
+// sweep scheduler's reads), and experiment names written as literals must
+// be non-empty and unique within the package (harness.Register panics on
+// both at process start, but only on the code path that imports the
+// catalog — the analyzer catches it before any binary runs).
+var RegistryCheck = &Analyzer{
+	Name: "registrycheck",
+	Doc: "flags harness.Register outside init and empty or duplicate " +
+		"literal experiment names",
+	Run: runRegistryCheck,
+}
+
+func runRegistryCheck(pass *Pass) error {
+	names := map[string]int{} // literal experiment name -> line of first registration
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inInit := isFunc && fd.Recv == nil && fd.Name.Name == "init"
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if !isPkgFunc(fn, "harness", "Register") {
+					return true
+				}
+				if !inInit {
+					pass.ReportFix(call.Pos(),
+						"move the Register call into func init() of the experiment catalog package",
+						"harness.Register called outside init: registration after program start races registry readers")
+				}
+				checkExperimentName(pass, call, names)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkExperimentName inspects a Register argument written as a
+// harness.Func composite literal (possibly via &) and validates its
+// ExpName literal. Arguments built elsewhere (constructor calls,
+// variables) are out of reach and skipped.
+func checkExperimentName(pass *Pass, call *ast.CallExpr, names map[string]int) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		arg = ast.Unparen(u.X)
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "ExpName" && key.Name != "Name" {
+			continue
+		}
+		val, ok := ast.Unparen(kv.Value).(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		name, err := strconv.Unquote(val.Value)
+		if err != nil {
+			continue
+		}
+		if name == "" {
+			pass.Reportf(val.Pos(),
+				"empty experiment name registered: harness.Register panics on empty names at process start")
+			continue
+		}
+		line := pass.Fset.Position(val.Pos()).Line
+		if first, dup := names[name]; dup {
+			pass.Reportf(val.Pos(),
+				"duplicate experiment name %q (first registered on line %d): harness.Register panics on duplicates",
+				name, first)
+			continue
+		}
+		names[name] = line
+	}
+}

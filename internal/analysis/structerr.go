@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StructErr enforces the typed-error contract of the runtime packages: in
+// internal/nx and internal/mesh a panic must carry a typed value
+// (*nx.FaultError, *nx.RankError, *nx.UsageError, *mesh.RouteError, or
+// the scheduler's internal sentinels), never a bare string or a
+// fmt.Sprintf result. The nx scheduler recovers rank panics and wraps
+// them in *RankError — a string payload there loses the structured fields
+// (op, rank, detail) that sweep drivers and the fault-tolerance layer
+// switch on. Each finding carries a suggested fix.
+var StructErr = &Analyzer{
+	Name: "structerr",
+	Doc: "flags panic with a bare string or fmt.Sprintf in internal/nx and " +
+		"internal/mesh where the typed-error contract exists",
+	Run: runStructErr,
+}
+
+// structErrPackages are the packages whose panic values must be typed,
+// mapped to the fix their contract suggests.
+var structErrPackages = map[string]string{
+	"nx":   "panic(&UsageError{Op: ..., Detail: ...}) — the scheduler wraps it in *RankError with the structure intact",
+	"mesh": "panic(&RouteError{From: ..., To: ...}) (or return an error) — callers match on the typed value",
+}
+
+func runStructErr(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	fix, ok := structErrPackages[pass.Pkg.Name()]
+	if !ok {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			t := pass.TypesInfo.TypeOf(arg)
+			if t == nil {
+				return true
+			}
+			basic, ok := t.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsString == 0 {
+				return true
+			}
+			what := "a bare string"
+			if inner, ok := arg.(*ast.CallExpr); ok {
+				if fn := calleeFunc(pass.TypesInfo, inner); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "fmt" {
+					what = "a fmt." + fn.Name() + " string"
+				}
+			}
+			pass.ReportFix(call.Pos(), fix,
+				"panic with %s in package %s breaks the typed-error contract", what, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Fixture for the determinism analyzer: positive and negative cases.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	_ = time.Now() // want `wall-clock read time\.Now breaks deterministic replay`
+	t0 := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	_ = t0.Unix()         // ok: methods on a value already in hand
+	return time.Since(t0) // want `wall-clock read time\.Since breaks deterministic replay`
+}
+
+func constDurations() time.Duration {
+	return 3 * time.Second // ok: duration arithmetic never reads the clock
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand\.Shuffle uses the implicitly seeded process-wide generator`
+	return rand.Intn(10)               // want `global rand\.Intn uses the implicitly seeded process-wide generator`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // ok: source constructed in place
+	return rng.Float64()                  // ok: method on an explicit generator
+}
+
+func unprovable(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `cannot prove the generator is seeded deterministically`
+}
+
+func emitInMapRange(m map[string]int) {
+	for k, v := range m { // want `map iteration order is nondeterministic; emitting inside this range`
+		fmt.Println(k, v)
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appending "keys" inside this range without a later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func boolScan(m map[string]int) bool {
+	for _, v := range m { // ok: order-independent predicate
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs { // ok: slices iterate in order
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+package a
+
+import "time"
+
+func suppressed() int64 {
+	//wavelint:ignore determinism fixture exercises the escape hatch
+	return time.Now().UnixNano() // suppressed: no diagnostic expected
+}

@@ -1,0 +1,20 @@
+// Package harness is a minimal stub of the experiment registry
+// (wavelethpc/internal/harness) for analyzer fixtures.
+package harness
+
+// Experiment mirrors harness.Experiment.
+type Experiment interface {
+	Name() string
+}
+
+// Func mirrors harness.Func.
+type Func struct {
+	ExpName, Desc string
+	RunFunc       func() error
+}
+
+// Name implements Experiment.
+func (f Func) Name() string { return f.ExpName }
+
+// Register mirrors harness.Register.
+func Register(e Experiment) {}

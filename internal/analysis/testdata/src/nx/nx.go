@@ -1,0 +1,41 @@
+// Package nx is a minimal stub of the real runtime (wavelethpc/internal/nx)
+// for analyzer fixtures: the nxapi analyzer matches by package and type
+// name, so only the signatures matter.
+package nx
+
+// Rank mirrors the runtime's SPMD process handle.
+type Rank struct{}
+
+func (r *Rank) ID() int                                   { return 0 }
+func (r *Rank) Procs() int                                { return 1 }
+func (r *Rank) Send(dst, tag, bytes int, payload any)     {}
+func (r *Rank) SendFloats(dst, tag int, data []float64)   {}
+func (r *Rank) Recv(src, tag int) Message                 { return Message{} }
+func (r *Rank) RecvFloats(src, tag int) ([]float64, int)  { return nil, 0 }
+func (r *Rank) Compute(seconds float64, kind int)         {}
+func (r *Rank) ComputeOps(n int, perOp float64, kind int) {}
+func (r *Rank) IRecv(src, tag int) *Request               { return &Request{} }
+
+// Message mirrors nx.Message.
+type Message struct {
+	Src, Tag, Bytes int
+	Payload         any
+}
+
+// Request mirrors the nonblocking-receive handle.
+type Request struct{}
+
+func (q *Request) Wait() Message                { return Message{} }
+func (q *Request) WaitFloats() ([]float64, int) { return nil, 0 }
+
+// Config mirrors nx.Config.
+type Config struct{ Procs int }
+
+// Program mirrors nx.Program.
+type Program func(*Rank)
+
+// Result mirrors nx.Result.
+type Result struct{}
+
+func Run(cfg Config, prog Program) (*Result, error)             { return nil, nil }
+func RunCtx(ctx any, cfg Config, prog Program) (*Result, error) { return nil, nil }

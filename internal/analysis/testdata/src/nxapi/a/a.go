@@ -1,0 +1,62 @@
+// Fixture for the nxapi analyzer: positive and negative cases.
+package a
+
+import "nx"
+
+func program(r *nx.Rank) {
+	r.Send(r.ID(), 1, 8, nil) // want `Send with the caller's own rank r\.ID\(\): the rank messages itself`
+	other := &nx.Rank{}
+	r.Send(other.ID(), 1, 8, nil) // ok: a different rank's ID
+	r.Send(-1, 1, 8, nil)         // want `negative destination rank literal -1`
+	r.Send(1, 1, -8, nil)         // want `negative message size literal -8`
+	r.Compute(-1.5, 0)            // want `negative compute seconds literal -1\.5`
+	r.ComputeOps(-3, 1, 0)        // want `negative op count literal -3`
+	r.Compute(1.5, 0)             // ok
+	go helper()                   // want `go statement inside a rank program`
+}
+
+func helper() {}
+
+func hostSide() {
+	go helper() // ok: not a rank program
+}
+
+func recvSelf(r *nx.Rank) {
+	_ = r.Recv(r.ID(), 3) // want `Recv with the caller's own rank r\.ID\(\)`
+	_ = r.Recv(0, 3)      // ok
+}
+
+func doubleWait(r *nx.Rank) {
+	q := r.IRecv(0, 1)
+	q.Wait()
+	q.Wait() // want `q\.Wait called twice in this block \(first Wait on line 31\)`
+	q = r.IRecv(0, 2)
+	q.Wait() // ok: fresh request after reassignment
+}
+
+func guardedWait(r *nx.Rank, c bool) {
+	q := r.IRecv(0, 1)
+	if c {
+		q.Wait() // ok: sibling branches, only one executes
+	} else {
+		q.Wait()
+	}
+}
+
+func twoRequests(r *nx.Rank) {
+	qa := r.IRecv(0, 1)
+	qb := r.IRecv(1, 1)
+	qa.Wait() // ok: distinct requests
+	qb.Wait()
+}
+
+func ignoredRun(cfg nx.Config) {
+	nx.Run(cfg, func(r *nx.Rank) {})           // want `error result of nx\.Run ignored`
+	res, _ := nx.Run(cfg, func(r *nx.Rank) {}) // want `error result of nx\.Run discarded with _`
+	_ = res
+}
+
+func handledRun(cfg nx.Config) error {
+	_, err := nx.Run(cfg, func(r *nx.Rank) {}) // ok: error consumed
+	return err
+}

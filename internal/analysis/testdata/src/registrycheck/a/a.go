@@ -1,0 +1,20 @@
+// Fixture for the registrycheck analyzer.
+package a
+
+import "harness"
+
+func init() {
+	harness.Register(harness.Func{ExpName: "wavelet/scaling", Desc: "ok"})
+	harness.Register(harness.Func{ExpName: "", Desc: "empty"}) // want `empty experiment name registered`
+	harness.Register(harness.Func{ExpName: "wavelet/scaling"}) // want `duplicate experiment name "wavelet/scaling" \(first registered on line 7\)`
+	harness.Register(&harness.Func{ExpName: "nbody/scaling"})  // ok: unique, registered via pointer
+	harness.Register(newExperiment())                          // ok: name built elsewhere is out of reach
+}
+
+func sneaky() {
+	harness.Register(harness.Func{ExpName: "late"}) // want `harness\.Register called outside init`
+}
+
+func newExperiment() harness.Experiment {
+	return harness.Func{ExpName: "built/elsewhere"}
+}

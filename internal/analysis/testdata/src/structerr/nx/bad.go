@@ -1,0 +1,27 @@
+// Fixture for the structerr analyzer: a package named nx must panic with
+// typed values only.
+package nx
+
+import "fmt"
+
+// UsageError stands in for the real typed-error contract.
+type UsageError struct{ Op, Detail string }
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.Detail }
+
+func bare() {
+	panic("nx: negative message size") // want `panic with a bare string in package nx breaks the typed-error contract`
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("nx: bad rank %d", n)) // want `panic with a fmt\.Sprintf string in package nx breaks the typed-error contract`
+}
+
+func typed() {
+	panic(&UsageError{Op: "Send", Detail: "negative message size"}) // ok: typed value
+}
+
+func wrapped(err error) {
+	panic(err) // ok: error values carry structure
+}

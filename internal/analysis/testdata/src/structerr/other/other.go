@@ -1,0 +1,7 @@
+// Packages outside the nx/mesh contract may panic however they like; the
+// structerr analyzer must stay silent here.
+package other
+
+func stillAllowed() {
+	panic("other: string panics are fine outside the contract packages") // ok
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+)
+
+// VetConfig mirrors the JSON configuration file the go command hands a
+// -vettool for each compilation unit (the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements). Unknown fields
+// are ignored.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes the analyzers over one vet compilation unit described
+// by the cfg file, printing findings to w. It returns the process exit
+// code for the protocol: 0 clean, 2 findings, 1 operational failure.
+//
+// Protocol notes: the go command requires the fact file named by
+// VetxOutput to exist after a successful run (wavelint's analyzers are
+// fact-free, so an empty file is written), and invokes the tool in
+// VetxOnly mode for dependencies, where no diagnostics are wanted.
+func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "wavelint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(w, "wavelint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(w, "wavelint: writing facts file: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(w, "wavelint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	imp := ExportImporter(fset, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	typesPkg, info, err := TypeCheck(cfg.ImportPath, fset, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "wavelint: %v\n", err)
+		return 1
+	}
+
+	findings, err := Analyze(&Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: typesPkg,
+		Info:  info,
+	}, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "wavelint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,22 @@
+package mesh
+
+import "fmt"
+
+// RouteError is the typed panic value raised when a route endpoint lies
+// outside the machine — a programmer error in placement or decomposition
+// code. It replaces the earlier bare-string panic so code that recovers
+// rank panics (the nx scheduler wraps them in *nx.RankError) preserves
+// the structured endpoints instead of a flattened message.
+type RouteError struct {
+	// From, To are the requested route endpoints.
+	From, To Coord
+	// DimX, DimY, DimZ are the machine extents the endpoints violated.
+	DimX, DimY, DimZ int
+}
+
+// Error implements error with the exact message the raw panic used to
+// carry, so logs and recovered-panic output are unchanged.
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("mesh: Route %v -> %v outside %dx%dx%d machine",
+		e.From, e.To, e.DimX, e.DimY, e.DimZ)
+}

@@ -126,7 +126,7 @@ var (
 
 func (m *Machine) route(a, b Coord, order [3]int) []Link {
 	if !m.Contains(a) || !m.Contains(b) {
-		panic(fmt.Sprintf("mesh: Route %v -> %v outside %dx%dx%d machine", a, b, m.DimX, m.DimY, m.DimZ))
+		panic(&RouteError{From: a, To: b, DimX: m.DimX, DimY: m.DimY, DimZ: m.DimZ})
 	}
 	var path []Link
 	cur := a

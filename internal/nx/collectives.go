@@ -1,7 +1,5 @@
 package nx
 
-import "fmt"
-
 // Collective operations built from point-to-point messages, mirroring the
 // NX/PVM-era library routines the paper's applications used. Every
 // collective draws tags from a per-rank sequence counter, so SPMD programs
@@ -91,7 +89,7 @@ func (r *Rank) Scatter(root int, parts [][]float64) (out []float64) {
 	r.span("scatter", func() {
 		if r.id == root {
 			if len(parts) != r.procs {
-				panic(fmt.Sprintf("nx: Scatter with %d parts for %d ranks", len(parts), r.procs))
+				panic(usage("Scatter", "Scatter with %d parts for %d ranks", len(parts), r.procs))
 			}
 			for i, part := range parts {
 				if i == root {
@@ -168,7 +166,7 @@ func (r *Rank) AllMaxPrefix(vec []float64) []float64 {
 func (r *Rank) AllCombinePrefix(vec []float64, combine func(dst, src []float64)) []float64 {
 	p := r.procs
 	if p&(p-1) != 0 {
-		panic(fmt.Sprintf("nx: AllCombinePrefix needs power-of-two ranks, got %d", p))
+		panic(usage("AllCombinePrefix", "AllCombinePrefix needs power-of-two ranks, got %d", p))
 	}
 	tag := r.nextCollTag()
 	acc := make([]float64, len(vec))
@@ -192,7 +190,7 @@ func (r *Rank) AllCombinePrefix(vec []float64, combine func(dst, src []float64))
 func (r *Rank) AllToAll(parts [][]float64) [][]float64 {
 	p := r.procs
 	if len(parts) != p {
-		panic(fmt.Sprintf("nx: AllToAll with %d parts for %d ranks", len(parts), p))
+		panic(usage("AllToAll", "AllToAll with %d parts for %d ranks", len(parts), p))
 	}
 	tag := r.nextCollTag()
 	out := make([][]float64, p)

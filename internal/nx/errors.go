@@ -21,6 +21,28 @@ func (e *RankError) Error() string {
 	return fmt.Sprintf("nx: rank %d panicked: %v", e.Rank, e.Recovered)
 }
 
+// UsageError is the typed panic value for nx API misuse inside a rank
+// program (negative sizes, invalid peer ranks, double Wait, payload type
+// mismatches). The scheduler's recovery path wraps it in *RankError with
+// the structure intact, so sweep drivers can switch on the misused Op
+// instead of parsing a flattened message. Error() reproduces the exact
+// strings the earlier raw panics carried.
+type UsageError struct {
+	// Op names the misused API entry point, e.g. "Send" or "Wait".
+	Op string
+	// Detail is the human-readable description (without the "nx: "
+	// prefix Error adds).
+	Detail string
+}
+
+// Error implements error.
+func (e *UsageError) Error() string { return "nx: " + e.Detail }
+
+// usage builds the panic value for an API-misuse check.
+func usage(op, format string, args ...any) *UsageError {
+	return &UsageError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
 // FaultKind classifies injected-fault failures.
 type FaultKind int
 

@@ -14,7 +14,6 @@
 package nx
 
 import (
-	"fmt"
 	"sort"
 
 	"wavelethpc/internal/budget"
@@ -127,7 +126,7 @@ func (r *Rank) SetResult(v any) { r.result = v }
 // Compute advances the rank's clock by seconds of work of the given kind.
 func (r *Rank) Compute(seconds float64, kind budget.Kind) {
 	if seconds < 0 {
-		panic(fmt.Sprintf("nx: negative compute %g", seconds))
+		panic(usage("Compute", "negative compute %g", seconds))
 	}
 	r.sim.cfg.Trace.add(TraceEvent{
 		Rank: r.id, Kind: "compute", Start: r.clock, Dur: seconds,
@@ -141,7 +140,7 @@ func (r *Rank) Compute(seconds float64, kind budget.Kind) {
 // ComputeOps charges n operations at the given per-op cost.
 func (r *Rank) ComputeOps(n int, perOp float64, kind budget.Kind) {
 	if n < 0 {
-		panic("nx: negative op count")
+		panic(usage("ComputeOps", "negative op count"))
 	}
 	r.Compute(float64(n)*perOp, kind)
 }
@@ -159,10 +158,10 @@ const (
 // is asynchronous: it does not wait for the receiver.
 func (r *Rank) Send(dst, tag, bytes int, payload any) {
 	if dst < 0 || dst >= r.procs {
-		panic(fmt.Sprintf("nx: Send to invalid rank %d of %d", dst, r.procs))
+		panic(usage("Send", "Send to invalid rank %d of %d", dst, r.procs))
 	}
 	if bytes < 0 {
-		panic("nx: negative message size")
+		panic(usage("Send", "negative message size"))
 	}
 	if r.sim.fault != nil && dst != r.id {
 		r.sendFaulty(dst, tag, bytes, payload)
@@ -224,7 +223,7 @@ func (r *Rank) Recv(src, tag int) Message {
 	}
 	msg, ok := r.takeMessage(src, tag)
 	if !ok {
-		panic("nx: scheduler resumed Recv without a matching message")
+		panic(usage("Recv", "scheduler resumed Recv without a matching message"))
 	}
 	if msg.arrival > r.clock {
 		r.clock = msg.arrival
@@ -253,7 +252,7 @@ func (r *Rank) RecvFloats(src, tag int) (data []float64, from int) {
 	m := r.Recv(src, tag)
 	f, ok := m.Payload.([]float64)
 	if !ok {
-		panic(fmt.Sprintf("nx: RecvFloats got payload of type %T", m.Payload))
+		panic(usage("RecvFloats", "RecvFloats got payload of type %T", m.Payload))
 	}
 	return f, m.Src
 }
@@ -341,7 +340,7 @@ func (r *Rank) IRecv(src, tag int) *Request {
 // not already cover. Waiting twice on the same request panics.
 func (q *Request) Wait() Message {
 	if q.done {
-		panic("nx: Wait called twice on the same request")
+		panic(usage("Wait", "Wait called twice on the same request"))
 	}
 	q.done = true
 	return q.rank.Recv(q.src, q.tag)
@@ -352,7 +351,7 @@ func (q *Request) WaitFloats() (data []float64, from int) {
 	m := q.Wait()
 	f, ok := m.Payload.([]float64)
 	if !ok {
-		panic(fmt.Sprintf("nx: WaitFloats got payload of type %T", m.Payload))
+		panic(usage("WaitFloats", "WaitFloats got payload of type %T", m.Payload))
 	}
 	return f, m.Src
 }
