@@ -1,0 +1,153 @@
+// Command benchjson runs the wavelet fast-path benchmark suite and
+// writes a machine-readable BENCH_*.json, giving successive PRs a
+// performance trajectory that survives copy-paste-free comparison. The
+// same four transforms as the Decompose512* benchmarks in bench_test.go
+// are measured: the steady-state Decomposer (reused arena + output
+// pyramid), the allocating one-shot dispatch, the pre-kernel reference
+// path, and the shared-memory parallel transform. The derived block
+// records the headline ratios the PR gates check (fast-vs-reference
+// speedup, steady-state allocations).
+//
+// Usage:
+//
+//	benchjson                   # writes BENCH_local.json
+//	benchjson -label ci         # writes BENCH_ci.json
+//	benchjson -out path.json    # explicit output path
+//
+// The JSON format is documented in EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_*.json document.
+type report struct {
+	Schema    string             `json:"schema"`
+	Timestamp string             `json:"timestamp"`
+	Label     string             `json:"label"`
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	Results   []result           `json:"results"`
+	Derived   map[string]float64 `json:"derived"`
+}
+
+func measure(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	return result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		label = flag.String("label", "local", "label embedded in the report and the default file name")
+		out   = flag.String("out", "", "output path (default BENCH_<label>.json)")
+	)
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *label)
+	}
+
+	im := image.Landsat(512, 512, 42)
+	bank := filter.Daubechies8()
+	const levels = 3
+
+	rep := report{
+		Schema:    "wavelethpc-bench/v1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Derived:   map[string]float64{},
+	}
+
+	steady := measure("Decompose512", func(b *testing.B) {
+		d := wavelet.NewDecomposer(bank, filter.Periodic, levels)
+		if _, err := d.Decompose(im); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Decompose(im); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	oneShot := measure("Decompose512OneShot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wavelet.Decompose(im, bank, filter.Periodic, levels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ref := measure("Decompose512Reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wavelet.DecomposeReference(im, bank, filter.Periodic, levels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	par4 := measure("ParallelDecompose512Workers4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ParallelDecompose(im, bank, filter.Periodic, levels, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = []result{steady, oneShot, ref, par4}
+
+	rep.Derived["speedup_steady_vs_reference"] = ref.NsPerOp / steady.NsPerOp
+	rep.Derived["speedup_oneshot_vs_reference"] = ref.NsPerOp / oneShot.NsPerOp
+	rep.Derived["speedup_parallel4_vs_reference"] = ref.NsPerOp / par4.NsPerOp
+	rep.Derived["steady_allocs_per_op"] = float64(steady.AllocsPerOp)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	log.Printf("speedup steady/reference: %.2fx", rep.Derived["speedup_steady_vs_reference"])
+	log.Printf("wrote %s", *out)
+}

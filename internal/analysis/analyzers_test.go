@@ -29,7 +29,7 @@ func TestNXAPISkipsRuntime(t *testing.T) {
 }
 
 func TestStructErr(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.StructErr, "structerr/nx", "structerr/other")
+	analysistest.Run(t, "testdata", analysis.StructErr, "structerr/nx", "structerr/wavelet", "structerr/other")
 }
 
 func TestRegistryCheck(t *testing.T) {

@@ -6,25 +6,27 @@ import (
 )
 
 // StructErr enforces the typed-error contract of the runtime packages: in
-// internal/nx and internal/mesh a panic must carry a typed value
-// (*nx.FaultError, *nx.RankError, *nx.UsageError, *mesh.RouteError, or
-// the scheduler's internal sentinels), never a bare string or a
-// fmt.Sprintf result. The nx scheduler recovers rank panics and wraps
-// them in *RankError — a string payload there loses the structured fields
-// (op, rank, detail) that sweep drivers and the fault-tolerance layer
-// switch on. Each finding carries a suggested fix.
+// internal/nx, internal/mesh, and internal/wavelet a panic must carry a
+// typed value (*nx.FaultError, *nx.RankError, *nx.UsageError,
+// *mesh.RouteError, *wavelet.UsageError, or the scheduler's internal
+// sentinels), never a bare string or a fmt.Sprintf result. The nx
+// scheduler recovers rank panics and wraps them in *RankError — a string
+// payload there loses the structured fields (op, rank, detail) that
+// sweep drivers and the fault-tolerance layer switch on. Each finding
+// carries a suggested fix.
 var StructErr = &Analyzer{
 	Name: "structerr",
-	Doc: "flags panic with a bare string or fmt.Sprintf in internal/nx and " +
-		"internal/mesh where the typed-error contract exists",
+	Doc: "flags panic with a bare string or fmt.Sprintf in internal/nx, " +
+		"internal/mesh, and internal/wavelet where the typed-error contract exists",
 	Run: runStructErr,
 }
 
 // structErrPackages are the packages whose panic values must be typed,
 // mapped to the fix their contract suggests.
 var structErrPackages = map[string]string{
-	"nx":   "panic(&UsageError{Op: ..., Detail: ...}) — the scheduler wraps it in *RankError with the structure intact",
-	"mesh": "panic(&RouteError{From: ..., To: ...}) (or return an error) — callers match on the typed value",
+	"nx":      "panic(&UsageError{Op: ..., Detail: ...}) — the scheduler wraps it in *RankError with the structure intact",
+	"mesh":    "panic(&RouteError{From: ..., To: ...}) (or return an error) — callers match on the typed value",
+	"wavelet": "panic(usage(op, format, ...)) — contract-violation panics carry *wavelet.UsageError with the op name",
 }
 
 func runStructErr(pass *Pass) error {

@@ -1,0 +1,27 @@
+// Fixture for the structerr analyzer: the wavelet package's
+// contract-violation panics must carry *UsageError, never strings.
+package wavelet
+
+import "fmt"
+
+// UsageError stands in for the real typed panic value.
+type UsageError struct{ Op, Detail string }
+
+// Error implements error.
+func (e *UsageError) Error() string { return "wavelet: " + e.Detail }
+
+func usage(op, format string, args ...any) *UsageError {
+	return &UsageError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+func bare() {
+	panic("wavelet: AnalyzeStep on odd-length signal") // want `panic with a bare string in package wavelet breaks the typed-error contract`
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("wavelet: AnalyzeRows on odd column count %d", n)) // want `panic with a fmt\.Sprintf string in package wavelet breaks the typed-error contract`
+}
+
+func typed(n int) {
+	panic(usage("AnalyzeRows", "AnalyzeRows on odd column count %d", n)) // ok: typed value
+}

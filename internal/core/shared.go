@@ -15,16 +15,22 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"wavelethpc/internal/filter"
 	"wavelethpc/internal/image"
 	"wavelethpc/internal/wavelet"
+	"wavelethpc/internal/wavelet/kernel"
 )
 
 // ParallelDecompose performs a levels-deep Mallat decomposition of im
 // using the given number of worker goroutines (0 means GOMAXPROCS). The
-// result is bit-identical to wavelet.Decompose regardless of worker count.
+// result is bit-identical to wavelet.Decompose regardless of worker
+// count: a persistent pool (one goroutine set for the whole transform)
+// hands out row ranges for the row pass and column-panel ranges for the
+// cache-blocked column pass, and every range is filtered by the same
+// internal/wavelet/kernel code the sequential fast path uses. Scratch
+// comes from the shared kernel arena pool, so only the retained pyramid
+// bands are allocated.
 func ParallelDecompose(im *image.Image, bank *filter.Bank, ext filter.Extension, levels, workers int) (*wavelet.Pyramid, error) {
 	if err := wavelet.CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
 		return nil, err
@@ -32,75 +38,55 @@ func ParallelDecompose(im *image.Image, bank *filter.Bank, ext filter.Extension,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &wavelet.Pyramid{Bank: bank, Ext: ext, Levels: make([]wavelet.DetailBands, levels)}
+	pool := newWorkerPool(workers)
+	defer pool.Close()
+	ar := kernel.GetArena()
+	defer kernel.PutArena(ar)
+	p := wavelet.NewPyramid(im.Rows, im.Cols, bank, ext, levels)
 	cur := im
 	for l := 0; l < levels; l++ {
-		sb := parallelAnalyze2D(cur, bank, ext, workers)
-		p.Levels[levels-1-l] = wavelet.DetailBands{LH: sb.LH, HL: sb.HL, HH: sb.HH}
-		cur = sb.LL
+		rows, cols := cur.Rows, cur.Cols
+		li, hi := ar.Intermediate(rows, cols/2)
+		src := cur
+		pool.Ranges(rows, func(r0, r1 int) {
+			kernel.AnalyzeRowsRange(li, hi, src, bank, ext, r0, r1)
+		})
+		d := &p.Levels[levels-1-l]
+		ll := p.Approx
+		if l < levels-1 {
+			ll = ar.LL(l%2, rows/2, cols/2)
+		}
+		pool.Ranges(cols/2, func(c0, c1 int) {
+			kernel.AnalyzeColsRange(ll, d.LH, li, bank, ext, c0, c1)
+			kernel.AnalyzeColsRange(d.HL, d.HH, hi, bank, ext, c0, c1)
+		})
+		cur = ll
 	}
-	p.Approx = cur
 	return p, nil
 }
 
-// parallelAnalyze2D is one decomposition level with the row pass split
-// over row ranges and the column pass split over column ranges.
-func parallelAnalyze2D(im *image.Image, bank *filter.Bank, ext filter.Extension, workers int) *wavelet.Subbands {
-	rows, cols := im.Rows, im.Cols
-	l := image.New(rows, cols/2)
-	h := image.New(rows, cols/2)
-	parallelRanges(rows, workers, func(r0, r1 int) {
-		for r := r0; r < r1; r++ {
-			src := im.Row(r)
-			wavelet.AnalyzeStep(src, bank.Lo, ext, l.Row(r))
-			wavelet.AnalyzeStep(src, bank.Hi, ext, h.Row(r))
-		}
-	})
-	ll := image.New(rows/2, cols/2)
-	lh := image.New(rows/2, cols/2)
-	hl := image.New(rows/2, cols/2)
-	hh := image.New(rows/2, cols/2)
-	parallelRanges(cols/2, workers, func(c0, c1 int) {
-		col := make([]float64, rows)
-		outLo := make([]float64, rows/2)
-		outHi := make([]float64, rows/2)
-		for c := c0; c < c1; c++ {
-			col = l.Col(c, col)
-			wavelet.AnalyzeStep(col, bank.Lo, ext, outLo)
-			wavelet.AnalyzeStep(col, bank.Hi, ext, outHi)
-			ll.SetCol(c, outLo)
-			lh.SetCol(c, outHi)
-
-			col = h.Col(c, col)
-			wavelet.AnalyzeStep(col, bank.Lo, ext, outLo)
-			wavelet.AnalyzeStep(col, bank.Hi, ext, outHi)
-			hl.SetCol(c, outLo)
-			hh.SetCol(c, outHi)
-		}
-	})
-	return &wavelet.Subbands{LL: ll, LH: lh, HL: hl, HH: hh}
-}
-
 // ParallelReconstruct inverts ParallelDecompose with the given worker
-// count (0 means GOMAXPROCS).
+// count (0 means GOMAXPROCS). One persistent pool serves every level.
 func ParallelReconstruct(p *wavelet.Pyramid, workers int) *image.Image {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	pool := newWorkerPool(workers)
+	defer pool.Close()
 	cur := p.Approx
 	for _, d := range p.Levels {
-		cur = parallelSynthesize2D(&wavelet.Subbands{LL: cur, LH: d.LH, HL: d.HL, HH: d.HH}, p.Bank, p.Ext, workers)
+		cur = parallelSynthesize2D(pool, &wavelet.Subbands{LL: cur, LH: d.LH, HL: d.HL, HH: d.HH}, p.Bank, p.Ext)
 	}
 	return cur
 }
 
-func parallelSynthesize2D(sb *wavelet.Subbands, bank *filter.Bank, ext filter.Extension, workers int) *image.Image {
+func parallelSynthesize2D(pool *workerPool, sb *wavelet.Subbands, bank *filter.Bank, ext filter.Extension) *image.Image {
 	rows, cols := sb.LL.Rows, sb.LL.Cols
 	// Column synthesis: merge (LL,LH) -> L and (HL,HH) -> H, parallel
 	// over columns.
 	l := image.New(rows*2, cols)
 	h := image.New(rows*2, cols)
-	parallelRanges(cols, workers, func(c0, c1 int) {
+	pool.Ranges(cols, func(c0, c1 int) {
 		colLo := make([]float64, rows)
 		colHi := make([]float64, rows)
 		full := make([]float64, rows*2)
@@ -121,7 +107,7 @@ func parallelSynthesize2D(sb *wavelet.Subbands, bank *filter.Bank, ext filter.Ex
 	})
 	// Row synthesis: merge (L,H) -> output, parallel over rows.
 	out := image.New(rows*2, cols*2)
-	parallelRanges(rows*2, workers, func(r0, r1 int) {
+	pool.Ranges(rows*2, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			dst := out.Row(r)
 			wavelet.SynthesizeStep(l.Row(r), bank.Lo, ext, dst)
@@ -129,30 +115,4 @@ func parallelSynthesize2D(sb *wavelet.Subbands, bank *filter.Bank, ext filter.Ex
 		}
 	})
 	return out
-}
-
-// parallelRanges splits [0,n) into contiguous chunks, one per worker, and
-// runs fn on each chunk concurrently.
-func parallelRanges(n, workers int, fn func(lo, hi int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/harness"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata goldens from current output")
+
+// TestExptablesQuickGolden pins the full quick-mode reproduction output
+// byte for byte. The golden was captured before the fast-path kernel
+// layer existed, so this test is the end-to-end proof that dispatching
+// wavelet.Decompose through internal/wavelet/kernel changes nothing the
+// paper reproduction can observe — every table entry, residual, and
+// speedup digit must survive the optimization untouched.
+func TestExptablesQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick exptables run still takes seconds")
+	}
+	rep, err := harness.RunByName(context.Background(), "exptables", harness.Options{Quick: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exptables_quick.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first diverging line rather than dumping both documents.
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output diverges from golden at line %d:\n got: %q\nwant: %q\n(rerun with -update-golden after verifying the change is intended)", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("output length differs: got %d lines, golden %d lines", len(gotLines), len(wantLines))
+}

@@ -53,6 +53,18 @@ func (im *Image) Row(r int) []float64 {
 	return im.Pix[off : off+im.Cols : off+im.Cols]
 }
 
+// RowSeg returns the [c0, c1) segment of row r as a slice sharing
+// storage. It is the panel accessor of the cache-blocked kernels: a
+// narrow strip of consecutive columns walked row by row stays within a
+// few cache lines per touched row.
+func (im *Image) RowSeg(r, c0, c1 int) []float64 {
+	if c0 < 0 || c1 < c0 || c1 > im.Cols {
+		panic(fmt.Sprintf("image: RowSeg [%d,%d) outside %d columns", c0, c1, im.Cols))
+	}
+	off := r*im.Stride + c0
+	return im.Pix[off : off+(c1-c0) : off+(c1-c0)]
+}
+
 // Col copies column c into dst (allocating when dst is too small) and
 // returns it.
 func (im *Image) Col(c int, dst []float64) []float64 {

@@ -6,8 +6,6 @@
 package wavelet
 
 import (
-	"fmt"
-
 	"wavelethpc/internal/filter"
 )
 
@@ -18,7 +16,7 @@ import (
 func AnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) []float64 {
 	n := len(x)
 	if n%2 != 0 {
-		panic(fmt.Sprintf("wavelet: AnalyzeStep on odd-length signal %d", n))
+		panic(usage("AnalyzeStep", "AnalyzeStep on odd-length signal %d", n))
 	}
 	half := n / 2
 	if cap(dst) < half {
@@ -63,7 +61,7 @@ func AnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) []float64 
 func SynthesizeStep(c, h []float64, ext filter.Extension, out []float64) {
 	n := len(out)
 	if n != 2*len(c) {
-		panic(fmt.Sprintf("wavelet: SynthesizeStep output length %d, want %d", n, 2*len(c)))
+		panic(usage("SynthesizeStep", "SynthesizeStep output length %d, want %d", n, 2*len(c)))
 	}
 	if n == 0 {
 		return

@@ -1,0 +1,110 @@
+package wavelet
+
+import (
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet/kernel"
+)
+
+// Decompose runs the full multi-resolution algorithm of the paper's
+// Section 2. It auto-dispatches by bank and extension: supported
+// combinations go through the cache-blocked, arena-backed kernels of
+// internal/wavelet/kernel (bit-identical to the reference, see
+// DecomposeReference), anything else falls back to the reference path.
+func Decompose(im *image.Image, bank *filter.Bank, ext filter.Extension, levels int) (*Pyramid, error) {
+	if err := CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
+		return nil, err
+	}
+	if !kernel.Supported(bank, ext) {
+		return DecomposeReference(im, bank, ext, levels)
+	}
+	p := NewPyramid(im.Rows, im.Cols, bank, ext, levels)
+	ar := kernel.GetArena()
+	decomposeFast(p, im, ar)
+	kernel.PutArena(ar)
+	return p, nil
+}
+
+// NewPyramid allocates the shell of a levels-deep decomposition of a
+// rows×cols image: zeroed detail bands (coarsest-first, the Levels
+// convention) and approximation, ready to be filled in place by the
+// fast-path kernels or the parallel drivers in internal/core. The
+// dimensions must already be decomposable.
+func NewPyramid(rows, cols int, bank *filter.Bank, ext filter.Extension, levels int) *Pyramid {
+	p := &Pyramid{Bank: bank, Ext: ext, Levels: make([]DetailBands, levels)}
+	for l := 0; l < levels; l++ {
+		rows /= 2
+		cols /= 2
+		p.Levels[levels-1-l] = DetailBands{
+			LH: image.New(rows, cols),
+			HL: image.New(rows, cols),
+			HH: image.New(rows, cols),
+		}
+	}
+	p.Approx = image.New(rows, cols)
+	return p
+}
+
+// decomposeFast fills the preallocated pyramid p from im through the
+// kernel fast path, using ar for every intermediate. Only the detail
+// bands and the final approximation live in p; the per-level L/H images
+// and the intermediate LL chain stay inside the arena, so nothing is
+// allocated per level.
+func decomposeFast(p *Pyramid, im *image.Image, ar *kernel.Arena) {
+	levels := len(p.Levels)
+	cur := im
+	for l := 0; l < levels; l++ {
+		rows, cols := cur.Rows, cur.Cols
+		li, hi := ar.Intermediate(rows, cols/2)
+		kernel.AnalyzeRowsRange(li, hi, cur, p.Bank, p.Ext, 0, rows)
+		d := &p.Levels[levels-1-l]
+		ll := p.Approx
+		if l < levels-1 {
+			ll = ar.LL(l%2, rows/2, cols/2)
+		}
+		kernel.AnalyzeColsRange(ll, d.LH, li, p.Bank, p.Ext, 0, cols/2)
+		kernel.AnalyzeColsRange(d.HL, d.HH, hi, p.Bank, p.Ext, 0, cols/2)
+		cur = ll
+	}
+}
+
+// Decomposer is the steady-state fast path: it owns both the scratch
+// arena and the output pyramid, reusing them across calls so repeated
+// same-shape decompositions allocate nothing. The returned pyramid is
+// overwritten by the next Decompose call — callers that need to retain
+// results across calls must copy them (or use the allocating Decompose).
+// A Decomposer is not safe for concurrent use; give each goroutine its
+// own.
+type Decomposer struct {
+	bank       *filter.Bank
+	ext        filter.Extension
+	levels     int
+	ar         kernel.Arena
+	p          *Pyramid
+	rows, cols int
+}
+
+// NewDecomposer builds a reusable decomposer for the given bank,
+// extension, and depth.
+func NewDecomposer(bank *filter.Bank, ext filter.Extension, levels int) *Decomposer {
+	return &Decomposer{bank: bank, ext: ext, levels: levels}
+}
+
+// Decompose decomposes im, reusing the decomposer's buffers. The first
+// call (and any call after a shape change) sizes them; subsequent calls
+// are allocation-free. Unsupported bank/extension combinations fall back
+// to the allocating reference path.
+func (d *Decomposer) Decompose(im *image.Image) (*Pyramid, error) {
+	if err := CheckDecomposable(im.Rows, im.Cols, d.levels); err != nil {
+		return nil, err
+	}
+	if !kernel.Supported(d.bank, d.ext) {
+		return DecomposeReference(im, d.bank, d.ext, d.levels)
+	}
+	if d.p == nil || d.rows != im.Rows || d.cols != im.Cols {
+		d.p = NewPyramid(im.Rows, im.Cols, d.bank, d.ext, d.levels)
+		d.rows, d.cols = im.Rows, im.Cols
+	}
+	decomposeFast(d.p, im, &d.ar)
+	return d.p, nil
+}

@@ -20,7 +20,7 @@ func Analyze1D(x []float64, bank *filter.Bank, ext filter.Extension) (approx, de
 // have equal length.
 func Synthesize1D(approx, detail []float64, bank *filter.Bank, ext filter.Extension) []float64 {
 	if len(approx) != len(detail) {
-		panic(fmt.Sprintf("wavelet: Synthesize1D length mismatch %d vs %d", len(approx), len(detail)))
+		panic(usage("Synthesize1D", "Synthesize1D length mismatch %d vs %d", len(approx), len(detail)))
 	}
 	out := make([]float64, 2*len(approx))
 	SynthesizeStep(approx, bank.Lo, ext, out)

@@ -1,8 +1,6 @@
 package wavelet
 
 import (
-	"fmt"
-
 	"wavelethpc/internal/filter"
 	"wavelethpc/internal/image"
 )
@@ -26,7 +24,7 @@ type Subbands struct {
 // paper's steps (1)-(2). Each output is Rows × Cols/2.
 func AnalyzeRows(im *image.Image, bank *filter.Bank, ext filter.Extension) (l, h *image.Image) {
 	if im.Cols%2 != 0 {
-		panic(fmt.Sprintf("wavelet: AnalyzeRows on odd column count %d", im.Cols))
+		panic(usage("AnalyzeRows", "AnalyzeRows on odd column count %d", im.Cols))
 	}
 	l = image.New(im.Rows, im.Cols/2)
 	h = image.New(im.Rows, im.Cols/2)
@@ -43,7 +41,7 @@ func AnalyzeRows(im *image.Image, bank *filter.Bank, ext filter.Extension) (l, h
 // image). Each output is Rows/2 × Cols.
 func AnalyzeCols(im *image.Image, bank *filter.Bank, ext filter.Extension) (lo, hi *image.Image) {
 	if im.Rows%2 != 0 {
-		panic(fmt.Sprintf("wavelet: AnalyzeCols on odd row count %d", im.Rows))
+		panic(usage("AnalyzeCols", "AnalyzeCols on odd row count %d", im.Rows))
 	}
 	lo = image.New(im.Rows/2, im.Cols)
 	hi = image.New(im.Rows/2, im.Cols)
@@ -72,7 +70,7 @@ func Analyze2D(im *image.Image, bank *filter.Bank, ext filter.Extension) *Subban
 // pair back into a Rows·2 × Cols image.
 func SynthesizeCols(lo, hi *image.Image, bank *filter.Bank, ext filter.Extension) *image.Image {
 	if lo.Rows != hi.Rows || lo.Cols != hi.Cols {
-		panic("wavelet: SynthesizeCols subband shape mismatch")
+		panic(usage("SynthesizeCols", "SynthesizeCols subband shape mismatch"))
 	}
 	out := image.New(lo.Rows*2, lo.Cols)
 	colLo := make([]float64, lo.Rows)
@@ -95,7 +93,7 @@ func SynthesizeCols(lo, hi *image.Image, bank *filter.Bank, ext filter.Extension
 // back into a Rows × Cols·2 image.
 func SynthesizeRows(l, h *image.Image, bank *filter.Bank, ext filter.Extension) *image.Image {
 	if l.Rows != h.Rows || l.Cols != h.Cols {
-		panic("wavelet: SynthesizeRows subband shape mismatch")
+		panic(usage("SynthesizeRows", "SynthesizeRows subband shape mismatch"))
 	}
 	out := image.New(l.Rows, l.Cols*2)
 	for r := 0; r < l.Rows; r++ {

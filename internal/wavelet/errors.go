@@ -1,0 +1,27 @@
+package wavelet
+
+import "fmt"
+
+// UsageError is the typed panic value for wavelet API misuse (odd-length
+// signals, mismatched subband shapes, bad output lengths). It mirrors the
+// *nx.UsageError / *mesh.RouteError contract enforced by the wavelint
+// structerr analyzer: a recovered panic carries the misused entry point
+// and the human-readable detail as structure, not a flattened string, so
+// harness drivers and the nx scheduler's *RankError wrapper can switch on
+// Op. Error() reproduces the exact strings the earlier raw panics
+// carried.
+type UsageError struct {
+	// Op names the misused API entry point, e.g. "AnalyzeRows".
+	Op string
+	// Detail is the human-readable description (without the "wavelet: "
+	// prefix Error adds).
+	Detail string
+}
+
+// Error implements error.
+func (e *UsageError) Error() string { return "wavelet: " + e.Detail }
+
+// usage builds the panic value for an API-misuse check.
+func usage(op, format string, args ...any) *UsageError {
+	return &UsageError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,68 @@
+package kernel
+
+import (
+	"sync"
+
+	"wavelethpc/internal/image"
+)
+
+// Arena is the reusable scratch of one in-flight decomposition: backing
+// slabs for the intermediate L/H images of each level and a ping-pong
+// pair for the LL chain between levels. Buffers are sized once at the
+// top level (the deeper levels fit inside the same slabs) and grow only
+// when a larger image arrives, so steady-state decompositions allocate
+// nothing. An Arena is not safe for concurrent use by multiple
+// decompositions, but the images it hands out may be filled from many
+// goroutines over disjoint ranges.
+type Arena struct {
+	lBuf, hBuf []float64 // intermediate L/H backing
+	llBuf      [2][]float64
+	l, h       image.Image
+	ll         [2]image.Image
+}
+
+// grow returns buf resized to n samples, reallocating only when the
+// capacity is insufficient.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// view points header at a rows×cols tight-stride image over buf.
+func view(header *image.Image, buf []float64, rows, cols int) *image.Image {
+	header.Rows, header.Cols, header.Stride, header.Pix = rows, cols, cols, buf
+	return header
+}
+
+// Intermediate returns the two rows×cols scratch images holding the
+// row-pass outputs L and H of the current level. The returned images
+// alias the arena and are invalidated by the next Intermediate call.
+func (ar *Arena) Intermediate(rows, cols int) (l, h *image.Image) {
+	n := rows * cols
+	ar.lBuf = grow(ar.lBuf, n)
+	ar.hBuf = grow(ar.hBuf, n)
+	return view(&ar.l, ar.lBuf[:n], rows, cols), view(&ar.h, ar.hBuf[:n], rows, cols)
+}
+
+// LL returns the rows×cols scratch image holding an intermediate LL
+// band. Two slots ping-pong across levels: level l writes slot l%2 while
+// reading the previous level's LL from slot (l-1)%2.
+func (ar *Arena) LL(slot, rows, cols int) *image.Image {
+	n := rows * cols
+	ar.llBuf[slot] = grow(ar.llBuf[slot], n)
+	return view(&ar.ll[slot], ar.llBuf[slot][:n], rows, cols)
+}
+
+// arenaPool recycles arenas across decompositions; BatchDecompose
+// workers and repeated Decompose calls reach steady state with zero
+// scratch allocations.
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena takes an arena from the shared pool.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena returns an arena to the shared pool. The caller must not
+// retain any image previously handed out by it.
+func PutArena(ar *Arena) { arenaPool.Put(ar) }

@@ -1,0 +1,66 @@
+package kernel
+
+import (
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// AnalyzeColsRange column-filters the [c0, c1) column panel of src by
+// both channels of bank and decimates the rows by two into lo and hi
+// (each src.Rows/2 × src.Cols). It is the fast-path equivalent of
+// wavelet.AnalyzeCols restricted to a column range.
+//
+// Instead of gathering one stride-N column at a time (one cache line
+// touched per sample), the pass walks PanelWidth-column panels: for each
+// output row it visits the filter-length source rows once, accumulating
+// a whole panel of lo and hi coefficients per row segment. Consecutive
+// output rows overlap in all but two source rows, so the panel's working
+// set stays in L1. The destination row segments double as accumulators —
+// no scratch is needed — and per-coefficient accumulation order over the
+// taps is exactly the reference order, so outputs are bit-identical.
+func AnalyzeColsRange(lo, hi, src *image.Image, bank *filter.Bank, ext filter.Extension, c0, c1 int) {
+	rows := src.Rows
+	half := rows / 2
+	fLo, fHi := bank.Lo, bank.Hi
+	f := len(fLo)
+	for p0 := c0; p0 < c1; p0 += PanelWidth {
+		p1 := p0 + PanelWidth
+		if p1 > c1 {
+			p1 = c1
+		}
+		for i := 0; i < half; i++ {
+			dLo := lo.RowSeg(i, p0, p1)
+			dHi := hi.RowSeg(i, p0, p1)
+			for c := range dLo {
+				dLo[c] = 0
+				dHi[c] = 0
+			}
+			base := 2 * i
+			if base+f <= rows {
+				// Interior: the filter support is fully in range, the
+				// same split the reference AnalyzeStep uses.
+				for k := 0; k < f; k++ {
+					s := src.RowSeg(base+k, p0, p1)
+					hl, hh := fLo[k], fHi[k]
+					for c, v := range s {
+						dLo[c] += hl * v
+						dHi[c] += hh * v
+					}
+				}
+			} else {
+				for k := 0; k < f; k++ {
+					j, ok := ext.Index(base+k, rows)
+					if !ok {
+						continue
+					}
+					s := src.RowSeg(j, p0, p1)
+					hl, hh := fLo[k], fHi[k]
+					for c, v := range s {
+						dLo[c] += hl * v
+						dHi[c] += hh * v
+					}
+				}
+			}
+		}
+	}
+}

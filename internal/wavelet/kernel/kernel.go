@@ -1,0 +1,54 @@
+// Package kernel provides the fast-path convolution kernels behind the
+// shared-memory DWT: cache-blocked column filtering, unrolled row
+// filters for the hot banks, and a pooled scratch arena that eliminates
+// per-level allocations.
+//
+// The paper's argument — and this package's reason to exist — is that
+// the Mallat transform's memory-access pattern, not its FLOP count,
+// decides performance on real machines. The reference implementation in
+// internal/wavelet column-filters by gathering one full stride-N column
+// at a time, touching a new cache line per element; the kernels here
+// instead walk narrow column panels row by row, so every touched cache
+// line contributes PanelWidth useful samples.
+//
+// Bit-identity contract: every kernel performs, for each output
+// coefficient, exactly the same sequence of floating-point operations as
+// the reference wavelet.AnalyzeStep — accumulation starts at zero and
+// adds h[k]·x[·] in ascending k, with the same interior/border split
+// (border taps resolved through filter.Extension.Index, out-of-range
+// taps skipped). Blocking and unrolling only reorder work *across*
+// output coefficients, never within one, so outputs are bit-identical to
+// the reference path and the goldens of earlier PRs are preserved. The
+// equivalence tests in internal/wavelet enforce this with
+// math.Float64bits comparisons.
+//
+// Inputs are assumed validated (even dimensions, matching shapes); the
+// wavelet package checks before dispatching here.
+package kernel
+
+import (
+	"wavelethpc/internal/filter"
+)
+
+// PanelWidth is the column-panel width of the blocked column pass, in
+// float64 samples: 64 samples = 512 bytes = 8 cache lines per touched
+// row, small enough that one panel's working set (filter-length rows
+// plus two destination rows) stays resident in L1 across the overlapping
+// filter supports of consecutive output rows.
+const PanelWidth = 64
+
+// Supported reports whether the fast path may be dispatched for the
+// bank/extension pair. All in-tree extensions are supported for any
+// bank; unknown extension values fall back to the reference path, which
+// is the behavioral source of truth.
+func Supported(bank *filter.Bank, ext filter.Extension) bool {
+	if bank == nil || bank.Len() == 0 || len(bank.Lo) != len(bank.Hi) {
+		return false
+	}
+	switch ext {
+	case filter.Periodic, filter.Symmetric, filter.Zero:
+		return true
+	default:
+		return false
+	}
+}

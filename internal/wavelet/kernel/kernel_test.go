@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+func randImage(rows, cols int, seed int64) *image.Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := image.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := im.Row(r)
+		for c := range row {
+			row[c] = rng.NormFloat64() * 10
+		}
+	}
+	return im
+}
+
+// refAnalyzeStep is a local copy of the reference convolve-and-decimate
+// semantics (wavelet.AnalyzeStep), kept here so the kernel package can
+// assert bit-identity without importing its own caller.
+func refAnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) {
+	n := len(x)
+	interior := (n - len(h)) / 2
+	if interior < 0 {
+		interior = -1
+	}
+	for i := 0; i <= interior; i++ {
+		var acc float64
+		for k, hk := range h {
+			acc += hk * x[2*i+k]
+		}
+		dst[i] = acc
+	}
+	for i := interior + 1; i < n/2; i++ {
+		var acc float64
+		for k, hk := range h {
+			if j, ok := ext.Index(2*i+k, n); ok {
+				acc += hk * x[j]
+			}
+		}
+		dst[i] = acc
+	}
+}
+
+func requireBits(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s[%d]: %g vs %g (bits %#x vs %#x)", label, i,
+				want[i], got[i], math.Float64bits(want[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+// TestRowKernelsBitIdentical drives every row kernel (unrolled and
+// generic) against the reference semantics over lengths that hit the
+// interior-only, wrapped-tail, and shorter-than-filter regimes.
+func TestRowKernelsBitIdentical(t *testing.T) {
+	banks := []*filter.Bank{filter.Haar(), filter.Daubechies4(), filter.Daubechies6(), filter.Daubechies8()}
+	exts := []filter.Extension{filter.Periodic, filter.Symmetric, filter.Zero}
+	rng := rand.New(rand.NewSource(99))
+	for _, b := range banks {
+		for _, ext := range exts {
+			for _, n := range []int{0, 2, 4, 6, 8, 10, 16, 64, 126} {
+				x := make([]float64, n)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				wantLo := make([]float64, n/2)
+				wantHi := make([]float64, n/2)
+				refAnalyzeStep(x, b.Lo, ext, wantLo)
+				refAnalyzeStep(x, b.Hi, ext, wantHi)
+				gotLo := make([]float64, n/2)
+				gotHi := make([]float64, n/2)
+				pickRow(b.Len(), ext, n)(x, b.Lo, b.Hi, gotLo, gotHi, ext)
+				label := b.Name + "/" + ext.String()
+				requireBits(t, label+"/lo", wantLo, gotLo)
+				requireBits(t, label+"/hi", wantHi, gotHi)
+			}
+		}
+	}
+}
+
+// TestColsRangeBitIdentical checks the blocked column pass against the
+// reference per-column convolution, over shapes that exercise partial
+// panels (cols not a multiple of PanelWidth) and short columns.
+func TestColsRangeBitIdentical(t *testing.T) {
+	banks := []*filter.Bank{filter.Haar(), filter.Daubechies8()}
+	exts := []filter.Extension{filter.Periodic, filter.Symmetric, filter.Zero}
+	shapes := [][2]int{{2, 2}, {4, 3}, {8, PanelWidth - 1}, {16, PanelWidth + 5}, {6, 2*PanelWidth + 7}}
+	for _, b := range banks {
+		for _, ext := range exts {
+			for _, sh := range shapes {
+				src := randImage(sh[0], sh[1], int64(sh[0]*1000+sh[1]))
+				lo := image.New(sh[0]/2, sh[1])
+				hi := image.New(sh[0]/2, sh[1])
+				AnalyzeColsRange(lo, hi, src, b, ext, 0, sh[1])
+				col := make([]float64, sh[0])
+				wantLo := make([]float64, sh[0]/2)
+				wantHi := make([]float64, sh[0]/2)
+				for c := 0; c < sh[1]; c++ {
+					col = src.Col(c, col)
+					refAnalyzeStep(col, b.Lo, ext, wantLo)
+					refAnalyzeStep(col, b.Hi, ext, wantHi)
+					for i := range wantLo {
+						if math.Float64bits(wantLo[i]) != math.Float64bits(lo.At(i, c)) {
+							t.Fatalf("%s/%s %dx%d lo(%d,%d): %g vs %g", b.Name, ext, sh[0], sh[1], i, c, wantLo[i], lo.At(i, c))
+						}
+						if math.Float64bits(wantHi[i]) != math.Float64bits(hi.At(i, c)) {
+							t.Fatalf("%s/%s %dx%d hi(%d,%d): %g vs %g", b.Name, ext, sh[0], sh[1], i, c, wantHi[i], hi.At(i, c))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColsRangeOverwritesStale verifies the destination rows are used
+// as accumulators safely: pre-existing garbage in dst must not leak
+// into the results (the arena hands out dirty buffers by design).
+func TestColsRangeOverwritesStale(t *testing.T) {
+	src := randImage(8, 16, 5)
+	b := filter.Daubechies4()
+	clean := image.New(4, 16)
+	cleanHi := image.New(4, 16)
+	AnalyzeColsRange(clean, cleanHi, src, b, filter.Periodic, 0, 16)
+	dirty := image.New(4, 16)
+	dirtyHi := image.New(4, 16)
+	dirty.Fill(math.NaN())
+	dirtyHi.Fill(math.Inf(1))
+	AnalyzeColsRange(dirty, dirtyHi, src, b, filter.Periodic, 0, 16)
+	for r := 0; r < 4; r++ {
+		requireBits(t, "lo", clean.Row(r), dirty.Row(r))
+		requireBits(t, "hi", cleanHi.Row(r), dirtyHi.Row(r))
+	}
+}
+
+// TestRowsRangeSubrange checks that range-restricted row filtering fills
+// exactly the requested rows, enabling disjoint parallel writes.
+func TestRowsRangeSubrange(t *testing.T) {
+	src := randImage(8, 16, 6)
+	b := filter.Daubechies4()
+	full := image.New(8, 8)
+	fullHi := image.New(8, 8)
+	AnalyzeRowsRange(full, fullHi, src, b, filter.Periodic, 0, 8)
+	part := image.New(8, 8)
+	partHi := image.New(8, 8)
+	AnalyzeRowsRange(part, partHi, src, b, filter.Periodic, 3, 6)
+	for r := 3; r < 6; r++ {
+		requireBits(t, "lo", full.Row(r), part.Row(r))
+	}
+	for _, r := range []int{0, 2, 6, 7} {
+		for _, v := range part.Row(r) {
+			if v != 0 {
+				t.Fatalf("row %d outside [3,6) was written", r)
+			}
+		}
+	}
+}
+
+// TestArenaReuseAndGrowth: the arena serves shrinking per-level sizes
+// from one allocation and grows monotonically for larger images; images
+// it returns have tight strides and the requested shape.
+func TestArenaReuseAndGrowth(t *testing.T) {
+	ar := GetArena()
+	defer PutArena(ar)
+	l1, h1 := ar.Intermediate(64, 32)
+	if l1.Rows != 64 || l1.Cols != 32 || l1.Stride != 32 {
+		t.Fatalf("intermediate shape %dx%d stride %d", l1.Rows, l1.Cols, l1.Stride)
+	}
+	p1 := &l1.Pix[0]
+	// A smaller request must reuse the same backing.
+	l2, _ := ar.Intermediate(32, 16)
+	if &l2.Pix[0] != p1 {
+		t.Error("smaller intermediate did not reuse backing")
+	}
+	// A larger request grows.
+	l3, h3 := ar.Intermediate(128, 64)
+	if len(l3.Pix) != 128*64 || len(h3.Pix) != 128*64 {
+		t.Error("grown intermediate has wrong size")
+	}
+	_ = h1
+	// Ping-pong slots are distinct buffers.
+	a := ar.LL(0, 16, 16)
+	b := ar.LL(1, 16, 16)
+	if &a.Pix[0] == &b.Pix[0] {
+		t.Error("LL ping-pong slots share backing")
+	}
+}
+
+// TestSupported pins the dispatch predicate.
+func TestSupported(t *testing.T) {
+	if !Supported(filter.Daubechies8(), filter.Periodic) {
+		t.Error("db8/periodic unsupported")
+	}
+	if !Supported(filter.Haar(), filter.Zero) {
+		t.Error("haar/zero unsupported")
+	}
+	if Supported(filter.Haar(), filter.Extension(42)) {
+		t.Error("unknown extension claimed supported")
+	}
+	if Supported(nil, filter.Periodic) {
+		t.Error("nil bank claimed supported")
+	}
+	if Supported(&filter.Bank{Name: "empty"}, filter.Periodic) {
+		t.Error("empty bank claimed supported")
+	}
+}

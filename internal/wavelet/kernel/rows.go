@@ -1,0 +1,211 @@
+package kernel
+
+import (
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// rowFunc filters one even-length row x by the lo/hi filter pair and
+// decimates by two into dLo/dHi (each len(x)/2). Specialized variants
+// ignore ext (they are selected only when it is Periodic).
+type rowFunc func(x, lo, hi, dLo, dHi []float64, ext filter.Extension)
+
+// AnalyzeRowsRange row-filters rows [r0, r1) of src by both channels of
+// bank and decimates the columns by two into l and h (each src.Rows ×
+// src.Cols/2). It is the fast-path equivalent of wavelet.AnalyzeRows
+// restricted to a row range, with both channels fused into one pass over
+// each source row and the per-tap loop unrolled for the hot filter
+// lengths under periodic extension. Outputs are bit-identical to the
+// reference (see the package comment).
+func AnalyzeRowsRange(l, h, src *image.Image, bank *filter.Bank, ext filter.Extension, r0, r1 int) {
+	k := pickRow(bank.Len(), ext, src.Cols)
+	for r := r0; r < r1; r++ {
+		k(src.Row(r), bank.Lo, bank.Hi, l.Row(r), h.Row(r), ext)
+	}
+}
+
+// pickRow selects the row kernel: an unrolled periodic specialization
+// when the filter length is one of the hot sizes and the signal is long
+// enough that wrapped indices need at most one subtraction, the generic
+// extension-indexed kernel otherwise.
+func pickRow(f int, ext filter.Extension, n int) rowFunc {
+	if ext == filter.Periodic && n >= f {
+		switch f {
+		case 2:
+			return rowsPeriodic2
+		case 4:
+			return rowsPeriodic4
+		case 6:
+			return rowsPeriodic6
+		case 8:
+			return rowsPeriodic8
+		}
+	}
+	return rowsGeneric
+}
+
+// rowsGeneric mirrors wavelet.AnalyzeStep exactly (interior/border
+// split, ext.Index at the borders) with the lo and hi channels fused
+// into one pass over x.
+func rowsGeneric(x, lo, hi, dLo, dHi []float64, ext filter.Extension) {
+	n := len(x)
+	f := len(lo)
+	half := n / 2
+	interior := (n - f) / 2
+	if interior < 0 {
+		interior = -1
+	}
+	for i := 0; i <= interior; i++ {
+		xx := x[2*i : 2*i+f]
+		var a, d float64
+		for k, v := range xx {
+			a += lo[k] * v
+			d += hi[k] * v
+		}
+		dLo[i] = a
+		dHi[i] = d
+	}
+	for i := interior + 1; i < half; i++ {
+		var a, d float64
+		for k := 0; k < f; k++ {
+			j, ok := ext.Index(2*i+k, n)
+			if ok {
+				v := x[j]
+				a += lo[k] * v
+				d += hi[k] * v
+			}
+		}
+		dLo[i] = a
+		dHi[i] = d
+	}
+}
+
+// rowsPeriodicTail handles the wrapped outputs of the unrolled periodic
+// kernels: for n >= f every index 2i+k is below 2n, so a single
+// subtraction replaces ext.Index.
+func rowsPeriodicTail(x, lo, hi, dLo, dHi []float64, from int) {
+	n := len(x)
+	f := len(lo)
+	for i := from; i < n/2; i++ {
+		var a, d float64
+		for k := 0; k < f; k++ {
+			j := 2*i + k
+			if j >= n {
+				j -= n
+			}
+			v := x[j]
+			a += lo[k] * v
+			d += hi[k] * v
+		}
+		dLo[i] = a
+		dHi[i] = d
+	}
+}
+
+func rowsPeriodic2(x, lo, hi, dLo, dHi []float64, _ filter.Extension) {
+	n := len(x)
+	l0, l1 := lo[0], lo[1]
+	h0, h1 := hi[0], hi[1]
+	// f=2 never wraps: 2i+1 <= n-1 for every output.
+	for i := 0; i < n/2; i++ {
+		xx := x[2*i : 2*i+2]
+		x0, x1 := xx[0], xx[1]
+		var a float64
+		a += l0 * x0
+		a += l1 * x1
+		dLo[i] = a
+		var d float64
+		d += h0 * x0
+		d += h1 * x1
+		dHi[i] = d
+	}
+}
+
+func rowsPeriodic4(x, lo, hi, dLo, dHi []float64, _ filter.Extension) {
+	n := len(x)
+	l0, l1, l2, l3 := lo[0], lo[1], lo[2], lo[3]
+	h0, h1, h2, h3 := hi[0], hi[1], hi[2], hi[3]
+	interior := (n - 4) / 2
+	i := 0
+	for ; i <= interior; i++ {
+		xx := x[2*i : 2*i+4]
+		x0, x1, x2, x3 := xx[0], xx[1], xx[2], xx[3]
+		var a float64
+		a += l0 * x0
+		a += l1 * x1
+		a += l2 * x2
+		a += l3 * x3
+		dLo[i] = a
+		var d float64
+		d += h0 * x0
+		d += h1 * x1
+		d += h2 * x2
+		d += h3 * x3
+		dHi[i] = d
+	}
+	rowsPeriodicTail(x, lo, hi, dLo, dHi, i)
+}
+
+func rowsPeriodic6(x, lo, hi, dLo, dHi []float64, _ filter.Extension) {
+	n := len(x)
+	l0, l1, l2, l3, l4, l5 := lo[0], lo[1], lo[2], lo[3], lo[4], lo[5]
+	h0, h1, h2, h3, h4, h5 := hi[0], hi[1], hi[2], hi[3], hi[4], hi[5]
+	interior := (n - 6) / 2
+	i := 0
+	for ; i <= interior; i++ {
+		xx := x[2*i : 2*i+6]
+		x0, x1, x2 := xx[0], xx[1], xx[2]
+		x3, x4, x5 := xx[3], xx[4], xx[5]
+		var a float64
+		a += l0 * x0
+		a += l1 * x1
+		a += l2 * x2
+		a += l3 * x3
+		a += l4 * x4
+		a += l5 * x5
+		dLo[i] = a
+		var d float64
+		d += h0 * x0
+		d += h1 * x1
+		d += h2 * x2
+		d += h3 * x3
+		d += h4 * x4
+		d += h5 * x5
+		dHi[i] = d
+	}
+	rowsPeriodicTail(x, lo, hi, dLo, dHi, i)
+}
+
+func rowsPeriodic8(x, lo, hi, dLo, dHi []float64, _ filter.Extension) {
+	n := len(x)
+	l0, l1, l2, l3, l4, l5, l6, l7 := lo[0], lo[1], lo[2], lo[3], lo[4], lo[5], lo[6], lo[7]
+	h0, h1, h2, h3, h4, h5, h6, h7 := hi[0], hi[1], hi[2], hi[3], hi[4], hi[5], hi[6], hi[7]
+	interior := (n - 8) / 2
+	i := 0
+	for ; i <= interior; i++ {
+		xx := x[2*i : 2*i+8]
+		x0, x1, x2, x3 := xx[0], xx[1], xx[2], xx[3]
+		x4, x5, x6, x7 := xx[4], xx[5], xx[6], xx[7]
+		var a float64
+		a += l0 * x0
+		a += l1 * x1
+		a += l2 * x2
+		a += l3 * x3
+		a += l4 * x4
+		a += l5 * x5
+		a += l6 * x6
+		a += l7 * x7
+		dLo[i] = a
+		var d float64
+		d += h0 * x0
+		d += h1 * x1
+		d += h2 * x2
+		d += h3 * x3
+		d += h4 * x4
+		d += h5 * x5
+		d += h6 * x6
+		d += h7 * x7
+		dHi[i] = d
+	}
+	rowsPeriodicTail(x, lo, hi, dLo, dHi, i)
+}

@@ -43,11 +43,15 @@ func CheckDecomposable(rows, cols, levels int) error {
 	return nil
 }
 
-// Decompose runs the full multi-resolution algorithm of the paper's
-// Section 2: levels iterations of row filtering, column decimation, column
-// filtering, and row decimation, feeding each LL back in as the next
-// level's input.
-func Decompose(im *image.Image, bank *filter.Bank, ext filter.Extension, levels int) (*Pyramid, error) {
+// DecomposeReference runs the textbook multi-resolution algorithm of the
+// paper's Section 2 — levels iterations of row filtering, column
+// decimation, column filtering, and row decimation, feeding each LL back
+// in as the next level's input — via the reference per-column kernels.
+// It is the behavioral source of truth: Decompose dispatches to the
+// cache-blocked fast path in internal/wavelet/kernel when the bank and
+// extension support it and must produce bit-identical pyramids (the
+// equivalence tests compare the two with math.Float64bits).
+func DecomposeReference(im *image.Image, bank *filter.Bank, ext filter.Extension, levels int) (*Pyramid, error) {
 	if err := CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
 		return nil, err
 	}

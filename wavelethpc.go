@@ -78,6 +78,19 @@ func Decompose(im *Image, bank *FilterBank, levels int) (*Pyramid, error) {
 // Reconstruct inverts Decompose.
 func Reconstruct(p *Pyramid) *Image { return wavelet.Reconstruct(p) }
 
+// Decomposer is the steady-state repeated-transform API: it owns its
+// scratch arena and reuses the output pyramid across calls, so decoding
+// an image stream at a fixed shape performs zero allocations per frame.
+// Results are bit-identical to Decompose. Not safe for concurrent use;
+// each returned pyramid is invalidated by the next call.
+type Decomposer = wavelet.Decomposer
+
+// NewDecomposer returns a Decomposer for the given bank and depth with
+// periodic extension.
+func NewDecomposer(bank *FilterBank, levels int) *Decomposer {
+	return wavelet.NewDecomposer(bank, filter.Periodic, levels)
+}
+
 // ParallelDecompose is the shared-memory parallel decomposition; workers
 // = 0 uses GOMAXPROCS. Results are identical to Decompose.
 func ParallelDecompose(im *Image, bank *FilterBank, levels, workers int) (*Pyramid, error) {
