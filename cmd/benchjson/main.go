@@ -14,22 +14,33 @@
 //	benchjson -label ci         # writes BENCH_ci.json
 //	benchjson -out path.json    # explicit output path
 //
+// With -serve, benchjson instead runs the load-generator mode against
+// an in-process serve.Server: concurrent closed-loop clients hammer
+// Server.Do for -serve-duration, and the report records throughput
+// (images/sec), latency quantiles from the service histogram, and the
+// overload-rejection fraction:
+//
+//	benchjson -serve -label serve_pr5   # writes BENCH_serve_pr5.json
+//
 // The JSON format is documented in EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"wavelethpc/internal/core"
 	"wavelethpc/internal/filter"
 	"wavelethpc/internal/image"
+	"wavelethpc/internal/serve"
 	"wavelethpc/internal/wavelet"
 )
 
@@ -70,8 +81,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		label = flag.String("label", "local", "label embedded in the report and the default file name")
-		out   = flag.String("out", "", "output path (default BENCH_<label>.json)")
+		label      = flag.String("label", "local", "label embedded in the report and the default file name")
+		out        = flag.String("out", "", "output path (default BENCH_<label>.json)")
+		serveMode  = flag.Bool("serve", false, "run the serve-layer load generator instead of the kernel suite")
+		clients    = flag.Int("serve-clients", 2*runtime.NumCPU(), "concurrent load-generator clients")
+		duration   = flag.Duration("serve-duration", 2*time.Second, "load-generator run length")
+		serveSize  = flag.Int("serve-size", 512, "square image size for the load generator")
+		serveQueue = flag.Int("serve-queue", 64, "admission queue depth")
+		serveBatch = flag.Int("serve-batch", 1, "micro-batch size (>= 2 enables batching)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -91,6 +108,16 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Derived:   map[string]float64{},
+	}
+
+	if *serveMode {
+		runServeLoad(&rep, *clients, *duration, *serveSize, *serveQueue, *serveBatch)
+		writeReport(&rep, *out)
+		log.Printf("serve throughput: %.1f images/sec (p50 %.3gs, p99 %.3gs, rejected %.1f%%)",
+			rep.Derived["serve_images_per_sec"], rep.Derived["serve_p50_latency_sec"],
+			rep.Derived["serve_p99_latency_sec"], 100*rep.Derived["serve_reject_fraction"])
+		log.Printf("wrote %s", *out)
+		return
 	}
 
 	steady := measure("Decompose512", func(b *testing.B) {
@@ -137,17 +164,97 @@ func main() {
 	rep.Derived["speedup_parallel4_vs_reference"] = ref.NsPerOp / par4.NsPerOp
 	rep.Derived["steady_allocs_per_op"] = float64(steady.AllocsPerOp)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
+	writeReport(&rep, *out)
 	for _, r := range rep.Results {
 		log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	log.Printf("speedup steady/reference: %.2fx", rep.Derived["speedup_steady_vs_reference"])
 	log.Printf("wrote %s", *out)
+}
+
+func writeReport(rep *report, path string) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runServeLoad drives an in-process serve.Server with closed-loop
+// clients for the given duration and folds throughput, latency, and
+// overload statistics into the report.
+func runServeLoad(rep *report, clients int, duration time.Duration, size, queue, batch int) {
+	if clients < 1 {
+		clients = 1
+	}
+	srv, err := serve.New(serve.Config{
+		Bank:       filter.Daubechies8(),
+		Levels:     3,
+		QueueDepth: queue,
+		BatchSize:  batch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := image.Landsat(size, size, 42)
+	// Warm the pools so steady-state numbers are not dominated by
+	// first-touch allocation.
+	if res, err := srv.Do(context.Background(), serve.Request{Image: im}); err != nil {
+		log.Fatal(err)
+	} else {
+		res.Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				res, err := srv.Do(ctx, serve.Request{Image: im})
+				if err != nil {
+					// Overload: yield and retry (closed-loop backoff).
+					runtime.Gosched()
+					continue
+				}
+				res.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	snap := srv.Metrics().Snapshot()
+
+	completed := float64(snap.Completed)
+	attempts := float64(snap.Accepted + snap.Rejected)
+	avgLatency := 0.0
+	if snap.Latency.Count > 0 {
+		avgLatency = snap.Latency.Sum / float64(snap.Latency.Count)
+	}
+	rep.Results = append(rep.Results, result{
+		Name:       fmt.Sprintf("ServeDo%d", size),
+		Iterations: int(snap.Completed),
+		NsPerOp:    avgLatency * 1e9,
+	})
+	rep.Derived["serve_images_per_sec"] = completed / elapsed
+	rep.Derived["serve_clients"] = float64(clients)
+	rep.Derived["serve_queue_depth"] = float64(queue)
+	rep.Derived["serve_batch_size"] = float64(batch)
+	rep.Derived["serve_completed"] = completed
+	rep.Derived["serve_rejected"] = float64(snap.Rejected)
+	rep.Derived["serve_p50_latency_sec"] = snap.Latency.Quantile(0.50)
+	rep.Derived["serve_p99_latency_sec"] = snap.Latency.Quantile(0.99)
+	if attempts > 0 {
+		rep.Derived["serve_reject_fraction"] = float64(snap.Rejected) / attempts
+	}
+	rep.Derived["serve_batched_images"] = float64(snap.BatchedImages)
 }

@@ -1,6 +1,8 @@
 // Command wavedecomp performs a multi-resolution wavelet decomposition of
 // a PGM image (or a synthetic Landsat-like scene) and writes the
-// classical pyramid mosaic, optionally verifying reconstruction.
+// classical pyramid mosaic, optionally verifying reconstruction. It goes
+// through the public options facade (wavelethpc.DecomposeWith), so it
+// doubles as that API's end-to-end exercise.
 //
 // Usage:
 //
@@ -16,10 +18,7 @@ import (
 	"runtime"
 	"time"
 
-	"wavelethpc/internal/core"
-	"wavelethpc/internal/filter"
-	"wavelethpc/internal/image"
-	"wavelethpc/internal/wavelet"
+	"wavelethpc"
 )
 
 func main() {
@@ -37,16 +36,16 @@ func main() {
 	)
 	flag.Parse()
 
-	bank, err := filter.ByName(*filterN)
+	bank, err := wavelethpc.FilterByName(*filterN)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var im *image.Image
+	var im *wavelethpc.Image
 	switch {
 	case *synthetic > 0:
-		im = image.Landsat(*synthetic, *synthetic, *seed)
+		im = wavelethpc.Landsat(*synthetic, *synthetic, *seed)
 	case *in != "":
-		if im, err = image.LoadPGM(*in); err != nil {
+		if im, err = wavelethpc.LoadPGM(*in); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -55,12 +54,13 @@ func main() {
 
 	// Arbitrary input sizes are padded by symmetric reflection up to the
 	// next decomposable size.
-	work, origRows, origCols := wavelet.PadToDecomposable(im, *levels)
+	work, origRows, origCols := wavelethpc.PadToDecomposable(im, *levels)
 	if work != im {
 		fmt.Printf("padded %dx%d input to %dx%d for %d levels\n", origRows, origCols, work.Rows, work.Cols, *levels)
 	}
 	start := time.Now()
-	pyr, err := core.ParallelDecompose(work, bank, filter.Periodic, *levels, *workers)
+	pyr, err := wavelethpc.DecomposeWith(work, bank,
+		wavelethpc.WithLevels(*levels), wavelethpc.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,14 +74,14 @@ func main() {
 		mosaic := pyr.Mosaic()
 		display := mosaic.Clone()
 		display.Normalize(0, 255)
-		if err := image.SavePGM(*out, display); err != nil {
+		if err := wavelethpc.SavePGM(*out, display); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote pyramid mosaic to %s\n", *out)
 	}
 	if *verify {
-		back := wavelet.Crop(core.ParallelReconstruct(pyr, *workers), origRows, origCols)
-		psnr := image.PSNR(im, back)
+		back := wavelethpc.Crop(wavelethpc.ParallelReconstruct(pyr, *workers), origRows, origCols)
+		psnr := wavelethpc.PSNR(im, back)
 		if math.IsInf(psnr, 1) {
 			fmt.Println("reconstruction: exact")
 		} else {

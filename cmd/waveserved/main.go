@@ -1,0 +1,92 @@
+// Command waveserved runs the embeddable decomposition service of
+// internal/serve as a standalone HTTP daemon: a bounded admission queue
+// with deterministic 503 overload rejection in front of the pooled
+// fast-path Decomposers, with Prometheus-style metrics.
+//
+// Endpoints:
+//
+//	POST /v1/decompose   binary PGM in, PGM out
+//	                     ?filter=db8&levels=3&output=mosaic|roundtrip
+//	GET  /healthz        200 "ok" (503 while draining)
+//	GET  /metrics        Prometheus text format
+//
+// Usage:
+//
+//	waveserved -addr 127.0.0.1:8080 -filter db8 -levels 3 -queue 64
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops, queued
+// and in-flight requests complete, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavelethpc/internal/cli"
+	"wavelethpc/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waveserved: ")
+	var sf cli.ServeFlags
+	fs := flag.NewFlagSet("waveserved", flag.ExitOnError)
+	sf.AddServe(fs)
+	fs.Parse(os.Args[1:])
+
+	cfg, err := sf.ServeConfig()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler := srv.Handler()
+	if sf.Deadline > 0 {
+		handler = withDeadline(handler, sf.Deadline)
+	}
+	httpSrv := &http.Server{Addr: sf.Addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (filter %s, levels %d, queue %d, workers %d, batch %d)",
+		sf.Addr, sf.Filter, sf.Levels, sf.Queue, cfg.Workers, sf.Batch)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	snap := srv.Metrics().Snapshot()
+	log.Printf("served %d (rejected %d, errors %d, expired %d)",
+		snap.Completed, snap.Rejected, snap.Errors, snap.Expired)
+}
+
+// withDeadline imposes the server-side per-request deadline on top of
+// whatever deadline the client connection already carries.
+func withDeadline(h http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

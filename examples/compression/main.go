@@ -17,7 +17,7 @@ func main() {
 	im := wavelethpc.Landsat(512, 512, 7)
 	fmt.Println("threshold   kept-coeffs   compression   PSNR(dB)")
 	for _, threshold := range []float64{0.5, 2, 8, 32, 128} {
-		pyr, err := wavelethpc.Decompose(im, wavelethpc.Daubechies8(), 4)
+		pyr, err := wavelethpc.DecomposeWith(im, wavelethpc.Daubechies8(), wavelethpc.WithLevels(4))
 		if err != nil {
 			log.Fatal(err)
 		}

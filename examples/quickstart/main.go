@@ -17,8 +17,9 @@ func main() {
 	im := wavelethpc.Landsat(512, 512, 42)
 
 	// Three levels of Mallat multi-resolution decomposition with the
-	// 8-tap Daubechies bank (the paper's F8 configuration).
-	pyr, err := wavelethpc.Decompose(im, wavelethpc.Daubechies8(), 3)
+	// 8-tap Daubechies bank (the paper's F8 configuration), through the
+	// options facade.
+	pyr, err := wavelethpc.DecomposeWith(im, wavelethpc.Daubechies8(), wavelethpc.WithLevels(3))
 	if err != nil {
 		log.Fatal(err)
 	}

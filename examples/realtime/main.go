@@ -36,14 +36,15 @@ func main() {
 	fmt.Printf("512x512 decomposition throughput (%d workers)\n\n", workers)
 	fmt.Printf("%-8s %14s %14s %16s %16s\n", "config", "this host (s)", "images/sec", "MasPar MP-2 (s)", "MasPar imgs/sec")
 	for _, cfg := range configs {
+		opts := []wavelethpc.Option{wavelethpc.WithLevels(cfg.levels), wavelethpc.WithWorkers(workers)}
 		// Warm up, then time a short batch.
-		if _, err := wavelethpc.ParallelDecompose(im, cfg.bank, cfg.levels, workers); err != nil {
+		if _, err := wavelethpc.DecomposeWith(im, cfg.bank, opts...); err != nil {
 			log.Fatal(err)
 		}
 		const batch = 10
 		start := time.Now()
 		for i := 0; i < batch; i++ {
-			if _, err := wavelethpc.ParallelDecompose(im, cfg.bank, cfg.levels, workers); err != nil {
+			if _, err := wavelethpc.DecomposeWith(im, cfg.bank, opts...); err != nil {
 				log.Fatal(err)
 			}
 		}

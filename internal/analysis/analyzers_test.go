@@ -29,7 +29,8 @@ func TestNXAPISkipsRuntime(t *testing.T) {
 }
 
 func TestStructErr(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.StructErr, "structerr/nx", "structerr/wavelet", "structerr/other")
+	analysistest.Run(t, "testdata", analysis.StructErr,
+		"structerr/nx", "structerr/wavelet", "structerr/serve", "structerr/wavelethpc", "structerr/other")
 }
 
 func TestRegistryCheck(t *testing.T) {

@@ -6,27 +6,33 @@ import (
 )
 
 // StructErr enforces the typed-error contract of the runtime packages: in
-// internal/nx, internal/mesh, and internal/wavelet a panic must carry a
-// typed value (*nx.FaultError, *nx.RankError, *nx.UsageError,
-// *mesh.RouteError, *wavelet.UsageError, or the scheduler's internal
-// sentinels), never a bare string or a fmt.Sprintf result. The nx
-// scheduler recovers rank panics and wraps them in *RankError — a string
-// payload there loses the structured fields (op, rank, detail) that
-// sweep drivers and the fault-tolerance layer switch on. Each finding
-// carries a suggested fix.
+// internal/nx, internal/mesh, internal/wavelet, internal/serve, and the
+// public facade (package wavelethpc) a panic must carry a typed value
+// (*nx.FaultError, *nx.RankError, *nx.UsageError, *mesh.RouteError,
+// *wavelet.UsageError, or the scheduler's internal sentinels), never a
+// bare string or a fmt.Sprintf result. The nx scheduler recovers rank
+// panics and wraps them in *RankError — a string payload there loses the
+// structured fields (op, rank, detail) that sweep drivers and the
+// fault-tolerance layer switch on; the facade and serve layers go
+// further and promise no panic crosses their boundary at all, so any
+// panic they do raise must stay typed for the recover shields to
+// convert. Each finding carries a suggested fix.
 var StructErr = &Analyzer{
 	Name: "structerr",
 	Doc: "flags panic with a bare string or fmt.Sprintf in internal/nx, " +
-		"internal/mesh, and internal/wavelet where the typed-error contract exists",
+		"internal/mesh, internal/wavelet, internal/serve, and the wavelethpc " +
+		"facade where the typed-error contract exists",
 	Run: runStructErr,
 }
 
 // structErrPackages are the packages whose panic values must be typed,
 // mapped to the fix their contract suggests.
 var structErrPackages = map[string]string{
-	"nx":      "panic(&UsageError{Op: ..., Detail: ...}) — the scheduler wraps it in *RankError with the structure intact",
-	"mesh":    "panic(&RouteError{From: ..., To: ...}) (or return an error) — callers match on the typed value",
-	"wavelet": "panic(usage(op, format, ...)) — contract-violation panics carry *wavelet.UsageError with the op name",
+	"nx":         "panic(&UsageError{Op: ..., Detail: ...}) — the scheduler wraps it in *RankError with the structure intact",
+	"mesh":       "panic(&RouteError{From: ..., To: ...}) (or return an error) — callers match on the typed value",
+	"wavelet":    "panic(usage(op, format, ...)) — contract-violation panics carry *wavelet.UsageError with the op name",
+	"serve":      "return a typed error (*serve.OverloadError, or wrap *wavelet.UsageError) — no panic crosses the service boundary",
+	"wavelethpc": "return the error (wrap *wavelet.UsageError for misuse) — the facade contract is error returns, never panics",
 }
 
 func runStructErr(pass *Pass) error {

@@ -1,0 +1,24 @@
+// Fixture for the structerr analyzer: the serve package promises no
+// panic crosses the service boundary, so any panic it raises must be
+// typed for the recover shields to convert.
+package serve
+
+import "fmt"
+
+// OverloadError stands in for the real typed rejection.
+type OverloadError struct{ Capacity int }
+
+// Error implements error.
+func (e *OverloadError) Error() string { return "serve: queue full" }
+
+func bare() {
+	panic("serve: queue full") // want `panic with a bare string in package serve breaks the typed-error contract`
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("serve: queue full at depth %d", n)) // want `panic with a fmt\.Sprintf string in package serve breaks the typed-error contract`
+}
+
+func typed(n int) {
+	panic(&OverloadError{Capacity: n}) // ok: typed value
+}

@@ -1,0 +1,24 @@
+// Fixture for the structerr analyzer: the public facade (package
+// wavelethpc) promises error returns, never panics — a panic that does
+// exist (e.g. in a shield) must carry a typed value.
+package wavelethpc
+
+import "fmt"
+
+// UsageError stands in for *wavelet.UsageError.
+type UsageError struct{ Op, Detail string }
+
+// Error implements error.
+func (e *UsageError) Error() string { return "wavelet: " + e.Detail }
+
+func bare() {
+	panic("wavelethpc: nil filter bank") // want `panic with a bare string in package wavelethpc breaks the typed-error contract`
+}
+
+func formatted(n int) {
+	panic(fmt.Sprintf("wavelethpc: levels = %d", n)) // want `panic with a fmt\.Sprintf string in package wavelethpc breaks the typed-error contract`
+}
+
+func typed() {
+	panic(&UsageError{Op: "DecomposeWith", Detail: "nil filter bank"}) // ok: typed value
+}

@@ -14,7 +14,9 @@ import (
 	"strings"
 	"time"
 
+	"wavelethpc/internal/filter"
 	"wavelethpc/internal/harness"
+	"wavelethpc/internal/serve"
 )
 
 // ParseInts parses a comma-separated list of positive integers such as
@@ -174,6 +176,51 @@ func ExportCSV(rep *harness.Report, dir string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote %s\n", path)
 	}
 	return nil
+}
+
+// ServeFlags bundles the flags of the decomposition service front ends
+// (cmd/waveserved and the benchjson load generator): the listen address
+// plus everything that maps onto a serve.Config.
+type ServeFlags struct {
+	Addr     string
+	Filter   string
+	Levels   int
+	Queue    int
+	Workers  int
+	Batch    int
+	Deadline time.Duration
+}
+
+// AddServe registers the service flags.
+func (f *ServeFlags) AddServe(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.StringVar(&f.Filter, "filter", "db8", "default filter bank: haar, db4, db6, db8")
+	fs.IntVar(&f.Levels, "levels", 3, "default decomposition levels")
+	fs.IntVar(&f.Queue, "queue", 64, "admission queue depth (full queue rejects with 503)")
+	fs.IntVar(&f.Workers, "workers", 0, "executor goroutines (0 = GOMAXPROCS)")
+	fs.IntVar(&f.Batch, "batch", 1, "micro-batch size (>= 2 batches compatible queued requests)")
+	fs.DurationVar(&f.Deadline, "deadline", 0, "server-imposed per-request deadline, e.g. 500ms (0 = none)")
+}
+
+// ServeConfig validates the parsed service flags into a serve.Config.
+func (f *ServeFlags) ServeConfig() (serve.Config, error) {
+	bank, err := filter.ByName(f.Filter)
+	if err != nil {
+		return serve.Config{}, fmt.Errorf("-filter: %w", err)
+	}
+	if f.Levels < 1 {
+		return serve.Config{}, fmt.Errorf("-levels: %d, want >= 1", f.Levels)
+	}
+	if f.Deadline < 0 {
+		return serve.Config{}, fmt.Errorf("-deadline: %v, want >= 0", f.Deadline)
+	}
+	return serve.Config{
+		Bank:       bank,
+		Levels:     f.Levels,
+		QueueDepth: f.Queue,
+		Workers:    f.Workers,
+		BatchSize:  f.Batch,
+	}, nil
 }
 
 // Options validates the parsed flags and builds the harness options.

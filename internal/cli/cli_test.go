@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestParseInts(t *testing.T) {
@@ -89,5 +90,46 @@ func TestPowersOfTwo(t *testing.T) {
 	}
 	if !PowersOfTwo(nil) {
 		t.Error("empty list rejected")
+	}
+}
+
+func TestServeFlagsConfig(t *testing.T) {
+	var f ServeFlags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.AddServe(fs)
+	if err := fs.Parse([]string{"-filter", "haar", "-levels", "2", "-queue", "8", "-batch", "4", "-deadline", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.ServeConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Bank == nil || cfg.Bank.Name != "haar" {
+		t.Errorf("Bank = %v, want haar", cfg.Bank)
+	}
+	if cfg.Levels != 2 || cfg.QueueDepth != 8 || cfg.BatchSize != 4 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if f.Deadline != 250*time.Millisecond {
+		t.Errorf("Deadline = %v", f.Deadline)
+	}
+}
+
+func TestServeFlagsRejectBadValues(t *testing.T) {
+	cases := [][]string{
+		{"-filter", "nope"},
+		{"-levels", "0"},
+		{"-deadline", "-1s"},
+	}
+	for _, args := range cases {
+		var f ServeFlags
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f.AddServe(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.ServeConfig(); err == nil {
+			t.Errorf("ServeConfig accepted %v", args)
+		}
 	}
 }

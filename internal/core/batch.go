@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,15 @@ type BatchResult struct {
 // must share dimensions decomposable to the requested depth; the first
 // offending image aborts the batch.
 func DecomposeBatch(images []*image.Image, bank *filter.Bank, ext filter.Extension, levels, workers int) (*BatchResult, error) {
+	return DecomposeBatchCtx(context.Background(), images, bank, ext, levels, workers)
+}
+
+// DecomposeBatchCtx is DecomposeBatch under a context: once ctx ends,
+// workers skip every image not yet started and the call returns the
+// context's error (images already in flight run to completion, so the
+// cancellation latency is one transform). The serve layer's
+// micro-batching uses this to honor deadlines between images.
+func DecomposeBatchCtx(ctx context.Context, images []*image.Image, bank *filter.Bank, ext filter.Extension, levels, workers int) (*BatchResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,6 +58,10 @@ func DecomposeBatch(images []*image.Image, bank *filter.Bank, ext filter.Extensi
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
 				out[i], errs[i] = wavelet.Decompose(images[i], bank, ext, levels)
 			}
 		}()
@@ -57,6 +71,9 @@ func DecomposeBatch(images []*image.Image, bank *filter.Bank, ext filter.Extensi
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: batch canceled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: batch image %d: %w", i, err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"wavelethpc/internal/filter"
@@ -58,6 +60,32 @@ func TestBandEnergyProfile(t *testing.T) {
 		// Terrain-like bands compact strongly.
 		if frac < 0.9 || frac > 1 {
 			t.Errorf("band %d compaction %g", b, frac)
+		}
+	}
+}
+
+func TestDecomposeBatchCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bands := image.LandsatBands(64, 64, 4, 5)
+	if _, err := DecomposeBatchCtx(ctx, bands, filter.Haar(), filter.Periodic, 2, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDecomposeBatchCtxMatchesBackground(t *testing.T) {
+	bands := image.LandsatBands(32, 32, 3, 8)
+	plain, err := DecomposeBatch(bands, filter.Daubechies4(), filter.Periodic, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := DecomposeBatchCtx(context.Background(), bands, filter.Daubechies4(), filter.Periodic, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bands {
+		if !image.EqualBits(plain.Pyramids[i].Approx, ctxed.Pyramids[i].Approx) {
+			t.Errorf("band %d: ctx batch diverged", i)
 		}
 	}
 }

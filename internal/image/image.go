@@ -134,6 +134,26 @@ func Equal(a, b *Image, tol float64) bool {
 	return true
 }
 
+// EqualBits reports whether a and b have identical dimensions and every
+// pixel pair carries the same 64-bit pattern (math.Float64bits) — the
+// bit-identity contract of the equivalence suites, stricter than
+// Equal(a, b, 0) because it distinguishes -0 from 0 and compares NaNs
+// by payload.
+func EqualBits(a, b *Image) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for r := 0; r < a.Rows; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for c := range ra {
+			if math.Float64bits(ra[c]) != math.Float64bits(rb[c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // MSE returns the mean squared error between two equal-size images.
 func MSE(a, b *Image) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {

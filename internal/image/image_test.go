@@ -382,3 +382,27 @@ func TestEqualDifferentShapes(t *testing.T) {
 		t.Error("different shapes reported equal")
 	}
 }
+
+func TestEqualBits(t *testing.T) {
+	a := Landsat(8, 8, 3)
+	if !EqualBits(a, a.Clone()) {
+		t.Error("clone not bit-equal to source")
+	}
+	b := a.Clone()
+	b.Set(3, 4, math.Nextafter(b.At(3, 4), math.Inf(1))) // one ULP
+	if EqualBits(a, b) {
+		t.Error("single-ULP difference not detected")
+	}
+	if EqualBits(New(2, 2), New(2, 3)) {
+		t.Error("different shapes reported bit-equal")
+	}
+	// Bit comparison distinguishes -0 from 0, unlike Equal(a, b, 0).
+	z, nz := New(1, 1), New(1, 1)
+	nz.Set(0, 0, math.Copysign(0, -1))
+	if EqualBits(z, nz) {
+		t.Error("-0 and 0 reported bit-equal")
+	}
+	if !Equal(z, nz, 0) {
+		t.Error("-0 and 0 should compare Equal at tolerance 0")
+	}
+}

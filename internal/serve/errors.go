@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OverloadError is the typed rejection returned when the admission queue
+// is full. Rejection is deterministic and immediate: admission never
+// blocks, so a caller holding a deadline learns about overload in
+// microseconds instead of burning its budget waiting in line. Callers
+// are expected to back off (the HTTP layer translates this into
+// 503 + Retry-After).
+type OverloadError struct {
+	// Capacity is the configured admission-queue bound that was hit.
+	Capacity int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: admission queue full (capacity %d)", e.Capacity)
+}
+
+// ErrStopped is returned by Do once Shutdown has begun: the server no
+// longer admits work, though in-flight and already-queued requests still
+// complete (graceful drain).
+var ErrStopped = errors.New("serve: server stopped")

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// maxBodyBytes bounds an uploaded PGM. A maxPGMPixels-sized image is
+// ~16 MiB of pixel bytes; 32 MiB leaves header room without letting a
+// client stream unbounded data at the decoder.
+const maxBodyBytes = 32 << 20
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/decompose  PGM (binary P5) in, PGM out.
+//	                    Query: filter (haar|db4|db6|db8, default server),
+//	                    levels (default server),
+//	                    output=mosaic|roundtrip (default mosaic).
+//	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown.
+//	GET  /metrics       Prometheus text exposition of the registry.
+//
+// output=mosaic renders the classical pyramid mosaic normalized to
+// [0, 255]; output=roundtrip reconstructs the pyramid and returns the
+// reconstruction — for integer-valued input the bytes equal the input
+// PGM exactly, which the CI smoke test checks end to end.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decompose", s.handleDecompose)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a binary PGM body", http.StatusMethodNotAllowed)
+		return
+	}
+	req := Request{}
+	q := r.URL.Query()
+	if name := q.Get("filter"); name != "" {
+		bank, err := filter.ByName(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req.Bank = bank
+	}
+	if lv := q.Get("levels"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad levels %q", lv), http.StatusBadRequest)
+			return
+		}
+		req.Levels = n
+	}
+	output := q.Get("output")
+	if output == "" {
+		output = "mosaic"
+	}
+	if output != "mosaic" && output != "roundtrip" {
+		http.Error(w, fmt.Sprintf("bad output %q (mosaic or roundtrip)", output), http.StatusBadRequest)
+		return
+	}
+	im, err := image.ReadPGM(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Image = im
+
+	res, err := s.Do(r.Context(), req)
+	if err != nil {
+		writeDoError(w, err)
+		return
+	}
+	defer res.Close()
+	var out *image.Image
+	switch output {
+	case "roundtrip":
+		out = wavelet.Reconstruct(res.Pyramid)
+	default:
+		out = res.Pyramid.Mosaic()
+		out.Normalize(0, 255)
+	}
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	if err := image.WritePGM(w, out); err != nil {
+		// Headers are gone; nothing more to do than drop the conn.
+		return
+	}
+}
+
+// writeDoError maps service errors onto HTTP statuses: overload and
+// shutdown are 503 (overload with Retry-After so well-behaved clients
+// back off), an expired deadline is 504, client-side misuse is 400.
+func writeDoError(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	var ue *wavelet.UsageError
+	switch {
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrStopped):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &ue):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	stopped := s.stopped
+	s.mu.RUnlock()
+	if stopped {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.metrics.Snapshot()
+	snap.WriteProm(w)
+}

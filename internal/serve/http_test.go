@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wavelethpc/internal/image"
+)
+
+func newHTTPServer(t *testing.T, cfg Config) (*Server, http.Handler) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return s, s.Handler()
+}
+
+// pgmBytes renders a synthetic scene as a binary PGM. Going through
+// WritePGM quantizes to integers, which is what makes the round-trip
+// byte-exact.
+func pgmBytes(t *testing.T, rows, cols int, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := image.WritePGM(&buf, image.Landsat(rows, cols, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestHTTPMosaic(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1, Levels: 2})
+	body := pgmBytes(t, 64, 64, 7)
+	req := httptest.NewRequest(http.MethodPost, "/v1/decompose?filter=db4&levels=2", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/x-portable-graymap" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	out, err := image.ReadPGM(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 64 || out.Cols != 64 {
+		t.Errorf("mosaic is %dx%d, want 64x64", out.Rows, out.Cols)
+	}
+}
+
+// TestHTTPRoundTrip: for integer-valued input and an orthonormal bank,
+// reconstruction error (~1e-10) cannot cross a rounding boundary, so the
+// response bytes must equal the request bytes exactly. This is the same
+// check the CI smoke job performs with cmp.
+func TestHTTPRoundTrip(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1, Levels: 3})
+	body := pgmBytes(t, 64, 64, 3)
+	req := httptest.NewRequest(http.MethodPost, "/v1/decompose?output=roundtrip", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %q", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), body) {
+		t.Fatal("round-trip PGM differs from input")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1, Levels: 2})
+	good := pgmBytes(t, 64, 64, 1)
+	cases := []struct {
+		name, target string
+		body         []byte
+		wantStatus   int
+	}{
+		{"bad filter", "/v1/decompose?filter=nope", good, http.StatusBadRequest},
+		{"bad levels", "/v1/decompose?levels=0", good, http.StatusBadRequest},
+		{"bad output", "/v1/decompose?output=gif", good, http.StatusBadRequest},
+		{"garbage body", "/v1/decompose", []byte("not a pgm"), http.StatusBadRequest},
+		{"undecomposable", "/v1/decompose?levels=9", good, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, c.target, bytes.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != c.wantStatus {
+			t.Errorf("%s: status = %d, want %d (body %q)", c.name, rec.Code, c.wantStatus, rec.Body.String())
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/decompose", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status = %d, want 405", rec.Code)
+	}
+}
+
+// TestHTTPOverload: a full queue surfaces as 503 with a Retry-After
+// hint, the HTTP face of the deterministic *OverloadError rejection.
+func TestHTTPOverload(t *testing.T) {
+	s, h := newHTTPServer(t, Config{Workers: 1, QueueDepth: 1, Levels: 1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	s.execHook = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	defer close(gate)
+	body := pgmBytes(t, 32, 32, 2)
+
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/decompose", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	go post() // held by the worker
+	<-entered
+	go post() // fills the queue
+	waitCounter(t, &s.metrics.Accepted, 2)
+
+	rec := post()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	s, h := newHTTPServer(t, Config{Workers: 1, Levels: 2})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// One request so the counters are non-zero.
+	req := httptest.NewRequest(http.MethodPost, "/v1/decompose", bytes.NewReader(pgmBytes(t, 64, 64, 4)))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("decompose = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	for _, want := range []string{
+		"waveserve_accepted_total 1",
+		"waveserve_completed_total 1",
+		"waveserve_latency_seconds_count 1",
+		`waveserve_latency_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz after Shutdown = %d, want 503", rec.Code)
+	}
+}

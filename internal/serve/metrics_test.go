@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	// Buckets are upper-inclusive: 0.5 and 1 land in le=1; 1.5 in le=2;
+	// 3 in le=4; 100 in +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 106 {
+		t.Errorf("Sum = %g, want 106", s.Sum)
+	}
+}
+
+func TestHistogramObserveConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.Count != 4000 || s.Counts[0] != 4000 {
+		t.Errorf("Count/Counts[0] = %d/%d, want 4000/4000", s.Count, s.Counts[0])
+	}
+	if s.Sum != 4000 {
+		t.Errorf("Sum = %g, want 4000 (CAS accumulation lost updates)", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // le=1
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(3) // le=4
+	}
+	h.Observe(100) // +Inf
+	s := h.snapshot()
+	if q := s.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %g, want 1", q)
+	}
+	if q := s.Quantile(0.95); q != 4 {
+		t.Errorf("p95 = %g, want 4", q)
+	}
+	if q := s.Quantile(1); !math.IsInf(q, 1) {
+		t.Errorf("p100 = %g, want +Inf", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	m := newMetrics()
+	m.Accepted.Add(3)
+	m.Latency.Observe(0.002)
+	m.Latency.Observe(0.3)
+	var b strings.Builder
+	if err := m.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE waveserve_accepted_total counter",
+		"waveserve_accepted_total 3",
+		"# TYPE waveserve_latency_seconds histogram",
+		`waveserve_latency_seconds_bucket{le="0.0025"} 1`,
+		`waveserve_latency_seconds_bucket{le="+Inf"} 2`,
+		"waveserve_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+// Package serve is the embeddable decomposition service layer: the
+// point where the fast steady-state kernels of internal/wavelet meet
+// production traffic. It owns a bounded admission queue with
+// deterministic overload rejection (*OverloadError, never a blocking
+// wait), per-(rows, cols, bank, levels) pools of reused
+// wavelet.Decomposers, optional micro-batching of compatible requests
+// onto the internal/core worker pool, per-request deadlines via
+// context.Context, graceful drain on shutdown, and a zero-dependency
+// atomic metrics registry exposed through Snapshot and the net/http
+// handler set (/v1/decompose, /healthz, /metrics).
+//
+// The paper's closing claim — a sustained rate of "30 images or more
+// per second", enough for real-time EOSDIS-scale processing — is
+// exactly the workload this layer schedules; cmd/waveserved wraps it in
+// a standalone daemon and cmd/benchjson -serve measures it.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// Config parameterizes a Server. The zero value of every field selects
+// a sensible default; invalid (negative) values are rejected by New
+// with a wrapped *wavelet.UsageError.
+type Config struct {
+	// Bank is the default filter bank for requests that do not name
+	// one. Nil selects Daubechies-8 (the paper's F8).
+	Bank *filter.Bank
+	// Levels is the default decomposition depth (0 = 3).
+	Levels int
+	// Extension is the border policy for every request (the service is
+	// homogeneous in extension; default Periodic).
+	Extension filter.Extension
+	// QueueDepth bounds the admission queue (0 = 64). When the queue
+	// is full, Do rejects immediately with *OverloadError.
+	QueueDepth int
+	// Workers is the number of executor goroutines (0 = GOMAXPROCS).
+	Workers int
+	// BatchSize enables micro-batching when >= 2: an executor that
+	// pops a request drains up to BatchSize-1 more already-queued
+	// compatible requests (same shape, bank, and depth) and runs them
+	// through the internal/core batch pool in one go. 0 or 1 disables.
+	BatchSize int
+	// BatchWorkers is the worker count inside one micro-batch
+	// (0 = GOMAXPROCS); only meaningful with BatchSize >= 2.
+	BatchWorkers int
+	// Clock injects a time source for tests; nil uses the wall clock.
+	Clock func() time.Time
+}
+
+// Request is one decomposition job.
+type Request struct {
+	// Image is the raster to decompose. It must stay unmodified until
+	// the request completes.
+	Image *image.Image
+	// Bank overrides the server's default bank when non-nil. Banks are
+	// identified by Name for Decomposer pooling, so two banks sharing
+	// a name must share coefficients (true for every filter.ByName
+	// result).
+	Bank *filter.Bank
+	// Levels overrides the server's default depth when > 0.
+	Levels int
+}
+
+// Result is a completed decomposition. Close returns the pooled
+// Decomposer backing Pyramid to the server, after which Pyramid must
+// not be read; call Detach first to keep a private copy.
+type Result struct {
+	// Pyramid is the decomposition. For pooled (unbatched) results it
+	// references the Decomposer's reused buffers and is invalidated by
+	// Close.
+	Pyramid *wavelet.Pyramid
+
+	release  func()
+	released atomic.Bool
+}
+
+// Close releases the pooled resources behind the result. Idempotent.
+func (r *Result) Close() {
+	if r.release != nil && r.released.CompareAndSwap(false, true) {
+		r.release()
+	}
+}
+
+// Detach deep-copies the pyramid, closes the result, and returns the
+// copy, which the caller owns outright.
+func (r *Result) Detach() *wavelet.Pyramid {
+	p := r.Pyramid.Clone()
+	r.Close()
+	return p
+}
+
+// poolKey identifies a Decomposer pool: one pool per request shape ×
+// bank × depth, so arenas and output pyramids are always right-sized
+// for the traffic class they serve.
+type poolKey struct {
+	rows, cols int
+	bank       string
+	levels     int
+}
+
+// job is a queued request plus its delivery plumbing.
+type job struct {
+	im     *image.Image
+	bank   *filter.Bank
+	levels int
+	key    poolKey
+	ctx    context.Context
+	start  time.Time
+	done   chan jobResponse
+	// handedOff arbitrates delivery between the executor and a Do that
+	// gave up on its context: whoever wins the CAS owns the response.
+	handedOff atomic.Bool
+}
+
+type jobResponse struct {
+	res *Result
+	err error
+}
+
+// Server is the decomposition service. Create with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	now     func() time.Time
+	queue   chan *job
+	mu      sync.RWMutex // guards stopped vs. queue close
+	stopped bool
+	wg      sync.WaitGroup
+	metrics *Metrics
+
+	poolMu sync.Mutex
+	pools  map[poolKey]*sync.Pool
+
+	// execHook, when set (tests only), runs at the start of each
+	// executor iteration, before batching and execution.
+	execHook func()
+}
+
+// New validates cfg and starts the executor goroutines.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth < 0 {
+		return nil, badConfig("QueueDepth = %d, want >= 0", cfg.QueueDepth)
+	}
+	if cfg.Workers < 0 {
+		return nil, badConfig("Workers = %d, want >= 0", cfg.Workers)
+	}
+	if cfg.Levels < 0 {
+		return nil, badConfig("Levels = %d, want >= 0", cfg.Levels)
+	}
+	if cfg.BatchSize < 0 {
+		return nil, badConfig("BatchSize = %d, want >= 0", cfg.BatchSize)
+	}
+	switch cfg.Extension {
+	case filter.Periodic, filter.Symmetric, filter.Zero:
+	default:
+		return nil, badConfig("unknown Extension %v", cfg.Extension)
+	}
+	if cfg.Bank == nil {
+		cfg.Bank = filter.Daubechies8()
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = 3
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	s := &Server{
+		cfg:     cfg,
+		now:     cfg.Clock,
+		queue:   make(chan *job, cfg.QueueDepth),
+		metrics: newMetrics(),
+		pools:   map[poolKey]*sync.Pool{},
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+func badConfig(format string, args ...any) error {
+	return fmt.Errorf("serve: invalid config: %w",
+		&wavelet.UsageError{Op: "serve.New", Detail: fmt.Sprintf(format, args...)})
+}
+
+func badRequest(format string, args ...any) error {
+	return fmt.Errorf("serve: invalid request: %w",
+		&wavelet.UsageError{Op: "serve.Do", Detail: fmt.Sprintf(format, args...)})
+}
+
+// Metrics returns the server's registry (live; use Snapshot for a
+// consistent copy).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// QueueLen returns the current admission-queue depth.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Do submits one request and waits for its result or the context. The
+// admission decision is immediate: a full queue returns *OverloadError
+// without blocking, so Do never waits in line past a deadline it cannot
+// meet. A request whose context ends while queued is reported with the
+// context's error; its slot is reclaimed without executing. The caller
+// must Close (or Detach) the returned Result.
+func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
+	if req.Image == nil {
+		return nil, badRequest("nil image")
+	}
+	bank := req.Bank
+	if bank == nil {
+		bank = s.cfg.Bank
+	}
+	levels := req.Levels
+	if levels == 0 {
+		levels = s.cfg.Levels
+	}
+	if levels < 0 {
+		return nil, badRequest("Levels = %d, want >= 1", levels)
+	}
+	if err := wavelet.CheckDecomposable(req.Image.Rows, req.Image.Cols, levels); err != nil {
+		return nil, badRequest("%dx%d image not decomposable to %d levels",
+			req.Image.Rows, req.Image.Cols, levels)
+	}
+	j := &job{
+		im:     req.Image,
+		bank:   bank,
+		levels: levels,
+		key:    poolKey{rows: req.Image.Rows, cols: req.Image.Cols, bank: bank.Name, levels: levels},
+		ctx:    ctx,
+		start:  s.now(),
+		done:   make(chan jobResponse, 1),
+	}
+
+	s.mu.RLock()
+	if s.stopped {
+		s.mu.RUnlock()
+		return nil, ErrStopped
+	}
+	var admitted bool
+	select {
+	case s.queue <- j:
+		admitted = true
+	default:
+	}
+	s.mu.RUnlock()
+	if !admitted {
+		s.metrics.Rejected.Add(1)
+		return nil, &OverloadError{Capacity: cap(s.queue)}
+	}
+	s.metrics.Accepted.Add(1)
+	s.metrics.QueueDepth.Observe(float64(len(s.queue)))
+
+	select {
+	case r := <-j.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		if j.handedOff.CompareAndSwap(false, true) {
+			return nil, ctx.Err()
+		}
+		// The executor won the race and a response is in flight.
+		r := <-j.done
+		return r.res, r.err
+	}
+}
+
+// Shutdown stops admission and drains: in-flight and already-queued
+// requests complete, then the executors exit. It returns nil once every
+// executor has stopped, or the context's error if draining outlasts
+// it (executors keep draining regardless). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// executor is one worker goroutine: it pops a job, optionally drains a
+// micro-batch of compatible neighbors, and executes.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if s.execHook != nil {
+			s.execHook()
+		}
+		if j.ctx.Err() != nil {
+			s.expire(j)
+			continue
+		}
+		batch := []*job{j}
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case j2, ok := <-s.queue:
+				if !ok {
+					s.executeGroups(batch)
+					return
+				}
+				if j2.ctx.Err() != nil {
+					s.expire(j2)
+					continue
+				}
+				batch = append(batch, j2)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		s.executeGroups(batch)
+	}
+}
+
+// expire reports a request whose context ended before execution.
+func (s *Server) expire(j *job) {
+	s.metrics.Expired.Add(1)
+	s.respond(j, nil, j.ctx.Err())
+}
+
+// executeGroups partitions a drained batch by pool key (a micro-batch
+// may have raced with unrelated traffic) and executes each group.
+func (s *Server) executeGroups(batch []*job) {
+	for len(batch) > 0 {
+		key := batch[0].key
+		group := batch[:0:0]
+		rest := batch[:0:0]
+		for _, j := range batch {
+			if j.key == key {
+				group = append(group, j)
+			} else {
+				rest = append(rest, j)
+			}
+		}
+		s.metrics.BatchSize.Observe(float64(len(group)))
+		if len(group) == 1 {
+			s.executeOne(group[0])
+		} else {
+			s.executeBatch(group)
+		}
+		batch = rest
+	}
+}
+
+// executeOne runs a single request through its shape's Decomposer pool.
+func (s *Server) executeOne(j *job) {
+	dec := s.getDecomposer(j.key, j.bank)
+	p, err := s.decompose(func() (*wavelet.Pyramid, error) { return dec.Decompose(j.im) })
+	if err != nil {
+		s.putDecomposer(j.key, dec)
+		s.metrics.Errors.Add(1)
+		s.respond(j, nil, err)
+		return
+	}
+	key, d := j.key, dec
+	res := &Result{Pyramid: p, release: func() { s.putDecomposer(key, d) }}
+	s.complete(j, res)
+}
+
+// executeBatch runs a compatible group through the internal/core batch
+// pool. Batch pyramids are independently allocated, so their Results
+// need no release.
+func (s *Server) executeBatch(group []*job) {
+	images := make([]*image.Image, len(group))
+	for i, j := range group {
+		images[i] = j.im
+	}
+	j0 := group[0]
+	br, err := s.decomposeBatch(images, j0.bank, j0.levels)
+	if err != nil {
+		for _, j := range group {
+			s.metrics.Errors.Add(1)
+			s.respond(j, nil, err)
+		}
+		return
+	}
+	s.metrics.BatchedImages.Add(int64(len(group)))
+	for i, j := range group {
+		s.complete(j, &Result{Pyramid: br.Pyramids[i]})
+	}
+}
+
+func (s *Server) decomposeBatch(images []*image.Image, bank *filter.Bank, levels int) (br *core.BatchResult, err error) {
+	defer recoverToError(&err)
+	return core.DecomposeBatchCtx(context.Background(), images, bank, s.cfg.Extension, levels, s.cfg.BatchWorkers)
+}
+
+// decompose shields the serve boundary: a *wavelet.UsageError panic
+// from a contract violation (or any other panic) becomes an error
+// response, never a crashed executor.
+func (s *Server) decompose(fn func() (*wavelet.Pyramid, error)) (p *wavelet.Pyramid, err error) {
+	defer recoverToError(&err)
+	return fn()
+}
+
+func recoverToError(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if ue, ok := r.(*wavelet.UsageError); ok {
+		*err = fmt.Errorf("serve: decomposition rejected: %w", ue)
+		return
+	}
+	*err = fmt.Errorf("serve: decomposition panicked: %v", r)
+}
+
+// complete delivers a successful result, recording latency. If the
+// requester already abandoned the job, pooled resources are reclaimed.
+func (s *Server) complete(j *job, res *Result) {
+	s.metrics.Completed.Add(1)
+	s.metrics.Latency.Observe(s.now().Sub(j.start).Seconds())
+	if !s.deliver(j, res, nil) {
+		res.Close()
+	}
+}
+
+// respond delivers an error response (or discards it if abandoned).
+func (s *Server) respond(j *job, res *Result, err error) {
+	s.deliver(j, res, err)
+}
+
+// deliver hands the response to the waiting Do unless the requester's
+// context won the race; reports whether the response was taken.
+func (s *Server) deliver(j *job, res *Result, err error) bool {
+	if !j.handedOff.CompareAndSwap(false, true) {
+		return false
+	}
+	j.done <- jobResponse{res: res, err: err}
+	return true
+}
+
+// getDecomposer checks a Decomposer out of the key's pool, creating the
+// pool (and, via sync.Pool, the Decomposer) on first use. Checked-out
+// Decomposers are exclusively owned until putDecomposer.
+func (s *Server) getDecomposer(key poolKey, bank *filter.Bank) *wavelet.Decomposer {
+	s.poolMu.Lock()
+	p, ok := s.pools[key]
+	if !ok {
+		ext, levels := s.cfg.Extension, key.levels
+		b := bank
+		p = &sync.Pool{New: func() any { return wavelet.NewDecomposer(b, ext, levels) }}
+		s.pools[key] = p
+	}
+	s.poolMu.Unlock()
+	return p.Get().(*wavelet.Decomposer)
+}
+
+func (s *Server) putDecomposer(key poolKey, d *wavelet.Decomposer) {
+	s.poolMu.Lock()
+	p := s.pools[key]
+	s.poolMu.Unlock()
+	if p != nil {
+		p.Put(d)
+	}
+}

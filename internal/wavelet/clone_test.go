@@ -1,0 +1,43 @@
+package wavelet
+
+import (
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// TestPyramidCloneIndependence: a clone is bit-identical to its source
+// and fully detached — mutating the source afterwards (as a pooled
+// Decomposer does on reuse) must not reach the clone.
+func TestPyramidCloneIndependence(t *testing.T) {
+	im := image.Landsat(32, 32, 13)
+	p, err := Decompose(im, filter.Daubechies4(), filter.Periodic, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if c.Bank != p.Bank || c.Ext != p.Ext || c.Depth() != p.Depth() {
+		t.Fatalf("clone metadata differs: %v/%v depth %d vs %d", c.Bank.Name, p.Bank.Name, c.Depth(), p.Depth())
+	}
+	if !image.EqualBits(p.Approx, c.Approx) {
+		t.Fatal("clone approximation differs")
+	}
+	for i := range p.Levels {
+		if !image.EqualBits(p.Levels[i].LH, c.Levels[i].LH) ||
+			!image.EqualBits(p.Levels[i].HL, c.Levels[i].HL) ||
+			!image.EqualBits(p.Levels[i].HH, c.Levels[i].HH) {
+			t.Fatalf("clone detail level %d differs", i)
+		}
+	}
+
+	before := c.Approx.At(0, 0)
+	p.Approx.Set(0, 0, before+1e6)
+	p.Levels[0].HH.Set(0, 0, -1e6)
+	if c.Approx.At(0, 0) != before {
+		t.Fatal("clone shares approximation storage with source")
+	}
+	if c.Levels[0].HH.At(0, 0) == -1e6 {
+		t.Fatal("clone shares detail storage with source")
+	}
+}

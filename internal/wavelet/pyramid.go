@@ -75,6 +75,18 @@ func Reconstruct(p *Pyramid) *image.Image {
 	return cur
 }
 
+// Clone returns a deep copy of the pyramid: every band is copied into
+// fresh storage, so the clone outlives any reused buffers backing the
+// original (the serve layer's Result.Detach relies on this to hand out
+// pyramids independent of its Decomposer pools).
+func (p *Pyramid) Clone() *Pyramid {
+	out := &Pyramid{Bank: p.Bank, Ext: p.Ext, Approx: p.Approx.Clone(), Levels: make([]DetailBands, len(p.Levels))}
+	for i, d := range p.Levels {
+		out.Levels[i] = DetailBands{LH: d.LH.Clone(), HL: d.HL.Clone(), HH: d.HH.Clone()}
+	}
+	return out
+}
+
 // Mosaic renders the pyramid into a single image of the original size with
 // the classic wavelet layout: the approximation in the top-left corner and
 // each level's LH (top-right), HL (bottom-left), and HH (bottom-right)

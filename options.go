@@ -1,0 +1,183 @@
+package wavelethpc
+
+import (
+	"fmt"
+	"runtime"
+
+	"wavelethpc/internal/core"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/wavelet"
+)
+
+// Extension selects how signals are extended past image borders before
+// filtering.
+type Extension = filter.Extension
+
+// The supported border policies. Periodic is the paper's choice and the
+// default of every facade entry point; orthonormal banks reconstruct
+// exactly under it.
+const (
+	Periodic  = filter.Periodic
+	Symmetric = filter.Symmetric
+	Zero      = filter.Zero
+)
+
+// Option configures a decomposition through DecomposeWith or
+// DecomposeAllWith. Options validate eagerly: an out-of-range value
+// surfaces as an error (wrapping *wavelet.UsageError) from the entry
+// point, never as a panic.
+type Option func(*decomposeConfig) error
+
+// decomposeConfig is the resolved option set. The zero-option defaults
+// reproduce the classical sequential transform: periodic extension, one
+// level, no worker pool.
+type decomposeConfig struct {
+	levels   int
+	workers  int
+	parallel bool
+	ext      Extension
+}
+
+// optionErr wraps an option-validation failure in the facade's typed
+// error so callers can errors.As for *wavelet.UsageError.
+func optionErr(op, format string, args ...any) error {
+	return fmt.Errorf("wavelethpc: invalid option: %w",
+		&wavelet.UsageError{Op: op, Detail: fmt.Sprintf(format, args...)})
+}
+
+// WithLevels sets the decomposition depth (default 1). Levels must be
+// at least 1; the input dimensions must be divisible by 2^levels.
+func WithLevels(levels int) Option {
+	return func(c *decomposeConfig) error {
+		if levels < 1 {
+			return optionErr("WithLevels", "levels = %d, want >= 1", levels)
+		}
+		c.levels = levels
+		return nil
+	}
+}
+
+// WithWorkers routes the transform through the shared-memory parallel
+// path with the given worker count (0 = GOMAXPROCS). Output is
+// bit-identical to the sequential path at any worker count. Without
+// this option the transform runs sequentially on the calling goroutine.
+func WithWorkers(workers int) Option {
+	return func(c *decomposeConfig) error {
+		if workers < 0 {
+			return optionErr("WithWorkers", "workers = %d, want >= 0 (0 = GOMAXPROCS)", workers)
+		}
+		c.workers = workers
+		c.parallel = true
+		return nil
+	}
+}
+
+// WithExtension sets the border policy (default Periodic).
+func WithExtension(ext Extension) Option {
+	return func(c *decomposeConfig) error {
+		switch ext {
+		case Periodic, Symmetric, Zero:
+			c.ext = ext
+			return nil
+		default:
+			return optionErr("WithExtension", "unknown extension %v", ext)
+		}
+	}
+}
+
+// resolveOptions validates the common arguments and folds the options.
+func resolveOptions(bank *FilterBank, opts []Option) (decomposeConfig, error) {
+	cfg := decomposeConfig{levels: 1, workers: 1, ext: Periodic}
+	if bank == nil {
+		return cfg, optionErr("DecomposeWith", "nil filter bank")
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return cfg, optionErr("DecomposeWith", "nil Option")
+		}
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// DecomposeWith is the facade's single decomposition entry point: a
+// multi-resolution Mallat transform of im by bank, configured by
+// functional options.
+//
+//	pyr, err := wavelethpc.DecomposeWith(im, wavelethpc.Daubechies8(),
+//	        wavelethpc.WithLevels(3), wavelethpc.WithWorkers(0))
+//
+// With no options it performs a sequential one-level periodic
+// decomposition. Results are bit-identical across every option
+// combination that selects the same mathematical transform (worker
+// counts included), and identical to the deprecated Decompose,
+// ParallelDecompose, and DecomposeBatch wrappers that delegate here.
+// Invalid arguments and options return errors wrapping
+// *wavelet.UsageError; no panic crosses this boundary.
+func DecomposeWith(im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error) {
+	if im == nil {
+		return nil, optionErr("DecomposeWith", "nil image")
+	}
+	cfg, err := resolveOptions(bank, opts)
+	if err != nil {
+		return nil, err
+	}
+	return guardDecompose(func() (*Pyramid, error) {
+		if cfg.parallel {
+			return core.ParallelDecompose(im, bank, cfg.ext, cfg.levels, cfg.workers)
+		}
+		return wavelet.Decompose(im, bank, cfg.ext, cfg.levels)
+	})
+}
+
+// DecomposeAllWith decomposes a batch of images through a worker pool,
+// preserving order; each output is bit-identical to DecomposeWith on
+// the corresponding input. Unlike DecomposeWith, the default worker
+// count is GOMAXPROCS (a batch is inherently a throughput workload);
+// WithWorkers overrides it. All images must be decomposable to the
+// configured depth — the first offending image fails the whole batch.
+func DecomposeAllWith(images []*Image, bank *FilterBank, opts ...Option) ([]*Pyramid, error) {
+	cfg, err := resolveOptions(bank, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.parallel {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	for i, im := range images {
+		if im == nil {
+			return nil, optionErr("DecomposeAllWith", "nil image at index %d", i)
+		}
+	}
+	var pyrs []*Pyramid
+	_, err = guardDecompose(func() (*Pyramid, error) {
+		res, err := core.DecomposeBatch(images, bank, cfg.ext, cfg.levels, cfg.workers)
+		if err != nil {
+			return nil, err
+		}
+		pyrs = res.Pyramids
+		return nil, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pyrs, nil
+}
+
+// guardDecompose is the facade's panic shield: contract-violation
+// panics from the internal layers (*wavelet.UsageError) surface as
+// ordinary errors; anything else propagates unchanged.
+func guardDecompose(fn func() (*Pyramid, error)) (p *Pyramid, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ue, ok := r.(*wavelet.UsageError)
+			if !ok {
+				panic(r)
+			}
+			p, err = nil, fmt.Errorf("wavelethpc: %w", ue)
+		}
+	}()
+	return fn()
+}

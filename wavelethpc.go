@@ -71,8 +71,11 @@ func FilterByName(name string) (*FilterBank, error) { return filter.ByName(name)
 
 // Decompose runs the sequential Mallat multi-resolution decomposition
 // with periodic extension.
+//
+// Deprecated: use DecomposeWith(im, bank, WithLevels(levels)). This
+// wrapper delegates to it and stays byte-identical.
 func Decompose(im *Image, bank *FilterBank, levels int) (*Pyramid, error) {
-	return wavelet.Decompose(im, bank, filter.Periodic, levels)
+	return DecomposeWith(im, bank, WithLevels(levels))
 }
 
 // Reconstruct inverts Decompose.
@@ -93,8 +96,12 @@ func NewDecomposer(bank *FilterBank, levels int) *Decomposer {
 
 // ParallelDecompose is the shared-memory parallel decomposition; workers
 // = 0 uses GOMAXPROCS. Results are identical to Decompose.
+//
+// Deprecated: use DecomposeWith(im, bank, WithLevels(levels),
+// WithWorkers(workers)). This wrapper delegates to it and stays
+// byte-identical.
 func ParallelDecompose(im *Image, bank *FilterBank, levels, workers int) (*Pyramid, error) {
-	return core.ParallelDecompose(im, bank, filter.Periodic, levels, workers)
+	return DecomposeWith(im, bank, WithLevels(levels), WithWorkers(workers))
 }
 
 // ParallelReconstruct inverts ParallelDecompose with the given worker
@@ -157,12 +164,12 @@ func LandsatBands(rows, cols, bands int, seed uint64) []*Image {
 
 // DecomposeBatch decomposes a stream of images through a worker pool
 // (0 = GOMAXPROCS), preserving order; results equal per-image Decompose.
+//
+// Deprecated: use DecomposeAllWith(images, bank, WithLevels(levels),
+// WithWorkers(workers)). This wrapper delegates to it and stays
+// byte-identical.
 func DecomposeBatch(images []*Image, bank *FilterBank, levels, workers int) ([]*Pyramid, error) {
-	res, err := core.DecomposeBatch(images, bank, filter.Periodic, levels, workers)
-	if err != nil {
-		return nil, err
-	}
-	return res.Pyramids, nil
+	return DecomposeAllWith(images, bank, WithLevels(levels), WithWorkers(workers))
 }
 
 // PadToDecomposable rounds an image up to dimensions divisible by
