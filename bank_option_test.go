@@ -1,0 +1,116 @@
+package wavelethpc
+
+import (
+	"errors"
+	"testing"
+
+	"wavelethpc/internal/filter"
+)
+
+// WithBank facade coverage: name resolution, conflict rules, and the
+// typed unknown-name error surfacing through the options layer.
+
+func TestWithBankMatchesPositionalBank(t *testing.T) {
+	im := Landsat(64, 64, 3)
+	for _, name := range []string{"haar", "db8", "sym5", "bior4.4", "cdf5/3"} {
+		bank, err := FilterByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DecomposeWith(im, bank, WithLevels(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecomposeWith(im, nil, WithBank(name), WithLevels(2))
+		if err != nil {
+			t.Fatalf("WithBank(%q): %v", name, err)
+		}
+		requireSamePyramidBits(t, name, want, got)
+	}
+}
+
+func TestWithBankUnknownName(t *testing.T) {
+	im := Landsat(32, 32, 1)
+	_, err := DecomposeWith(im, nil, WithBank("db5"))
+	if err == nil {
+		t.Fatal("unknown bank name accepted")
+	}
+	var ube *filter.UnknownBankError
+	if !errors.As(err, &ube) {
+		t.Fatalf("err = %v (%T), want wrapped *filter.UnknownBankError", err, err)
+	}
+	if ube.Name != "db5" {
+		t.Errorf("Name = %q, want db5", ube.Name)
+	}
+}
+
+func TestWithBankConflictsWithPositional(t *testing.T) {
+	im := Landsat(32, 32, 1)
+	if _, err := DecomposeWith(im, Haar(), WithBank("db4")); err == nil {
+		t.Error("positional bank + WithBank accepted")
+	}
+}
+
+func TestWithBankAliases(t *testing.T) {
+	// The paper's F2/F4/F6/F8 aliases resolve through the option too.
+	im := Landsat(32, 32, 5)
+	want, err := DecomposeWith(im, Daubechies8(), WithLevels(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecomposeWith(im, nil, WithBank("f8"), WithLevels(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePyramidBits(t, "f8", want, got)
+}
+
+func TestBanksCatalog(t *testing.T) {
+	names := Banks()
+	if len(names) < 18 {
+		t.Fatalf("Banks() lists %d names, want >= 18", len(names))
+	}
+	for _, name := range names {
+		b, err := FilterByName(name)
+		if err != nil {
+			t.Errorf("FilterByName(%q): %v", name, err)
+			continue
+		}
+		if b.Name != name {
+			t.Errorf("FilterByName(%q).Name = %q", name, b.Name)
+		}
+	}
+}
+
+func TestFacadeWHT(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y, err := WHT1D(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := WHT1D(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if d := back[i] - x[i]; d > 1e-10 || d < -1e-10 {
+			t.Fatalf("WHT1D involution drift at %d: %g", i, d)
+		}
+	}
+	if _, err := WHT1D(make([]float64, 3)); err == nil {
+		t.Error("WHT1D accepted length 3")
+	}
+
+	im := Landsat(16, 16, 2)
+	w, err := WHT2D(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := WHT2D(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PSNR(im, back2); p < 200 {
+		t.Errorf("WHT2D involution PSNR = %g dB, want machine precision", p)
+	}
+}

@@ -22,6 +22,14 @@
 //
 //	benchjson -serve -label serve_pr5   # writes BENCH_serve_pr5.json
 //
+// With -bior, benchjson runs the biorthogonal comparison suite instead:
+// bior4.4 (CDF 9/7) against db4 on the same 512-square three-level
+// decomposition, through both the steady-state Decomposer and the
+// reference path, with per-bank speedup and allocation ratios in the
+// derived block:
+//
+//	benchjson -bior -label bior_pr6     # writes BENCH_bior_pr6.json
+//
 // The JSON format is documented in EXPERIMENTS.md.
 package main
 
@@ -89,6 +97,7 @@ func main() {
 		serveSize  = flag.Int("serve-size", 512, "square image size for the load generator")
 		serveQueue = flag.Int("serve-queue", 64, "admission queue depth")
 		serveBatch = flag.Int("serve-batch", 1, "micro-batch size (>= 2 enables batching)")
+		biorMode   = flag.Bool("bior", false, "run the bior4.4-vs-db4 comparison suite instead of the kernel suite")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -108,6 +117,17 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Derived:   map[string]float64{},
+	}
+
+	if *biorMode {
+		runBiorCompare(&rep, im)
+		writeReport(&rep, *out)
+		for _, r := range rep.Results {
+			log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		log.Printf("bior4.4/db4 steady-state cost ratio: %.2fx", rep.Derived["bior44_vs_db4_steady_ratio"])
+		log.Printf("wrote %s", *out)
+		return
 	}
 
 	if *serveMode {
@@ -181,6 +201,56 @@ func writeReport(rep *report, path string) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runBiorCompare measures the biorthogonal fast path against the
+// orthonormal baseline: bior4.4 (9/7-tap analysis, mixed channel
+// lengths, per-channel kernel passes) versus db4 (4-tap, fused unrolled
+// kernel) on the same 512-square three-level transform.
+func runBiorCompare(rep *report, im *image.Image) {
+	const levels = 3
+	banks := []struct {
+		key  string
+		bank *filter.Bank
+	}{
+		{"db4", filter.Daubechies4()},
+		{"bior44", filter.Bior44()},
+	}
+	byKey := map[string]result{}
+	for _, bc := range banks {
+		bank := bc.bank
+		steady := measure("Decompose512Steady_"+bank.Name, func(b *testing.B) {
+			d := wavelet.NewDecomposer(bank, filter.Periodic, levels)
+			if _, err := d.Decompose(im); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decompose(im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ref := measure("Decompose512Reference_"+bank.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wavelet.DecomposeReference(im, bank, filter.Periodic, levels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Results = append(rep.Results, steady, ref)
+		byKey[bc.key+"_steady"] = steady
+		byKey[bc.key+"_ref"] = ref
+		rep.Derived["speedup_steady_vs_reference_"+bc.key] =
+			ref.NsPerOp / steady.NsPerOp
+		rep.Derived["steady_allocs_per_op_"+bc.key] = float64(steady.AllocsPerOp)
+	}
+	rep.Derived["bior44_vs_db4_steady_ratio"] =
+		byKey["bior44_steady"].NsPerOp / byKey["db4_steady"].NsPerOp
+	rep.Derived["bior44_vs_db4_reference_ratio"] =
+		byKey["bior44_ref"].NsPerOp / byKey["db4_ref"].NsPerOp
 }
 
 // runServeLoad drives an in-process serve.Server with closed-loop

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	wavedecomp -in scene.pgm -filter db8 -levels 3 -out mosaic.pgm
-//	wavedecomp -synthetic 512 -filter haar -levels 4 -out mosaic.pgm -verify
+//	wavedecomp -synthetic 512 -bank bior4.4 -levels 4 -out mosaic.pgm -verify
+//	wavedecomp -list-banks
 package main
 
 import (
@@ -29,14 +30,32 @@ func main() {
 		synthetic = flag.Int("synthetic", 0, "generate an NxN synthetic Landsat-like scene instead of reading -in")
 		seed      = flag.Uint64("seed", 42, "synthetic scene seed")
 		out       = flag.String("out", "", "output PGM for the pyramid mosaic")
-		filterN   = flag.String("filter", "db8", "filter bank: haar, db4, db6, db8")
+		filterN   = flag.String("filter", "", "filter bank name (see -list-banks; default db8)")
+		bankN     = flag.String("bank", "", "synonym for -filter, matching the service's bank parameter")
+		listBanks = flag.Bool("list-banks", false, "print the registered bank names and exit")
 		levels    = flag.Int("levels", 3, "decomposition levels")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = sequential)")
 		verify    = flag.Bool("verify", false, "reconstruct and report PSNR")
 	)
 	flag.Parse()
 
-	bank, err := wavelethpc.FilterByName(*filterN)
+	if *listBanks {
+		for _, name := range wavelethpc.Banks() {
+			fmt.Println(name)
+		}
+		return
+	}
+	name := *filterN
+	if *bankN != "" {
+		if name != "" && name != *bankN {
+			log.Fatalf("conflicting -filter %q and -bank %q", name, *bankN)
+		}
+		name = *bankN
+	}
+	if name == "" {
+		name = "db8"
+	}
+	bank, err := wavelethpc.FilterByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,5 +34,5 @@ func TestStructErr(t *testing.T) {
 }
 
 func TestRegistryCheck(t *testing.T) {
-	analysistest.Run(t, "testdata", analysis.RegistryCheck, "registrycheck/a")
+	analysistest.Run(t, "testdata", analysis.RegistryCheck, "registrycheck/a", "registrycheck/bank")
 }

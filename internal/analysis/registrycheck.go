@@ -5,21 +5,26 @@ import (
 	"strconv"
 )
 
-// RegistryCheck polices the experiment catalog: harness.Register must be
-// called from init (registration at any other time races the concurrent
-// sweep scheduler's reads), and experiment names written as literals must
-// be non-empty and unique within the package (harness.Register panics on
-// both at process start, but only on the code path that imports the
-// catalog — the analyzer catches it before any binary runs).
+// RegistryCheck polices the in-process registries — the experiment
+// catalog (harness.Register) and the filter-bank catalog
+// (filter.Register): registration must happen in init (at any other
+// time it races the registries' concurrent readers — the sweep
+// scheduler for experiments, per-request ByName resolution in the serve
+// layer for banks), and names written as literals must be non-empty and
+// unique within the package (both Register functions panic on
+// violations at process start, but only on the code path that imports
+// the catalog — the analyzer catches it before any binary runs).
+// Experiment and bank names live in separate namespaces.
 var RegistryCheck = &Analyzer{
 	Name: "registrycheck",
-	Doc: "flags harness.Register outside init and empty or duplicate " +
-		"literal experiment names",
+	Doc: "flags harness.Register/filter.Register outside init and empty " +
+		"or duplicate literal registration names",
 	Run: runRegistryCheck,
 }
 
 func runRegistryCheck(pass *Pass) error {
-	names := map[string]int{} // literal experiment name -> line of first registration
+	expNames := map[string]int{}  // literal experiment name -> line of first registration
+	bankNames := map[string]int{} // literal bank name -> line of first registration
 	for _, f := range pass.SourceFiles() {
 		for _, decl := range f.Decls {
 			fd, isFunc := decl.(*ast.FuncDecl)
@@ -30,20 +35,57 @@ func runRegistryCheck(pass *Pass) error {
 					return true
 				}
 				fn := calleeFunc(pass.TypesInfo, call)
-				if !isPkgFunc(fn, "harness", "Register") {
-					return true
+				switch {
+				case isPkgFunc(fn, "harness", "Register"):
+					if !inInit {
+						pass.ReportFix(call.Pos(),
+							"move the Register call into func init() of the experiment catalog package",
+							"harness.Register called outside init: registration after program start races registry readers")
+					}
+					checkExperimentName(pass, call, expNames)
+				case isPkgFunc(fn, "filter", "Register"):
+					if !inInit {
+						pass.ReportFix(call.Pos(),
+							"move the Register call into func init() of the bank catalog package",
+							"filter.Register called outside init: registration after program start races ByName readers")
+					}
+					checkBankName(pass, call, bankNames)
 				}
-				if !inInit {
-					pass.ReportFix(call.Pos(),
-						"move the Register call into func init() of the experiment catalog package",
-						"harness.Register called outside init: registration after program start races registry readers")
-				}
-				checkExperimentName(pass, call, names)
 				return true
 			})
 		}
 	}
 	return nil
+}
+
+// checkBankName validates the name argument of a filter.Register call
+// written as a string literal. Names built elsewhere (constants from
+// other packages, concatenations) are out of reach and skipped.
+func checkBankName(pass *Pass, call *ast.CallExpr, names map[string]int) {
+	if len(call.Args) != 2 {
+		return
+	}
+	val, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	name, err := strconv.Unquote(val.Value)
+	if err != nil {
+		return
+	}
+	if name == "" {
+		pass.Reportf(val.Pos(),
+			"empty bank name registered: filter.Register panics on empty names at process start")
+		return
+	}
+	line := pass.Fset.Position(val.Pos()).Line
+	if first, dup := names[name]; dup {
+		pass.Reportf(val.Pos(),
+			"duplicate bank name %q (first registered on line %d): filter.Register panics on duplicates",
+			name, first)
+		return
+	}
+	names[name] = line
 }
 
 // checkExperimentName inspects a Register argument written as a

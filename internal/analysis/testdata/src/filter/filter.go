@@ -1,0 +1,11 @@
+// Package filter is a minimal stub of the filter-bank registry
+// (wavelethpc/internal/filter) for analyzer fixtures.
+package filter
+
+// Bank mirrors filter.Bank.
+type Bank struct {
+	Name string
+}
+
+// Register mirrors filter.Register.
+func Register(name string, ctor func() *Bank) {}

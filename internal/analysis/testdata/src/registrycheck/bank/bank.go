@@ -1,0 +1,18 @@
+// Fixture for the filter-bank half of the registrycheck analyzer.
+package bank
+
+import "filter"
+
+func init() {
+	filter.Register("haar", func() *filter.Bank { return &filter.Bank{Name: "haar"} })
+	filter.Register("", nil)                                       // want `empty bank name registered`
+	filter.Register("haar", nil)                                   // want `duplicate bank name "haar" \(first registered on line 7\)`
+	filter.Register("bior4.4", func() *filter.Bank { return nil }) // ok: unique
+	filter.Register(bankName(), nil)                               // ok: name built elsewhere is out of reach
+}
+
+func sneaky() {
+	filter.Register("late", nil) // want `filter\.Register called outside init`
+}
+
+func bankName() string { return "built/elsewhere" }

@@ -57,7 +57,7 @@ func validateBlock(rows, cols, gx, gy, f, levels int) error {
 // verified against the sequential transform.
 func BlockDecompose(im *image.Image, cfg DistConfig) (*DistResult, error) {
 	p := cfg.Procs
-	f := cfg.Bank.Len()
+	f := cfg.Bank.DecLen()
 	gx, gy := BlockGrid(p)
 	if err := validateBlock(im.Rows, im.Cols, gx, gy, f, cfg.Levels); err != nil {
 		return nil, err
@@ -254,7 +254,6 @@ func imageFromFlatCols(rows, w int, flat []float64) *image.Image {
 // extended block.
 func rowFilterBlock(block, eastGuard *image.Image, bank *filter.Bank) (l, h *image.Image) {
 	rows, cols := block.Rows, block.Cols
-	f := bank.Len()
 	l = image.New(rows, cols/2)
 	h = image.New(rows, cols/2)
 	for r := 0; r < rows; r++ {
@@ -269,10 +268,11 @@ func rowFilterBlock(block, eastGuard *image.Image, bank *filter.Bank) (l, h *ima
 		lRow, hRow := l.Row(r), h.Row(r)
 		for j := 0; j < cols/2; j++ {
 			var accLo, accHi float64
-			for k := 0; k < f; k++ {
-				v := at(2*j + k)
-				accLo += bank.Lo[k] * v
-				accHi += bank.Hi[k] * v
+			for k, w := range bank.DecLo {
+				accLo += w * at(2*j+k)
+			}
+			for k, w := range bank.DecHi {
+				accHi += w * at(2*j+k)
 			}
 			lRow[j] = accLo
 			hRow[j] = accHi

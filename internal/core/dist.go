@@ -114,7 +114,7 @@ func DistributedDecomposeCtx(ctx context.Context, im *image.Image, cfg DistConfi
 // run is byte-identical to the original fault-free program.
 func distributedDecompose(ctx context.Context, im *image.Image, cfg DistConfig, ft *ftRun) (*DistResult, error) {
 	p := cfg.Procs
-	f := cfg.Bank.Len()
+	f := cfg.Bank.DecLen()
 	if err := validateStriped(im.Rows, im.Cols, p, f, cfg.Levels); err != nil {
 		return nil, err
 	}
@@ -196,7 +196,9 @@ func distributedDecompose(ctx context.Context, im *image.Image, cfg DistConfig, 
 			jInt := 0
 			if cfg.Overlap {
 				jInt = (lImg.Rows-f)/2 + 1
-				if jInt < 0 {
+				if lImg.Rows < f {
+					// Truncating division mishandles Rows-f = -1 (odd
+					// filter lengths): no output row is interior then.
 					jInt = 0
 				}
 				if jInt > half {
@@ -341,8 +343,8 @@ func rowFilterStripe(stripe *image.Image, bank *filter.Bank) (l, h *image.Image)
 	h = image.New(stripe.Rows, stripe.Cols/2)
 	for r := 0; r < stripe.Rows; r++ {
 		src := stripe.Row(r)
-		wavelet.AnalyzeStep(src, bank.Lo, filter.Periodic, l.Row(r))
-		wavelet.AnalyzeStep(src, bank.Hi, filter.Periodic, h.Row(r))
+		wavelet.AnalyzeStep(src, bank.DecLo, filter.Periodic, l.Row(r))
+		wavelet.AnalyzeStep(src, bank.DecHi, filter.Periodic, h.Row(r))
 	}
 	return l, h
 }
@@ -364,7 +366,6 @@ func colFilterStripe(stripe, guard *image.Image, bank *filter.Bank) (lo, hi *ima
 // (interior rows only).
 func colFilterRange(lo, hi, stripe, guard *image.Image, bank *filter.Bank, j0, j1 int) {
 	rows, cols := stripe.Rows, stripe.Cols
-	f := bank.Len()
 	at := func(r, c int) float64 {
 		if r < rows {
 			return stripe.At(r, c)
@@ -374,10 +375,11 @@ func colFilterRange(lo, hi, stripe, guard *image.Image, bank *filter.Bank, j0, j
 	for j := j0; j < j1; j++ {
 		for c := 0; c < cols; c++ {
 			var accLo, accHi float64
-			for k := 0; k < f; k++ {
-				v := at(2*j+k, c)
-				accLo += bank.Lo[k] * v
-				accHi += bank.Hi[k] * v
+			for k, w := range bank.DecLo {
+				accLo += w * at(2*j+k, c)
+			}
+			for k, w := range bank.DecHi {
+				accHi += w * at(2*j+k, c)
 			}
 			lo.Set(j, c, accLo)
 			hi.Set(j, c, accHi)

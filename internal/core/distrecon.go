@@ -23,7 +23,7 @@ import (
 // floating-point tolerance.
 func DistributedReconstruct(p *wavelet.Pyramid, cfg DistConfig) (*image.Image, *nx.Result, error) {
 	procs := cfg.Procs
-	f := cfg.Bank.Len()
+	f := cfg.Bank.RecLen()
 	rows := p.Approx.Rows << uint(p.Depth())
 	cols := p.Approx.Cols << uint(p.Depth())
 	if err := validateStriped(rows, cols, procs, f, p.Depth()); err != nil {
@@ -172,7 +172,7 @@ func unpackFour(flat []float64, g, cols int) (a, b, c, d *image.Image) {
 func colSynthesizeStripe(lo, hi, northLo, northHi *image.Image, bank *filter.Bank) *image.Image {
 	rows, cols := lo.Rows, lo.Cols
 	g := northLo.Rows
-	f := bank.Len()
+	f := bank.RecLen()
 	out := image.New(rows*2, cols)
 	// Coefficient row lookup with negative indices resolved via the
 	// north guard (guard row g-1 is coefficient row -1, etc.).
@@ -200,7 +200,13 @@ func colSynthesizeStripe(lo, hi, northLo, northHi *image.Image, bank *filter.Ban
 			if j >= rows || j < -g {
 				continue
 			}
-			lk, hk := bank.Lo[k], bank.Hi[k]
+			var lk, hk float64
+			if k < len(bank.RecLo) {
+				lk = bank.RecLo[k]
+			}
+			if k < len(bank.RecHi) {
+				hk = bank.RecHi[k]
+			}
 			for c := 0; c < cols; c++ {
 				row[c] += lk*atLo(j, c) + hk*atHi(j, c)
 			}

@@ -85,7 +85,7 @@ func RunScalingCtx(ctx context.Context, workers int, im *image.Image, m *mesh.Ma
 	curve := &ScalingCurve{
 		Placement: pl.Name(),
 		Config:    cfg,
-		Serial:    SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels),
+		Serial:    SerialTime(m, im.Rows, im.Cols, cfg.Bank.DecLen(), cfg.Levels),
 	}
 	points, err := harness.Sweep(ctx, procs, workers, func(ctx context.Context, p int) (ScalingPoint, error) {
 		res, err := DistributedDecomposeCtx(ctx, im, DistConfig{
@@ -181,7 +181,7 @@ func Table1(im *image.Image, masparSeconds [3]float64) ([]Table1Row, error) {
 	var decRow Table1Row
 	decRow.Machine = "DEC 5000 Workstation"
 	for i, cfg := range PaperConfigs() {
-		f := cfg.Bank.Len()
+		f := cfg.Bank.DecLen()
 		p1.Seconds[i] = SerialTime(paragon, im.Rows, im.Cols, f, cfg.Levels)
 		decRow.Seconds[i] = SerialTime(dec, im.Rows, im.Cols, f, cfg.Levels)
 		res, err := DistributedDecompose(im, DistConfig{

@@ -96,8 +96,8 @@ func parallelSynthesize2D(pool *workerPool, sb *wavelet.Subbands, bank *filter.B
 			for i := range full {
 				full[i] = 0
 			}
-			wavelet.SynthesizeStep(colLo, bank.Lo, ext, full)
-			wavelet.SynthesizeStep(colHi, bank.Hi, ext, full)
+			wavelet.SynthesizeStep(colLo, bank.RecLo, ext, full)
+			wavelet.SynthesizeStep(colHi, bank.RecHi, ext, full)
 			dst.SetCol(c, full)
 		}
 		for c := c0; c < c1; c++ {
@@ -110,8 +110,8 @@ func parallelSynthesize2D(pool *workerPool, sb *wavelet.Subbands, bank *filter.B
 	pool.Ranges(rows*2, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			dst := out.Row(r)
-			wavelet.SynthesizeStep(l.Row(r), bank.Lo, ext, dst)
-			wavelet.SynthesizeStep(h.Row(r), bank.Hi, ext, dst)
+			wavelet.SynthesizeStep(l.Row(r), bank.RecLo, ext, dst)
+			wavelet.SynthesizeStep(h.Row(r), bank.RecHi, ext, dst)
 		}
 	})
 	return out

@@ -124,7 +124,7 @@ func overlapAblation(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg co
 func blockAblation(im *image.Image, m *mesh.Machine, pl mesh.Placement, cfg core.PaperConfig, procs []int) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "--- block-decomposition ablation, %s ---\n", cfg.Label)
-	serial := core.SerialTime(m, im.Rows, im.Cols, cfg.Bank.Len(), cfg.Levels)
+	serial := core.SerialTime(m, im.Rows, im.Cols, cfg.Bank.DecLen(), cfg.Levels)
 	fmt.Fprintf(&b, "%6s %12s %9s %8s\n", "P", "elapsed(s)", "speedup", "msgs")
 	for _, p := range procs {
 		res, err := core.BlockDecompose(im, core.DistConfig{

@@ -1,0 +1,225 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file builds the biorthogonal (CDF spline) banks. A biorthogonal
+// bank is defined by two low-pass filters — a decomposition low-pass dl
+// and a reconstruction low-pass rl, generally of different lengths —
+// that satisfy the cross-correlation condition
+//
+//	Σ_k rl[k]·dl[k+2t] = δ_{t0}
+//
+// under this package's correlation-analysis / adjoint-synthesis
+// convention (see the package comment). The high-pass channels are the
+// alternating-sign mirrors of the opposite channel's low-pass,
+//
+//	DecHi[j] = (-1)^j · rl[N-j]    RecHi[j] = (-1)^j · dl[N-j]
+//
+// for the smallest odd N ≥ max(len(dl), len(rl))-1, which cancels
+// aliasing exactly (the z-domain identity RL(z)DL(1/z) + RH(z)DH(1/z) = 2
+// with RL(z)DL(-1/z) + RH(z)DH(-1/z) = 0 reduces to the low-pass
+// condition above). For equal-length orthonormal filters this collapses
+// to the classical quadrature Mirror, so the construction is a strict
+// generalization of newOrthonormal.
+
+// newBiorthogonal builds a Bank from a decomposition/reconstruction
+// low-pass pair. The pair is aligned automatically: leading zeros are
+// prepended to whichever filter needs them until the cross-correlation
+// peak sits at lag 0 (an odd or nonzero peak lag would reconstruct a
+// circularly shifted image), and rl is rescaled so the lag-0
+// cross-correlation is exactly 1. Pairs that are already normalized —
+// the JPEG-2000 legal 5/3 scaling, the √2/√2 bior scaling — pass
+// through arithmetically unchanged (the rescale divides by an exact
+// 1.0).
+func newBiorthogonal(name string, dl, rl []float64) *Bank {
+	dl = append([]float64(nil), dl...)
+	rl = append([]float64(nil), rl...)
+
+	// Align: prepending one zero to rl shifts the peak lag down by one;
+	// prepending to dl shifts it up by one.
+	switch m := peakLag(rl, dl); {
+	case m > 0:
+		rl = append(make([]float64, m), rl...)
+	case m < 0:
+		dl = append(make([]float64, -m), dl...)
+	}
+
+	c0 := crossCorr(rl, dl, 0)
+	if math.Abs(c0) < 1e-12 {
+		panic(fmt.Sprintf("filter: bank %s: degenerate low-pass pair (lag-0 correlation %g)", name, c0))
+	}
+	if c0 != 1 {
+		for i := range rl {
+			rl[i] /= c0
+		}
+	}
+
+	n := max(len(dl), len(rl)) - 1
+	if n%2 == 0 {
+		n++
+	}
+	dh := mirrorShifted(rl, n)
+	rh := mirrorShifted(dl, n)
+	return &Bank{Name: name, DecLo: dl, DecHi: dh, RecLo: rl, RecHi: rh}
+}
+
+// mirrorShifted returns g[j] = (-1)^j · f[n-j] for j = 0..n, with
+// out-of-range taps zero and trailing zeros trimmed (leading zeros are
+// phase and must stay).
+func mirrorShifted(f []float64, n int) []float64 {
+	g := make([]float64, n+1)
+	for j := range g {
+		if k := n - j; k < len(f) {
+			if j%2 == 0 {
+				g[j] = f[k]
+			} else {
+				g[j] = -f[k]
+			}
+		}
+	}
+	end := len(g)
+	for end > 1 && g[end-1] == 0 {
+		end--
+	}
+	return g[:end]
+}
+
+// peakLag returns the lag m maximizing |Σ_k rl[k]·dl[k+m]|, the offset
+// at which the two low-pass filters line up.
+func peakLag(rl, dl []float64) int {
+	span := len(rl) + len(dl)
+	best, bestAbs := 0, -1.0
+	for m := -span; m <= span; m++ {
+		if a := math.Abs(crossCorr(rl, dl, m)); a > bestAbs {
+			best, bestAbs = m, a
+		}
+	}
+	return best
+}
+
+// CDF53 returns the CDF 5/3 (LeGall) bank in the JPEG-2000 "legal"
+// normalization: the integer-friendly analysis low-pass
+// [-1/8, 1/4, 3/4, 1/4, -1/8] (DC gain 1) paired with the synthesis
+// low-pass [1/2, 1, 1/2] (DC gain 2). This is the lossless JPEG-2000
+// filter; bior2.2 is the same pair in the symmetric √2/√2 scaling.
+func CDF53() *Bank {
+	return newBiorthogonal("cdf5/3",
+		[]float64{-1.0 / 8, 2.0 / 8, 6.0 / 8, 2.0 / 8, -1.0 / 8},
+		[]float64{1.0 / 2, 1, 1.0 / 2})
+}
+
+// Bior22 returns the CDF 5/3 pair in the symmetric scaling (both
+// low-pass DC gains √2), the bior2.2 bank of the wfilters universe.
+func Bior22() *Bank {
+	s := math.Sqrt2
+	return newBiorthogonal("bior2.2",
+		[]float64{-s / 8, 2 * s / 8, 6 * s / 8, 2 * s / 8, -s / 8},
+		[]float64{s / 4, 2 * s / 4, s / 4})
+}
+
+// Bior31 returns the bior3.1 bank: the cubic B-spline synthesis
+// low-pass √2·[1/8, 3/8, 3/8, 1/8] with its 4-tap dual analysis filter
+// √2·[-1/4, 3/4, 3/4, -1/4]. All coefficients are exact dyadic
+// rationals times √2.
+func Bior31() *Bank {
+	s := math.Sqrt2
+	return newBiorthogonal("bior3.1",
+		[]float64{-s / 4, 3 * s / 4, 3 * s / 4, -s / 4},
+		[]float64{s / 8, 3 * s / 8, 3 * s / 8, s / 8})
+}
+
+// Bior44 returns the CDF 9/7 bank (bior4.4) — the lossy JPEG-2000
+// filter pair, 9-tap analysis against 7-tap synthesis, each with four
+// vanishing moments. The coefficients are computed in closed form from
+// the spline factorization of the degree-3 half-band remainder
+// Q(y) = 1 + 4y + 10y² + 20y³ (y = (2-z-z⁻¹)/4): the real root of Q
+// goes to the synthesis factor and the complex-conjugate quadratic to
+// the analysis factor, then both filters pick up the (1-y)² spline
+// zeros. The real root is polished by Newton iteration to full float64
+// precision, so the bank is as exact as the representation allows.
+func Bior44() *Bank {
+	// Real root y0 of 20y³ + 10y² + 4y + 1.
+	y := -0.34
+	for i := 0; i < 64; i++ {
+		f := ((20*y+10)*y+4)*y + 1
+		df := (60*y+20)*y + 4
+		step := f / df
+		y -= step
+		if math.Abs(step) < 1e-17 {
+			break
+		}
+	}
+	// 20y³+10y²+4y+1 = 20(y-y0)(y²+by+c).
+	b := 0.5 + y
+	c := -0.05 / y
+	// Analysis: √2·(1-y)²·(y²+by+c)/c — 9 taps, DC gain √2.
+	// Synthesis: (1-y)²·(y-y0) up to scale — 7 taps; newBiorthogonal
+	// rescales it so the lag-0 cross-correlation is exactly 1.
+	dl := polyToTaps([]float64{1, b / c, 1 / c}, math.Sqrt2)
+	rl := polyToTaps([]float64{-y, 1}, 1)
+	return newBiorthogonal("bior4.4", dl, rl)
+}
+
+// polyToTaps converts scale·(1-y)²·q(y), with q given by its y-power
+// coefficients (q[0] + q[1]·y + ...), into a causal tap vector using
+// y = (2-z-z⁻¹)/4, i.e. the centered 3-tap filter [-1/4, 1/2, -1/4].
+func polyToTaps(q []float64, scale float64) []float64 {
+	yTaps := []float64{-0.25, 0.5, -0.25}
+	// Horner in tap space: acc = q[d]; acc = acc·y + q[k] ...
+	acc := []float64{q[len(q)-1]}
+	for k := len(q) - 2; k >= 0; k-- {
+		acc = tapConv(acc, yTaps)
+		acc[len(acc)/2] += q[k]
+	}
+	// Multiply by (1-y)² = ([1] - y)²: 1 - 2y + y².
+	oneMinusY := []float64{0.25, 0.5, 0.25} // [0,0,0]+center 1 minus yTaps
+	acc = tapConv(acc, oneMinusY)
+	acc = tapConv(acc, oneMinusY)
+	for i := range acc {
+		acc[i] *= scale
+	}
+	return acc
+}
+
+// tapConv convolves two centered symmetric tap vectors (both odd
+// length), returning the centered product.
+func tapConv(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// Rbio22 returns the reverse biorthogonal rbio2.2 bank: bior2.2 with
+// the decomposition and reconstruction pairs swapped.
+func Rbio22() *Bank { return reverseBior("rbio2.2", Bior22()) }
+
+// Rbio31 returns the reverse biorthogonal rbio3.1 bank.
+func Rbio31() *Bank { return reverseBior("rbio3.1", Bior31()) }
+
+// Rbio44 returns the reverse biorthogonal rbio4.4 bank: the CDF 9/7
+// pair with the 7-tap filter analyzing and the 9-tap reconstructing.
+func Rbio44() *Bank { return reverseBior("rbio4.4", Bior44()) }
+
+// reverseBior swaps the roles of the two low-pass filters of a
+// biorthogonal bank and rebuilds the high-pass channels (alignment and
+// normalization re-run for the swapped orientation).
+func reverseBior(name string, b *Bank) *Bank {
+	// Strip the alignment zeros of the source orientation; the
+	// constructor re-aligns for the swapped one.
+	return newBiorthogonal(name, trimLeadingZeros(b.RecLo), trimLeadingZeros(b.DecLo))
+}
+
+func trimLeadingZeros(f []float64) []float64 {
+	i := 0
+	for i < len(f)-1 && f[i] == 0 {
+		i++
+	}
+	return f[i:]
+}

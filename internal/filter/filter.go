@@ -1,12 +1,29 @@
-// Package filter provides the quadrature-mirror filter banks used by the
-// Mallat multi-resolution wavelet decomposition: orthonormal low-pass
-// scaling filters (Haar and the Daubechies family) together with the
-// high-pass mirror filters derived from them, and the signal-extension
-// policies applied at image borders.
+// Package filter provides the two-channel filter banks used by the
+// Mallat multi-resolution wavelet decomposition — the orthonormal Haar,
+// Daubechies, and symlet families together with the biorthogonal
+// bior/rbio (CDF spline) families — and the signal-extension policies
+// applied at image borders.
 //
 // The paper evaluates filter lengths 8, 4, and 2 (its F8/F4/F2
-// configurations); these correspond to Daubechies-8, Daubechies-4, and Haar
-// respectively.
+// configurations); these correspond to Daubechies-8, Daubechies-4, and
+// Haar respectively. The bank model is however filter-agnostic: a Bank
+// carries four explicit filter vectors — a decomposition (analysis)
+// pair and a reconstruction (synthesis) pair, possibly of different
+// lengths — so the JPEG-2000 biorthogonal banks (CDF 5/3 and 9/7) ride
+// through the same transform stack.
+//
+// Filter conventions (shared with internal/wavelet):
+//
+//	analysis:  a[i]    = Σ_k DecLo[k] · x[2i+k]   (correlation form)
+//	synthesis: x̂[2i+k] += RecLo[k] · a[i]          (adjoint form)
+//
+// and likewise for the high-pass channel. Under periodic extension the
+// pair reconstructs perfectly exactly when the low-pass cross-correlation
+// Σ_k RecLo[k]·DecLo[k+2t] equals δ_{t0} and the high-pass pair is the
+// alternating-sign mirror described at newBiorthogonal. For orthonormal
+// banks the reconstruction pair aliases the decomposition pair, which is
+// why the pre-biorthogonal code paths (synthesis through the analysis
+// vectors) remain bit-identical.
 package filter
 
 import (
@@ -14,29 +31,83 @@ import (
 	"math"
 )
 
-// Bank is an orthonormal two-channel analysis/synthesis filter bank. Lo and
-// Hi are the analysis (decomposition) filters; the synthesis filters of an
-// orthonormal bank are their time-reversals, exposed via SynthLo and
-// SynthHi.
+// Bank is a two-channel analysis/synthesis filter bank carrying four
+// explicit filter vectors. DecLo/DecHi are the decomposition (analysis)
+// filters; RecLo/RecHi are the reconstruction (synthesis) filters used
+// in adjoint form. For orthonormal banks the Rec vectors alias the Dec
+// vectors; biorthogonal banks carry genuinely distinct pairs, possibly
+// of different lengths (CDF 5/3 pairs a 5-tap analysis low-pass with a
+// 4-tap synthesis low-pass).
 type Bank struct {
-	// Name identifies the bank, e.g. "haar" or "db4".
+	// Name identifies the bank, e.g. "haar", "db4", or "bior4.4".
 	Name string
-	// Lo holds the low-pass (scaling) analysis coefficients.
-	Lo []float64
-	// Hi holds the high-pass (wavelet) analysis coefficients, the
-	// quadrature mirror of Lo.
-	Hi []float64
+	// DecLo holds the low-pass (scaling) analysis coefficients.
+	DecLo []float64
+	// DecHi holds the high-pass (wavelet) analysis coefficients.
+	DecHi []float64
+	// RecLo holds the low-pass synthesis coefficients.
+	RecLo []float64
+	// RecHi holds the high-pass synthesis coefficients.
+	RecHi []float64
 }
 
-// Len returns the filter length (number of taps). Both channels of a bank
-// always have equal length.
-func (b *Bank) Len() int { return len(b.Lo) }
+// Len returns the worst-case filter support of the bank: the maximum
+// tap count over all four channels. Halo and cost computations that
+// need one number use this; analysis-only and synthesis-only paths
+// should prefer DecLen and RecLen. For orthonormal banks all four
+// channels share one length, so Len matches the historical single
+// filter length.
+func (b *Bank) Len() int {
+	n := len(b.DecLo)
+	for _, f := range [][]float64{b.DecHi, b.RecLo, b.RecHi} {
+		if len(f) > n {
+			n = len(f)
+		}
+	}
+	return n
+}
 
-// SynthLo returns the low-pass synthesis filter (time-reversed Lo).
-func (b *Bank) SynthLo() []float64 { return reverse(b.Lo) }
+// DecLen returns the analysis support: max(len(DecLo), len(DecHi)).
+func (b *Bank) DecLen() int {
+	if len(b.DecHi) > len(b.DecLo) {
+		return len(b.DecHi)
+	}
+	return len(b.DecLo)
+}
 
-// SynthHi returns the high-pass synthesis filter (time-reversed Hi).
-func (b *Bank) SynthHi() []float64 { return reverse(b.Hi) }
+// RecLen returns the synthesis support: max(len(RecLo), len(RecHi)).
+func (b *Bank) RecLen() int {
+	if len(b.RecHi) > len(b.RecLo) {
+		return len(b.RecHi)
+	}
+	return len(b.RecLo)
+}
+
+// Orthonormal reports whether the bank's reconstruction pair is the
+// same as its decomposition pair — the structural property that makes
+// the historical single-pair code paths exact for it.
+func (b *Bank) Orthonormal() bool {
+	return equalCoeffs(b.DecLo, b.RecLo) && equalCoeffs(b.DecHi, b.RecHi)
+}
+
+func equalCoeffs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SynthLo returns the time-reversed low-pass synthesis filter (the
+// convolution-form synthesis filter of RecLo).
+func (b *Bank) SynthLo() []float64 { return reverse(b.RecLo) }
+
+// SynthHi returns the time-reversed high-pass synthesis filter.
+func (b *Bank) SynthHi() []float64 { return reverse(b.RecHi) }
 
 func reverse(f []float64) []float64 {
 	r := make([]float64, len(f))
@@ -47,8 +118,8 @@ func reverse(f []float64) []float64 {
 }
 
 // Mirror derives the high-pass quadrature mirror of a low-pass filter:
-// g[k] = (-1)^k h[L-1-k]. For an orthonormal scaling filter this yields the
-// wavelet filter of the same bank.
+// g[k] = (-1)^k h[L-1-k]. For an orthonormal scaling filter this yields
+// the wavelet filter of the same bank.
 func Mirror(lo []float64) []float64 {
 	l := len(lo)
 	hi := make([]float64, l)
@@ -63,11 +134,14 @@ func Mirror(lo []float64) []float64 {
 }
 
 // newOrthonormal builds a Bank from low-pass coefficients, deriving the
-// mirror high-pass channel.
+// mirror high-pass channel. The reconstruction vectors alias the
+// decomposition vectors, preserving the orthonormal synthesis-equals-
+// analysis adjoint identity bit for bit.
 func newOrthonormal(name string, lo []float64) *Bank {
 	cp := make([]float64, len(lo))
 	copy(cp, lo)
-	return &Bank{Name: name, Lo: cp, Hi: Mirror(cp)}
+	hi := Mirror(cp)
+	return &Bank{Name: name, DecLo: cp, DecHi: hi, RecLo: cp, RecHi: hi}
 }
 
 // Haar returns the 2-tap Haar bank — the paper's F2 configuration.
@@ -122,39 +196,6 @@ func Daubechies8() *Bank {
 		-0.010597401784997278,
 	}
 	return newOrthonormal("db8", lo)
-}
-
-// ByLength returns the bank the paper associates with a given filter
-// length: 2 → Haar, 4 → Daubechies-4, 6 → Daubechies-6, 8 → Daubechies-8.
-func ByLength(n int) (*Bank, error) {
-	switch n {
-	case 2:
-		return Haar(), nil
-	case 4:
-		return Daubechies4(), nil
-	case 6:
-		return Daubechies6(), nil
-	case 8:
-		return Daubechies8(), nil
-	default:
-		return nil, fmt.Errorf("filter: no bank of length %d (want 2, 4, 6, or 8)", n)
-	}
-}
-
-// ByName returns the bank with the given name ("haar", "db4", "db6", "db8").
-func ByName(name string) (*Bank, error) {
-	switch name {
-	case "haar", "f2":
-		return Haar(), nil
-	case "db4", "f4":
-		return Daubechies4(), nil
-	case "db6", "f6":
-		return Daubechies6(), nil
-	case "db8", "f8":
-		return Daubechies8(), nil
-	default:
-		return nil, fmt.Errorf("filter: unknown bank %q", name)
-	}
 }
 
 // Extension selects how signals are extended past their borders before
@@ -219,11 +260,15 @@ func (e Extension) Index(i, n int) (int, bool) {
 
 // Orthonormality checks that the bank satisfies the orthonormal
 // perfect-reconstruction conditions within tol, returning a descriptive
-// error when violated. The conditions are Σh² = 1, Σh = √2, and double-shift
-// orthogonality Σ h[k]h[k+2m] = 0 for m ≠ 0.
+// error when violated. The conditions are Σh² = 1, Σh = √2, double-shift
+// orthogonality Σ h[k]h[k+2m] = 0 for m ≠ 0, and reconstruction vectors
+// equal to the decomposition vectors.
 func (b *Bank) Orthonormality(tol float64) error {
+	if !b.Orthonormal() {
+		return fmt.Errorf("filter %s: reconstruction pair differs from decomposition pair", b.Name)
+	}
 	var sum, sq float64
-	for _, v := range b.Lo {
+	for _, v := range b.DecLo {
 		sum += v
 		sq += v * v
 	}
@@ -233,16 +278,52 @@ func (b *Bank) Orthonormality(tol float64) error {
 	if math.Abs(sum-math.Sqrt2) > tol {
 		return fmt.Errorf("filter %s: Σh = %g, want √2", b.Name, sum)
 	}
-	for m := 1; 2*m < b.Len(); m++ {
+	for m := 1; 2*m < len(b.DecLo); m++ {
 		var dot float64
-		for k := 0; k+2*m < b.Len(); k++ {
-			dot += b.Lo[k] * b.Lo[k+2*m]
+		for k := 0; k+2*m < len(b.DecLo); k++ {
+			dot += b.DecLo[k] * b.DecLo[k+2*m]
 		}
 		if math.Abs(dot) > tol {
 			return fmt.Errorf("filter %s: double-shift orthogonality violated at m=%d: %g", b.Name, m, dot)
 		}
 	}
 	return nil
+}
+
+// Biorthogonality checks the perfect-reconstruction condition of the
+// bank under this package's analysis/adjoint-synthesis convention: the
+// low-pass cross-correlation Σ_k RecLo[k]·DecLo[k+2t] must be δ_{t0}
+// and the high-pass channels must cancel aliasing, which combined
+// reduce to Σ_k (RecLo[k]·DecLo[k+m] + RecHi[k]·DecHi[k+m]) = 2δ_{m0}
+// over all integer lags m. It returns a descriptive error when the
+// condition is violated beyond tol.
+func (b *Bank) Biorthogonality(tol float64) error {
+	lo := max(len(b.DecLo), len(b.RecLo))
+	hi := max(len(b.DecHi), len(b.RecHi))
+	span := max(lo, hi)
+	for m := -span; m <= span; m++ {
+		c := crossCorr(b.RecLo, b.DecLo, m) + crossCorr(b.RecHi, b.DecHi, m)
+		want := 0.0
+		if m == 0 {
+			want = 2
+		}
+		if math.Abs(c-want) > tol {
+			return fmt.Errorf("filter %s: PR condition violated at lag %d: Σ rec·dec = %g, want %g",
+				b.Name, m, c, want)
+		}
+	}
+	return nil
+}
+
+// crossCorr returns Σ_k a[k]·b[k+m], treating out-of-range taps as zero.
+func crossCorr(a, b []float64, m int) float64 {
+	var s float64
+	for k := range a {
+		if j := k + m; j >= 0 && j < len(b) {
+			s += a[k] * b[j]
+		}
+	}
+	return s
 }
 
 // Dilute stretches a filter by factor s, inserting s-1 zeros between taps:

@@ -24,8 +24,8 @@ func TestBankLengths(t *testing.T) {
 		if b.Len() != want {
 			t.Errorf("%s: Len() = %d, want %d", name, b.Len(), want)
 		}
-		if len(b.Hi) != want {
-			t.Errorf("%s: len(Hi) = %d, want %d", name, len(b.Hi), want)
+		if len(b.DecHi) != want {
+			t.Errorf("%s: len(DecHi) = %d, want %d", name, len(b.DecHi), want)
 		}
 	}
 }
@@ -79,7 +79,7 @@ func TestHighPassKillsConstants(t *testing.T) {
 	// signal (sum of coefficients = 0).
 	for _, b := range []*Bank{Haar(), Daubechies4(), Daubechies6(), Daubechies8()} {
 		var sum float64
-		for _, v := range b.Hi {
+		for _, v := range b.DecHi {
 			sum += v
 		}
 		if math.Abs(sum) > 1e-12 {
@@ -96,7 +96,7 @@ func TestLoHiOrthogonal(t *testing.T) {
 			for k := 0; k < b.Len(); k++ {
 				j := k + 2*m
 				if j >= 0 && j < b.Len() {
-					dot += b.Lo[k] * b.Hi[j]
+					dot += b.DecLo[k] * b.DecHi[j]
 				}
 			}
 			if math.Abs(dot) > 1e-12 {
@@ -110,17 +110,17 @@ func TestSynthFiltersAreReversals(t *testing.T) {
 	b := Daubechies8()
 	sl, sh := b.SynthLo(), b.SynthHi()
 	for i := 0; i < b.Len(); i++ {
-		if sl[i] != b.Lo[b.Len()-1-i] {
-			t.Fatalf("SynthLo[%d] = %g, want %g", i, sl[i], b.Lo[b.Len()-1-i])
+		if sl[i] != b.RecLo[b.Len()-1-i] {
+			t.Fatalf("SynthLo[%d] = %g, want %g", i, sl[i], b.RecLo[b.Len()-1-i])
 		}
-		if sh[i] != b.Hi[b.Len()-1-i] {
-			t.Fatalf("SynthHi[%d] = %g, want %g", i, sh[i], b.Hi[b.Len()-1-i])
+		if sh[i] != b.RecHi[b.Len()-1-i] {
+			t.Fatalf("SynthHi[%d] = %g, want %g", i, sh[i], b.RecHi[b.Len()-1-i])
 		}
 	}
 	// Mutating the returned slices must not corrupt the bank.
 	sl[0] = 999
-	if b.Lo[b.Len()-1] == 999 {
-		t.Error("SynthLo aliases Bank.Lo")
+	if b.RecLo[b.Len()-1] == 999 {
+		t.Error("SynthLo aliases Bank.RecLo")
 	}
 }
 

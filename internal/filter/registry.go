@@ -1,0 +1,121 @@
+package filter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UnknownBankError reports a ByName lookup that matched no registered
+// bank. Its message lists every registered name (mirroring
+// mesh.MachineByName), so CLI and HTTP users see the full catalog in
+// the failure itself.
+type UnknownBankError struct {
+	// Name is the name that failed to resolve.
+	Name string
+	// Known holds the registered bank names, sorted.
+	Known []string
+}
+
+func (e *UnknownBankError) Error() string {
+	return fmt.Sprintf("filter: unknown bank %q (registered banks: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// registry maps a bank name to its constructor. Constructors (not
+// shared *Bank values) are stored so every ByName caller gets a fresh
+// bank whose coefficient slices it may mutate freely.
+var registry = map[string]func() *Bank{}
+
+// bankAliases maps the paper's length-based configuration names onto
+// the canonical bank names. Aliases resolve through ByName but are not
+// listed by Names.
+var bankAliases = map[string]string{
+	"f2": "haar",
+	"f4": "db4",
+	"f6": "db6",
+	"f8": "db8",
+}
+
+// Register adds a named bank constructor to the catalog. It must be
+// called from an init function: registration after program start races
+// concurrent ByName readers (the serve layer resolves banks per
+// request). Register panics on an empty name, a nil constructor, or a
+// duplicate registration — the same contract as harness.Register, and
+// policed statically by the wavelint registrycheck analyzer.
+func Register(name string, ctor func() *Bank) {
+	if name == "" {
+		panic("filter: Register with empty bank name")
+	}
+	if ctor == nil {
+		panic(fmt.Sprintf("filter: Register(%q) with nil constructor", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("filter: duplicate bank registration %q", name))
+	}
+	registry[name] = ctor
+}
+
+func init() {
+	Register("haar", Haar)
+	Register("db4", Daubechies4)
+	Register("db6", Daubechies6)
+	Register("db8", Daubechies8)
+	Register("sym2", func() *Bank { return Symlet(2) })
+	Register("sym3", func() *Bank { return Symlet(3) })
+	Register("sym4", func() *Bank { return Symlet(4) })
+	Register("sym5", func() *Bank { return Symlet(5) })
+	Register("sym6", func() *Bank { return Symlet(6) })
+	Register("sym7", func() *Bank { return Symlet(7) })
+	Register("sym8", func() *Bank { return Symlet(8) })
+	Register("bior2.2", Bior22)
+	Register("bior3.1", Bior31)
+	Register("bior4.4", Bior44)
+	Register("rbio2.2", Rbio22)
+	Register("rbio3.1", Rbio31)
+	Register("rbio4.4", Rbio44)
+	Register("cdf5/3", CDF53)
+}
+
+// Names returns the registered bank names, sorted. Aliases (f2..f8) are
+// not included.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns a fresh copy of the registered bank with the given
+// name. The paper's length aliases f2/f4/f6/f8 resolve to haar/db4/
+// db6/db8. Unknown names return a *UnknownBankError listing the full
+// catalog.
+func ByName(name string) (*Bank, error) {
+	canonical := name
+	if c, ok := bankAliases[name]; ok {
+		canonical = c
+	}
+	if ctor, ok := registry[canonical]; ok {
+		return ctor(), nil
+	}
+	return nil, &UnknownBankError{Name: name, Known: Names()}
+}
+
+// ByLength returns the bank the paper associates with a given filter
+// length: 2 → Haar, 4 → Daubechies-4, 6 → Daubechies-6, 8 → Daubechies-8.
+func ByLength(n int) (*Bank, error) {
+	switch n {
+	case 2:
+		return Haar(), nil
+	case 4:
+		return Daubechies4(), nil
+	case 6:
+		return Daubechies6(), nil
+	case 8:
+		return Daubechies8(), nil
+	default:
+		return nil, fmt.Errorf("filter: no bank of length %d (want 2, 4, 6, or 8)", n)
+	}
+}

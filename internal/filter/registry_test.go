@@ -1,0 +1,254 @@
+package filter
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	want := []string{
+		"bior2.2", "bior3.1", "bior4.4", "cdf5/3",
+		"db4", "db6", "db8", "haar",
+		"rbio2.2", "rbio3.1", "rbio4.4",
+		"sym2", "sym3", "sym4", "sym5", "sym6", "sym7", "sym8",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	// Aliases resolve but are not listed.
+	for _, alias := range []string{"f2", "f4", "f6", "f8"} {
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("alias %q failed: %v", alias, err)
+		}
+		for _, n := range names {
+			if n == alias {
+				t.Errorf("alias %q leaked into Names()", alias)
+			}
+		}
+	}
+}
+
+func TestByNameReturnsFreshCopies(t *testing.T) {
+	a, _ := ByName("db4")
+	b, _ := ByName("db4")
+	a.DecLo[0] = 999
+	if b.DecLo[0] == 999 {
+		t.Error("ByName results share coefficient storage")
+	}
+}
+
+func TestUnknownBankError(t *testing.T) {
+	_, err := ByName("nope")
+	var ube *UnknownBankError
+	if !errors.As(err, &ube) {
+		t.Fatalf("ByName(nope) error = %T, want *UnknownBankError", err)
+	}
+	if ube.Name != "nope" {
+		t.Errorf("Name = %q, want %q", ube.Name, "nope")
+	}
+	if len(ube.Known) != len(Names()) {
+		t.Errorf("Known lists %d names, registry has %d", len(ube.Known), len(Names()))
+	}
+	msg := err.Error()
+	for _, name := range []string{"haar", "bior4.4", "sym8", "cdf5/3"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error message %q does not mention %q", msg, name)
+		}
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name": func() { Register("", Haar) },
+		"nil ctor":   func() { Register("x-nil-ctor", nil) },
+		"duplicate":  func() { Register("haar", Haar) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEveryBankBiorthogonal checks the perfect-reconstruction condition
+// of every registered bank under the package's analysis/adjoint
+// convention. db8's tabulated coefficients are good to ~1e-12, hence
+// the tolerance.
+func TestEveryBankBiorthogonal(t *testing.T) {
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := b.Biorthogonality(1e-11); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOrthonormalFlag(t *testing.T) {
+	for name, want := range map[string]bool{
+		"haar": true, "db4": true, "db8": true, "sym5": true, "sym8": true,
+		"bior2.2": false, "bior4.4": false, "cdf5/3": false, "rbio4.4": false,
+	} {
+		b, _ := ByName(name)
+		if b.Orthonormal() != want {
+			t.Errorf("%s: Orthonormal() = %v, want %v", name, b.Orthonormal(), want)
+		}
+	}
+}
+
+func TestSymletsOrthonormal(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		b := Symlet(n)
+		if got := b.Len(); got != 2*n {
+			t.Errorf("sym%d: Len() = %d, want %d", n, got, 2*n)
+		}
+		if err := b.Orthonormality(1e-12); err != nil {
+			t.Errorf("sym%d: %v", n, err)
+		}
+		// N vanishing moments: Σ (-1)^k k^j h[k] = 0 for j < N.
+		for j := 0; j < n; j++ {
+			var s float64
+			for k, v := range b.DecLo {
+				term := math.Pow(float64(k), float64(j))
+				if j == 0 {
+					term = 1
+				}
+				if k%2 == 1 {
+					term = -term
+				}
+				s += term * v
+			}
+			// Moments grow like k^j; normalize by the largest term.
+			scale := math.Pow(float64(len(b.DecLo)-1), float64(j))
+			if math.Abs(s)/scale > 1e-10 {
+				t.Errorf("sym%d: moment %d = %g, want 0", n, j, s)
+			}
+		}
+	}
+}
+
+func TestSymletAliasesOfDaubechies(t *testing.T) {
+	// sym2/sym3 are db2/db3, which this repo carries as the 4- and
+	// 6-tap Daubechies banks; only the name differs.
+	for _, c := range []struct {
+		sym  *Bank
+		daub *Bank
+	}{{Symlet(2), Daubechies4()}, {Symlet(3), Daubechies6()}} {
+		if !equalCoeffs(c.sym.DecLo, c.daub.DecLo) {
+			t.Errorf("%s: coefficients differ from %s", c.sym.Name, c.daub.Name)
+		}
+	}
+}
+
+func TestSymletPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{1, 9, 0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Symlet(%d) did not panic", n)
+				}
+			}()
+			Symlet(n)
+		}()
+	}
+}
+
+func TestBiorLengths(t *testing.T) {
+	cases := map[string][4]int{
+		// {DecLo, DecHi, RecLo, RecHi}
+		"bior2.2": {5, 5, 4, 6},
+		"bior3.1": {4, 4, 4, 4},
+		"bior4.4": {9, 9, 8, 10},
+		"cdf5/3":  {5, 5, 4, 6},
+		"rbio4.4": {8, 10, 9, 9},
+	}
+	for name, want := range cases {
+		b, _ := ByName(name)
+		got := [4]int{len(b.DecLo), len(b.DecHi), len(b.RecLo), len(b.RecHi)}
+		if got != want {
+			t.Errorf("%s: channel lengths %v, want %v", name, got, want)
+		}
+		if b.Len() != max(want[0], max(want[1], max(want[2], want[3]))) {
+			t.Errorf("%s: Len() = %d", name, b.Len())
+		}
+	}
+	b, _ := ByName("bior4.4")
+	if b.DecLen() != 9 || b.RecLen() != 10 {
+		t.Errorf("bior4.4: DecLen/RecLen = %d/%d, want 9/10", b.DecLen(), b.RecLen())
+	}
+}
+
+func TestBior44MatchesCDF97(t *testing.T) {
+	// The canonical CDF 9/7 analysis low-pass in the √2 normalization
+	// (JPEG-2000 lossy filter), to published precision.
+	want := []float64{
+		0.037828455506995, -0.023849465019380, -0.110624404418423,
+		0.377402855612654, 0.852698679009403, 0.377402855612654,
+		-0.110624404418423, -0.023849465019380, 0.037828455506995,
+	}
+	b := Bior44()
+	for i, w := range want {
+		if math.Abs(b.DecLo[i]-w) > 1e-12 {
+			t.Errorf("DecLo[%d] = %.15f, want %.15f", i, b.DecLo[i], w)
+		}
+	}
+}
+
+func TestCDF53ExactRationals(t *testing.T) {
+	b := CDF53()
+	wantDec := []float64{-0.125, 0.25, 0.75, 0.25, -0.125}
+	for i, w := range wantDec {
+		if b.DecLo[i] != w {
+			t.Errorf("DecLo[%d] = %v, want %v (must be exact)", i, b.DecLo[i], w)
+		}
+	}
+	// Alignment prepends one zero to the 3-tap synthesis low-pass; the
+	// values stay the exact legal-normalization rationals.
+	wantRec := []float64{0, 0.5, 1, 0.5}
+	for i, w := range wantRec {
+		if b.RecLo[i] != w {
+			t.Errorf("RecLo[%d] = %v, want %v (must be exact)", i, b.RecLo[i], w)
+		}
+	}
+}
+
+func TestRbioSwapsPairs(t *testing.T) {
+	bior, _ := ByName("bior2.2")
+	rbio, _ := ByName("rbio2.2")
+	if !equalCoeffs(trimLeadingZeros(rbio.DecLo), trimLeadingZeros(bior.RecLo)) {
+		t.Error("rbio2.2 DecLo is not bior2.2 RecLo")
+	}
+	if !equalCoeffs(trimLeadingZeros(rbio.RecLo), trimLeadingZeros(bior.DecLo)) {
+		t.Error("rbio2.2 RecLo is not bior2.2 DecLo")
+	}
+}
+
+func TestOrthonormalRecAliasesDec(t *testing.T) {
+	// The reconstruction vectors of orthonormal banks must alias the
+	// decomposition vectors (same backing array), which is what keeps
+	// the historical synthesis-through-analysis-pair paths bit-identical.
+	for _, name := range []string{"haar", "db4", "db6", "db8", "sym5"} {
+		b, _ := ByName(name)
+		if &b.DecLo[0] != &b.RecLo[0] || &b.DecHi[0] != &b.RecHi[0] {
+			t.Errorf("%s: reconstruction pair does not alias decomposition pair", name)
+		}
+	}
+}

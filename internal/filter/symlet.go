@@ -1,0 +1,215 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Symlet returns the orthonormal symlet bank with N vanishing moments
+// (2N taps) — the "least asymmetric" Daubechies variants sym2..sym8.
+// sym2 and sym3 coincide with db2/db3 (identical up to the standard
+// orientation) and reuse the closed-form Daubechies coefficients. For
+// N ≥ 4 the coefficients are obtained by Newton iteration on the
+// defining system — double-shift orthogonality plus N vanishing
+// moments — starting from tabulated seeds accurate to ~7 digits; the
+// iteration converges quadratically to full float64 precision, so the
+// resulting banks satisfy the orthonormality identities to machine
+// accuracy rather than to the precision of a printed table.
+func Symlet(n int) *Bank {
+	switch n {
+	case 2:
+		b := Daubechies4()
+		b.Name = "sym2"
+		return b
+	case 3:
+		b := Daubechies6()
+		b.Name = "sym3"
+		return b
+	case 4, 5, 6, 7, 8:
+		seed := symletSeeds[n]
+		lo := polishOrthonormal(seed, n)
+		b := newOrthonormal(fmt.Sprintf("sym%d", n), lo)
+		return b
+	default:
+		panic(fmt.Sprintf("filter: Symlet(%d): supported orders are 2..8", n))
+	}
+}
+
+// symletSeeds holds the symlet low-pass coefficients in this package's
+// analysis orientation, accurate to roughly seven digits — good enough
+// to land in the Newton basin of the exact root, not good enough to
+// pass 1e-9 reconstruction gates on their own.
+var symletSeeds = map[int][]float64{
+	4: {
+		0.032223100604042702, -0.012603967262037833, -0.099219543576847216,
+		0.29785779560527736, 0.80373875180591614, 0.49761866763201545,
+		-0.02963552764599851, -0.075765714789273325,
+	},
+	5: {
+		0.027333068345077982, 0.029519490925774643, -0.039134249302383094,
+		0.1993975339773936, 0.72340769040242059, 0.63397896345821192,
+		0.016602105764522319, -0.17532808990845047, -0.021101834024758855,
+		0.019538882735286728,
+	},
+	6: {
+		0.015404109327027373, 0.0034907120842174702, -0.11799011114819057,
+		-0.048311742585633, 0.49105594192674662, 0.787641141030194,
+		0.3379294217276218, -0.072637522786462516, -0.021060292512300564,
+		0.044724901770665779, 0.0017677118642428036, -0.007800708325034148,
+	},
+	7: {
+		0.002681814568257878, -0.0010473848886829163, -0.01263630340325193,
+		0.03051551316596357, 0.0678926935013727, -0.049552834937127255,
+		0.017441255086855827, 0.5361019170917628, 0.767764317003164,
+		0.2886296317515146, -0.14004724044296152, -0.10780823770381774,
+		0.004010244871533663, 0.010268176708511255,
+	},
+	8: {
+		-0.0033824159510061256, -0.00054213233179114812, 0.031695087811492981,
+		0.0076074873249176054, -0.14329423835080971, -0.061273359067658524,
+		0.48135965125837221, 0.77718575170052351, 0.3644418948353314,
+		-0.051945838107709037, -0.027219029917056003, 0.049137179673607506,
+		0.0038087520138906151, -0.014952258337048231, -0.0003029205147213668,
+		0.0018899503327594609,
+	},
+}
+
+// polishOrthonormal runs Newton iteration on the orthonormal wavelet
+// system for a length-2N low-pass filter h:
+//
+//	F_m: Σ_k h[k]·h[k+2m] = δ_{m0}   for m = 0..N-1   (orthogonality)
+//	G_j: Σ_k (-1)^k·(k/(L-1))^j·h[k] = 0  for j = 0..N-1  (moments)
+//
+// — 2N equations in 2N unknowns. (Σh = √2 is implied: orthogonality
+// forces (Σh)² = 2 given the j=0 vanishing moment.) The moment powers
+// use k normalized by L-1 to keep the Jacobian well conditioned at
+// L = 16. Panics if the iteration fails to reach 1e-12 residual or
+// wanders more than 1e-4 from the seed — either means the tabulated
+// seed is wrong, which must never ship silently.
+func polishOrthonormal(seed []float64, nMoments int) []float64 {
+	l := len(seed)
+	h := append([]float64(nil), seed...)
+	res := make([]float64, l)
+	jac := make([][]float64, l)
+	for i := range jac {
+		jac[i] = make([]float64, l)
+	}
+
+	residual := func() float64 {
+		maxAbs := 0.0
+		for m := 0; m < nMoments; m++ {
+			var s float64
+			for k := 0; k+2*m < l; k++ {
+				s += h[k] * h[k+2*m]
+			}
+			if m == 0 {
+				s -= 1
+			}
+			res[m] = s
+			if a := math.Abs(s); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for j := 0; j < nMoments; j++ {
+			var s float64
+			for k := 0; k < l; k++ {
+				t := math.Pow(float64(k)/float64(l-1), float64(j))
+				if j == 0 {
+					t = 1
+				}
+				if k%2 == 1 {
+					t = -t
+				}
+				s += t * h[k]
+			}
+			res[nMoments+j] = s
+			if a := math.Abs(s); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		return maxAbs
+	}
+
+	for iter := 0; iter < 32; iter++ {
+		if residual() < 1e-13 {
+			break
+		}
+		for m := 0; m < nMoments; m++ {
+			for i := 0; i < l; i++ {
+				var d float64
+				if i+2*m < l {
+					d += h[i+2*m]
+				}
+				if i-2*m >= 0 {
+					d += h[i-2*m]
+				}
+				jac[m][i] = d
+			}
+		}
+		for j := 0; j < nMoments; j++ {
+			for i := 0; i < l; i++ {
+				t := math.Pow(float64(i)/float64(l-1), float64(j))
+				if j == 0 {
+					t = 1
+				}
+				if i%2 == 1 {
+					t = -t
+				}
+				jac[nMoments+j][i] = t
+			}
+		}
+		step := solveLinear(jac, res)
+		for i := range h {
+			h[i] -= step[i]
+		}
+	}
+
+	if r := residual(); r > 1e-12 {
+		panic(fmt.Sprintf("filter: symlet polish did not converge (residual %g)", r))
+	}
+	for i := range h {
+		if math.Abs(h[i]-seed[i]) > 1e-4 {
+			panic(fmt.Sprintf("filter: symlet polish diverged from seed at tap %d (%g vs %g)",
+				i, h[i], seed[i]))
+		}
+	}
+	return h
+}
+
+// solveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting, destroying A and b. Systems here are at most 16×16.
+func solveLinear(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		if a[col][col] == 0 {
+			panic("filter: singular Jacobian in symlet polish")
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x
+}

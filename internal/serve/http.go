@@ -20,9 +20,11 @@ const maxBodyBytes = 32 << 20
 // Handler returns the service's HTTP surface:
 //
 //	POST /v1/decompose  PGM (binary P5) in, PGM out.
-//	                    Query: filter (haar|db4|db6|db8, default server),
+//	                    Query: filter or bank (any registered bank name,
+//	                    e.g. db4, sym6, bior4.4; default server),
 //	                    levels (default server),
 //	                    output=mosaic|roundtrip (default mosaic).
+//	GET  /v1/banks      Registered bank names, one per line.
 //	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown.
 //	GET  /metrics       Prometheus text exposition of the registry.
 //
@@ -33,6 +35,7 @@ const maxBodyBytes = 32 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/decompose", s.handleDecompose)
+	mux.HandleFunc("/v1/banks", s.handleBanks)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -45,7 +48,15 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	}
 	req := Request{}
 	q := r.URL.Query()
-	if name := q.Get("filter"); name != "" {
+	name := q.Get("filter")
+	if b := q.Get("bank"); b != "" {
+		if name != "" && b != name {
+			http.Error(w, fmt.Sprintf("conflicting filter=%q and bank=%q", name, b), http.StatusBadRequest)
+			return
+		}
+		name = b
+	}
+	if name != "" {
 		bank, err := filter.ByName(name)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -117,6 +128,19 @@ func writeDoError(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleBanks lists the registered filter banks, one name per line —
+// the discovery endpoint behind CLI -list-banks style tooling.
+func (s *Server) handleBanks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range filter.Names() {
+		fmt.Fprintln(w, name)
 	}
 }
 

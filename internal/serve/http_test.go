@@ -178,3 +178,71 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 		t.Errorf("healthz after Shutdown = %d, want 503", rec.Code)
 	}
 }
+
+func TestHTTPBanksEndpoint(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1, Levels: 1})
+	req := httptest.NewRequest(http.MethodGet, "/v1/banks", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	lines := strings.Fields(rec.Body.String())
+	if len(lines) < 18 {
+		t.Fatalf("banks endpoint lists %d names, want >= 18: %v", len(lines), lines)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines {
+		seen[l] = true
+	}
+	for _, want := range []string{"haar", "db8", "sym8", "bior4.4", "cdf5/3", "rbio2.2"} {
+		if !seen[want] {
+			t.Errorf("banks endpoint missing %q", want)
+		}
+	}
+
+	post := httptest.NewRequest(http.MethodPost, "/v1/banks", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, post)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/banks status = %d, want 405", rec.Code)
+	}
+}
+
+func TestHTTPBankParam(t *testing.T) {
+	_, h := newHTTPServer(t, Config{Workers: 1, Levels: 2})
+	body := pgmBytes(t, 64, 64, 11)
+
+	// bank= is an alias of filter=; a biorthogonal bank round-trips.
+	req := httptest.NewRequest(http.MethodPost, "/v1/decompose?bank=bior4.4&levels=2&output=roundtrip", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bank=bior4.4 status = %d, body %q", rec.Code, rec.Body.String())
+	}
+
+	// Matching filter= and bank= is allowed; conflicting values are 400.
+	req = httptest.NewRequest(http.MethodPost, "/v1/decompose?filter=db4&bank=db4&levels=1", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching filter/bank status = %d", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/decompose?filter=db4&bank=haar&levels=1", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("conflicting filter/bank status = %d, want 400", rec.Code)
+	}
+
+	// Unknown names surface the catalog in the error body.
+	req = httptest.NewRequest(http.MethodPost, "/v1/decompose?bank=db5&levels=1", bytes.NewReader(body))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown bank status = %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "bior4.4") {
+		t.Errorf("unknown-bank error does not list the catalog: %q", rec.Body.String())
+	}
+}

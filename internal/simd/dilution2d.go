@@ -39,8 +39,8 @@ func DilutedDecompose2D(im *image.Image, bank *filter.Bank, levels int) (*wavele
 		planeH := image.New(n, n)
 		for r := 0; r < n; r += stride {
 			copy(rowBuf, live.Row(r))
-			lo := DilutedConvolve(rowBuf, bank.Lo, stride)
-			hi := DilutedConvolve(rowBuf, bank.Hi, stride)
+			lo := DilutedConvolve(rowBuf, bank.DecLo, stride)
+			hi := DilutedConvolve(rowBuf, bank.DecHi, stride)
 			copy(planeL.Row(r), lo)
 			copy(planeH.Row(r), hi)
 		}
@@ -52,11 +52,11 @@ func DilutedDecompose2D(im *image.Image, bank *filter.Bank, levels int) (*wavele
 		hh := image.New(n, n)
 		for c := 0; c < n; c += outStride {
 			colBuf = planeL.Col(c, colBuf)
-			ll.SetCol(c, DilutedConvolve(colBuf, bank.Lo, stride))
-			lh.SetCol(c, DilutedConvolve(colBuf, bank.Hi, stride))
+			ll.SetCol(c, DilutedConvolve(colBuf, bank.DecLo, stride))
+			lh.SetCol(c, DilutedConvolve(colBuf, bank.DecHi, stride))
 			colBuf = planeH.Col(c, colBuf)
-			hl.SetCol(c, DilutedConvolve(colBuf, bank.Lo, stride))
-			hh.SetCol(c, DilutedConvolve(colBuf, bank.Hi, stride))
+			hl.SetCol(c, DilutedConvolve(colBuf, bank.DecLo, stride))
+			hh.SetCol(c, DilutedConvolve(colBuf, bank.DecHi, stride))
 		}
 		p.Levels[levels-1-l] = wavelet.DetailBands{
 			LH: extractStrided2D(lh, outStride),

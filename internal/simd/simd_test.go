@@ -33,10 +33,10 @@ func maxDiff(a, b []float64) float64 {
 func TestSystolicConvolveMatchesDirect(t *testing.T) {
 	x := randSignal(32, 1)
 	for _, b := range []*filter.Bank{filter.Haar(), filter.Daubechies4(), filter.Daubechies8()} {
-		acc := SystolicConvolve(x, b.Lo)
+		acc := SystolicConvolve(x, b.DecLo)
 		for i := range x {
 			var want float64
-			for k, hk := range b.Lo {
+			for k, hk := range b.DecLo {
 				want += hk * x[(i+k)%len(x)]
 			}
 			if math.Abs(acc[i]-want) > 1e-12 {
@@ -84,7 +84,7 @@ func TestRouterDecimate(t *testing.T) {
 
 func TestDilutedConvolveMatchesStridedCorrelation(t *testing.T) {
 	x := randSignal(32, 3)
-	h := filter.Daubechies4().Lo
+	h := filter.Daubechies4().DecLo
 	for _, stride := range []int{1, 2, 4} {
 		acc := DilutedConvolve(x, h, stride)
 		for i := range x {
@@ -335,7 +335,7 @@ func TestDilutedDecompose2DValidation(t *testing.T) {
 
 func TestSystolicConvolveRightMatchesDirect(t *testing.T) {
 	x := randSignal(32, 21)
-	h := filter.Daubechies8().Lo
+	h := filter.Daubechies8().DecLo
 	acc := SystolicConvolveRight(x, h)
 	for i := range x {
 		var want float64

@@ -90,7 +90,7 @@ func SystolicAnalyze1D(x []float64, bank *filter.Bank) (approx, detail []float64
 	if len(x)%2 != 0 {
 		panic(fmt.Sprintf("simd: odd signal length %d", len(x)))
 	}
-	return RouterDecimate(SystolicConvolve(x, bank.Lo)), RouterDecimate(SystolicConvolve(x, bank.Hi))
+	return RouterDecimate(SystolicConvolve(x, bank.DecLo)), RouterDecimate(SystolicConvolve(x, bank.DecHi))
 }
 
 // DilutedDecompose1D performs a full multi-level decomposition with the
@@ -111,8 +111,8 @@ func DilutedDecompose1D(x []float64, bank *filter.Bank, levels int) (*wavelet.De
 		stride := 1 << uint(l)
 		// Dilute the filters and convolve in place; live coefficients
 		// sit at multiples of stride, next level's at 2·stride.
-		lo := DilutedConvolve(live, bank.Lo, stride)
-		hi := DilutedConvolve(live, bank.Hi, stride)
+		lo := DilutedConvolve(live, bank.DecLo, stride)
+		hi := DilutedConvolve(live, bank.DecHi, stride)
 		// Detail coefficients of this level: hi at even live positions.
 		det := extractStrided(hi, 2*stride)
 		d.Details[levels-1-l] = det
@@ -227,8 +227,8 @@ func SystolicSynthesize1D(approx, detail []float64, bank *filter.Bank) []float64
 	if len(approx) != len(detail) {
 		panic("simd: synthesis length mismatch")
 	}
-	lo := SystolicConvolveRight(upsample2(approx), bank.Lo)
-	hi := SystolicConvolveRight(upsample2(detail), bank.Hi)
+	lo := SystolicConvolveRight(upsample2(approx), bank.RecLo)
+	hi := SystolicConvolveRight(upsample2(detail), bank.RecHi)
 	out := make([]float64, len(lo))
 	for i := range out {
 		out[i] = lo[i] + hi[i]

@@ -1,0 +1,138 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// Perfect-reconstruction properties for every registered bank — the
+// acceptance gate of the biorthogonal generalization. Periodic
+// extension admits exact PR everywhere (the analysis operator is
+// invertible on the circle); Symmetric and Zero extensions distort the
+// borders under plain adjoint synthesis, but any sample whose analysis
+// and synthesis footprints stay in range must still reconstruct
+// exactly, so those are checked on the interior.
+
+// decomposableShapes pairs even/odd-factor shapes with the deepest
+// level each admits: dimensions like 34 = 2·17 and 52 = 4·13 keep the
+// sub-band sizes odd after one halving, exercising the non-power-of-two
+// paths.
+var decomposableShapes = []struct {
+	rows, cols, levels int
+}{
+	{34, 52, 1},  // odd half-sizes after one level
+	{52, 34, 1},  // transposed
+	{40, 56, 2},  // 8·5 and 8·7
+	{64, 96, 3},  // the classic rectangular case
+	{32, 32, 2},  // square power of two
+	{128, 64, 4}, // deep pyramid
+}
+
+func TestEveryBankPerfectReconstructionPeriodic(t *testing.T) {
+	for _, name := range filter.Names() {
+		b, err := filter.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range decomposableShapes {
+			im := randImage(sh.rows, sh.cols, int64(sh.rows*1000+sh.cols))
+			p, err := Decompose(im, b, filter.Periodic, sh.levels)
+			if err != nil {
+				t.Fatalf("%s %dx%d L=%d: %v", name, sh.rows, sh.cols, sh.levels, err)
+			}
+			back := Reconstruct(p)
+			if diff := maxAbsImageDiff(im, back); diff > 1e-9 {
+				t.Errorf("%s %dx%d L=%d: max abs reconstruction error %g > 1e-9",
+					name, sh.rows, sh.cols, sh.levels, diff)
+			}
+		}
+	}
+}
+
+// TestEveryBankInteriorReconstruction: under Symmetric and Zero
+// extension the borders are lossy, but samples further than
+// DecLen+RecLen from either edge see exactly the periodic arithmetic in
+// a single-level transform, so the interior must reconstruct to
+// machine precision for every bank.
+func TestEveryBankInteriorReconstruction(t *testing.T) {
+	for _, name := range filter.Names() {
+		b, err := filter.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		margin := b.DecLen() + b.RecLen()
+		for _, ext := range []filter.Extension{filter.Symmetric, filter.Zero} {
+			im := randImage(64, 96, 7331)
+			p, err := Decompose(im, b, ext, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back := Reconstruct(p)
+			var worst float64
+			for r := margin; r < im.Rows-margin; r++ {
+				ra, rb := im.Row(r), back.Row(r)
+				for c := margin; c < im.Cols-margin; c++ {
+					if d := math.Abs(ra[c] - rb[c]); d > worst {
+						worst = d
+					}
+				}
+			}
+			if worst > 1e-9 {
+				t.Errorf("%s/%v: interior reconstruction error %g > 1e-9", name, ext, worst)
+			}
+		}
+	}
+}
+
+// TestEveryBankFastEqualsReference extends the bit-identity contract to
+// the full catalog: the dispatched fast path (including the split
+// kernels for mixed channel lengths) must match the reference path bit
+// for bit for every registered bank.
+func TestEveryBankFastEqualsReference(t *testing.T) {
+	for _, name := range filter.Names() {
+		b, err := filter.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ext := range allExtensions() {
+			im := randImage(48, 64, 424242)
+			ref, err := DecomposeReference(im, b, ext, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := Decompose(im, b, ext, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requirePyramidsBitIdentical(t, name+"/"+ext.String(), ref, fast)
+		}
+	}
+}
+
+// TestDecomposerSteadyStateAllocsBior repeats the zero-allocation gate
+// with a biorthogonal bank: mixed analysis lengths (9/9 here, 8/10 for
+// rbio4.4) must not knock the Decomposer off its arena.
+func TestDecomposerSteadyStateAllocsBior(t *testing.T) {
+	for _, name := range []string{"bior4.4", "rbio4.4", "cdf5/3"} {
+		b, err := filter.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im := image.Landsat(128, 128, 42)
+		d := NewDecomposer(b, filter.Periodic, 3)
+		if _, err := d.Decompose(im); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := d.Decompose(im); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s: steady-state Decomposer allocates %.1f objects/op, want 0", name, allocs)
+		}
+	}
+}

@@ -29,7 +29,10 @@ func AnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) []float64 
 	// Fast path: the filter support 2i..2i+len(h)-1 is fully interior
 	// when 2i+len(h) <= n; borders fall back to extension indexing.
 	interior := (n - len(h)) / 2 // last i with 2i+len(h)-1 < n
-	if interior < 0 {
+	if n < len(h) {
+		// Go's integer division truncates toward zero, so n-len(h) = -1
+		// (odd-length filters one tap longer than the signal) would
+		// round to 0 and read past the end; clamp to "no interior".
 		interior = -1
 	}
 	for i := 0; i <= interior; i++ {

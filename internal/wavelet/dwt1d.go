@@ -10,8 +10,8 @@ import (
 // approximation (low-pass) and detail (high-pass) coefficient vectors,
 // each of half the input length. The input length must be even.
 func Analyze1D(x []float64, bank *filter.Bank, ext filter.Extension) (approx, detail []float64) {
-	approx = AnalyzeStep(x, bank.Lo, ext, nil)
-	detail = AnalyzeStep(x, bank.Hi, ext, nil)
+	approx = AnalyzeStep(x, bank.DecLo, ext, nil)
+	detail = AnalyzeStep(x, bank.DecHi, ext, nil)
 	return approx, detail
 }
 
@@ -23,8 +23,8 @@ func Synthesize1D(approx, detail []float64, bank *filter.Bank, ext filter.Extens
 		panic(usage("Synthesize1D", "Synthesize1D length mismatch %d vs %d", len(approx), len(detail)))
 	}
 	out := make([]float64, 2*len(approx))
-	SynthesizeStep(approx, bank.Lo, ext, out)
-	SynthesizeStep(detail, bank.Hi, ext, out)
+	SynthesizeStep(approx, bank.RecLo, ext, out)
+	SynthesizeStep(detail, bank.RecHi, ext, out)
 	return out
 }
 

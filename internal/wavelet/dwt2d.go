@@ -30,8 +30,8 @@ func AnalyzeRows(im *image.Image, bank *filter.Bank, ext filter.Extension) (l, h
 	h = image.New(im.Rows, im.Cols/2)
 	for r := 0; r < im.Rows; r++ {
 		src := im.Row(r)
-		AnalyzeStep(src, bank.Lo, ext, l.Row(r))
-		AnalyzeStep(src, bank.Hi, ext, h.Row(r))
+		AnalyzeStep(src, bank.DecLo, ext, l.Row(r))
+		AnalyzeStep(src, bank.DecHi, ext, h.Row(r))
 	}
 	return l, h
 }
@@ -50,8 +50,8 @@ func AnalyzeCols(im *image.Image, bank *filter.Bank, ext filter.Extension) (lo, 
 	outHi := make([]float64, im.Rows/2)
 	for c := 0; c < im.Cols; c++ {
 		col = im.Col(c, col)
-		AnalyzeStep(col, bank.Lo, ext, outLo)
-		AnalyzeStep(col, bank.Hi, ext, outHi)
+		AnalyzeStep(col, bank.DecLo, ext, outLo)
+		AnalyzeStep(col, bank.DecHi, ext, outHi)
 		lo.SetCol(c, outLo)
 		hi.SetCol(c, outHi)
 	}
@@ -82,8 +82,8 @@ func SynthesizeCols(lo, hi *image.Image, bank *filter.Bank, ext filter.Extension
 		for i := range full {
 			full[i] = 0
 		}
-		SynthesizeStep(colLo, bank.Lo, ext, full)
-		SynthesizeStep(colHi, bank.Hi, ext, full)
+		SynthesizeStep(colLo, bank.RecLo, ext, full)
+		SynthesizeStep(colHi, bank.RecHi, ext, full)
 		out.SetCol(c, full)
 	}
 	return out
@@ -98,8 +98,8 @@ func SynthesizeRows(l, h *image.Image, bank *filter.Bank, ext filter.Extension) 
 	out := image.New(l.Rows, l.Cols*2)
 	for r := 0; r < l.Rows; r++ {
 		dst := out.Row(r)
-		SynthesizeStep(l.Row(r), bank.Lo, ext, dst)
-		SynthesizeStep(h.Row(r), bank.Hi, ext, dst)
+		SynthesizeStep(l.Row(r), bank.RecLo, ext, dst)
+		SynthesizeStep(h.Row(r), bank.RecHi, ext, dst)
 	}
 	return out
 }

@@ -193,8 +193,8 @@ func TestConvTypedPanics(t *testing.T) {
 		op string
 		fn func()
 	}{
-		{"AnalyzeStep", func() { AnalyzeStep(make([]float64, 3), filter.Haar().Lo, filter.Periodic, nil) }},
-		{"SynthesizeStep", func() { SynthesizeStep(make([]float64, 4), filter.Haar().Lo, filter.Periodic, make([]float64, 7)) }},
+		{"AnalyzeStep", func() { AnalyzeStep(make([]float64, 3), filter.Haar().DecLo, filter.Periodic, nil) }},
+		{"SynthesizeStep", func() { SynthesizeStep(make([]float64, 4), filter.Haar().DecLo, filter.Periodic, make([]float64, 7)) }},
 		{"Synthesize1D", func() { Synthesize1D(make([]float64, 2), make([]float64, 3), filter.Haar(), filter.Periodic) }},
 		{"AnalyzeCols", func() { AnalyzeCols(image.New(3, 2), filter.Haar(), filter.Periodic) }},
 		{"SynthesizeCols", func() { SynthesizeCols(image.New(2, 2), image.New(2, 3), filter.Haar(), filter.Periodic) }},

@@ -1,0 +1,98 @@
+package wavelet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// Golden pins for the orthonormal banks: FNV-64a digests of the exact
+// Float64bits of every pyramid coefficient, frozen at the introduction
+// of the biorthogonal bank model. Any change to these hashes means the
+// refactor (or a later change) altered the numerical output of the
+// historical haar/db4/db6/db8 paths by at least one ulp — which the
+// bit-identity contract forbids. Both the reference path and the
+// dispatched fast path must land on the same digest.
+
+// pyramidDigest hashes Approx rows first, then LH/HL/HH per level, each
+// coefficient as its little-endian IEEE-754 bit pattern.
+func pyramidDigest(p *Pyramid) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeImage := func(im *image.Image) {
+		for r := 0; r < im.Rows; r++ {
+			for _, v := range im.Row(r) {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				h.Write(buf[:])
+			}
+		}
+	}
+	writeImage(p.Approx)
+	for i := range p.Levels {
+		writeImage(p.Levels[i].LH)
+		writeImage(p.Levels[i].HL)
+		writeImage(p.Levels[i].HH)
+	}
+	return h.Sum64()
+}
+
+func TestGoldenOrthonormalDigests(t *testing.T) {
+	cases := []struct {
+		bank   string
+		ext    filter.Extension
+		levels int
+		want   uint64
+	}{
+		{"haar", filter.Periodic, 1, 0x79af62118ea2ef81},
+		{"haar", filter.Periodic, 3, 0x0353880c7dfeeb1e},
+		{"haar", filter.Symmetric, 1, 0x79af62118ea2ef81},
+		{"haar", filter.Symmetric, 3, 0x0353880c7dfeeb1e},
+		{"haar", filter.Zero, 1, 0x79af62118ea2ef81},
+		{"haar", filter.Zero, 3, 0x0353880c7dfeeb1e},
+		{"db4", filter.Periodic, 1, 0x5e4a4a0785037637},
+		{"db4", filter.Periodic, 3, 0x2db031110684a668},
+		{"db4", filter.Symmetric, 1, 0x4a07bd76a225283f},
+		{"db4", filter.Symmetric, 3, 0x5564425b399782e3},
+		{"db4", filter.Zero, 1, 0x67a8bbde070ba663},
+		{"db4", filter.Zero, 3, 0x281118f9cd57fe18},
+		{"db6", filter.Periodic, 1, 0xc698935520b64bb5},
+		{"db6", filter.Periodic, 3, 0xc4fc7af460985ca6},
+		{"db6", filter.Symmetric, 1, 0x24ee9966664054d3},
+		{"db6", filter.Symmetric, 3, 0x96edc6eb01a3b351},
+		{"db6", filter.Zero, 1, 0x623dddf70621010c},
+		{"db6", filter.Zero, 3, 0xc9d911d45392c7f2},
+		{"db8", filter.Periodic, 1, 0x1c848f0b4e110f59},
+		{"db8", filter.Periodic, 3, 0xb7a6638efe8cb29f},
+		{"db8", filter.Symmetric, 1, 0x980c36c3f328a3cb},
+		{"db8", filter.Symmetric, 3, 0x9a7eaef983f1991e},
+		{"db8", filter.Zero, 1, 0x2c9db16801101404},
+		{"db8", filter.Zero, 3, 0x49aa83319b8ee34e},
+	}
+	im := image.Landsat(48, 32, 7)
+	for _, tc := range cases {
+		b, err := filter.ByName(tc.bank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := DecomposeReference(im, b, tc.ext, tc.levels)
+		if err != nil {
+			t.Fatalf("%s/%v/L%d: %v", tc.bank, tc.ext, tc.levels, err)
+		}
+		if got := pyramidDigest(ref); got != tc.want {
+			t.Errorf("%s/%v/L%d reference digest = %#016x, want %#016x",
+				tc.bank, tc.ext, tc.levels, got, tc.want)
+		}
+		fast, err := Decompose(im, b, tc.ext, tc.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pyramidDigest(fast); got != tc.want {
+			t.Errorf("%s/%v/L%d fast-path digest = %#016x, want %#016x",
+				tc.bank, tc.ext, tc.levels, got, tc.want)
+		}
+	}
+}

@@ -21,7 +21,15 @@ import (
 func AnalyzeColsRange(lo, hi, src *image.Image, bank *filter.Bank, ext filter.Extension, c0, c1 int) {
 	rows := src.Rows
 	half := rows / 2
-	fLo, fHi := bank.Lo, bank.Hi
+	fLo, fHi := bank.DecLo, bank.DecHi
+	if len(fLo) != len(fHi) {
+		// Different channel lengths (biorthogonal banks): the fused loop
+		// below shares one interior split across both channels, so run
+		// each channel as its own panel pass instead.
+		colsChannelRange(lo, src, fLo, ext, c0, c1)
+		colsChannelRange(hi, src, fHi, ext, c0, c1)
+		return
+	}
 	f := len(fLo)
 	for p0 := c0; p0 < c1; p0 += PanelWidth {
 		p1 := p0 + PanelWidth
@@ -58,6 +66,50 @@ func AnalyzeColsRange(lo, hi, src *image.Image, bank *filter.Bank, ext filter.Ex
 					for c, v := range s {
 						dLo[c] += hl * v
 						dHi[c] += hh * v
+					}
+				}
+			}
+		}
+	}
+}
+
+// colsChannelRange is the single-channel panel pass used when the two
+// analysis channels differ in length. Per-coefficient tap order and the
+// interior/border split match the reference AnalyzeStep for this
+// channel's own filter length, preserving the bit-identity contract.
+func colsChannelRange(dst, src *image.Image, h []float64, ext filter.Extension, c0, c1 int) {
+	rows := src.Rows
+	half := rows / 2
+	f := len(h)
+	for p0 := c0; p0 < c1; p0 += PanelWidth {
+		p1 := p0 + PanelWidth
+		if p1 > c1 {
+			p1 = c1
+		}
+		for i := 0; i < half; i++ {
+			d := dst.RowSeg(i, p0, p1)
+			for c := range d {
+				d[c] = 0
+			}
+			base := 2 * i
+			if base+f <= rows {
+				for k := 0; k < f; k++ {
+					s := src.RowSeg(base+k, p0, p1)
+					w := h[k]
+					for c, v := range s {
+						d[c] += w * v
+					}
+				}
+			} else {
+				for k := 0; k < f; k++ {
+					j, ok := ext.Index(base+k, rows)
+					if !ok {
+						continue
+					}
+					s := src.RowSeg(j, p0, p1)
+					w := h[k]
+					for c, v := range s {
+						d[c] += w * v
 					}
 				}
 			}

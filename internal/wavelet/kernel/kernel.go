@@ -39,10 +39,11 @@ const PanelWidth = 64
 
 // Supported reports whether the fast path may be dispatched for the
 // bank/extension pair. All in-tree extensions are supported for any
-// bank; unknown extension values fall back to the reference path, which
-// is the behavioral source of truth.
+// bank with non-empty analysis filters — the channels may have
+// different lengths (biorthogonal banks); unknown extension values fall
+// back to the reference path, which is the behavioral source of truth.
 func Supported(bank *filter.Bank, ext filter.Extension) bool {
-	if bank == nil || bank.Len() == 0 || len(bank.Lo) != len(bank.Hi) {
+	if bank == nil || len(bank.DecLo) == 0 || len(bank.DecHi) == 0 {
 		return false
 	}
 	switch ext {

@@ -27,8 +27,8 @@ func randImage(rows, cols int, seed int64) *image.Image {
 func refAnalyzeStep(x, h []float64, ext filter.Extension, dst []float64) {
 	n := len(x)
 	interior := (n - len(h)) / 2
-	if interior < 0 {
-		interior = -1
+	if n < len(h) {
+		interior = -1 // truncating division mishandles n-len(h) = -1
 	}
 	for i := 0; i <= interior; i++ {
 		var acc float64
@@ -74,11 +74,11 @@ func TestRowKernelsBitIdentical(t *testing.T) {
 				}
 				wantLo := make([]float64, n/2)
 				wantHi := make([]float64, n/2)
-				refAnalyzeStep(x, b.Lo, ext, wantLo)
-				refAnalyzeStep(x, b.Hi, ext, wantHi)
+				refAnalyzeStep(x, b.DecLo, ext, wantLo)
+				refAnalyzeStep(x, b.DecHi, ext, wantHi)
 				gotLo := make([]float64, n/2)
 				gotHi := make([]float64, n/2)
-				pickRow(b.Len(), ext, n)(x, b.Lo, b.Hi, gotLo, gotHi, ext)
+				pickRow(b, ext, n)(x, b.DecLo, b.DecHi, gotLo, gotHi, ext)
 				label := b.Name + "/" + ext.String()
 				requireBits(t, label+"/lo", wantLo, gotLo)
 				requireBits(t, label+"/hi", wantHi, gotHi)
@@ -106,8 +106,8 @@ func TestColsRangeBitIdentical(t *testing.T) {
 				wantHi := make([]float64, sh[0]/2)
 				for c := 0; c < sh[1]; c++ {
 					col = src.Col(c, col)
-					refAnalyzeStep(col, b.Lo, ext, wantLo)
-					refAnalyzeStep(col, b.Hi, ext, wantHi)
+					refAnalyzeStep(col, b.DecLo, ext, wantLo)
+					refAnalyzeStep(col, b.DecHi, ext, wantHi)
 					for i := range wantLo {
 						if math.Float64bits(wantLo[i]) != math.Float64bits(lo.At(i, c)) {
 							t.Fatalf("%s/%s %dx%d lo(%d,%d): %g vs %g", b.Name, ext, sh[0], sh[1], i, c, wantLo[i], lo.At(i, c))

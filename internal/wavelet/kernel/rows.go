@@ -18,17 +18,31 @@ type rowFunc func(x, lo, hi, dLo, dHi []float64, ext filter.Extension)
 // lengths under periodic extension. Outputs are bit-identical to the
 // reference (see the package comment).
 func AnalyzeRowsRange(l, h, src *image.Image, bank *filter.Bank, ext filter.Extension, r0, r1 int) {
-	k := pickRow(bank.Len(), ext, src.Cols)
+	k := pickRow(bank, ext, src.Cols)
 	for r := r0; r < r1; r++ {
-		k(src.Row(r), bank.Lo, bank.Hi, l.Row(r), h.Row(r), ext)
+		k(src.Row(r), bank.DecLo, bank.DecHi, l.Row(r), h.Row(r), ext)
 	}
 }
 
+// AnalyzeRow filters one even-length row by the bank's analysis pair and
+// decimates by two into dLo/dHi (each len(x)/2), through the same kernel
+// selection as AnalyzeRowsRange. Exported for transforms built on the
+// kernel layer outside the pyramid dispatch (the Walsh–Hadamard cascade).
+func AnalyzeRow(x []float64, bank *filter.Bank, ext filter.Extension, dLo, dHi []float64) {
+	pickRow(bank, ext, len(x))(x, bank.DecLo, bank.DecHi, dLo, dHi, ext)
+}
+
 // pickRow selects the row kernel: an unrolled periodic specialization
-// when the filter length is one of the hot sizes and the signal is long
-// enough that wrapped indices need at most one subtraction, the generic
-// extension-indexed kernel otherwise.
-func pickRow(f int, ext filter.Extension, n int) rowFunc {
+// when both analysis channels share one of the hot lengths and the
+// signal is long enough that wrapped indices need at most one
+// subtraction; the fused generic kernel for other equal-length banks;
+// and the per-channel split kernel when the analysis channels have
+// different lengths (biorthogonal banks).
+func pickRow(bank *filter.Bank, ext filter.Extension, n int) rowFunc {
+	f := len(bank.DecLo)
+	if len(bank.DecHi) != f {
+		return rowsSplit
+	}
 	if ext == filter.Periodic && n >= f {
 		switch f {
 		case 2:
@@ -44,6 +58,43 @@ func pickRow(f int, ext filter.Extension, n int) rowFunc {
 	return rowsGeneric
 }
 
+// rowsSplit handles analysis pairs of different channel lengths by
+// running each channel as its own pass, each mirroring
+// wavelet.AnalyzeStep exactly (the interior/border split depends on the
+// channel's own filter length).
+func rowsSplit(x, lo, hi, dLo, dHi []float64, ext filter.Extension) {
+	rowChannel(x, lo, dLo, ext)
+	rowChannel(x, hi, dHi, ext)
+}
+
+func rowChannel(x, h, dst []float64, ext filter.Extension) {
+	n := len(x)
+	f := len(h)
+	half := n / 2
+	interior := (n - f) / 2
+	if n < f {
+		interior = -1 // truncating division mishandles n-f = -1
+	}
+	for i := 0; i <= interior; i++ {
+		xx := x[2*i : 2*i+f]
+		var a float64
+		for k, v := range xx {
+			a += h[k] * v
+		}
+		dst[i] = a
+	}
+	for i := interior + 1; i < half; i++ {
+		var a float64
+		for k := 0; k < f; k++ {
+			j, ok := ext.Index(2*i+k, n)
+			if ok {
+				a += h[k] * x[j]
+			}
+		}
+		dst[i] = a
+	}
+}
+
 // rowsGeneric mirrors wavelet.AnalyzeStep exactly (interior/border
 // split, ext.Index at the borders) with the lo and hi channels fused
 // into one pass over x.
@@ -52,8 +103,8 @@ func rowsGeneric(x, lo, hi, dLo, dHi []float64, ext filter.Extension) {
 	f := len(lo)
 	half := n / 2
 	interior := (n - f) / 2
-	if interior < 0 {
-		interior = -1
+	if n < f {
+		interior = -1 // truncating division mishandles n-f = -1
 	}
 	for i := 0; i <= interior; i++ {
 		xx := x[2*i : 2*i+f]

@@ -11,7 +11,15 @@ import (
 )
 
 func banks() []*filter.Bank {
-	return []*filter.Bank{filter.Haar(), filter.Daubechies4(), filter.Daubechies6(), filter.Daubechies8()}
+	// The historical orthonormal quartet plus representatives of every
+	// new family: a symlet, the spline biorthogonals, the JPEG-2000
+	// pair, and a reversed biorthogonal. Every suite iterating banks()
+	// therefore exercises analysis≠synthesis and mixed channel lengths.
+	return []*filter.Bank{
+		filter.Haar(), filter.Daubechies4(), filter.Daubechies6(), filter.Daubechies8(),
+		filter.Symlet(5), filter.Symlet(8),
+		filter.Bior22(), filter.Bior44(), filter.CDF53(), filter.Rbio44(),
+	}
 }
 
 func randSignal(n int, seed int64) []float64 {
@@ -37,13 +45,13 @@ func maxAbsDiff(a, b []float64) float64 {
 func TestAnalyzeStepHaarAverages(t *testing.T) {
 	x := []float64{1, 3, 5, 7}
 	b := filter.Haar()
-	a := AnalyzeStep(x, b.Lo, filter.Periodic, nil)
+	a := AnalyzeStep(x, b.DecLo, filter.Periodic, nil)
 	s := 1 / math.Sqrt2
 	want := []float64{s * 4, s * 12}
 	if maxAbsDiff(a, want) > 1e-12 {
 		t.Errorf("haar approx = %v, want %v", a, want)
 	}
-	d := AnalyzeStep(x, b.Hi, filter.Periodic, nil)
+	d := AnalyzeStep(x, b.DecHi, filter.Periodic, nil)
 	wantD := []float64{s * -2, s * -2}
 	if maxAbsDiff(d, wantD) > 1e-12 {
 		t.Errorf("haar detail = %v, want %v", d, wantD)
@@ -56,13 +64,13 @@ func TestAnalyzeStepPanicsOnOddLength(t *testing.T) {
 			t.Error("no panic on odd-length input")
 		}
 	}()
-	AnalyzeStep(make([]float64, 3), filter.Haar().Lo, filter.Periodic, nil)
+	AnalyzeStep(make([]float64, 3), filter.Haar().DecLo, filter.Periodic, nil)
 }
 
 func TestAnalyzeStepReusesDst(t *testing.T) {
 	x := randSignal(16, 1)
 	dst := make([]float64, 8)
-	got := AnalyzeStep(x, filter.Haar().Lo, filter.Periodic, dst)
+	got := AnalyzeStep(x, filter.Haar().DecLo, filter.Periodic, dst)
 	if &got[0] != &dst[0] {
 		t.Error("AnalyzeStep did not reuse dst")
 	}
@@ -114,8 +122,12 @@ func TestDecompose1DErrors(t *testing.T) {
 }
 
 func TestParseval1D(t *testing.T) {
-	// Orthonormal transform preserves energy.
+	// Orthonormal transform preserves energy. (Biorthogonal banks are
+	// not isometries, so only the orthonormal subset applies.)
 	for _, b := range banks() {
+		if !b.Orthonormal() {
+			continue
+		}
 		x := randSignal(128, 3)
 		var ex float64
 		for _, v := range x {
@@ -141,9 +153,15 @@ func TestParseval1D(t *testing.T) {
 }
 
 func TestConstantSignalDetailVanishes(t *testing.T) {
-	// All banks sum to sqrt(2) low-pass and 0 high-pass: a constant
-	// signal has zero detail and approx = sqrt(2)·const.
+	// Every registered high-pass has a zero at DC, so a constant signal
+	// has vanishing detail; the approx is the constant scaled by the
+	// low-pass DC gain (√2 for the orthonormal banks, bank-specific for
+	// the biorthogonal normalizations).
 	for _, b := range banks() {
+		var gain float64
+		for _, w := range b.DecLo {
+			gain += w
+		}
 		x := make([]float64, 32)
 		for i := range x {
 			x[i] = 5
@@ -153,8 +171,8 @@ func TestConstantSignalDetailVanishes(t *testing.T) {
 			if math.Abs(d[i]) > 1e-12 {
 				t.Errorf("%s: detail[%d] = %g on constant input", b.Name, i, d[i])
 			}
-			if math.Abs(a[i]-5*math.Sqrt2) > 1e-12 {
-				t.Errorf("%s: approx[%d] = %g, want %g", b.Name, i, a[i], 5*math.Sqrt2)
+			if math.Abs(a[i]-5*gain) > 1e-12 {
+				t.Errorf("%s: approx[%d] = %g, want %g", b.Name, i, a[i], 5*gain)
 			}
 		}
 	}
@@ -333,14 +351,14 @@ func TestSynthesizeStepPanicsOnBadLength(t *testing.T) {
 			t.Error("no panic on bad output length")
 		}
 	}()
-	SynthesizeStep(make([]float64, 4), filter.Haar().Lo, filter.Periodic, make([]float64, 7))
+	SynthesizeStep(make([]float64, 4), filter.Haar().DecLo, filter.Periodic, make([]float64, 7))
 }
 
 func TestRoundTripPropertyQuick(t *testing.T) {
 	// Property: decompose∘reconstruct is identity for random signals,
 	// any bank, any valid level count.
 	f := func(seed int64, bankIdx uint8, levelRaw uint8) bool {
-		b := banks()[int(bankIdx)%4]
+		b := banks()[int(bankIdx)%len(banks())]
 		levels := int(levelRaw)%4 + 1
 		x := randSignal(64, seed)
 		dec, err := Decompose1D(x, b, filter.Periodic, levels)

@@ -1,0 +1,136 @@
+package wavelet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet/kernel"
+)
+
+// Walsh–Hadamard transform built from the wavelet machinery: a full
+// Haar wavelet-packet cascade followed by a bit-reversal permutation.
+//
+// One orthonormal Haar analysis of a length-m block is exactly one
+// stage of 1/√2-normalized Hadamard butterflies with the sums gathered
+// in the low half and the differences in the high half. Cascading the
+// analysis over every sub-block for log2(n) stages therefore computes
+// all n Hadamard coefficients, in bit-reversed order: by induction on
+// H_n = H_{n/2} ⊗ H_2, the cascade coefficient at position p equals
+// (H_n·x)[bitrev(p)], where H_n(i,j) = (-1)^popcount(i AND j)/√n is the
+// natural (Hadamard) ordering. The blocks run through the same
+// internal/wavelet/kernel row/column kernels as the pyramid transform —
+// the WHT is a second transform on the shared kernel layer, not a
+// separate convolution stack.
+//
+// With the 1/√2 normalization H_n is symmetric and orthogonal, so the
+// transform is an involution: applying it twice returns the input (up
+// to floating-point roundoff).
+
+// checkWHTSize validates a Walsh–Hadamard dimension: a positive power
+// of two.
+func checkWHTSize(what string, n int) error {
+	if n < 1 || n&(n-1) != 0 {
+		return fmt.Errorf("wavelet: WHT %s %d is not a power of two", what, n)
+	}
+	return nil
+}
+
+// WHT1D computes the orthonormal Walsh–Hadamard transform of x in
+// natural (Hadamard) ordering. len(x) must be a power of two. The input
+// is not modified. The transform is its own inverse.
+func WHT1D(x []float64) ([]float64, error) {
+	n := len(x)
+	if err := checkWHTSize("length", n); err != nil {
+		return nil, err
+	}
+	bank := filter.Haar()
+	cur := append([]float64(nil), x...)
+	next := make([]float64, n)
+	// Haar packet cascade: stage s splits each size-m block into lo|hi
+	// halves through the shared row kernel.
+	for m := n; m > 1; m /= 2 {
+		for b := 0; b < n; b += m {
+			blk := cur[b : b+m]
+			kernel.AnalyzeRow(blk, bank, filter.Periodic, next[b:b+m/2], next[b+m/2:b+m])
+		}
+		cur, next = next, cur
+	}
+	// Undo the bit-reversed ordering of the packet leaves.
+	out := make([]float64, n)
+	shift := uint(64 - bits.Len(uint(n-1)))
+	if n == 1 {
+		out[0] = cur[0]
+		return out, nil
+	}
+	for k := 0; k < n; k++ {
+		out[k] = cur[bits.Reverse64(uint64(k))>>shift]
+	}
+	return out, nil
+}
+
+// WHT2D computes the separable orthonormal 2-D Walsh–Hadamard transform
+// of im in natural ordering: the 1-D transform applied along the rows
+// and then along the columns. Both dimensions must be powers of two.
+// The input is not modified, and the transform is its own inverse.
+func WHT2D(im *image.Image) (*image.Image, error) {
+	if err := checkWHTSize("row count", im.Rows); err != nil {
+		return nil, err
+	}
+	if err := checkWHTSize("column count", im.Cols); err != nil {
+		return nil, err
+	}
+	bank := filter.Haar()
+	cur := im.Clone()
+	next := image.New(im.Rows, im.Cols)
+
+	// Row cascade: stage over column-block views through the shared
+	// panel kernels; each block is a strided Sub view, no copies.
+	for m := im.Cols; m > 1; m /= 2 {
+		for b := 0; b < im.Cols; b += m {
+			src := cur.Sub(0, b, im.Rows, m)
+			l := next.Sub(0, b, im.Rows, m/2)
+			h := next.Sub(0, b+m/2, im.Rows, m/2)
+			kernel.AnalyzeRowsRange(l, h, src, bank, filter.Periodic, 0, im.Rows)
+		}
+		cur, next = next, cur
+	}
+	// Column cascade over row-slab views.
+	for m := im.Rows; m > 1; m /= 2 {
+		for b := 0; b < im.Rows; b += m {
+			src := cur.Sub(b, 0, m, im.Cols)
+			lo := next.Sub(b, 0, m/2, im.Cols)
+			hi := next.Sub(b+m/2, 0, m/2, im.Cols)
+			kernel.AnalyzeColsRange(lo, hi, src, bank, filter.Periodic, 0, im.Cols)
+		}
+		cur, next = next, cur
+	}
+
+	// Undo bit reversal along both axes.
+	out := image.New(im.Rows, im.Cols)
+	rIdx := bitrevIndex(im.Rows)
+	cIdx := bitrevIndex(im.Cols)
+	for r := 0; r < im.Rows; r++ {
+		src := cur.Row(rIdx[r])
+		dst := out.Row(r)
+		for c := 0; c < im.Cols; c++ {
+			dst[c] = src[cIdx[c]]
+		}
+	}
+	return out, nil
+}
+
+// bitrevIndex returns the bit-reversal permutation of [0,n) for a
+// power-of-two n.
+func bitrevIndex(n int) []int {
+	idx := make([]int, n)
+	if n == 1 {
+		return idx
+	}
+	shift := uint(64 - bits.Len(uint(n-1)))
+	for i := range idx {
+		idx[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return idx
+}

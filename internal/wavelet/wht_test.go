@@ -1,0 +1,163 @@
+package wavelet
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"wavelethpc/internal/image"
+)
+
+// directWHT1D is the O(n²) definition the cascade is checked against:
+// y[i] = Σ_j (-1)^popcount(i AND j) x[j] / √n, the natural (Hadamard)
+// ordering of the orthonormal Walsh–Hadamard transform.
+func directWHT1D(x []float64) []float64 {
+	n := len(x)
+	y := make([]float64, n)
+	scale := 1 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if bits.OnesCount(uint(i&j))%2 == 1 {
+				s -= x[j]
+			} else {
+				s += x[j]
+			}
+		}
+		y[i] = s * scale
+	}
+	return y
+}
+
+func TestWHT1DMatchesDirect(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randSignal(n, int64(n))
+		got, err := WHT1D(x)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := directWHT1D(x)
+		if diff := maxAbsDiff(got, want); diff > 1e-10 {
+			t.Errorf("n=%d: cascade vs direct max abs diff %g", n, diff)
+		}
+	}
+}
+
+func TestWHT1DInvolution(t *testing.T) {
+	x := randSignal(128, 99)
+	y, err := WHT1D(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := WHT1D(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsDiff(x, back); diff > 1e-10 {
+		t.Errorf("WHT∘WHT drifts from identity by %g", diff)
+	}
+}
+
+func TestWHT1DParseval(t *testing.T) {
+	x := randSignal(256, 5)
+	y, err := WHT1D(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex, ey float64
+	for i := range x {
+		ex += x[i] * x[i]
+		ey += y[i] * y[i]
+	}
+	if math.Abs(ex-ey) > 1e-9*ex {
+		t.Errorf("energy %g -> %g", ex, ey)
+	}
+}
+
+func TestWHT1DDoesNotModifyInput(t *testing.T) {
+	x := randSignal(32, 3)
+	orig := append([]float64(nil), x...)
+	if _, err := WHT1D(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestWHTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12, 100} {
+		if _, err := WHT1D(make([]float64, n)); err == nil {
+			t.Errorf("WHT1D accepted length %d", n)
+		}
+	}
+	if _, err := WHT2D(image.New(16, 24)); err == nil {
+		t.Error("WHT2D accepted 24 columns")
+	}
+	if _, err := WHT2D(image.New(24, 16)); err == nil {
+		t.Error("WHT2D accepted 24 rows")
+	}
+}
+
+// TestWHT2DMatchesSeparable1D: the 2-D transform is the 1-D transform
+// over every row followed by every column.
+func TestWHT2DMatchesSeparable1D(t *testing.T) {
+	im := image.Landsat(16, 32, 13)
+	got, err := WHT2D(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows first...
+	tmp := image.New(im.Rows, im.Cols)
+	for r := 0; r < im.Rows; r++ {
+		y, err := WHT1D(im.Row(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(tmp.Row(r), y)
+	}
+	// ...then columns.
+	want := image.New(im.Rows, im.Cols)
+	col := make([]float64, im.Rows)
+	for c := 0; c < im.Cols; c++ {
+		for r := 0; r < im.Rows; r++ {
+			col[r] = tmp.Row(r)[c]
+		}
+		y, err := WHT1D(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < im.Rows; r++ {
+			want.Row(r)[c] = y[r]
+		}
+	}
+	var worst float64
+	for r := 0; r < im.Rows; r++ {
+		rg, rw := got.Row(r), want.Row(r)
+		for c := range rg {
+			if d := math.Abs(rg[c] - rw[c]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("2-D vs separable 1-D max abs diff %g", worst)
+	}
+}
+
+func TestWHT2DInvolution(t *testing.T) {
+	im := image.Landsat(32, 32, 21)
+	y, err := WHT2D(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := WHT2D(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsImageDiff(im, back); diff > 1e-9 {
+		t.Errorf("WHT2D∘WHT2D drifts from identity by %g", diff)
+	}
+}

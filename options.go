@@ -36,6 +36,7 @@ type decomposeConfig struct {
 	workers  int
 	parallel bool
 	ext      Extension
+	bank     *FilterBank
 }
 
 // optionErr wraps an option-validation failure in the facade's typed
@@ -72,6 +73,24 @@ func WithWorkers(workers int) Option {
 	}
 }
 
+// WithBank selects the filter bank by registered name — any name
+// accepted by FilterByName, e.g. "db4", "sym6", or "bior4.4" — as an
+// alternative to passing a *FilterBank positionally (pass nil for the
+// positional bank then). Unknown names fail with an error wrapping
+// *filter.UnknownBankError, whose message lists the full catalog.
+// Supplying both a positional bank and WithBank is an error: the call
+// would be ambiguous about which bank it means.
+func WithBank(name string) Option {
+	return func(c *decomposeConfig) error {
+		b, err := filter.ByName(name)
+		if err != nil {
+			return fmt.Errorf("wavelethpc: invalid option: WithBank: %w", err)
+		}
+		c.bank = b
+		return nil
+	}
+}
+
 // WithExtension sets the border policy (default Periodic).
 func WithExtension(ext Extension) Option {
 	return func(c *decomposeConfig) error {
@@ -86,11 +105,10 @@ func WithExtension(ext Extension) Option {
 }
 
 // resolveOptions validates the common arguments and folds the options.
+// The bank may come positionally or from WithBank — exactly one of the
+// two must supply it.
 func resolveOptions(bank *FilterBank, opts []Option) (decomposeConfig, error) {
 	cfg := decomposeConfig{levels: 1, workers: 1, ext: Periodic}
-	if bank == nil {
-		return cfg, optionErr("DecomposeWith", "nil filter bank")
-	}
 	for _, opt := range opts {
 		if opt == nil {
 			return cfg, optionErr("DecomposeWith", "nil Option")
@@ -98,6 +116,14 @@ func resolveOptions(bank *FilterBank, opts []Option) (decomposeConfig, error) {
 		if err := opt(&cfg); err != nil {
 			return cfg, err
 		}
+	}
+	switch {
+	case bank != nil && cfg.bank != nil:
+		return cfg, optionErr("DecomposeWith", "both a positional bank (%s) and WithBank (%s) given", bank.Name, cfg.bank.Name)
+	case bank != nil:
+		cfg.bank = bank
+	case cfg.bank == nil:
+		return cfg, optionErr("DecomposeWith", "nil filter bank (pass a bank or use WithBank)")
 	}
 	return cfg, nil
 }
@@ -126,9 +152,9 @@ func DecomposeWith(im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error
 	}
 	return guardDecompose(func() (*Pyramid, error) {
 		if cfg.parallel {
-			return core.ParallelDecompose(im, bank, cfg.ext, cfg.levels, cfg.workers)
+			return core.ParallelDecompose(im, cfg.bank, cfg.ext, cfg.levels, cfg.workers)
 		}
-		return wavelet.Decompose(im, bank, cfg.ext, cfg.levels)
+		return wavelet.Decompose(im, cfg.bank, cfg.ext, cfg.levels)
 	})
 }
 
@@ -153,7 +179,7 @@ func DecomposeAllWith(images []*Image, bank *FilterBank, opts ...Option) ([]*Pyr
 	}
 	var pyrs []*Pyramid
 	_, err = guardDecompose(func() (*Pyramid, error) {
-		res, err := core.DecomposeBatch(images, bank, cfg.ext, cfg.levels, cfg.workers)
+		res, err := core.DecomposeBatch(images, cfg.bank, cfg.ext, cfg.levels, cfg.workers)
 		if err != nil {
 			return nil, err
 		}

@@ -29,7 +29,9 @@ import (
 // Image is a dense float64 grayscale raster.
 type Image = image.Image
 
-// FilterBank is an orthonormal two-channel analysis/synthesis bank.
+// FilterBank is a two-channel analysis/synthesis bank carrying explicit
+// decomposition and reconstruction filter pairs (equal for orthonormal
+// banks, distinct for the biorthogonal families).
 type FilterBank = filter.Bank
 
 // Pyramid is a multi-level 2-D wavelet decomposition.
@@ -66,8 +68,26 @@ func Daubechies6() *FilterBank { return filter.Daubechies6() }
 // Daubechies8 returns the 8-tap bank (F8).
 func Daubechies8() *FilterBank { return filter.Daubechies8() }
 
-// FilterByName resolves "haar"/"db4"/"db6"/"db8" (aliases f2/f4/f6/f8).
+// FilterByName resolves any registered bank name — the orthonormal
+// "haar"/"db4"/"db6"/"db8" (aliases f2/f4/f6/f8), the symlets
+// "sym2".."sym8", and the biorthogonal "bior2.2"/"bior3.1"/"bior4.4",
+// their "rbio" reverses, and the JPEG-2000 legal "cdf5/3". Unknown
+// names return a *filter.UnknownBankError listing the catalog.
 func FilterByName(name string) (*FilterBank, error) { return filter.ByName(name) }
+
+// Banks returns the names of every registered filter bank, sorted.
+func Banks() []string { return filter.Names() }
+
+// WHT1D computes the orthonormal Walsh–Hadamard transform of x in
+// natural (Hadamard) ordering via a cascading-Haar wavelet-packet
+// construction on the shared kernel layer. len(x) must be a power of
+// two; the transform is its own inverse.
+func WHT1D(x []float64) ([]float64, error) { return wavelet.WHT1D(x) }
+
+// WHT2D computes the separable orthonormal 2-D Walsh–Hadamard
+// transform of im in natural ordering. Both dimensions must be powers
+// of two; the transform is its own inverse.
+func WHT2D(im *Image) (*Image, error) { return wavelet.WHT2D(im) }
 
 // Decompose runs the sequential Mallat multi-resolution decomposition
 // with periodic extension.
