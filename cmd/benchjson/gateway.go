@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/gateway"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/serve"
+)
+
+// gatewayOpts parameterizes the -gateway load generator.
+type gatewayOpts struct {
+	// backends is the fleet size behind the gateway.
+	backends int
+	// pace is the per-backend admission pacing of the in-process scale
+	// model: each backend serves at most one decompose per pace. On a
+	// single-core box CPU-bound work cannot scale horizontally in one
+	// process, so the scale model measures what the gateway adds —
+	// routing, retries, aggregation — against backends with a fixed
+	// service rate, the same methodology as the nx simulator's
+	// scale-model runs. pace 0 disables pacing (raw in-process mode).
+	pace time.Duration
+	// bin, when set, spawns real waveserved subprocesses from this binary
+	// instead of in-process backends — the multi-core CI configuration.
+	bin string
+	// kill stops one backend a third of the way through the run; the
+	// report then records how many client requests failed (the chaos
+	// acceptance number: zero while any backend is healthy).
+	kill bool
+	// clients is the closed-loop client count; duration the run length;
+	// size the square image edge.
+	clients  int
+	duration time.Duration
+	size     int
+}
+
+// gatewayBackend is one member of the benchmark fleet.
+type gatewayBackend struct {
+	url  string
+	stop func() // close the httptest server / kill the subprocess
+}
+
+// pacedHandler models a network-attached backend with a fixed service
+// rate: decompose admissions are spaced pace apart (health endpoints pass
+// through unpaced, as a real node's cheap readiness check would).
+type pacedHandler struct {
+	h    http.Handler
+	pace time.Duration
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+func (p *pacedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.pace > 0 && r.URL.Path == "/v1/decompose" {
+		p.mu.Lock()
+		now := time.Now()
+		if p.next.Before(now) {
+			p.next = now
+		}
+		wait := p.next.Sub(now)
+		p.next = p.next.Add(p.pace)
+		p.mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	p.h.ServeHTTP(w, r)
+}
+
+// startInProcessBackend builds one paced serve backend.
+func startInProcessBackend(pace time.Duration, queue int) (*gatewayBackend, error) {
+	srv, err := serve.New(serve.Config{
+		Bank:       filter.Daubechies8(),
+		Levels:     3,
+		QueueDepth: queue,
+		Workers:    1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs := httptest.NewServer(&pacedHandler{h: srv.Handler(), pace: pace})
+	return &gatewayBackend{
+		url: hs.URL,
+		stop: func() {
+			hs.Close()
+			srv.Shutdown(context.Background())
+		},
+	}, nil
+}
+
+// startSubprocessBackend spawns a real waveserved on an OS-assigned port
+// and waits for it to come ready.
+func startSubprocessBackend(bin string, port int) (*gatewayBackend, error) {
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin, "-addr", addr, "-queue", "64")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	url := "http://" + addr
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			return nil, fmt.Errorf("backend %s never came ready", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return &gatewayBackend{
+		url: url,
+		stop: func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		},
+	}, nil
+}
+
+// startFleet builds n backends in the configured mode.
+func startFleet(o gatewayOpts, n int) ([]*gatewayBackend, error) {
+	fleet := make([]*gatewayBackend, 0, n)
+	for i := 0; i < n; i++ {
+		var b *gatewayBackend
+		var err error
+		if o.bin != "" {
+			b, err = startSubprocessBackend(o.bin, 19310+i)
+		} else {
+			b, err = startInProcessBackend(o.pace, 64)
+		}
+		if err != nil {
+			for _, prev := range fleet {
+				prev.stop()
+			}
+			return nil, err
+		}
+		fleet = append(fleet, b)
+	}
+	return fleet, nil
+}
+
+// driveGateway runs closed-loop clients against a fresh gateway over the
+// fleet and returns (completed, clientErrors, elapsedSeconds, metrics).
+func driveGateway(fleet []*gatewayBackend, o gatewayOpts, kill bool) (int64, int64, float64, *gateway.Metrics, error) {
+	urls := make([]string, len(fleet))
+	for i, b := range fleet {
+		urls[i] = b.url
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:      urls,
+		Seed:          42,
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	var body bytes.Buffer
+	if err := image.WritePGM(&body, image.Landsat(o.size, o.size, 42)); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	payload := body.Bytes()
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.duration)
+	defer cancel()
+	var completed, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+				// The zero RouteKey routes by request sequence, spreading
+				// the closed loop evenly over the fleet.
+				res, err := gw.Do(rctx, &gateway.Request{
+					Method: http.MethodPost,
+					Path:   "/v1/decompose",
+					Query:  map[string][]string{"filter": {"db8"}, "levels": {"3"}},
+					Body:   payload,
+				})
+				rcancel()
+				if ctx.Err() != nil {
+					return // run over; an aborted tail request is not a failure
+				}
+				if err != nil || res.Status != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	if kill && len(fleet) > 1 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-time.After(o.duration / 3):
+				log.Printf("killing backend %s mid-run", fleet[1].url)
+				fleet[1].stop()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	gw.Shutdown(sctx)
+	return completed.Load(), failed.Load(), elapsed, gw.Metrics(), nil
+}
+
+// runGatewayLoad measures single-backend throughput, then N-backend
+// aggregate throughput through the gateway (optionally killing a backend
+// mid-run), and folds the scaling ratio and resilience counters into the
+// report.
+func runGatewayLoad(rep *report, o gatewayOpts) {
+	if o.backends < 1 {
+		o.backends = 3
+	}
+	if o.clients < 1 {
+		o.clients = 8 * o.backends
+	}
+	mode := "subprocess"
+	if o.bin == "" {
+		mode = "paced-scale-model"
+		if o.pace <= 0 {
+			mode = "in-process"
+		}
+	}
+	log.Printf("gateway mode: %s (%d backends, pace %v, %d clients, %v)",
+		mode, o.backends, o.pace, o.clients, o.duration)
+
+	// Baseline: one backend behind the gateway.
+	single, err := startFleet(o, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleDone, singleFailed, singleElapsed, _, err := driveGateway(single, o, false)
+	for _, b := range single {
+		b.stop()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if singleFailed > 0 {
+		log.Printf("warning: %d failures against the single-backend baseline", singleFailed)
+	}
+	singleRate := float64(singleDone) / singleElapsed
+
+	// Aggregate: the full fleet, all backends healthy. The scaling ratio
+	// is measured here so the optional kill phase below does not deflate
+	// it (a killed backend is dead for two thirds of its run).
+	fleet, err := startFleet(o, o.backends)
+	if err != nil {
+		log.Fatal(err)
+	}
+	done, failedReqs, elapsed, m, err := driveGateway(fleet, o, false)
+	for _, b := range fleet {
+		b.stop()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate := float64(done) / elapsed
+
+	// Resilience phase: a fresh fleet with one backend killed a third of
+	// the way in. The acceptance number is zero client errors.
+	killDone, killFailed := int64(-1), int64(0)
+	var retries, opens, hedges int64
+	if o.kill {
+		kfleet, err := startFleet(o, o.backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var km *gateway.Metrics
+		killDone, killFailed, _, km, err = driveGateway(kfleet, o, true)
+		for _, b := range kfleet {
+			b.stop() // stop() is idempotent for the already-killed backend
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		failedReqs += killFailed
+		for _, b := range kfleet {
+			if bm := km.Backend(b.url); bm != nil {
+				retries += bm.Retries.Value()
+				opens += bm.BreakerOpened.Value()
+				hedges += bm.HedgesWon.Value()
+			}
+		}
+	}
+	lat := m.Latency.Snapshot()
+	avgLatency := 0.0
+	if lat.Count > 0 {
+		avgLatency = lat.Sum / float64(lat.Count)
+	}
+	rep.Results = append(rep.Results, result{
+		Name:       fmt.Sprintf("GatewayDecompose%d_%s", o.size, mode),
+		Iterations: int(done),
+		NsPerOp:    avgLatency * 1e9,
+	})
+	rep.Derived["gateway_backends"] = float64(o.backends)
+	rep.Derived["gateway_clients"] = float64(o.clients)
+	rep.Derived["gateway_pace_ms"] = float64(o.pace.Milliseconds())
+	rep.Derived["gateway_scale_model"] = boolAs01(o.bin == "" && o.pace > 0)
+	rep.Derived["gateway_kill_mid_run"] = boolAs01(o.kill)
+	rep.Derived["gateway_single_images_per_sec"] = singleRate
+	rep.Derived["gateway_images_per_sec"] = rate
+	if singleRate > 0 {
+		rep.Derived["gateway_scaling_vs_single"] = rate / singleRate
+	}
+	rep.Derived["gateway_completed"] = float64(done)
+	rep.Derived["gateway_client_errors"] = float64(failedReqs)
+	if killDone >= 0 {
+		rep.Derived["gateway_kill_completed"] = float64(killDone)
+		rep.Derived["gateway_kill_client_errors"] = float64(killFailed)
+	}
+	rep.Derived["gateway_retries"] = float64(retries)
+	rep.Derived["gateway_breaker_opens"] = float64(opens)
+	rep.Derived["gateway_hedges_won"] = float64(hedges)
+	rep.Derived["gateway_p50_latency_sec"] = lat.Quantile(0.50)
+	rep.Derived["gateway_p99_latency_sec"] = lat.Quantile(0.99)
+}
+
+func boolAs01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -98,6 +98,15 @@ func main() {
 		serveQueue = flag.Int("serve-queue", 64, "admission queue depth")
 		serveBatch = flag.Int("serve-batch", 1, "micro-batch size (>= 2 enables batching)")
 		biorMode   = flag.Bool("bior", false, "run the bior4.4-vs-db4 comparison suite instead of the kernel suite")
+
+		gatewayMode = flag.Bool("gateway", false, "run the multi-backend gateway load generator instead of the kernel suite")
+		gwBackends  = flag.Int("gateway-backends", 3, "fleet size behind the gateway")
+		gwPace      = flag.Duration("gateway-pace", 10*time.Millisecond, "per-backend admission pacing of the in-process scale model (0 = unpaced)")
+		gwBin       = flag.String("gateway-bin", "", "waveserved binary: spawn real subprocess backends instead of in-process ones")
+		gwKill      = flag.Bool("gateway-kill", false, "kill one backend a third of the way through and report client errors")
+		gwClients   = flag.Int("gateway-clients", 0, "closed-loop clients (0 = 8 per backend)")
+		gwDuration  = flag.Duration("gateway-duration", 3*time.Second, "gateway load run length")
+		gwSize      = flag.Int("gateway-size", 64, "square image size for the gateway load generator")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -126,6 +135,25 @@ func main() {
 			log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 		log.Printf("bior4.4/db4 steady-state cost ratio: %.2fx", rep.Derived["bior44_vs_db4_steady_ratio"])
+		log.Printf("wrote %s", *out)
+		return
+	}
+
+	if *gatewayMode {
+		runGatewayLoad(&rep, gatewayOpts{
+			backends: *gwBackends,
+			pace:     *gwPace,
+			bin:      *gwBin,
+			kill:     *gwKill,
+			clients:  *gwClients,
+			duration: *gwDuration,
+			size:     *gwSize,
+		})
+		writeReport(&rep, *out)
+		log.Printf("gateway aggregate: %.1f images/sec vs %.1f single (%.2fx), %d client errors, %d retries",
+			rep.Derived["gateway_images_per_sec"], rep.Derived["gateway_single_images_per_sec"],
+			rep.Derived["gateway_scaling_vs_single"], int(rep.Derived["gateway_client_errors"]),
+			int(rep.Derived["gateway_retries"]))
 		log.Printf("wrote %s", *out)
 		return
 	}

@@ -1,0 +1,106 @@
+// Command wavegate runs the resilient shard router of internal/gateway
+// as a standalone HTTP daemon in front of N waveserved backends:
+// shape+bank-aware rendezvous routing (pooled Decomposers stay hot),
+// active /readyz probing plus passive error tracking into per-backend
+// circuit breakers, bounded retries with seeded full-jitter backoff
+// under the client's deadline budget, optional hedged requests, and
+// graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/decompose   routed to a backend with retry/reroute/hedging
+//	GET  /v1/banks       proxied to any available backend
+//	GET  /healthz        gateway liveness (503 while draining)
+//	GET  /readyz         gateway readiness + per-backend breaker states
+//	GET  /metrics        Prometheus text format (wavegate_ namespace)
+//
+// Usage:
+//
+//	wavegate -addr 127.0.0.1:8090 \
+//	  -backends http://127.0.0.1:9001,http://127.0.0.1:9002,http://127.0.0.1:9003 \
+//	  -retries 3 -hedge-after 50ms -seed 42 -drain 30s
+//
+// SIGINT/SIGTERM trigger a graceful drain bounded by -drain: admission
+// stops (503), in-flight requests finish, then the process exits 0 — or
+// 3 if the budget expired with requests still in flight. A second
+// signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"wavelethpc/internal/cli"
+	"wavelethpc/internal/gateway"
+)
+
+// exitAbandoned is the exit code when the drain budget expired with
+// in-flight work still unfinished.
+const exitAbandoned = 3
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("wavegate: ")
+	var gf cli.GatewayFlags
+	fs := flag.NewFlagSet("wavegate", flag.ExitOnError)
+	gf.AddGateway(fs)
+	fs.Parse(os.Args[1:])
+
+	cfg, err := gf.GatewayConfig()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	httpSrv := &http.Server{Addr: gf.Addr, Handler: gw.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("routing %s -> [%s] (retries %d, hedge %v, breaker %d/%v, probe %v, seed %d)",
+		gf.Addr, strings.Join(gw.Backends(), ", "), gf.Retries, gf.HedgeAfter,
+		gf.BreakerFailures, gf.BreakerCooldown, gf.ProbeInterval, gf.Seed)
+
+	select {
+	case err := <-errc:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (budget %v)...", gf.Drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), gf.Drain)
+	defer cancel()
+	abandoned := false
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+		abandoned = true
+	}
+	if err := gw.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+		abandoned = true
+	}
+	m := gw.Metrics()
+	log.Printf("admitted %d, completed %d, drained %d, no-backends %d",
+		m.Admitted.Value(), m.Completed.Value(), m.Drained.Value(), m.NoBackends.Value())
+	if abandoned {
+		log.Printf("drain budget expired with work in flight; exiting %d", exitAbandoned)
+		return exitAbandoned
+	}
+	return 0
+}

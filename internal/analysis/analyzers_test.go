@@ -11,6 +11,13 @@ func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Determinism, "determinism/a")
 }
 
+// TestDeterminismGateway: the resilient-router package runs under a
+// stricter rule — any math/rand import is flagged, because gateway
+// jitter must replay under the pinned plan seed.
+func TestDeterminismGateway(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "internal/gateway")
+}
+
 // TestDeterminismExemptions: package main and cmd/ trees may read the
 // wall clock; the fixture files contain time.Now with no want comments,
 // so any diagnostic fails the test.

@@ -43,6 +43,7 @@ func runDeterminism(pass *Pass) error {
 	if determinismExempt(pass) {
 		return nil
 	}
+	checkGatewayRandImports(pass)
 	for _, f := range pass.SourceFiles() {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
@@ -65,6 +66,35 @@ func runDeterminism(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// isGatewayPath matches the resilient shard router package, where the
+// determinism bar is stricter than everywhere else: the chaos suite
+// replays whole fault schedules under a pinned seed, so even an
+// explicitly seeded math/rand generator is wrong there — its seed lives
+// outside the gateway's plan seed and silently desynchronizes replays.
+func isGatewayPath(path string) bool {
+	return path == "internal/gateway" || strings.HasSuffix(path, "/internal/gateway")
+}
+
+// checkGatewayRandImports forbids math/rand outright in internal/gateway:
+// retry jitter there must come from the plan-seeded SplitMix64 counter
+// stream (the internal/fault discipline), never from math/rand in any
+// form.
+func checkGatewayRandImports(pass *Pass) {
+	if !isGatewayPath(pass.Path) {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.ReportFix(imp.Pos(),
+					"derive jitter from the gateway seed via the SplitMix64 counter stream (internal/fault discipline)",
+					"import %s in the gateway: backoff jitter must replay under the pinned plan seed, so math/rand is forbidden here in any form", p)
+			}
+		}
+	}
 }
 
 // determinismExempt reports whether the package is outside the

@@ -1,0 +1,20 @@
+// Fixture for the gateway-specific determinism rule: math/rand is
+// forbidden here in any form, seeded or not — jitter must come from the
+// plan-seeded SplitMix64 counter stream.
+package gateway
+
+import (
+	"math/rand" // want `import math/rand in the gateway: backoff jitter must replay under the pinned plan seed`
+)
+
+func unseededJitter() float64 {
+	return rand.Float64() // want `global rand\.Float64 uses the implicitly seeded process-wide generator`
+}
+
+// Even the explicitly seeded form the analyzer accepts elsewhere is wrong
+// in the gateway: the seed lives outside the plan seed, so chaos replays
+// silently desynchronize. The import diagnostic above covers it.
+func seededButStillWrong(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"wavelethpc/internal/filter"
+	"wavelethpc/internal/gateway"
 	"wavelethpc/internal/harness"
 	"wavelethpc/internal/serve"
 )
@@ -189,6 +190,7 @@ type ServeFlags struct {
 	Workers  int
 	Batch    int
 	Deadline time.Duration
+	Drain    time.Duration
 }
 
 // AddServe registers the service flags.
@@ -200,6 +202,8 @@ func (f *ServeFlags) AddServe(fs *flag.FlagSet) {
 	fs.IntVar(&f.Workers, "workers", 0, "executor goroutines (0 = GOMAXPROCS)")
 	fs.IntVar(&f.Batch, "batch", 1, "micro-batch size (>= 2 batches compatible queued requests)")
 	fs.DurationVar(&f.Deadline, "deadline", 0, "server-imposed per-request deadline, e.g. 500ms (0 = none)")
+	fs.DurationVar(&f.Drain, "drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; "+
+		"the process exits nonzero if in-flight work had to be abandoned")
 }
 
 // ServeConfig validates the parsed service flags into a serve.Config.
@@ -214,12 +218,81 @@ func (f *ServeFlags) ServeConfig() (serve.Config, error) {
 	if f.Deadline < 0 {
 		return serve.Config{}, fmt.Errorf("-deadline: %v, want >= 0", f.Deadline)
 	}
+	if f.Drain < 0 {
+		return serve.Config{}, fmt.Errorf("-drain: %v, want >= 0", f.Drain)
+	}
 	return serve.Config{
 		Bank:       bank,
 		Levels:     f.Levels,
 		QueueDepth: f.Queue,
 		Workers:    f.Workers,
 		BatchSize:  f.Batch,
+	}, nil
+}
+
+// GatewayFlags bundles the flags of the shard-router front end
+// (cmd/wavegate and the benchjson gateway load generator): the listen
+// address, the backend list, and everything that maps onto a
+// gateway.Config.
+type GatewayFlags struct {
+	Addr            string
+	Backends        string
+	Seed            uint64
+	Retries         int
+	Backoff         time.Duration
+	MaxBackoff      time.Duration
+	HedgeAfter      time.Duration
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	ProbeInterval   time.Duration
+	Drain           time.Duration
+}
+
+// AddGateway registers the gateway flags.
+func (f *GatewayFlags) AddGateway(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "addr", "127.0.0.1:8090", "listen address")
+	fs.StringVar(&f.Backends, "backends", "", "comma-separated backend base URLs, e.g. http://127.0.0.1:9001,http://127.0.0.1:9002")
+	fs.Uint64Var(&f.Seed, "seed", 1, "seed for the retry-jitter stream and routing salt")
+	fs.IntVar(&f.Retries, "retries", 3, "max retries beyond a request's first attempt")
+	fs.DurationVar(&f.Backoff, "backoff", 5*time.Millisecond, "base exponential backoff before a retry (full jitter)")
+	fs.DurationVar(&f.MaxBackoff, "max-backoff", 250*time.Millisecond, "backoff ceiling")
+	fs.DurationVar(&f.HedgeAfter, "hedge-after", 0, "launch a hedged attempt on the next backend after this delay (0 = off)")
+	fs.IntVar(&f.BreakerFailures, "breaker-failures", 5, "consecutive failures that open a backend's circuit breaker")
+	fs.DurationVar(&f.BreakerCooldown, "breaker-cooldown", time.Second, "open-breaker cooldown before a half-open trial")
+	fs.DurationVar(&f.ProbeInterval, "probe-interval", 500*time.Millisecond, "active /readyz probe period (negative disables)")
+	fs.DurationVar(&f.Drain, "drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; "+
+		"the process exits nonzero if in-flight work had to be abandoned")
+}
+
+// GatewayConfig validates the parsed gateway flags into a
+// gateway.Config.
+func (f *GatewayFlags) GatewayConfig() (gateway.Config, error) {
+	if strings.TrimSpace(f.Backends) == "" {
+		return gateway.Config{}, fmt.Errorf("-backends: at least one backend URL required")
+	}
+	var backends []string
+	for _, b := range strings.Split(f.Backends, ",") {
+		b = strings.TrimSpace(b)
+		if b != "" {
+			backends = append(backends, b)
+		}
+	}
+	if f.Retries < 0 {
+		return gateway.Config{}, fmt.Errorf("-retries: %d, want >= 0", f.Retries)
+	}
+	if f.Drain < 0 {
+		return gateway.Config{}, fmt.Errorf("-drain: %v, want >= 0", f.Drain)
+	}
+	return gateway.Config{
+		Backends:        backends,
+		Seed:            f.Seed,
+		MaxRetries:      f.Retries,
+		BaseBackoff:     f.Backoff,
+		MaxBackoff:      f.MaxBackoff,
+		HedgeAfter:      f.HedgeAfter,
+		BreakerFailures: f.BreakerFailures,
+		BreakerCooldown: f.BreakerCooldown,
+		ProbeInterval:   f.ProbeInterval,
 	}, nil
 }
 

@@ -161,6 +161,15 @@ func (p *Plan) Corrupts(src, dst, tag int, n uint64) bool {
 
 // unit hashes the message key into [0, 1).
 func unit(seed, salt uint64, src, dst, tag int, n uint64) float64 {
+	return Unit(seed, salt, src, dst, tag, n)
+}
+
+// Unit hashes a (seed, salt, src, dst, tag, n) decision key into [0, 1).
+// It is the package's counter-based generator made available to other
+// deterministic fault models (the gateway chaos proxy keys per-backend
+// request decisions on it): decisions are independent of evaluation order
+// and of each other, so the same seed replays the same schedule.
+func Unit(seed, salt uint64, src, dst, tag int, n uint64) float64 {
 	h := splitmix(seed ^ salt)
 	h = splitmix(h ^ uint64(src)*0x9e3779b97f4a7c15)
 	h = splitmix(h ^ uint64(dst)*0xbf58476d1ce4e5b9)
@@ -168,6 +177,11 @@ func unit(seed, salt uint64, src, dst, tag int, n uint64) float64 {
 	h = splitmix(h ^ n)
 	return float64(h>>11) / (1 << 53)
 }
+
+// SplitMix64 exposes the SplitMix64 finalizer for callers that build
+// their own seeded decision streams (e.g. retry-jitter sequences) on the
+// package's discipline.
+func SplitMix64(x uint64) uint64 { return splitmix(x) }
 
 // splitmix is the SplitMix64 finalizer, a well-mixed 64-bit permutation.
 func splitmix(x uint64) uint64 {

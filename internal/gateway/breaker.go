@@ -1,0 +1,220 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's three-state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic and counts failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one trial request; its outcome
+	// decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breakerConfig are the thresholds one breaker runs under (a validated
+// copy of the gateway Config fields).
+type breakerConfig struct {
+	// failures opens the breaker after this many consecutive failures.
+	failures int
+	// errorRate opens the breaker when the windowed failure fraction
+	// reaches it with at least minSamples outcomes observed.
+	errorRate  float64
+	minSamples int
+	window     time.Duration
+	// cooldown is how long Open refuses before admitting a half-open
+	// trial.
+	cooldown time.Duration
+}
+
+// breaker is one backend's circuit breaker. Outcomes are fed by both the
+// passive request path (reportSuccess/reportFailure) and the active
+// prober (probeSuccess/probeFailure); allow gates admission and performs
+// the Open -> HalfOpen transition when the cooldown has elapsed.
+type breaker struct {
+	cfg breakerConfig
+	now func() time.Time
+	// onTransition, when set, observes every state change (metrics).
+	onTransition func(from, to BreakerState)
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	// trialInFlight marks the single half-open probe slot as taken.
+	trialInFlight bool
+	// windowed passive error-rate tracking.
+	windowStart        time.Time
+	windowOK, windowKO int
+}
+
+func newBreaker(cfg breakerConfig, now func() time.Time, onTransition func(from, to BreakerState)) *breaker {
+	return &breaker{cfg: cfg, now: now, onTransition: onTransition}
+}
+
+// transition must be called with mu held.
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case BreakerOpen:
+		b.openedAt = b.now()
+		b.trialInFlight = false
+	case BreakerClosed:
+		b.consecFails = 0
+		b.trialInFlight = false
+		b.windowOK, b.windowKO = 0, 0
+	case BreakerHalfOpen:
+		b.trialInFlight = false
+	}
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// allow reports whether the breaker admits a request now. In half-open it
+// hands out the single trial slot; the caller must report the outcome (or
+// cancelTrial) to free it.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.cooldown {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.trialInFlight = true
+		return true
+	case BreakerHalfOpen:
+		if b.trialInFlight {
+			return false
+		}
+		b.trialInFlight = true
+		return true
+	}
+	return false
+}
+
+// reportSuccess records a passed request.
+func (b *breaker) reportSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observe(true)
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails = 0
+	case BreakerHalfOpen:
+		b.transition(BreakerClosed)
+	}
+}
+
+// reportFailure records a failed request and opens the breaker when the
+// consecutive or windowed-rate threshold trips.
+func (b *breaker) reportFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observe(false)
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.failures || b.windowTripped() {
+			b.transition(BreakerOpen)
+		}
+	case BreakerHalfOpen:
+		b.transition(BreakerOpen)
+	}
+}
+
+// cancelTrial releases a half-open trial slot whose request never ran to
+// a reportable outcome (e.g. the gateway canceled a losing hedge).
+func (b *breaker) cancelTrial() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trialInFlight = false
+	}
+}
+
+// probeSuccess feeds an active health-probe pass: it short-circuits the
+// Open cooldown (the node answered, so spend a trial on it) and closes a
+// half-open breaker.
+func (b *breaker) probeSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observe(true)
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails = 0
+	case BreakerOpen:
+		b.transition(BreakerHalfOpen)
+	case BreakerHalfOpen:
+		if !b.trialInFlight {
+			b.transition(BreakerClosed)
+		}
+	}
+}
+
+// probeFailure feeds an active health-probe failure, same weight as a
+// request failure.
+func (b *breaker) probeFailure() {
+	b.reportFailure()
+}
+
+// windowTripped must be called with mu held: it reports whether the
+// passive error-rate window has enough samples and a failure fraction at
+// or above the configured rate.
+func (b *breaker) windowTripped() bool {
+	total := b.windowOK + b.windowKO
+	if total < b.cfg.minSamples {
+		return false
+	}
+	return float64(b.windowKO)/float64(total) >= b.cfg.errorRate
+}
+
+// observe must be called with mu held: it rolls the error-rate window
+// forward and records one outcome.
+func (b *breaker) observe(ok bool) {
+	now := b.now()
+	if b.windowStart.IsZero() || now.Sub(b.windowStart) > b.cfg.window {
+		b.windowStart = now
+		b.windowOK, b.windowKO = 0, 0
+	}
+	if ok {
+		b.windowOK++
+	} else {
+		b.windowKO++
+	}
+}
+
+// currentState returns the state for metrics/introspection without
+// advancing the machine.
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

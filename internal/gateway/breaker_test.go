@@ -1,0 +1,178 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{
+		failures:   3,
+		errorRate:  0.5,
+		minSamples: 10,
+		window:     2 * time.Second,
+		cooldown:   time.Second,
+	}
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	b := newBreaker(testBreakerConfig(), clk.now, func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.reportFailure()
+	}
+	if got := b.currentState(); got != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", got)
+	}
+	b.reportFailure()
+	if got := b.currentState(); got != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	if len(transitions) != 1 || transitions[0] != "closed->open" {
+		t.Fatalf("transitions = %v, want [closed->open]", transitions)
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 3; i++ {
+		b.reportFailure()
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the half-open trial")
+	}
+	if got := b.currentState(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.reportSuccess()
+	if got := b.currentState(); got != BreakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker refused traffic")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 3; i++ {
+		b.reportFailure()
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the trial")
+	}
+	b.reportFailure()
+	if got := b.currentState(); got != BreakerOpen {
+		t.Fatalf("state after trial failure = %v, want open", got)
+	}
+	// The cooldown restarts from the re-open.
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted traffic without a fresh cooldown")
+	}
+}
+
+func TestBreakerCancelTrialFreesSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 3; i++ {
+		b.reportFailure()
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker refused the trial")
+	}
+	b.cancelTrial()
+	if !b.allow() {
+		t.Fatal("canceled trial did not free the half-open slot")
+	}
+}
+
+func TestBreakerErrorRateWindowTrips(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	// Interleave so the consecutive-failure threshold (3) never trips:
+	// ok, ko, ok, ko ... 10 samples at 50% failure rate.
+	for i := 0; i < 5; i++ {
+		b.reportSuccess()
+		if i == 4 {
+			break
+		}
+		b.reportFailure()
+	}
+	if got := b.currentState(); got != BreakerClosed {
+		t.Fatalf("state before min samples = %v, want closed", got)
+	}
+	b.reportFailure() // 10th sample: 5 ok / 5 ko => rate 0.5 >= 0.5
+	if got := b.currentState(); got != BreakerOpen {
+		t.Fatalf("state after windowed 50%% failures = %v, want open", got)
+	}
+}
+
+func TestBreakerWindowExpires(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 4; i++ {
+		b.reportSuccess()
+		b.reportFailure()
+	}
+	clk.advance(3 * time.Second) // roll the window
+	b.reportSuccess()
+	b.reportFailure() // only 2 samples in the fresh window
+	if got := b.currentState(); got != BreakerClosed {
+		t.Fatalf("state after window rolled = %v, want closed", got)
+	}
+}
+
+func TestBreakerProbeShortCircuitsCooldown(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 3; i++ {
+		b.reportFailure()
+	}
+	// Long before the cooldown, a probe finds the node alive again.
+	clk.advance(100 * time.Millisecond)
+	b.probeSuccess()
+	if got := b.currentState(); got != BreakerHalfOpen {
+		t.Fatalf("state after probe success while open = %v, want half-open", got)
+	}
+	b.probeSuccess()
+	if got := b.currentState(); got != BreakerClosed {
+		t.Fatalf("state after second probe success = %v, want closed", got)
+	}
+}
+
+func TestBreakerProbeFailureOpens(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clk.now, nil)
+	for i := 0; i < 3; i++ {
+		b.probeFailure()
+	}
+	if got := b.currentState(); got != BreakerOpen {
+		t.Fatalf("state after 3 probe failures = %v, want open", got)
+	}
+}

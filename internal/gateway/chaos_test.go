@@ -1,0 +1,348 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/serve"
+)
+
+// The chaos suite drives the gateway against real serve backends with a
+// seeded in-process fault proxy between them. Everything that decides an
+// injection is keyed on per-backend request sequence numbers (never wall
+// time), probes run only when a test calls ProbeOnce, and backoff sleeps
+// are stubbed — so a pinned seed replays a pinned schedule and the
+// resilience claims become assertions instead of probabilities:
+//
+//   - while any backend is healthy, zero client requests fail;
+//   - when none is, every request fails fast with *NoBackendsError.
+
+// startFleet launches n real decomposition services behind httptest
+// listeners and returns them (the fleet outlives each gateway under test;
+// ephemeral ports feed the routing hash, so replay tests reuse one fleet).
+func startFleet(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	fleet := make([]*httptest.Server, n)
+	for i := range fleet {
+		srv, err := serve.New(serve.Config{QueueDepth: 64, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Shutdown(context.Background())
+		})
+		fleet[i] = hs
+	}
+	return fleet
+}
+
+func fleetURLs(fleet []*httptest.Server) []string {
+	urls := make([]string, len(fleet))
+	for i, s := range fleet {
+		urls[i] = s.URL
+	}
+	return urls
+}
+
+func hostOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// chaosRequest is the one decomposition job every chaos scenario repeats:
+// byte-identical input must yield byte-identical output no matter which
+// backend serves it, which turns "the retry was transparent" into an
+// exact equality check.
+func chaosRequest(t *testing.T, key RouteKey) *Request {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := image.WritePGM(&buf, image.Landsat(32, 32, 7)); err != nil {
+		t.Fatal(err)
+	}
+	return &Request{
+		Method: http.MethodPost,
+		Path:   "/v1/decompose",
+		Query:  map[string][]string{"filter": {"db8"}, "levels": {"2"}},
+		Body:   buf.Bytes(),
+		Key:    key,
+	}
+}
+
+// chaosKey spreads requests across the fleet while keeping the payload
+// identical: the routing key is affinity metadata, not request content.
+func chaosKey(i int) RouteKey {
+	return RouteKey{Rows: 32, Cols: 32, Bank: "db8", Levels: i + 1}
+}
+
+// TestChaosZeroErrorsWhileAnyBackendHealthy: latency spikes, 5xx bursts,
+// and connection resets land on two of three backends on a pinned
+// schedule; the third stays clean. Every client request must succeed with
+// the exact bytes a calm fleet would have produced.
+func TestChaosZeroErrorsWhileAnyBackendHealthy(t *testing.T) {
+	fleet := startFleet(t, 3)
+	proxy := &FaultProxy{
+		Seed: 1002,
+		Rules: []FaultRule{
+			{Backend: hostOf(fleet[1]), From: 2, Prob: 0.4, Mode: FaultLatency, Latency: 2 * time.Millisecond},
+			{Backend: hostOf(fleet[1]), From: 6, To: 30, Prob: 0.5, Mode: Fault5xx},
+			{Backend: hostOf(fleet[2]), From: 0, To: 12, Mode: Fault5xx},
+			{Backend: hostOf(fleet[2]), From: 12, Prob: 0.6, Mode: FaultReset},
+		},
+	}
+	var sleeps []time.Duration
+	g := newTestGateway(t, Config{
+		Backends:  fleetURLs(fleet),
+		Seed:      1002,
+		Transport: proxy,
+		Sleep:     noSleep(&sleeps),
+	})
+	var reference []byte
+	for i := 0; i < 60; i++ {
+		res, err := g.Do(context.Background(), chaosRequest(t, chaosKey(i%8)))
+		if err != nil {
+			t.Fatalf("request %d failed with a healthy backend in the fleet: %v", i, err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("request %d: status %d from %s (attempts %d)", i, res.Status, res.Backend, res.Attempts)
+		}
+		if reference == nil {
+			reference = res.Body
+		} else if !bytes.Equal(res.Body, reference) {
+			t.Fatalf("request %d: response from %s differs from the reference (%d vs %d bytes)",
+				i, res.Backend, len(res.Body), len(reference))
+		}
+	}
+	inj := proxy.Injected()
+	if len(inj) == 0 {
+		t.Fatal("the chaos schedule never fired; the test proved nothing")
+	}
+	if proxy.Requests(hostOf(fleet[0])) == 0 {
+		t.Error("the clean backend never served; routing is broken")
+	}
+}
+
+// TestChaosBackendKilledMidRun: one backend stops answering entirely
+// (accepts connections, never responds) after its fifth request. The
+// deadline budget caps what each attempt can burn, retries reroute, the
+// breaker quarantines the corpse — and the client sees zero failures.
+func TestChaosBackendKilledMidRun(t *testing.T) {
+	fleet := startFleet(t, 3)
+	proxy := &FaultProxy{
+		Seed: 7,
+		Rules: []FaultRule{
+			{Backend: hostOf(fleet[1]), From: 5, Mode: FaultBlackhole},
+		},
+	}
+	var sleeps []time.Duration
+	g := newTestGateway(t, Config{
+		Backends:        fleetURLs(fleet),
+		Seed:            7,
+		Transport:       proxy,
+		Sleep:           noSleep(&sleeps),
+		AttemptFloor:    50 * time.Millisecond,
+		BreakerFailures: 3,
+		BreakerCooldown: time.Hour, // dead stays dead for this test
+	})
+	// The fleet listens on ephemeral ports and ports feed the routing
+	// hash, so which keys rank the doomed backend first is a per-run
+	// lottery. Pin the traffic mix instead: half the requests carry a key
+	// that provably routes to the backend being killed, half a key that
+	// routes elsewhere.
+	keyDead := keyRankedFirst(t, g, fleet[1].URL)
+	keyLive := keyRankedFirst(t, g, fleet[0].URL)
+	for i := 0; i < 40; i++ {
+		key := keyDead
+		if i%2 == 1 {
+			key = keyLive
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		res, err := g.Do(ctx, chaosRequest(t, key))
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d failed after backend kill: %v", i, err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("request %d: status %d (attempts %d)", i, res.Status, res.Attempts)
+		}
+	}
+	if got := g.BreakerStates()[fleet[1].URL]; got != BreakerOpen {
+		t.Errorf("killed backend's breaker = %v, want open", got)
+	}
+	// Once the breaker opened, routing must stop feeding the corpse:
+	// blackholed attempts are bounded by the failures it took to trip.
+	if inj := proxy.Injected()[hostOf(fleet[1])][FaultBlackhole]; inj > 6 {
+		t.Errorf("%d attempts burned on the dead backend after the breaker should have opened", inj)
+	}
+}
+
+// TestChaosAllBackendsDownFailsFastTyped: every backend resets every
+// connection. Every request must fail with *NoBackendsError, and once the
+// breakers open the failure is instantaneous (no attempts at all).
+func TestChaosAllBackendsDownFailsFastTyped(t *testing.T) {
+	fleet := startFleet(t, 3)
+	proxy := &FaultProxy{
+		Seed:  11,
+		Rules: []FaultRule{{Mode: FaultReset}},
+	}
+	var sleeps []time.Duration
+	g := newTestGateway(t, Config{
+		Backends:        fleetURLs(fleet),
+		Seed:            11,
+		Transport:       proxy,
+		Sleep:           noSleep(&sleeps),
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour,
+	})
+	var lastTried int
+	for i := 0; i < 20; i++ {
+		_, err := g.Do(context.Background(), chaosRequest(t, chaosKey(i%8)))
+		var nb *NoBackendsError
+		if !errors.As(err, &nb) {
+			t.Fatalf("request %d: err = %v (%T), want *NoBackendsError", i, err, err)
+		}
+		if nb.Configured != 3 {
+			t.Fatalf("request %d: Configured = %d, want 3", i, nb.Configured)
+		}
+		lastTried = nb.Tried
+	}
+	if lastTried != 0 {
+		t.Errorf("after every breaker opened, Tried = %d, want 0 (fail fast, no attempts)", lastTried)
+	}
+	if got := g.Metrics().NoBackends.Value(); got != 20 {
+		t.Errorf("NoBackends counter = %d, want 20", got)
+	}
+	for name, st := range g.BreakerStates() {
+		if st != BreakerOpen {
+			t.Errorf("breaker for %s = %v, want open", name, st)
+		}
+	}
+}
+
+// TestChaosProbeRecovery: a backend 5xxes long enough to open its
+// breaker, then heals. An active probe round must short-circuit the
+// cooldown and traffic must return to it without any client failure.
+func TestChaosProbeRecovery(t *testing.T) {
+	fleet := startFleet(t, 2)
+	proxy := &FaultProxy{
+		Seed: 5,
+		Rules: []FaultRule{
+			// Exactly the two decompose attempts that open the breaker
+			// fall in the window; the probe that follows (n=2) sees a
+			// genuinely recovered backend.
+			{Backend: hostOf(fleet[1]), From: 0, To: 2, Mode: Fault5xx},
+		},
+	}
+	var sleeps []time.Duration
+	clk := newFakeClock()
+	g := newTestGateway(t, Config{
+		Backends:        fleetURLs(fleet),
+		Seed:            5,
+		Transport:       proxy,
+		Sleep:           noSleep(&sleeps),
+		Clock:           clk.now,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour, // only a probe can resurrect it
+	})
+	key := keyRankedFirst(t, g, fleet[1].URL)
+	// Two requests: each retries off the 5xx backend and succeeds on the
+	// other; the repeated 5xx opens backend 1's breaker.
+	for i := 0; i < 2; i++ {
+		res, err := g.Do(context.Background(), chaosRequest(t, key))
+		if err != nil {
+			t.Fatalf("request %d during the burst: %v", i, err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("request %d during the burst: status %d", i, res.Status)
+		}
+	}
+	if got := g.BreakerStates()[fleet[1].URL]; got != BreakerOpen {
+		t.Fatalf("burst did not open the breaker (state %v)", got)
+	}
+	// The fault window is over; probes see a healthy node.
+	g.ProbeOnce(context.Background())
+	if got := g.BreakerStates()[fleet[1].URL]; got != BreakerHalfOpen {
+		t.Fatalf("probe success did not half-open the breaker (state %v)", got)
+	}
+	res, err := g.Do(context.Background(), chaosRequest(t, key))
+	if err != nil {
+		t.Fatalf("trial request: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("trial request: status %d", res.Status)
+	}
+	if res.Backend != fleet[1].URL {
+		t.Fatalf("trial routed to %s, want the recovered %s", res.Backend, fleet[1].URL)
+	}
+	if got := g.BreakerStates()[fleet[1].URL]; got != BreakerClosed {
+		t.Errorf("trial success did not close the breaker (state %v)", got)
+	}
+}
+
+// outcomeTuple is the replay-comparable record of one chaos request.
+type outcomeTuple struct {
+	Backend  string
+	Attempts int
+	Status   int
+	Err      string
+}
+
+// TestChaosPinnedSeedReplays: the same seed against the same fleet must
+// inject the same faults and settle every request identically — the
+// property that makes a chaos failure debuggable instead of a shrug.
+func TestChaosPinnedSeedReplays(t *testing.T) {
+	fleet := startFleet(t, 3)
+	run := func() ([]outcomeTuple, map[string]map[FaultMode]uint64) {
+		proxy := &FaultProxy{
+			Seed: 77,
+			Rules: []FaultRule{
+				{Backend: hostOf(fleet[0]), From: 3, Prob: 0.5, Mode: Fault5xx},
+				{Backend: hostOf(fleet[1]), From: 1, Prob: 0.3, Mode: FaultReset},
+				{Backend: hostOf(fleet[2]), From: 2, Prob: 0.4, Mode: FaultLatency, Latency: time.Millisecond},
+			},
+		}
+		var sleeps []time.Duration
+		clk := newFakeClock()
+		g := newTestGateway(t, Config{
+			Backends:  fleetURLs(fleet),
+			Seed:      77,
+			Transport: proxy,
+			Sleep:     noSleep(&sleeps),
+			Clock:     clk.now, // breaker windows must not depend on wall time
+		})
+		var outcomes []outcomeTuple
+		for i := 0; i < 30; i++ {
+			res, err := g.Do(context.Background(), chaosRequest(t, chaosKey(i%6)))
+			o := outcomeTuple{}
+			if err != nil {
+				o.Err = err.Error()
+			} else {
+				o.Backend, o.Attempts, o.Status = res.Backend, res.Attempts, res.Status
+			}
+			outcomes = append(outcomes, o)
+		}
+		return outcomes, proxy.Injected()
+	}
+	out1, inj1 := run()
+	out2, inj2 := run()
+	if !reflect.DeepEqual(inj1, inj2) {
+		t.Errorf("injection tallies diverge across replays:\nrun1: %v\nrun2: %v", inj1, inj2)
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Errorf("request %d settled differently across replays:\nrun1: %+v\nrun2: %+v",
+				i, out1[i], out2[i])
+		}
+	}
+	if len(inj1) == 0 {
+		t.Fatal("no faults fired; the replay proved nothing")
+	}
+}

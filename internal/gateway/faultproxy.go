@@ -1,0 +1,231 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wavelethpc/internal/fault"
+)
+
+// FaultMode is one way the chaos proxy can break a backend round trip.
+type FaultMode int
+
+const (
+	// FaultLatency delays the request by Rule.Latency, then forwards it.
+	FaultLatency FaultMode = iota
+	// Fault5xx swallows the request and synthesizes a 503 burst — the
+	// backend never sees it.
+	Fault5xx
+	// FaultReset fails the round trip immediately with a synthetic
+	// connection-reset error.
+	FaultReset
+	// FaultBlackhole never answers: the round trip blocks until the
+	// request context ends (a dead node that still accepts SYNs).
+	FaultBlackhole
+)
+
+// String names the mode for error text and logs.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultLatency:
+		return "latency"
+	case Fault5xx:
+		return "5xx"
+	case FaultReset:
+		return "reset"
+	case FaultBlackhole:
+		return "blackhole"
+	}
+	return "unknown"
+}
+
+// FaultRule injects one fault mode at one backend over a window of that
+// backend's request sequence numbers. Prob < 1 makes the injection
+// probabilistic but still deterministic: the decision for request n is
+// keyed on (Seed, backend index, rule index, n) through the SplitMix64
+// discipline of internal/fault, so a pinned seed replays a pinned
+// schedule regardless of goroutine interleaving.
+type FaultRule struct {
+	// Backend matches the target by substring of the request host (or
+	// full URL); empty matches every backend.
+	Backend string
+	// From and To bound the affected per-backend request sequence
+	// numbers, half-open [From, To); To = 0 means no upper bound.
+	From, To uint64
+	// Prob is the per-request injection probability (0 treated as 1:
+	// an unconditional rule).
+	Prob float64
+	// Mode is what happens to an affected request.
+	Mode FaultMode
+	// Latency is the injected delay for FaultLatency.
+	Latency time.Duration
+}
+
+// FaultProxy is an http.RoundTripper that injects a deterministic fault
+// schedule between the gateway and its backends — the in-process stand-in
+// for dying nodes, overloaded shards, and flaky links. Wrap it around a
+// real transport and hand it to Config.Transport.
+type FaultProxy struct {
+	// Seed keys every probabilistic decision.
+	Seed uint64
+	// Rules is the schedule, evaluated in order; the first matching rule
+	// that fires wins.
+	Rules []FaultRule
+	// Next performs the real round trip (http.DefaultTransport when nil).
+	Next http.RoundTripper
+
+	mu sync.Mutex
+	// seq counts requests per backend host — the deterministic clock the
+	// schedule runs on.
+	seq map[string]uint64
+	// injected counts fired rules per backend host, for test assertions
+	// and determinism checks.
+	injected map[string]map[FaultMode]uint64
+	// backendIndex pins each host to a stable decision-stream index in
+	// first-seen order (the gateway's configuration order, since the
+	// prober and router run on one gateway).
+	backendIndex map[string]int
+}
+
+// resetError is the synthetic transport failure of FaultReset.
+type resetError struct{ host string }
+
+func (e *resetError) Error() string {
+	return fmt.Sprintf("faultproxy: connection reset by %s (injected)", e.host)
+}
+
+// Timeout and Temporary mark the error retryable to net-aware callers.
+func (e *resetError) Timeout() bool   { return false }
+func (e *resetError) Temporary() bool { return true }
+
+// faultProxySalt separates the proxy's decision stream from the fault
+// package's drop/corrupt streams and the gateway jitter.
+const faultProxySalt = 0xa0761d6478bd642f
+
+// RoundTrip implements http.RoundTripper.
+func (p *FaultProxy) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	p.mu.Lock()
+	if p.seq == nil {
+		p.seq = map[string]uint64{}
+		p.injected = map[string]map[FaultMode]uint64{}
+		p.backendIndex = map[string]int{}
+	}
+	idx, ok := p.backendIndex[host]
+	if !ok {
+		idx = len(p.backendIndex)
+		p.backendIndex[host] = idx
+	}
+	n := p.seq[host]
+	p.seq[host] = n + 1
+	rule, fired := p.match(host, idx, n)
+	if fired {
+		if p.injected[host] == nil {
+			p.injected[host] = map[FaultMode]uint64{}
+		}
+		p.injected[host][rule.Mode]++
+	}
+	p.mu.Unlock()
+	if !fired {
+		return p.next().RoundTrip(req)
+	}
+	switch rule.Mode {
+	case FaultLatency:
+		if err := sleepCtx(req.Context(), rule.Latency); err != nil {
+			return nil, err
+		}
+		return p.next().RoundTrip(req)
+	case Fault5xx:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := "faultproxy: injected 503 burst\n"
+		return &http.Response{
+			StatusCode:    http.StatusServiceUnavailable,
+			Status:        "503 Service Unavailable",
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case FaultReset:
+		return nil, &resetError{host: host}
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("faultproxy: blackholed %s: %w", host, req.Context().Err())
+	}
+	return p.next().RoundTrip(req)
+}
+
+// match must be called with mu held: it finds the first rule that covers
+// (host, n) and wins its probability draw.
+func (p *FaultProxy) match(host string, idx int, n uint64) (FaultRule, bool) {
+	for ri, r := range p.Rules {
+		if r.Backend != "" && !strings.Contains(host, r.Backend) {
+			continue
+		}
+		if n < r.From || (r.To > 0 && n >= r.To) {
+			continue
+		}
+		prob := r.Prob
+		if prob == 0 {
+			prob = 1
+		}
+		if prob < 1 && fault.Unit(p.Seed, faultProxySalt, idx, ri, int(r.Mode), n) >= prob {
+			continue
+		}
+		return r, true
+	}
+	return FaultRule{}, false
+}
+
+func (p *FaultProxy) next() http.RoundTripper {
+	if p.Next != nil {
+		return p.Next
+	}
+	return http.DefaultTransport
+}
+
+// Injected returns a copy of the fired-injection counts per backend host
+// and mode.
+func (p *FaultProxy) Injected() map[string]map[FaultMode]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]map[FaultMode]uint64, len(p.injected))
+	for host, modes := range p.injected {
+		cp := make(map[FaultMode]uint64, len(modes))
+		for m, c := range modes {
+			cp[m] = c
+		}
+		out[host] = cp
+	}
+	return out
+}
+
+// Requests returns how many round trips targeted the host so far.
+func (p *FaultProxy) Requests(host string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq[host]
+}
+
+// sleepCtx waits for d or the context.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,213 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes mirrors the serve layer's upload bound.
+const maxBodyBytes = 32 << 20
+
+// Handler returns the gateway's HTTP surface:
+//
+//	POST /v1/decompose  buffered and routed by (shape, bank, levels)
+//	                    affinity with retries/hedging; the winning
+//	                    backend's response is forwarded verbatim plus an
+//	                    X-Wavegate-Backend header.
+//	GET  /v1/banks      proxied to any available backend.
+//	GET  /healthz       200 "ok", 503 once draining.
+//	GET  /readyz        JSON readiness: per-backend breaker states; 503
+//	                    while draining or with zero routable backends.
+//	GET  /metrics       Prometheus text exposition (wavegate_ namespace).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decompose", g.handleDecompose)
+	mux.HandleFunc("/v1/banks", g.handleBanks)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/readyz", g.handleReadyz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+func (g *Gateway) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a binary PGM body", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	key := RouteKey{Bank: q.Get("bank"), Levels: atoiOr(q.Get("levels"), 0)}
+	if key.Bank == "" {
+		key.Bank = q.Get("filter")
+	}
+	if rows, cols, ok := sniffPGMShape(body); ok {
+		key.Rows, key.Cols = rows, cols
+	}
+	res, err := g.Do(r.Context(), &Request{
+		Method: http.MethodPost,
+		Path:   "/v1/decompose",
+		Query:  q,
+		Body:   body,
+		Key:    key,
+	})
+	if err != nil {
+		writeGatewayError(w, err)
+		return
+	}
+	forward(w, res)
+}
+
+func (g *Gateway) handleBanks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	res, err := g.Do(r.Context(), &Request{Method: http.MethodGet, Path: "/v1/banks"})
+	if err != nil {
+		writeGatewayError(w, err)
+		return
+	}
+	forward(w, res)
+}
+
+// forward copies the backend response through, tagging the origin.
+func forward(w http.ResponseWriter, res *Result) {
+	if ct := res.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Wavegate-Backend", res.Backend)
+	w.Header().Set("X-Wavegate-Attempts", strconv.Itoa(res.Attempts))
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+// writeGatewayError maps routing errors onto HTTP statuses: drain and
+// no-backends are 503 (with Retry-After for well-behaved clients), an
+// expired client deadline is 504, anything else 502.
+func writeGatewayError(w http.ResponseWriter, err error) {
+	var nb *NoBackendsError
+	var be *BudgetError
+	switch {
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &nb):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &be):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// readyzBody is the /readyz JSON document.
+type readyzBody struct {
+	Ready    bool              `json:"ready"`
+	Draining bool              `json:"draining"`
+	Backends map[string]string `json:"backends"`
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	states := g.BreakerStates()
+	body := readyzBody{Draining: g.Draining(), Backends: make(map[string]string, len(states))}
+	routable := 0
+	for name, st := range states {
+		body.Backends[name] = st.String()
+		if st != BreakerOpen {
+			routable++
+		}
+	}
+	body.Ready = !body.Draining && routable > 0
+	w.Header().Set("Content-Type", "application/json")
+	if !body.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.metrics.WriteProm(w)
+}
+
+func atoiOr(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// sniffPGMShape reads just enough of a binary PGM (P5) header to learn
+// the image shape for routing affinity — no pixel decoding, no
+// allocation. Malformed headers simply lose affinity (ok = false); the
+// backend will produce the real diagnostic.
+func sniffPGMShape(body []byte) (rows, cols int, ok bool) {
+	i := 0
+	if len(body) < 2 || body[0] != 'P' || body[1] != '5' {
+		return 0, 0, false
+	}
+	i = 2
+	next := func() (int, bool) {
+		for i < len(body) {
+			c := body[i]
+			if c == '#' {
+				for i < len(body) && body[i] != '\n' {
+					i++
+				}
+				continue
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				i++
+				continue
+			}
+			break
+		}
+		start := i
+		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+			i++
+		}
+		if i == start || i-start > 9 {
+			return 0, false
+		}
+		n := 0
+		for _, c := range body[start:i] {
+			n = n*10 + int(c-'0')
+		}
+		return n, true
+	}
+	w, okW := next()
+	h, okH := next()
+	if !okW || !okH || w <= 0 || h <= 0 {
+		return 0, 0, false
+	}
+	return h, w, true
+}

@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"wavelethpc/internal/serve"
+)
+
+// BackendMetrics are one backend's per-target counters, updated with
+// atomics on the request path (the serve package's lock-free primitives).
+type BackendMetrics struct {
+	// Requests counts attempts routed at the backend (including hedges
+	// and retries).
+	Requests serve.Counter
+	// Successes counts attempts that returned a usable response.
+	Successes serve.Counter
+	// Failures counts attempts that failed retryably (transport error or
+	// 5xx).
+	Failures serve.Counter
+	// Retries counts attempts beyond a request's first that landed on
+	// this backend.
+	Retries serve.Counter
+	// HedgesLaunched counts hedge attempts fired at this backend.
+	HedgesLaunched serve.Counter
+	// HedgesWon counts hedge attempts that beat the primary.
+	HedgesWon serve.Counter
+	// BreakerOpened/BreakerHalfOpened/BreakerClosed count transitions
+	// into each breaker state.
+	BreakerOpened     serve.Counter
+	BreakerHalfOpened serve.Counter
+	BreakerClosed     serve.Counter
+	// ProbeFailures counts failed active health probes.
+	ProbeFailures serve.Counter
+}
+
+// Metrics is the gateway's registry: request-level counters plus a
+// per-backend block keyed by backend name.
+type Metrics struct {
+	// Admitted counts requests accepted for routing.
+	Admitted serve.Counter
+	// Completed counts requests answered with a backend response.
+	Completed serve.Counter
+	// Drained counts requests refused because shutdown had begun.
+	Drained serve.Counter
+	// NoBackends counts requests failed with *NoBackendsError.
+	NoBackends serve.Counter
+	// BudgetExhausted counts requests cut short by the deadline budget.
+	BudgetExhausted serve.Counter
+	// Latency observes seconds from admission to final outcome.
+	Latency *serve.Histogram
+
+	mu       sync.Mutex
+	backends map[string]*BackendMetrics
+	order    []string
+}
+
+func newGatewayMetrics(backendNames []string) *Metrics {
+	m := &Metrics{
+		Latency: serve.NewHistogram([]float64{
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+		}),
+		backends: map[string]*BackendMetrics{},
+	}
+	for _, name := range backendNames {
+		if _, ok := m.backends[name]; !ok {
+			m.backends[name] = &BackendMetrics{}
+			m.order = append(m.order, name)
+		}
+	}
+	sort.Strings(m.order)
+	return m
+}
+
+// Backend returns the named backend's counter block (nil for a name the
+// gateway does not front).
+func (m *Metrics) Backend(name string) *BackendMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backends[name]
+}
+
+// backendCounter is one exposed per-backend series.
+type backendCounter struct {
+	name, help string
+	value      func(*BackendMetrics) int64
+}
+
+// backendSeries is the fixed exposition order of the per-backend
+// counters; the format-pinning test locks it.
+var backendSeries = []backendCounter{
+	{"wavegate_backend_requests_total", "attempts routed at the backend", func(b *BackendMetrics) int64 { return b.Requests.Value() }},
+	{"wavegate_backend_successes_total", "attempts that returned a usable response", func(b *BackendMetrics) int64 { return b.Successes.Value() }},
+	{"wavegate_backend_failures_total", "attempts that failed retryably", func(b *BackendMetrics) int64 { return b.Failures.Value() }},
+	{"wavegate_backend_retries_total", "retry attempts landed on the backend", func(b *BackendMetrics) int64 { return b.Retries.Value() }},
+	{"wavegate_backend_hedges_launched_total", "hedge attempts fired at the backend", func(b *BackendMetrics) int64 { return b.HedgesLaunched.Value() }},
+	{"wavegate_backend_hedges_won_total", "hedge attempts that beat the primary", func(b *BackendMetrics) int64 { return b.HedgesWon.Value() }},
+	{"wavegate_backend_breaker_opened_total", "breaker transitions into open", func(b *BackendMetrics) int64 { return b.BreakerOpened.Value() }},
+	{"wavegate_backend_breaker_half_opened_total", "breaker transitions into half-open", func(b *BackendMetrics) int64 { return b.BreakerHalfOpened.Value() }},
+	{"wavegate_backend_breaker_closed_total", "breaker transitions into closed", func(b *BackendMetrics) int64 { return b.BreakerClosed.Value() }},
+	{"wavegate_backend_probe_failures_total", "failed active health probes", func(b *BackendMetrics) int64 { return b.ProbeFailures.Value() }},
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format under the wavegate_ namespace. Per-backend series carry a
+// backend="name" label and are emitted in sorted-name order so the
+// output is deterministic.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"wavegate_admitted_total", "requests accepted for routing", m.Admitted.Value()},
+		{"wavegate_completed_total", "requests answered with a backend response", m.Completed.Value()},
+		{"wavegate_drained_total", "requests refused during drain", m.Drained.Value()},
+		{"wavegate_no_backends_total", "requests failed with NoBackendsError", m.NoBackends.Value()},
+		{"wavegate_budget_exhausted_total", "requests cut short by the deadline budget", m.BudgetExhausted.Value()},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.v); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	blocks := make([]*BackendMetrics, len(order))
+	for i, name := range order {
+		blocks[i] = m.backends[name]
+	}
+	m.mu.Unlock()
+	for _, s := range backendSeries {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", s.name, s.help, s.name); err != nil {
+			return err
+		}
+		for i, name := range order {
+			if _, err := fmt.Fprintf(w, "%s{backend=%q} %d\n", s.name, name, s.value(blocks[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return serve.WritePromHistogram(w, "wavegate_latency_seconds",
+		"admission-to-outcome latency", m.Latency.Snapshot())
+}

@@ -1,0 +1,104 @@
+package gateway
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"wavelethpc/internal/fault"
+)
+
+// jitterSalt decorrelates the gateway's backoff stream from the other
+// SplitMix64 consumers sharing a seed (fault plans, chaos schedules).
+const jitterSalt = 0xd1b54a32d192ed03
+
+// jitter is the gateway's seeded full-jitter source: a counter-based
+// SplitMix64 stream in internal/fault's discipline, so a pinned gateway
+// seed replays a pinned backoff schedule (the chaos suite depends on it;
+// wavelint's determinism analyzer forbids math/rand here entirely).
+type jitter struct {
+	seed uint64
+	n    atomic.Uint64
+}
+
+// unit returns the next value of the stream in [0, 1).
+func (j *jitter) unit() float64 {
+	n := j.n.Add(1)
+	return float64(fault.SplitMix64(j.seed^jitterSalt^n*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+}
+
+// backoff computes the full-jitter delay before retry number retry
+// (1-based): u * min(max, base * 2^(retry-1)), with u drawn from the
+// seeded stream. Full jitter (u over the whole interval, not half) is
+// what decorrelates a thundering herd of retriers sharing one trigger.
+func backoff(retry int, base, max time.Duration, u float64) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	ceil := base << uint(retry-1)
+	if ceil > max || ceil <= 0 {
+		ceil = max
+	}
+	return time.Duration(u * float64(ceil))
+}
+
+// budget is the deadline arithmetic of one request: how much of the
+// client's deadline remains, and whether another (sleep + attempt) can be
+// funded without exceeding it.
+type budget struct {
+	deadline time.Time
+	has      bool
+	now      func() time.Time
+}
+
+func newBudget(ctx context.Context, now func() time.Time) budget {
+	d, ok := ctx.Deadline()
+	return budget{deadline: d, has: ok, now: now}
+}
+
+// remaining returns the time left until the deadline (a large constant
+// when the client set none).
+func (b budget) remaining() time.Duration {
+	if !b.has {
+		return time.Hour
+	}
+	return b.deadline.Sub(b.now())
+}
+
+// allows reports whether sleeping for sleep and then running an attempt
+// worth at least floor still fits in the remaining deadline.
+func (b budget) allows(sleep, floor time.Duration) bool {
+	return b.remaining() > sleep+floor
+}
+
+// attemptTimeout splits the remaining deadline evenly across the
+// attempts still available, so a blackholed backend can burn at most its
+// share and the retries that follow keep enough budget to succeed. The
+// result is floored so a nearly spent deadline still makes one real try.
+func (b budget) attemptTimeout(attemptsLeft int, floor time.Duration) time.Duration {
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	per := b.remaining() / time.Duration(attemptsLeft)
+	if per < floor {
+		per = floor
+	}
+	return per
+}
+
+// sleepFunc is the context-aware sleep the gateway uses between retries;
+// injectable so the chaos suite can run on a virtual clock.
+type sleepFunc func(ctx context.Context, d time.Duration)
+
+// realSleep waits for d or the context, whichever ends first.
+func realSleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

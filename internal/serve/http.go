@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -25,7 +26,15 @@ const maxBodyBytes = 32 << 20
 //	                    levels (default server),
 //	                    output=mosaic|roundtrip (default mosaic).
 //	GET  /v1/banks      Registered bank names, one per line.
-//	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown.
+//	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown
+//	                    (liveness: is the process worth talking to at all).
+//	GET  /readyz        200 JSON while able to admit more work; 503 with
+//	                    the same JSON body (queue depth, capacity,
+//	                    draining) when the admission queue is saturated or
+//	                    shutdown has begun — readiness: should a gateway
+//	                    route the next request here. Separating the two
+//	                    lets passive health checks see overload before
+//	                    hard rejection.
 //	GET  /metrics       Prometheus text exposition of the registry.
 //
 // output=mosaic renders the classical pyramid mosaic normalized to
@@ -37,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/decompose", s.handleDecompose)
 	mux.HandleFunc("/v1/banks", s.handleBanks)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -154,6 +164,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// readyzBody is the /readyz JSON document: enough for a gateway's
+// passive health check to see overload building before the queue starts
+// hard-rejecting.
+type readyzBody struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Queue    int  `json:"queue"`
+	Capacity int  `json:"capacity"`
+}
+
+// handleReadyz reports admission readiness, distinct from /healthz
+// liveness: a saturated queue or a draining server answers 503 while the
+// process itself is still perfectly alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	stopped := s.stopped
+	s.mu.RUnlock()
+	body := readyzBody{
+		Draining: stopped,
+		Queue:    len(s.queue),
+		Capacity: cap(s.queue),
+	}
+	body.Ready = !body.Draining && body.Queue < body.Capacity
+	w.Header().Set("Content-Type", "application/json")
+	if !body.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -68,6 +68,9 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
 // snapshot copies the histogram state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -198,14 +201,17 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		{"waveserve_batch_size", "executed micro-batch sizes", s.BatchSize},
 	}
 	for _, h := range hists {
-		if err := writePromHistogram(w, h.name, h.help, h.h); err != nil {
+		if err := WritePromHistogram(w, h.name, h.help, h.h); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name, help string, h HistogramSnapshot) error {
+// WritePromHistogram renders one histogram snapshot in the Prometheus
+// text exposition format; shared with the gateway's metrics page so both
+// services speak one dialect.
+func WritePromHistogram(w io.Writer, name, help string, h HistogramSnapshot) error {
 	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
 		return err
 	}

@@ -141,6 +141,10 @@ type Server struct {
 
 	poolMu sync.Mutex
 	pools  map[poolKey]*sync.Pool
+	// created counts Decomposers ever constructed across the pools: a
+	// leak witness for tests (a drained server that keeps creating
+	// fresh Decomposers under bounded concurrency is losing them).
+	created atomic.Int64
 
 	// execHook, when set (tests only), runs at the start of each
 	// executor iteration, before batching and execution.
@@ -214,6 +218,11 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // QueueLen returns the current admission-queue depth.
 func (s *Server) QueueLen() int { return len(s.queue) }
+
+// CreatedDecomposers returns how many Decomposers the pools have ever
+// constructed — a leak witness: under bounded concurrency the count must
+// stay bounded by the worker count per traffic class.
+func (s *Server) CreatedDecomposers() int64 { return s.created.Load() }
 
 // Do submits one request and waits for its result or the context. The
 // admission decision is immediate: a full queue returns *OverloadError
@@ -467,7 +476,10 @@ func (s *Server) getDecomposer(key poolKey, bank *filter.Bank) *wavelet.Decompos
 	if !ok {
 		ext, levels := s.cfg.Extension, key.levels
 		b := bank
-		p = &sync.Pool{New: func() any { return wavelet.NewDecomposer(b, ext, levels) }}
+		p = &sync.Pool{New: func() any {
+			s.created.Add(1)
+			return wavelet.NewDecomposer(b, ext, levels)
+		}}
 		s.pools[key] = p
 	}
 	s.poolMu.Unlock()
