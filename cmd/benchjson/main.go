@@ -99,6 +99,9 @@ func main() {
 		serveBatch = flag.Int("serve-batch", 1, "micro-batch size (>= 2 enables batching)")
 		biorMode   = flag.Bool("bior", false, "run the bior4.4-vs-db4 comparison suite instead of the kernel suite")
 
+		compareMode = flag.Bool("compare", false, "compare two BENCH_*.json reports: benchjson -compare old.json new.json [-tol 10%]")
+		tolFlag     = flag.String("tol", "10%", "ns/op regression tolerance for -compare (\"10%\" or \"0.1\")")
+
 		gatewayMode = flag.Bool("gateway", false, "run the multi-backend gateway load generator instead of the kernel suite")
 		gwBackends  = flag.Int("gateway-backends", 3, "fleet size behind the gateway")
 		gwPace      = flag.Duration("gateway-pace", 10*time.Millisecond, "per-backend admission pacing of the in-process scale model (0 = unpaced)")
@@ -109,6 +112,9 @@ func main() {
 		gwSize      = flag.Int("gateway-size", 64, "square image size for the gateway load generator")
 	)
 	flag.Parse()
+	if *compareMode {
+		os.Exit(runCompare(os.Stdout, flag.Args(), *tolFlag))
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", *label)
 	}

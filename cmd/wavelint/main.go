@@ -1,5 +1,7 @@
 // Command wavelint runs the repo's custom static-analysis suite
-// (internal/analysis): determinism, nxapi, structerr, and registrycheck.
+// (internal/analysis): the per-file checks (determinism, nxapi,
+// structerr, registrycheck) and the summary-engine checks (hotalloc,
+// lockcheck, goroutinelife, atomicmix).
 //
 // Standalone:
 //
@@ -11,16 +13,23 @@
 //	go build -o wavelint ./cmd/wavelint
 //	go vet -vettool=./wavelint ./...
 //
+// Output modes: the default gofmt-style text, -json (machine-readable
+// finding records), and -annotate (GitHub Actions ::error workflow
+// commands). -fix applies the machine-applicable suggested fixes in
+// place; -diff shows what -fix would change without writing.
+//
 // Exit status: 0 clean, 1 operational failure, 2 findings (vet mode) /
 // 1 findings (standalone, matching gofmt-style tooling).
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"wavelethpc/internal/analysis"
@@ -50,8 +59,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wavelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	annotate := fs.Bool("annotate", false, "emit findings as GitHub Actions ::error annotations")
+	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes in place")
+	diff := fs.Bool("diff", false, "show what -fix would change without writing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: wavelint [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: wavelint [-list] [-json|-annotate] [-fix|-diff] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -72,20 +85,137 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wavelint: %v\n", err)
 		return 1
 	}
-	bad := 0
+	var findings []analysis.Finding
 	for _, pkg := range pkgs {
-		findings, err := analysis.Analyze(pkg, analysis.All())
+		fs, err := analysis.Analyze(pkg, analysis.All())
 		if err != nil {
 			fmt.Fprintf(stderr, "wavelint: %v\n", err)
 			return 1
 		}
+		findings = append(findings, fs...)
+	}
+	if *fix || *diff {
+		return applyFixes(findings, *fix, stdout, stderr)
+	}
+	switch {
+	case *asJSON:
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "wavelint: %v\n", err)
+			return 1
+		}
+	case *annotate:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, annotation(f))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
-			bad++
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(stderr, "wavelint: %d finding(s)\n", bad)
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "wavelint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// jsonFinding is the -json record shape: one object per finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+	Fixable  bool   `json:"fixable,omitempty"`
+}
+
+func writeJSON(w io.Writer, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+			Fix:      f.Fix,
+			Fixable:  len(f.Edits) > 0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// annotation renders one finding as a GitHub Actions workflow command;
+// the runner turns it into an inline PR annotation.
+func annotation(f analysis.Finding) string {
+	msg := f.Message
+	if f.Fix != "" {
+		msg += " — suggested fix: " + f.Fix
+	}
+	// Workflow commands are line-oriented; escape the data section per
+	// the Actions toolkit rules.
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=wavelint(%s)::%s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, r.Replace(msg))
+}
+
+// applyFixes splices the machine-applicable edits into the flagged files
+// (write=true) or prints the dry-run diff (write=false). Findings with
+// no edits are listed as remaining; they keep the exit status nonzero.
+func applyFixes(findings []analysis.Finding, write bool, stdout, stderr io.Writer) int {
+	contents := map[string][]byte{}
+	for _, f := range findings {
+		for _, e := range f.Edits {
+			if _, ok := contents[e.File]; ok {
+				continue
+			}
+			src, err := os.ReadFile(e.File)
+			if err != nil {
+				fmt.Fprintf(stderr, "wavelint: %v\n", err)
+				return 1
+			}
+			contents[e.File] = src
+		}
+	}
+	fixed, err := analysis.ApplyEdits(contents, findings)
+	if err != nil {
+		fmt.Fprintf(stderr, "wavelint: %v\n", err)
+		return 1
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	edited := 0
+	for _, file := range files {
+		if write {
+			if err := os.WriteFile(file, fixed[file], 0o666); err != nil {
+				fmt.Fprintf(stderr, "wavelint: %v\n", err)
+				return 1
+			}
+		} else {
+			fmt.Fprint(stdout, analysis.Diff(file, contents[file], fixed[file]))
+		}
+		edited++
+	}
+	remaining := 0
+	for _, f := range findings {
+		if len(f.Edits) == 0 {
+			fmt.Fprintln(stdout, f)
+			remaining++
+		}
+	}
+	verb := "would fix"
+	if write {
+		verb = "fixed"
+	}
+	fmt.Fprintf(stderr, "wavelint: %s %d finding(s) in %d file(s), %d not machine-fixable\n",
+		verb, len(findings)-remaining, edited, remaining)
+	if remaining > 0 {
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -111,9 +112,167 @@ func TestVetProtocolProbes(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, name := range []string{"determinism", "nxapi", "structerr", "registrycheck"} {
+	for _, name := range []string{
+		"determinism", "nxapi", "structerr", "registrycheck",
+		"hotalloc", "lockcheck", "goroutinelife", "atomicmix",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %s", name)
 		}
+	}
+}
+
+// scratchModule materializes a one-package throwaway module for
+// end-to-end runs of the built binary.
+func scratchModule(t *testing.T, pkgDir, fileName, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, pkgDir), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, pkgDir, fileName), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestVettoolFindsHotAllocViolation seeds a //wavelint:hotpath function
+// that allocates and proves the summary-engine analyzers fail the vet
+// run — the CI lint job's negative guarantee.
+func TestVettoolFindsHotAllocViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool")
+	}
+	bin := buildWavelint(t)
+	src := `package hot
+
+import "fmt"
+
+// Render is annotated hot but formats on every call.
+//
+//wavelint:hotpath
+func Render(n int) string { return fmt.Sprintf("%d", n) }
+`
+	dir := scratchModule(t, "hot", "hot.go", src)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed on a hotpath function that allocates:\n%s", out)
+	}
+	if !strings.Contains(string(out), "fmt.Sprintf allocates on the hot path") {
+		t.Fatalf("hotalloc diagnostic missing from vet output:\n%s", out)
+	}
+}
+
+const fixableNXSrc = `package nx
+
+// UsageError stands in for the runtime's typed panic value.
+type UsageError struct{ Op, Detail string }
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.Detail }
+
+func Send(size int) {
+	if size < 0 {
+		panic("negative message size")
+	}
+	_ = size
+}
+`
+
+// TestFixRewritesTypedError: -diff previews the structerr rewrite
+// without touching the file, -fix applies it, and the rewritten module
+// comes out clean on a re-run.
+func TestFixRewritesTypedError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the linter")
+	}
+	bin := buildWavelint(t)
+	dir := scratchModule(t, "nx", "nx.go", fixableNXSrc)
+	target := filepath.Join(dir, "nx", "nx.go")
+	want := `panic(&UsageError{Op: "Send", Detail: "negative message size"})`
+
+	diffCmd := exec.Command(bin, "-diff", "./...")
+	diffCmd.Dir = dir
+	diffOut, err := diffCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("wavelint -diff: %v\n%s", err, diffOut)
+	}
+	if !strings.Contains(string(diffOut), "+\t\t"+want) {
+		t.Fatalf("-diff output missing rewritten line %q:\n%s", want, diffOut)
+	}
+	after, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != fixableNXSrc {
+		t.Fatal("-diff modified the source file; it must be a dry run")
+	}
+
+	fixCmd := exec.Command(bin, "-fix", "./...")
+	fixCmd.Dir = dir
+	fixOut, err := fixCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("wavelint -fix: %v\n%s", err, fixOut)
+	}
+	after, err = os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(after), want) {
+		t.Fatalf("-fix did not apply the rewrite; file now:\n%s", after)
+	}
+
+	recheck := exec.Command(bin, "./...")
+	recheck.Dir = dir
+	recheckOut, err := recheck.CombinedOutput()
+	if err != nil {
+		t.Fatalf("rewritten module still has findings: %v\n%s", err, recheckOut)
+	}
+}
+
+// TestJSONAndAnnotateOutput: the machine-readable modes carry the same
+// finding with position, analyzer, and fixability.
+func TestJSONAndAnnotateOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the linter")
+	}
+	bin := buildWavelint(t)
+	dir := scratchModule(t, "nx", "nx.go", fixableNXSrc)
+
+	jsonCmd := exec.Command(bin, "-json", "./...")
+	jsonCmd.Dir = dir
+	jsonOut, err := jsonCmd.Output()
+	if err == nil {
+		t.Fatal("wavelint -json exited 0 on a module with a finding")
+	}
+	var records []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Fixable  bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal(jsonOut, &records); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, jsonOut)
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d JSON records, want 1:\n%s", len(records), jsonOut)
+	}
+	r := records[0]
+	if r.Analyzer != "structerr" || !r.Fixable || r.Line == 0 || !strings.HasSuffix(r.File, "nx.go") {
+		t.Fatalf("unexpected JSON record: %+v", r)
+	}
+
+	annCmd := exec.Command(bin, "-annotate", "./...")
+	annCmd.Dir = dir
+	annOut, _ := annCmd.Output()
+	if !strings.Contains(string(annOut), "::error file=") ||
+		!strings.Contains(string(annOut), "title=wavelint(structerr)") {
+		t.Fatalf("-annotate output lacks the workflow command form:\n%s", annOut)
 	}
 }

@@ -50,6 +50,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// pkg backs Summaries() so the cross-function engine runs once per
+	// package, not once per analyzer.
+	pkg    *Package
 	report func(Diagnostic)
 }
 
@@ -61,6 +64,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // ReportFix records a finding at pos that carries a suggested fix.
 func (p *Pass) ReportFix(pos token.Pos, fix string, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Fix: fix})
+}
+
+// ReportEdits records a finding whose suggested fix is machine-applicable
+// (wavelint -fix splices the edits into the source).
+func (p *Pass) ReportEdits(pos token.Pos, fix string, edits []TextEdit, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Fix: fix, Edits: edits})
 }
 
 // SourceFiles returns the package's non-test files. Test files are exempt
@@ -84,6 +93,15 @@ type Diagnostic struct {
 	Message string
 	// Fix, when non-empty, is a human-readable suggested fix.
 	Fix string
+	// Edits, when non-empty, is a machine-applicable version of Fix:
+	// wavelint -fix splices them into the source.
+	Edits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 // Finding is a resolved diagnostic: position plus the analyzer that
@@ -93,6 +111,16 @@ type Finding struct {
 	Pos      token.Position
 	Message  string
 	Fix      string
+	// Edits carry the suggested fix as byte-offset splices, resolved
+	// against the finding's file.
+	Edits []Edit
+}
+
+// Edit is one resolved text replacement: byte offsets into File.
+type Edit struct {
+	File        string
+	Offset, End int
+	NewText     string
 }
 
 // String formats the finding as file:line:col: message [analyzer] with the
@@ -112,21 +140,37 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// summaries caches the cross-function engine's output (see
+	// summary.go); populated on first Pass.Summaries() call.
+	summaries *Summaries
 }
 
 // IgnoreDirective is the comment prefix that suppresses a finding:
 //
 //	//wavelint:ignore <analyzer> <reason>
 //
-// placed on the flagged line or the line immediately above it. The reason
-// is mandatory in spirit (reviewers will ask) but not enforced.
+// placed on the flagged line or the line immediately above it. The
+// justification is mandatory: a directive without one, and a directive
+// that suppresses nothing (stale), are themselves reported under the
+// pseudo-analyzer name "wavelint".
 const IgnoreDirective = "wavelint:ignore"
+
+// FrameworkName is the analyzer name attached to findings about wavelint
+// usage itself (malformed or stale suppressions).
+const FrameworkName = "wavelint"
 
 // Analyze runs the analyzers over the package and returns the surviving
 // findings sorted by position. Suppressed findings (see IgnoreDirective)
-// are dropped.
+// are dropped; suppression hygiene findings (missing justification,
+// stale directive) are appended under FrameworkName.
 func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	suppressed := collectSuppressions(pkg)
+	directives := collectSuppressions(pkg)
+	suppressed := map[suppressKey]*suppression{}
+	for _, d := range directives {
+		suppressed[suppressKey{d.pos.Filename, d.pos.Line, d.analyzer}] = d
+		suppressed[suppressKey{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = d
+	}
 	var findings []Finding
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -136,11 +180,13 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			pkg:       pkg,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if suppressed[suppressKey{pos.Filename, pos.Line, name}] {
+			if s := suppressed[suppressKey{pos.Filename, pos.Line, name}]; s != nil {
+				s.hits++
 				return
 			}
 			findings = append(findings, Finding{
@@ -148,10 +194,33 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pos:      pos,
 				Message:  d.Message,
 				Fix:      d.Fix,
+				Edits:    resolveEdits(pkg.Fset, d.Edits),
 			})
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, d := range directives {
+		switch {
+		case !d.justified:
+			findings = append(findings, Finding{
+				Analyzer: FrameworkName,
+				Pos:      d.pos,
+				Message: fmt.Sprintf("//wavelint:ignore %s has no justification; write "+
+					"//wavelint:ignore %s <reason>", d.analyzer, d.analyzer),
+			})
+		case d.hits == 0 && ran[d.analyzer]:
+			findings = append(findings, Finding{
+				Analyzer: FrameworkName,
+				Pos:      d.pos,
+				Message: fmt.Sprintf("stale //wavelint:ignore: no %s finding is suppressed here",
+					d.analyzer),
+			})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -170,18 +239,45 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	return findings, nil
 }
 
+// resolveEdits converts position-based edits to byte offsets.
+func resolveEdits(fset *token.FileSet, edits []TextEdit) []Edit {
+	var out []Edit
+	for _, e := range edits {
+		start := fset.Position(e.Pos)
+		end := fset.Position(e.End)
+		if start.Filename == "" || start.Filename != end.Filename {
+			continue
+		}
+		out = append(out, Edit{
+			File:    start.Filename,
+			Offset:  start.Offset,
+			End:     end.Offset,
+			NewText: e.NewText,
+		})
+	}
+	return out
+}
+
 type suppressKey struct {
 	file     string
 	line     int
 	analyzer string
 }
 
-// collectSuppressions indexes every //wavelint:ignore directive: the named
+// suppression is one parsed //wavelint:ignore directive.
+type suppression struct {
+	pos       token.Position
+	analyzer  string
+	justified bool
+	hits      int
+}
+
+// collectSuppressions parses every //wavelint:ignore directive: the named
 // analyzer is silenced on the directive's line and the line below it (so
 // the directive can trail the flagged statement or sit on its own line
 // above).
-func collectSuppressions(pkg *Package) map[suppressKey]bool {
-	out := map[suppressKey]bool{}
+func collectSuppressions(pkg *Package) []*suppression {
+	var out []*suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -195,18 +291,25 @@ func collectSuppressions(pkg *Package) map[suppressKey]bool {
 				if len(fields) == 0 {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				out[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
-				out[suppressKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+				out = append(out, &suppression{
+					pos:       pkg.Fset.Position(c.Pos()),
+					analyzer:  fields[0],
+					justified: len(fields) >= 2,
+				})
 			}
 		}
 	}
 	return out
 }
 
-// All returns the wavelint analyzer suite in a fixed order.
+// All returns the wavelint analyzer suite in a fixed order: the four
+// per-file checks, then the four cross-function checks built on the
+// summary engine.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, NXAPI, StructErr, RegistryCheck}
+	return []*Analyzer{
+		Determinism, NXAPI, StructErr, RegistryCheck,
+		HotAlloc, LockCheck, GoroutineLife, AtomicMix,
+	}
 }
 
 // calleeFunc resolves the called function or method of a call expression,

@@ -40,7 +40,7 @@ import (
 
 // stdRoots are the standard-library packages fixtures may import; their
 // transitive dependencies come along via go list -deps.
-var stdRoots = []string{"fmt", "sort", "time", "math/rand"}
+var stdRoots = []string{"fmt", "sort", "time", "math/rand", "sync", "sync/atomic"}
 
 var (
 	stdOnce    sync.Once

@@ -1,6 +1,10 @@
 package analysis_test
 
 import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"testing"
 
 	"wavelethpc/internal/analysis"
@@ -42,4 +46,90 @@ func TestStructErr(t *testing.T) {
 
 func TestRegistryCheck(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.RegistryCheck, "registrycheck/a", "registrycheck/bank")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc,
+		"hotalloc/a", "hotalloc/kernel", "hotalloc/wavelet")
+}
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockCheck, "lockcheck/serve")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoroutineLife, "internal/goroutinelife/a")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix, "atomicmix/a")
+}
+
+// TestSuppressionHygiene: the framework itself enforces the suppression
+// contract — every //wavelint:ignore needs a justification, and a
+// directive that suppresses nothing is reported as stale.
+func TestSuppressionHygiene(t *testing.T) {
+	const src = `package p
+
+func f() int {
+	//wavelint:ignore dummy
+	x := 1
+	//wavelint:ignore dummy fixture exercises a justified suppression
+	y := 2
+	//wavelint:ignore dummy justified but suppressing nothing
+	z := 0
+	return x + y + z
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{file}
+	typesPkg, info, err := analysis.TypeCheck("p", fset, files, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &analysis.Package{Path: "p", Fset: fset, Files: files, Types: typesPkg, Info: info}
+
+	// dummy flags every := whose literal initializer is not "0"; the
+	// fixture's x and y lines each produce one diagnostic.
+	dummy := &analysis.Analyzer{
+		Name: "dummy",
+		Doc:  "test analyzer",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+						if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Value != "0" {
+							pass.Reportf(as.Pos(), "flagged assignment")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	findings, err := analysis.Analyze(pkg, []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%d: [%s] %s", f.Pos.Line, f.Analyzer, f.Message))
+	}
+	want := []string{
+		"4: [wavelint] //wavelint:ignore dummy has no justification; write //wavelint:ignore dummy <reason>",
+		"8: [wavelint] stale //wavelint:ignore: no dummy finding is suppressed here",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
 }

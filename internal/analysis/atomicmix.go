@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix protects the lock-free counters behind the Prometheus-text
+// registry (internal/serve/metrics.go, internal/gateway/metrics.go): a
+// variable or struct field that is accessed through sync/atomic anywhere
+// in the package must be accessed through sync/atomic everywhere. A
+// plain read racing an atomic write is undefined under the Go memory
+// model even when it "works" on amd64, and the race detector only
+// catches the interleavings the test schedule happens to produce.
+//
+// The analyzer makes two passes over the package: first it collects
+// every object (field or package-level/local variable) whose address is
+// taken as the first argument of a sync/atomic call — atomic.AddUint64,
+// atomic.LoadInt64, atomic.CompareAndSwapPointer, and the rest — plus
+// every use of the typed atomic wrappers (atomic.Uint64 and friends);
+// then it flags every access to those objects that is not itself inside
+// a sync/atomic argument. Typed-wrapper fields additionally must not be
+// copied by value.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a field or variable accessed via sync/atomic anywhere must never " +
+		"be accessed non-atomically; typed atomic values must not be copied",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	files := pass.SourceFiles()
+
+	// Pass 1: objects blessed as atomic, and the AST nodes that are
+	// legitimate atomic accesses (the &x argument inside atomic calls).
+	atomicObjs := map[types.Object]bool{}
+	blessed := map[ast.Node]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isAtomicFunc(fn) || len(call.Args) == 0 {
+				return true
+			}
+			// The addressed operand is the target; every arg position
+			// referencing it is a sanctioned access.
+			for i, arg := range call.Args {
+				arg = ast.Unparen(arg)
+				u, isAddr := arg.(*ast.UnaryExpr)
+				if !isAddr || u.Op != token.AND {
+					continue
+				}
+				target := ast.Unparen(u.X)
+				if obj := accessObj(pass.TypesInfo, target); obj != nil {
+					if i == 0 {
+						atomicObjs[obj] = true
+					}
+					blessed[target] = true
+				}
+			}
+			return true
+		})
+	}
+
+	if len(atomicObjs) == 0 && !usesTypedAtomics(pass, files) {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses to blessed objects, and by-value copies
+	// of typed atomic wrappers.
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr, *ast.Ident:
+				expr := n.(ast.Expr)
+				if blessed[expr] {
+					return false
+				}
+				obj := accessObj(pass.TypesInfo, expr)
+				if obj == nil || !atomicObjs[obj] {
+					return true
+				}
+				pass.ReportFix(n.Pos(),
+					"use the matching sync/atomic Load/Store/Add, or stop using atomics on this field entirely",
+					"non-atomic access to %s, which is accessed with sync/atomic elsewhere in this package",
+					obj.Name())
+				return false
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkTypedCopy(pass, rhs)
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass.TypesInfo, n); isAtomicFunc(fn) {
+					// Skip the call head; arguments were blessed in pass 1.
+					for _, arg := range n.Args {
+						checkBlessedSubtree(pass, atomicObjs, blessed, arg)
+					}
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlessedSubtree re-walks an atomic call's argument: the &target
+// itself is sanctioned, but an unrelated blessed object buried deeper in
+// the expression (e.g. atomic.AddUint64(&a, b) where b is also atomic)
+// still needs flagging.
+func checkBlessedSubtree(pass *Pass, atomicObjs map[types.Object]bool, blessed map[ast.Node]bool, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch expr.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		if blessed[expr] {
+			return false
+		}
+		obj := accessObj(pass.TypesInfo, expr)
+		if obj != nil && atomicObjs[obj] {
+			pass.ReportFix(n.Pos(),
+				"use the matching sync/atomic Load/Store/Add, or stop using atomics on this field entirely",
+				"non-atomic access to %s, which is accessed with sync/atomic elsewhere in this package",
+				obj.Name())
+			return false
+		}
+		return true
+	})
+}
+
+// checkTypedCopy flags an assignment RHS that copies a typed atomic
+// value (atomic.Uint64 etc.) by value.
+func checkTypedCopy(pass *Pass, rhs ast.Expr) {
+	rhs = ast.Unparen(rhs)
+	switch rhs.(type) {
+	case *ast.SelectorExpr, *ast.Ident:
+	default:
+		return
+	}
+	t := pass.TypesInfo.TypeOf(rhs)
+	if t == nil {
+		return
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			pass.Reportf(rhs.Pos(),
+				"copy of typed atomic value %s.%s; operate on it in place through a pointer",
+				"atomic", obj.Name())
+		}
+	}
+}
+
+// accessObj resolves the object a read/write expression refers to:
+// a struct field (via Selections) or a variable (via plain ident use).
+// Only addressable variables count; constants, funcs, types are nil.
+func accessObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return nil
+	case *ast.Ident:
+		if info.Defs[e] != nil {
+			// The defining occurrence is the variable's creation, not a
+			// racy access.
+			return nil
+		}
+		obj := info.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether fn is a package-level function of
+// sync/atomic (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// usesTypedAtomics reports whether any field in the package has a typed
+// atomic wrapper type (atomic.Uint64 etc.) — enables the copy check
+// even with no package-level atomic calls.
+func usesTypedAtomics(pass *Pass, files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "sync/atomic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ApplyEdits splices every finding's machine-applicable edits into the
+// given file contents (keyed by the filename the findings reference) and
+// returns the rewritten files. Files without edits are absent from the
+// result. Overlapping edits are an error — wavelint -fix applies one
+// rewrite generation at a time rather than guessing an order.
+func ApplyEdits(contents map[string][]byte, findings []Finding) (map[string][]byte, error) {
+	byFile := map[string][]Edit{}
+	for _, f := range findings {
+		for _, e := range f.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	out := map[string][]byte{}
+	for _, file := range files {
+		edits := byFile[file]
+		src, ok := contents[file]
+		if !ok {
+			return nil, fmt.Errorf("edit targets %s, which was not loaded", file)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Offset < edits[j].Offset })
+		var buf []byte
+		prev := 0
+		for _, e := range edits {
+			if e.Offset < prev || e.End < e.Offset || e.End > len(src) {
+				return nil, fmt.Errorf("%s: overlapping or out-of-range edit [%d,%d)", file, e.Offset, e.End)
+			}
+			buf = append(buf, src[prev:e.Offset]...)
+			buf = append(buf, e.NewText...)
+			prev = e.End
+		}
+		buf = append(buf, src[prev:]...)
+		out[file] = buf
+	}
+	return out, nil
+}
+
+// Diff renders a minimal line-based diff between two versions of a file:
+// the unchanged prefix and suffix are elided, the changed middle is
+// printed with -/+ markers. It is a dry-run display, not a patch format.
+func Diff(path string, oldSrc, newSrc []byte) string {
+	oldL := strings.SplitAfter(string(oldSrc), "\n")
+	newL := strings.SplitAfter(string(newSrc), "\n")
+	p := 0
+	for p < len(oldL) && p < len(newL) && oldL[p] == newL[p] {
+		p++
+	}
+	so, sn := len(oldL), len(newL)
+	for so > p && sn > p && oldL[so-1] == newL[sn-1] {
+		so--
+		sn--
+	}
+	if p == so && p == sn {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s\n@@ line %d @@\n", path, path, p+1)
+	for _, l := range oldL[p:so] {
+		b.WriteString("-" + strings.TrimSuffix(l, "\n") + "\n")
+	}
+	for _, l := range newL[p:sn] {
+		b.WriteString("+" + strings.TrimSuffix(l, "\n") + "\n")
+	}
+	return b.String()
+}

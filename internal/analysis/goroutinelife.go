@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroutineLife enforces the drain contract (DESIGN.md §13): every
+// goroutine spawned in an internal/ package must have a shutdown path.
+// A spawned body that runs a service loop — an infinite `for` whose body
+// waits on a channel, a select, or a blocking external call — must
+// either signal a WaitGroup when it exits (wg.Done, usually deferred) or
+// receive from a shutdown channel (a quit/stop channel or a context
+// Done channel; timer/ticker channels carrying time.Time do not count).
+//
+// One-shot goroutines (no service loop anywhere in the spawned body's
+// transitive same-package reach) are exempt: they terminate on their
+// own, and demanding ceremony for `go close(ch)` would teach people to
+// suppress the analyzer. CAS retry spins (infinite for with no waiting,
+// exiting by return/break) are likewise not service loops.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc: "every goroutine spawned in internal/ packages that runs a service " +
+		"loop must be tied to a WaitGroup or a shutdown-channel receive",
+	Run: runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	if pass.Pkg == nil || !isInternalPath(pass.Path) {
+		return nil
+	}
+	sums := pass.Summaries()
+	for _, fs := range sums.Funcs() {
+		checkSpawns(pass, sums, fs.Decl.Body)
+	}
+	return nil
+}
+
+// checkSpawns walks body — including nested function literals, which
+// have no FuncDecl summary of their own — and judges each go statement.
+func checkSpawns(pass *Pass, sums *Summaries, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		judgeSpawn(pass, sums, g)
+		// Descend anyway: the spawned expression may itself contain
+		// nested go statements (rare, but cheap to cover).
+		return true
+	})
+}
+
+// judgeSpawn resolves the spawned body's summary and flags service loops
+// without a shutdown path.
+func judgeSpawn(pass *Pass, sums *Summaries, g *ast.GoStmt) {
+	var fs *FuncSummary
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		fs = sums.Lit(fun)
+	default:
+		fn := calleeFunc(pass.TypesInfo, g.Call)
+		if fn == nil || fn.Pkg() != pass.Pkg {
+			// Cross-package or func-value spawn: body invisible to this
+			// pass; its own package's pass judges its internals.
+			return
+		}
+		fs = sums.Of(fn)
+	}
+	if fs == nil {
+		return
+	}
+	if fs.TransServiceLoop && !fs.TransWGDone && !fs.TransRecv {
+		pass.ReportFix(g.Pos(),
+			"signal a sync.WaitGroup from the goroutine (defer wg.Done()) or select on a shutdown/context-done channel inside the loop",
+			"goroutine runs a service loop with no shutdown path (no WaitGroup signal, no quit-channel receive)")
+	}
+}
+
+// isInternalPath reports whether the package path contains an
+// "internal" element (matching go's internal-visibility rule).
+func isInternalPath(path string) bool {
+	for len(path) > 0 {
+		i := 0
+		for i < len(path) && path[i] != '/' {
+			i++
+		}
+		if path[:i] == "internal" {
+			return true
+		}
+		if i == len(path) {
+			return false
+		}
+		path = path[i+1:]
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// HotAlloc enforces the zero-allocation contract of the steady-state
+// decomposition path (DESIGN.md §11, the AllocsPerRun==0 benchmark
+// gates) at the source level, using the cross-function summary engine.
+//
+// Roots — the functions whose whole same-package reachable set must not
+// allocate — are:
+//
+//   - every function in a package named "kernel" (the cache-blocked
+//     convolution tier is hot wall to wall, including the func-value
+//     dispatch targets),
+//   - the Decomposer.Decompose method in package wavelet (the reusable
+//     steady-state entry point), and
+//   - anything carrying a //wavelint:hotpath doc directive.
+//
+// Three shapes are exempt because they are cold by construction: an
+// allocation under an if whose condition inspects cap()/len() (the
+// grow-on-demand idiom — zero steady-state hits), an allocation inside a
+// branch that terminates in return or panic (diagnostic paths), and a
+// call to a //wavelint:coldpath function — provided the call is itself
+// conditionally guarded; an unconditional coldpath call is flagged.
+// Cross-package calls are assumed clean (each wavelethpc package is
+// analyzed under its own pass; the CI escape-analysis cross-check and
+// the benchmark gates backstop the assumption).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbids allocation in functions reachable from the kernel package, " +
+		"wavelet.Decomposer.Decompose, and //wavelint:hotpath roots: interface " +
+		"boxing, escaping composite literals, append growth, fmt/string " +
+		"conversions, closures",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	sums := pass.Summaries()
+	roots := hotRoots(pass, sums)
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// BFS over same-package call edges from every root; rootOf records
+	// attribution (first root to reach each function).
+	rootOf := map[*types.Func]*FuncSummary{}
+	var queue []*FuncSummary
+	for _, r := range roots {
+		if _, seen := rootOf[r.Fn]; !seen {
+			rootOf[r.Fn] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fs := queue[0]
+		queue = queue[1:]
+		root := rootOf[fs.Fn]
+		for _, c := range fs.Calls {
+			cs := sums.Of(c.Callee)
+			if cs == nil {
+				continue
+			}
+			if cs.Cold {
+				if !c.Conditional && !c.EarlyExit {
+					pass.ReportFix(c.Pos,
+						"guard the call with a condition (shape change, unsupported input) or move it off the hot path",
+						"unconditional call to coldpath function %s on the hot path (via %s)",
+						cs.Fn.Name(), root.Fn.Name())
+				}
+				continue
+			}
+			if _, seen := rootOf[cs.Fn]; !seen {
+				rootOf[cs.Fn] = root
+				queue = append(queue, cs)
+			}
+		}
+	}
+
+	// Report every reachable function's direct allocation sites, in
+	// summary (source) order for determinism.
+	for _, fs := range sums.Funcs() {
+		root, hot := rootOf[fs.Fn]
+		if !hot {
+			continue
+		}
+		for _, site := range fs.AllocSites {
+			pass.ReportFix(site.Pos,
+				"preallocate on the cold path (constructor, shape-change branch) or reuse arena/pooled scratch",
+				"%s on the hot path (reachable from %s)", site.Desc, root.Fn.Name())
+		}
+	}
+	return nil
+}
+
+// hotRoots resolves the analyzer's root set for this package.
+func hotRoots(pass *Pass, sums *Summaries) []*FuncSummary {
+	kernelPkg := pass.Pkg.Name() == "kernel"
+	waveletPkg := pass.Pkg.Name() == "wavelet"
+	var roots []*FuncSummary
+	for _, fs := range sums.Funcs() {
+		if fs.Cold {
+			continue
+		}
+		switch {
+		case fs.Hot:
+		case kernelPkg:
+		case waveletPkg && fs.Fn.Name() == "Decompose" && isDecomposerMethod(fs.Fn):
+		default:
+			continue
+		}
+		roots = append(roots, fs)
+	}
+	return roots
+}
+
+func isDecomposerMethod(fn *types.Func) bool {
+	pkg, typ := recvTypeName(fn)
+	return pkg == "wavelet" && typ == "Decomposer"
+}

@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck enforces the lock discipline of the concurrent service
+// layers (packages named serve and gateway):
+//
+//   - every Lock/RLock is released on every path (explicitly or by a
+//     deferred unlock), with read/write pairing (RLock pairs with
+//     RUnlock, Lock with Unlock);
+//   - no double acquisition of the same mutex on a straight-line path
+//     (self-deadlock) and no acquisition of a second mutex while one is
+//     held (lock-ordering hazard);
+//   - nothing that can wait runs while a mutex is held: channel sends
+//     and receives (a select with a default clause is exempt — the
+//     non-blocking admission idiom), selects without default,
+//     summary-marked blocking calls (network, time.Sleep,
+//     WaitGroup.Wait, ...), and calls through function-typed values the
+//     analyzer cannot see into (the injected `func() time.Time` clock
+//     shape is exempt);
+//   - no sync.Mutex/RWMutex is copied through a value receiver or
+//     parameter.
+//
+// The walk is statement-ordered and branch-local: a branch gets a copy
+// of the held-lock set, so a conditional early unlock+return does not
+// leak into the fallthrough path. Cross-function effects come from the
+// summary engine: calling a same-package function that may block, may
+// call a function value, or acquires a lock is flagged at the call site
+// with the root cause in the message.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "lock/unlock pairing on all paths, copy-of-mutex, and no blocking " +
+		"operation (channel op, network call, opaque function value) while a " +
+		"serve/gateway mutex is held",
+	Run: runLockCheck,
+}
+
+func runLockCheck(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	switch pass.Pkg.Name() {
+	case "serve", "gateway":
+	default:
+		return nil
+	}
+	sums := pass.Summaries()
+	for _, fs := range sums.Funcs() {
+		checkMutexCopies(pass, fs.Decl)
+		w := &lockWalker{pass: pass, sums: sums}
+		held := lockState{}
+		w.block(fs.Decl.Body.List, held)
+		for expr, ent := range held {
+			if !ent.deferred {
+				pass.Reportf(ent.pos, "%s is not released on every path (no unlock before the function ends)", expr)
+			}
+		}
+	}
+	return nil
+}
+
+// lockEnt is one held mutex: acquisition kind, position, and whether a
+// deferred unlock already balances it.
+type lockEnt struct {
+	read     bool
+	deferred bool
+	pos      token.Pos
+}
+
+type lockState map[string]*lockEnt
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		cp := *v
+		out[k] = &cp
+	}
+	return out
+}
+
+type lockWalker struct {
+	pass *Pass
+	sums *Summaries
+}
+
+// block processes a statement list in order, mutating held.
+func (w *lockWalker) block(list []ast.Stmt, held lockState) {
+	for _, stmt := range list {
+		w.stmt(stmt, held)
+	}
+}
+
+func (w *lockWalker) stmt(stmt ast.Stmt, held lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if w.lockOp(call, held, false) {
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+
+	case *ast.DeferStmt:
+		if w.lockOp(s.Call, held, true) {
+			return
+		}
+		// Other deferred calls run at return, outside this statement
+		// order; their arguments are evaluated here.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.block(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.stmt(s.Else, held.clone())
+		}
+
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.block(s.Body.List, held.clone())
+
+	case *ast.RangeStmt:
+		if held.any() {
+			if _, ok := chanElem(w.pass.TypesInfo.TypeOf(s.X)); ok {
+				w.reportHeld(s.Pos(), held, "range over channel")
+			}
+		}
+		w.checkExpr(s.X, held)
+		w.block(s.Body.List, held.clone())
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if clause, ok := c.(*ast.CaseClause); ok {
+				for _, e := range clause.List {
+					w.checkExpr(e, held)
+				}
+				w.block(clause.Body, held.clone())
+			}
+		}
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if clause, ok := c.(*ast.CaseClause); ok {
+				w.block(clause.Body, held.clone())
+			}
+		}
+
+	case *ast.SelectStmt:
+		if held.any() && !selectHasDefault(s) {
+			w.reportHeld(s.Pos(), held, "select without default")
+		}
+		for _, c := range s.Body.List {
+			if clause, ok := c.(*ast.CommClause); ok {
+				w.block(clause.Body, held.clone())
+			}
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.checkExpr(r, held)
+		}
+		for expr, ent := range held {
+			if !ent.deferred {
+				w.pass.Reportf(s.Pos(), "return while %s is held (no unlock on this path)", expr)
+			}
+		}
+		// The path ends; mark everything balanced so the caller does
+		// not re-report at function end.
+		for _, ent := range held {
+			ent.deferred = true
+		}
+
+	case *ast.SendStmt:
+		if held.any() {
+			w.reportHeld(s.Pos(), held, "channel send")
+		}
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+
+	case *ast.GoStmt:
+		// Spawning does not block; argument evaluation happens here.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	}
+}
+
+func (s lockState) any() bool { return len(s) > 0 }
+
+// lockOp handles a mutex Lock/Unlock call statement; reports pairing
+// violations and mutates held. Returns false when call is not a mutex
+// operation.
+func (w *lockWalker) lockOp(call *ast.CallExpr, held lockState, deferred bool) bool {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	name, ok := isMutexMethod(fn)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	key := types.ExprString(sel.X)
+	switch name {
+	case "Lock", "RLock":
+		if deferred {
+			// defer mu.Lock() is never the intent.
+			w.pass.Reportf(call.Pos(), "deferred %s.%s acquires the lock at function exit", key, name)
+			return true
+		}
+		read := name == "RLock"
+		if prev, dup := held[key]; dup {
+			w.pass.Reportf(call.Pos(), "%s is already held (acquired at %s): self-deadlock", key,
+				posString(w.pass.Fset, prev.pos))
+			return true
+		}
+		if held.any() {
+			w.reportHeld(call.Pos(), held, "acquiring "+key)
+		}
+		held[key] = &lockEnt{read: read, pos: call.Pos()}
+	case "Unlock", "RUnlock":
+		ent, isHeld := held[key]
+		if !isHeld {
+			// Unlock of something this path never locked (conditional
+			// hand-off patterns); out of scope.
+			return true
+		}
+		if ent.read != (name == "RUnlock") {
+			want := "Unlock"
+			if ent.read {
+				want = "RUnlock"
+			}
+			w.pass.Reportf(call.Pos(), "%s.%s releases a lock acquired with %s; use %s.%s",
+				key, name, acquireName(ent.read), key, want)
+		}
+		if deferred {
+			ent.deferred = true
+		} else {
+			delete(held, key)
+		}
+	}
+	return true
+}
+
+func acquireName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// checkExpr scans an expression subtree for operations that may wait
+// while a lock is held. Function literals are skipped (they run later).
+func (w *lockWalker) checkExpr(expr ast.Expr, held lockState) {
+	if !held.any() {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportHeld(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkCall(call *ast.CallExpr, held lockState) {
+	info := w.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		if !isClockCall(info, call) {
+			w.reportHeld(call.Pos(), held,
+				"call through function value "+types.ExprString(call.Fun)+" (may block or re-enter the lock)")
+		}
+		return
+	}
+	if name, ok := isMutexMethod(fn); ok {
+		// Nested acquisition inside an expression (e.g. a condition).
+		if name == "Lock" || name == "RLock" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				w.reportHeld(call.Pos(), held, "acquiring "+types.ExprString(sel.X))
+			}
+		}
+		return
+	}
+	if isBlockingExternal(fn) {
+		w.reportHeld(call.Pos(), held, "call to "+fn.Pkg().Name()+"."+fn.Name()+" (blocking)")
+		return
+	}
+	if fn.Pkg() == w.pass.Pkg {
+		cs := w.sums.Of(fn)
+		if cs == nil {
+			return
+		}
+		switch {
+		case cs.MayBlock:
+			w.reportHeld(call.Pos(), held, "call to "+fn.Name()+", which may block ("+cs.BlockWhy.Desc+")")
+		case cs.MayCallFuncValue:
+			w.reportHeld(call.Pos(), held, "call to "+fn.Name()+", which calls a function value ("+cs.FuncValueWhy.Desc+")")
+		case cs.MayAcquireLock:
+			w.reportHeld(call.Pos(), held, "call to "+fn.Name()+", which acquires a lock ("+cs.LockWhy.Desc+")")
+		}
+	}
+}
+
+// reportHeld emits one diagnostic naming every mutex held at pos.
+func (w *lockWalker) reportHeld(pos token.Pos, held lockState, what string) {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.pass.Reportf(pos, "%s while %s is held", what, strings.Join(names, ", "))
+}
+
+// checkMutexCopies flags value receivers and parameters whose struct type
+// directly (or through embedding) contains a sync.Mutex/RWMutex.
+func checkMutexCopies(pass *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(t, 0) {
+				pass.Reportf(field.Pos(), "%s copies a struct containing a sync mutex (lock by value); use a pointer", what)
+			}
+		}
+	}
+	check(fd.Recv, "method receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	if isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex") {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsMutex(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,8 +1,13 @@
 package analysis
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // StructErr enforces the typed-error contract of the runtime packages: in
@@ -44,38 +49,102 @@ func runStructErr(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.SourceFiles() {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) != 1 {
-				return true
-			}
-			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-			if !ok {
-				return true
-			}
-			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
-				return true
-			}
-			arg := ast.Unparen(call.Args[0])
-			t := pass.TypesInfo.TypeOf(arg)
-			if t == nil {
-				return true
-			}
-			basic, ok := t.Underlying().(*types.Basic)
-			if !ok || basic.Info()&types.IsString == 0 {
-				return true
-			}
-			what := "a bare string"
-			if inner, ok := arg.(*ast.CallExpr); ok {
-				if fn := calleeFunc(pass.TypesInfo, inner); fn != nil && fn.Pkg() != nil &&
-					fn.Pkg().Path() == "fmt" {
-					what = "a fmt." + fn.Name() + " string"
+		for _, decl := range f.Decls {
+			fnName := ""
+			var root ast.Node = decl
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fd.Body == nil {
+					continue
 				}
+				fnName = fd.Name.Name
+				root = fd.Body
 			}
-			pass.ReportFix(call.Pos(), fix,
-				"panic with %s in package %s breaks the typed-error contract", what, pass.Pkg.Name())
-			return true
-		})
+			ast.Inspect(root, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				t := pass.TypesInfo.TypeOf(arg)
+				if t == nil {
+					return true
+				}
+				basic, ok := t.Underlying().(*types.Basic)
+				if !ok || basic.Info()&types.IsString == 0 {
+					return true
+				}
+				what := "a bare string"
+				if inner, ok := arg.(*ast.CallExpr); ok {
+					if fn := calleeFunc(pass.TypesInfo, inner); fn != nil && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "fmt" {
+						what = "a fmt." + fn.Name() + " string"
+					}
+				}
+				msg := "panic with %s in package %s breaks the typed-error contract"
+				if edits := structErrEdits(pass, fnName, call.Args[0]); edits != nil {
+					pass.ReportEdits(call.Pos(), fix, edits, msg, what, pass.Pkg.Name())
+				} else {
+					pass.ReportFix(call.Pos(), fix, msg, what, pass.Pkg.Name())
+				}
+				return true
+			})
+		}
 	}
 	return nil
+}
+
+// structErrEdits builds the mechanical typed-error rewrite for the
+// packages where it is unambiguous: in nx the panic value becomes
+// &UsageError{Op, Detail}, in wavelet it goes through the usage helper
+// (reusing fmt.Sprintf arguments when the payload already formats).
+// Other packages' contracts ask for error returns — a signature change
+// no splice can do — so they only get the prose fix.
+func structErrEdits(pass *Pass, fnName string, arg ast.Expr) []TextEdit {
+	if fnName == "" {
+		return nil
+	}
+	src := exprSource(pass.Fset, arg)
+	if src == "" {
+		return nil
+	}
+	switch pass.Pkg.Name() {
+	case "nx":
+		return []TextEdit{{Pos: arg.Pos(), End: arg.End(),
+			NewText: fmt.Sprintf("&UsageError{Op: %q, Detail: %s}", fnName, src)}}
+	case "wavelet":
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && !inner.Ellipsis.IsValid() {
+			if fn := calleeFunc(pass.TypesInfo, inner); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" && len(inner.Args) > 0 {
+				parts := make([]string, 0, len(inner.Args))
+				for _, a := range inner.Args {
+					s := exprSource(pass.Fset, a)
+					if s == "" {
+						return nil
+					}
+					parts = append(parts, s)
+				}
+				return []TextEdit{{Pos: arg.Pos(), End: arg.End(),
+					NewText: fmt.Sprintf("usage(%q, %s)", fnName, strings.Join(parts, ", "))}}
+			}
+		}
+		return []TextEdit{{Pos: arg.Pos(), End: arg.End(),
+			NewText: fmt.Sprintf("usage(%q, \"%%s\", %s)", fnName, src)}}
+	}
+	return nil
+}
+
+// exprSource renders an expression back to source text.
+func exprSource(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
 }

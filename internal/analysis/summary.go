@@ -1,0 +1,836 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the cross-function half of wavelint: a package-level call
+// graph with per-function effect summaries, computed bottom-up over the
+// typechecked AST. Summaries answer the questions the flow-sensitive
+// analyzers ask about callees — does this function allocate? may it
+// block? does it call through a function value the analyzer cannot see
+// into? does it acquire a mutex? is it tied to a WaitGroup or a cancel
+// channel? — so that hotalloc, lockcheck, and goroutinelife can reason
+// one call level deep and beyond without re-walking bodies.
+//
+// Scope and soundness: summaries are intra-package. Calls into other
+// packages are resolved from assumption tables (knownly-blocking and
+// knownly-allocating standard-library entries below); calls into other
+// wavelethpc packages are assumed clean because each package is analyzed
+// under its own pass — the kernel package, for example, is wholly rooted
+// by hotalloc, so a wavelet-side caller does not need to re-prove it.
+// Calls through function-typed values are opaque; they set the
+// FuncValueCalls effect (except the `func() time.Time` clock shape, which
+// the injected-clock convention makes ubiquitous and harmless) and the
+// analyzers decide how much to trust them. The dynamic gates — the
+// AllocsPerRun==0 benchmarks and the CI escape-analysis cross-check —
+// backstop everything the static approximation lets through.
+
+// HotpathDirective roots a function for the hotalloc analyzer:
+//
+//	//wavelint:hotpath
+//
+// in the function's doc comment. Everything reachable from it inside the
+// package must not allocate.
+const HotpathDirective = "wavelint:hotpath"
+
+// ColdpathDirective marks a function as a declared slow path:
+//
+//	//wavelint:coldpath <reason>
+//
+// hotalloc does not analyze its body, and hot code may call it only from
+// a conditionally-guarded or early-exit position.
+const ColdpathDirective = "wavelint:coldpath"
+
+// EffectSite is one occurrence of an effect: a position plus a
+// human-readable description. Propagated sites describe the root cause,
+// with its location baked into the text.
+type EffectSite struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// CallSite is one same-package call edge.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Conditional reports the call is guarded by an if/switch/select
+	// branch (hot code may call coldpath functions only from here).
+	Conditional bool
+	// EarlyExit reports the call sits in a branch that terminates in a
+	// return or panic — the shape of a diagnostic path.
+	EarlyExit bool
+}
+
+// FuncSummary is one function's effect summary: direct effect sites
+// collected from its body, plus bits propagated transitively over
+// same-package call edges.
+type FuncSummary struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Hot/Cold reflect the //wavelint:hotpath and //wavelint:coldpath
+	// doc directives.
+	Hot  bool
+	Cold bool
+
+	// Direct effect sites (this body only).
+	AllocSites     []EffectSite // non-exempt allocations
+	BlockSites     []EffectSite // operations that may block
+	FuncValueCalls []EffectSite // calls through function-typed values (non-clock)
+	LockSites      []EffectSite // mutex acquisitions (Desc = mutex expression)
+	SpawnSites     []token.Pos  // go statements
+	Calls          []CallSite   // same-package call edges, in source order
+
+	// Direct bits.
+	WGDone       bool // calls (*sync.WaitGroup).Done
+	ShutdownRecv bool // receives from a non-timer channel
+	ServiceLoop  bool // infinite for{} that waits (chan op, select, or sleep)
+
+	// Propagated bits (transitive closure over Calls).
+	MayBlock         bool
+	BlockWhy         EffectSite
+	MayCallFuncValue bool
+	FuncValueWhy     EffectSite
+	MayAcquireLock   bool
+	LockWhy          EffectSite
+	TransWGDone      bool
+	TransRecv        bool
+	TransServiceLoop bool
+}
+
+// Summaries is the package's function-summary table.
+type Summaries struct {
+	fset  *token.FileSet
+	info  *types.Info
+	pkg   *types.Package
+	funcs map[*types.Func]*FuncSummary
+	order []*FuncSummary // deterministic iteration order (by position)
+}
+
+// Of returns fn's summary, or nil when fn is not a function declared in
+// this package (externals, interface methods, builtins).
+func (s *Summaries) Of(fn *types.Func) *FuncSummary {
+	if s == nil || fn == nil {
+		return nil
+	}
+	return s.funcs[fn]
+}
+
+// Funcs returns every summarized function in source order.
+func (s *Summaries) Funcs() []*FuncSummary { return s.order }
+
+// Lit summarizes a function literal's body on demand (literals are not
+// call-graph nodes; their effects matter at the point of use, e.g. a go
+// statement). Propagated bits are resolved through the already-computed
+// declaration summaries.
+func (s *Summaries) Lit(lit *ast.FuncLit) *FuncSummary {
+	fs := &FuncSummary{}
+	collectBody(fs, lit.Body, s.fset, s.info, s.pkg)
+	seedPropagated(fs, s.fset)
+	for _, c := range fs.Calls {
+		cs := s.funcs[c.Callee]
+		if cs == nil {
+			continue
+		}
+		inheritFrom(fs, c, cs, s.fset)
+	}
+	return fs
+}
+
+// Summaries computes (once per package) and returns the function-summary
+// table shared by every analyzer in the run.
+func (p *Pass) Summaries() *Summaries {
+	if p.pkg == nil {
+		// Pass built without a backing Package (not via Analyze):
+		// compute a throwaway table.
+		return buildSummaries(p.Fset, p.SourceFiles(), p.TypesInfo, p.Pkg)
+	}
+	if p.pkg.summaries == nil {
+		p.pkg.summaries = buildSummaries(p.Fset, sourceFiles(p.Fset, p.pkg.Files), p.TypesInfo, p.Pkg)
+	}
+	return p.pkg.summaries
+}
+
+func sourceFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	var out []*ast.File
+	for _, f := range files {
+		if !strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func buildSummaries(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) *Summaries {
+	s := &Summaries{fset: fset, info: info, pkg: pkg, funcs: map[*types.Func]*FuncSummary{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fs := &FuncSummary{Fn: fn, Decl: fd}
+			fs.Hot = hasDirective(fd.Doc, HotpathDirective)
+			fs.Cold = hasDirective(fd.Doc, ColdpathDirective)
+			collectBody(fs, fd.Body, fset, info, pkg)
+			s.funcs[fn] = fs
+			s.order = append(s.order, fs)
+		}
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i].Decl.Pos() < s.order[j].Decl.Pos() })
+	propagate(s)
+	return s
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCalls are standard-library entries the summaries treat as
+// potentially blocking: package path to function/method names (nil set =
+// every function in the package).
+var blockingCalls = map[string]map[string]bool{
+	"time":     {"Sleep": true},
+	"net":      nil,
+	"net/http": nil,
+	"os/exec":  {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true},
+	"io":       {"ReadAll": true, "Copy": true, "CopyN": true, "ReadFull": true, "ReadAtLeast": true},
+	"sync":     {"Wait": true, "Do": true}, // WaitGroup.Wait, Cond.Wait, Once.Do
+}
+
+// allocPkgs are standard-library packages whose functions are assumed to
+// allocate (the fmt/strings/strconv tier of convenience APIs the hot path
+// must not touch).
+var allocPkgs = map[string]bool{
+	"fmt": true, "strings": true, "strconv": true, "errors": true,
+	"bytes": true, "regexp": true, "sort": true, "encoding/json": true,
+	"os": true, "log": true,
+}
+
+func isBlockingExternal(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	names, ok := blockingCalls[fn.Pkg().Path()]
+	if !ok {
+		return false
+	}
+	return names == nil || names[fn.Name()]
+}
+
+// isClockCall reports a call through a `func() time.Time` value — the
+// injected-clock convention (Config.Clock, breaker.now) that lockcheck
+// must not treat as an opaque callee.
+func isClockCall(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Results().At(0).Type(), "time", "Time")
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// isMutexMethod reports a call to a locking-relevant sync.Mutex /
+// sync.RWMutex method and returns the method name.
+func isMutexMethod(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", false
+	}
+	pkg, typ := recvTypeName(fn)
+	if pkg != "sync" || (typ != "Mutex" && typ != "RWMutex") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// chanElem returns the element type when t is (or points to) a channel.
+func chanElem(t types.Type) (types.Type, bool) {
+	if t == nil {
+		return nil, false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil, false
+	}
+	return ch.Elem(), true
+}
+
+// isTimerRecv reports a receive whose element type is time.Time — ticker
+// and timer channels, which are wake-ups, not shutdown signals.
+func isTimerRecv(elem types.Type) bool { return isNamedType(elem, "time", "Time") }
+
+// collector walks one function body maintaining an ancestor stack, so
+// that each effect site can consult its syntactic context (growth
+// guards, early-exit branches, select-with-default).
+type collector struct {
+	fs    *FuncSummary
+	fset  *token.FileSet
+	info  *types.Info
+	pkg   *types.Package
+	stack []ast.Node
+}
+
+func collectBody(fs *FuncSummary, body *ast.BlockStmt, fset *token.FileSet, info *types.Info, pkg *types.Package) {
+	c := &collector{fs: fs, fset: fset, info: info, pkg: pkg}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			c.stack = c.stack[:len(c.stack)-1]
+			return true
+		}
+		c.stack = append(c.stack, n)
+		if !c.visit(n) {
+			c.stack = c.stack[:len(c.stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// parent returns the i-th ancestor (1 = immediate parent).
+func (c *collector) parent(i int) ast.Node {
+	if len(c.stack) <= i {
+		return nil
+	}
+	return c.stack[len(c.stack)-1-i]
+}
+
+func (c *collector) alloc(pos token.Pos, desc string) {
+	if c.growthGuarded() || c.earlyExit() {
+		return
+	}
+	c.fs.AllocSites = append(c.fs.AllocSites, EffectSite{Pos: pos, Desc: desc})
+}
+
+func (c *collector) block(pos token.Pos, desc string) {
+	c.fs.BlockSites = append(c.fs.BlockSites, EffectSite{Pos: pos, Desc: desc})
+}
+
+// growthGuarded reports the current node sits under an if whose condition
+// inspects cap() or len() — the grow-on-demand idiom (kernel.grow) that a
+// steady-state path hits zero times.
+func (c *collector) growthGuarded() bool {
+	for i := 1; i < len(c.stack); i++ {
+		ifs, ok := c.stack[len(c.stack)-1-i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.info.Uses[id].(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// earlyExit reports the current node sits inside a conditional branch
+// whose statement list terminates in return or panic — diagnostic paths
+// (error construction before an early return) are not steady-state.
+func (c *collector) earlyExit() bool {
+	for i := len(c.stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch n := c.stack[i].(type) {
+		case *ast.IfStmt:
+			// Only when our path goes through a branch block, not the
+			// init/cond.
+			child := c.stack[i+1]
+			if child == n.Body || (n.Else != nil && child == n.Else) {
+				if block, ok := child.(*ast.BlockStmt); ok {
+					list = block.List
+				}
+			}
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		}
+		if terminates(list) {
+			return true
+		}
+	}
+	return false
+}
+
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// conditional reports the current node is guarded by an if/switch/select
+// branch (vs. the function's unconditional straight line).
+func (c *collector) conditional() bool {
+	for i := 0; i < len(c.stack)-1; i++ {
+		switch n := c.stack[i].(type) {
+		case *ast.IfStmt:
+			child := c.stack[i+1]
+			if child == n.Body || (n.Else != nil && child == n.Else) {
+				return true
+			}
+		case *ast.CaseClause, *ast.CommClause:
+			return true
+		}
+	}
+	return false
+}
+
+// selectContext resolves whether the current send/receive is the comm of
+// a select clause, and whether that select has a default (making the
+// operation non-blocking).
+func (c *collector) selectContext() (inComm, hasDefault bool) {
+	for i := len(c.stack) - 2; i >= 0; i-- {
+		clause, ok := c.stack[i].(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// Our path must run through the comm statement, not the body.
+		if clause.Comm == nil || c.stack[i+1] != ast.Node(clause.Comm) {
+			return false, false
+		}
+		// CommClause -> select body BlockStmt -> SelectStmt.
+		var sel *ast.SelectStmt
+		if i >= 2 {
+			sel, _ = c.stack[i-2].(*ast.SelectStmt)
+		}
+		return true, selectHasDefault(sel)
+	}
+	return false, false
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	if sel == nil {
+		return false
+	}
+	for _, s := range sel.Body.List {
+		if clause, ok := s.(*ast.CommClause); ok && clause.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *collector) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// Literal bodies are summarized at their point of use (Lit);
+		// defining one in a hot function still allocates the closure.
+		c.alloc(n.Pos(), "function literal allocates a closure")
+		return false
+
+	case *ast.GoStmt:
+		c.fs.SpawnSites = append(c.fs.SpawnSites, n.Pos())
+		c.alloc(n.Pos(), "go statement allocates a goroutine")
+		// Keep walking: the call arguments are evaluated here. The
+		// spawned literal is cut at the FuncLit case above.
+		return true
+
+	case *ast.SendStmt:
+		if inComm, hasDefault := c.selectContext(); !inComm || !hasDefault {
+			c.block(n.Pos(), "channel send")
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW {
+			return true
+		}
+		elem, ok := chanElem(c.info.TypeOf(n.X))
+		if ok && !isTimerRecv(elem) {
+			c.fs.ShutdownRecv = true
+		}
+		if inComm, hasDefault := c.selectContext(); !inComm || !hasDefault {
+			c.block(n.Pos(), "channel receive")
+		}
+		return true
+
+	case *ast.RangeStmt:
+		if elem, ok := chanElem(c.info.TypeOf(n.X)); ok {
+			c.block(n.Pos(), "range over channel")
+			if !isTimerRecv(elem) {
+				c.fs.ShutdownRecv = true
+			}
+		}
+		return true
+
+	case *ast.SelectStmt:
+		if !selectHasDefault(n) {
+			c.block(n.Pos(), "select without default")
+		}
+		return true
+
+	case *ast.ForStmt:
+		if n.Cond == nil && loopWaits(n.Body, c.info) {
+			c.fs.ServiceLoop = true
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t, ok := c.info.TypeOf(n).(*types.Basic); ok && t.Info()&types.IsString != 0 {
+				c.alloc(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+
+	case *ast.CompositeLit:
+		if u, ok := c.parent(1).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.alloc(u.Pos(), "composite literal escapes to the heap")
+			return true
+		}
+		switch c.info.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			c.alloc(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			c.alloc(n.Pos(), "map literal allocates")
+		}
+		return true
+
+	case *ast.SelectorExpr:
+		// A bound method value (x.M used as a value) allocates the
+		// binding closure.
+		if sel, ok := c.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+			if call, ok := c.parent(1).(*ast.CallExpr); !ok || call.Fun != ast.Node(n) {
+				c.alloc(n.Pos(), "method value allocates a closure")
+			}
+		}
+		return true
+
+	case *ast.CallExpr:
+		c.visitCall(n)
+		return true
+	}
+	return true
+}
+
+// loopWaits reports the loop body contains an operation that waits — a
+// channel op, a select, or time.Sleep. An infinite for that waits is a
+// service loop and needs a shutdown path; an infinite for that only
+// computes (CAS retry) is assumed to exit by break/return.
+func loopWaits(body *ast.BlockStmt, info *types.Info) bool {
+	waits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if waits {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			waits = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				waits = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := chanElem(info.TypeOf(n.X)); ok {
+				waits = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && isBlockingExternal(fn) {
+				waits = true
+			}
+		}
+		return !waits
+	})
+	return waits
+}
+
+func (c *collector) visitCall(call *ast.CallExpr) {
+	// `go f(...)` evaluates f's arguments here but runs the body on
+	// another goroutine: argument effects count, the callee's do not
+	// (goroutinelife judges the spawned body separately).
+	spawned := false
+	if g, ok := c.parent(1).(*ast.GoStmt); ok && g.Call == call {
+		spawned = true
+	}
+	// Type conversion?
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() {
+		c.visitConversion(call, tv.Type)
+		return
+	}
+	// Builtin?
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.alloc(call.Pos(), "make allocates")
+			case "new":
+				c.alloc(call.Pos(), "new allocates")
+			case "append":
+				c.alloc(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	fn := calleeFunc(c.info, call)
+	if fn == nil {
+		// A call through a function-typed value: opaque, unless it is
+		// the injected-clock shape.
+		if !spawned && !isClockCall(c.info, call) {
+			c.fs.FuncValueCalls = append(c.fs.FuncValueCalls,
+				EffectSite{Pos: call.Pos(), Desc: "call through function value " + types.ExprString(call.Fun)})
+		}
+		return
+	}
+	if name, ok := isMutexMethod(fn); ok {
+		if name == "Lock" || name == "RLock" || name == "TryLock" || name == "TryRLock" {
+			mutexExpr := ""
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				mutexExpr = types.ExprString(sel.X)
+			}
+			c.fs.LockSites = append(c.fs.LockSites, EffectSite{Pos: call.Pos(), Desc: mutexExpr})
+		}
+		return
+	}
+	if fn.Name() == "Done" {
+		if pkg, typ := recvTypeName(fn); pkg == "sync" && typ == "WaitGroup" {
+			c.fs.WGDone = true
+			return
+		}
+	}
+	if spawned {
+		c.checkBoxing(call)
+		return
+	}
+	switch {
+	case isBlockingExternal(fn):
+		c.block(call.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name())
+	case fn.Pkg() != nil && allocPkgs[fn.Pkg().Path()]:
+		c.alloc(call.Pos(), "call to "+fn.Pkg().Name()+"."+fn.Name()+" allocates")
+	default:
+		c.checkBoxing(call)
+	}
+	if fn.Pkg() == c.pkg {
+		c.fs.Calls = append(c.fs.Calls, CallSite{
+			Callee:      fn,
+			Pos:         call.Pos(),
+			Conditional: c.conditional(),
+			EarlyExit:   c.earlyExit(),
+		})
+	}
+}
+
+func (c *collector) visitConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argT := c.info.TypeOf(call.Args[0])
+	if argT == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); ok {
+		if _, concrete := argT.Underlying().(*types.Interface); !concrete {
+			c.alloc(call.Pos(), "conversion to interface boxes its operand")
+		}
+		return
+	}
+	// string <-> []byte/[]rune round trips copy.
+	toStr := isStringish(target)
+	fromStr := isStringish(argT)
+	toSlice := isByteOrRuneSlice(target)
+	fromSlice := isByteOrRuneSlice(argT)
+	if (toStr && fromSlice) || (toSlice && fromStr) {
+		c.alloc(call.Pos(), "string conversion allocates")
+	}
+}
+
+func isStringish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Int32 || b.Kind() == types.Uint8)
+}
+
+// checkBoxing flags arguments implicitly converted to interface
+// parameters — the boxing that puts a concrete value on the heap.
+func (c *collector) checkBoxing(call *ast.CallExpr) {
+	sig, ok := c.info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				// f(xs...) passes the slice through, no boxing.
+				continue
+			}
+			if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				paramT = s.Elem()
+			}
+		case i < np:
+			paramT = sig.Params().At(i).Type()
+		}
+		if paramT == nil {
+			continue
+		}
+		if _, iface := paramT.Underlying().(*types.Interface); !iface {
+			continue
+		}
+		argT := c.info.TypeOf(arg)
+		if argT == nil {
+			continue
+		}
+		if _, alreadyIface := argT.Underlying().(*types.Interface); alreadyIface {
+			continue
+		}
+		switch argT.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			// Pointer-shaped values live directly in the interface data
+			// word; converting them does not allocate.
+			continue
+		}
+		if b, ok := argT.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		c.alloc(arg.Pos(), "argument passed as interface boxes "+types.ExprString(arg))
+	}
+}
+
+// posString renders a position compactly (basename:line) for baking into
+// propagated effect descriptions.
+func posString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func seedPropagated(fs *FuncSummary, fset *token.FileSet) {
+	if len(fs.BlockSites) > 0 {
+		fs.MayBlock = true
+		s := fs.BlockSites[0]
+		fs.BlockWhy = EffectSite{Pos: s.Pos, Desc: s.Desc + " at " + posString(fset, s.Pos)}
+	}
+	if len(fs.FuncValueCalls) > 0 {
+		fs.MayCallFuncValue = true
+		s := fs.FuncValueCalls[0]
+		fs.FuncValueWhy = EffectSite{Pos: s.Pos, Desc: s.Desc + " at " + posString(fset, s.Pos)}
+	}
+	if len(fs.LockSites) > 0 {
+		fs.MayAcquireLock = true
+		s := fs.LockSites[0]
+		fs.LockWhy = EffectSite{Pos: s.Pos, Desc: "acquires " + s.Desc + " at " + posString(fset, s.Pos)}
+	}
+	fs.TransWGDone = fs.WGDone
+	fs.TransRecv = fs.ShutdownRecv
+	fs.TransServiceLoop = fs.ServiceLoop
+}
+
+// inheritFrom merges callee cs's propagated bits into fs through call
+// site c; reports whether anything changed.
+func inheritFrom(fs *FuncSummary, c CallSite, cs *FuncSummary, fset *token.FileSet) bool {
+	changed := false
+	via := func(why EffectSite) EffectSite {
+		return EffectSite{Pos: c.Pos, Desc: "via " + cs.Fn.Name() + ": " + why.Desc}
+	}
+	if cs.MayBlock && !fs.MayBlock {
+		fs.MayBlock, fs.BlockWhy, changed = true, via(cs.BlockWhy), true
+	}
+	if cs.MayCallFuncValue && !fs.MayCallFuncValue {
+		fs.MayCallFuncValue, fs.FuncValueWhy, changed = true, via(cs.FuncValueWhy), true
+	}
+	if cs.MayAcquireLock && !fs.MayAcquireLock {
+		fs.MayAcquireLock, fs.LockWhy, changed = true, via(cs.LockWhy), true
+	}
+	if cs.TransWGDone && !fs.TransWGDone {
+		fs.TransWGDone, changed = true, true
+	}
+	if cs.TransRecv && !fs.TransRecv {
+		fs.TransRecv, changed = true, true
+	}
+	if cs.TransServiceLoop && !fs.TransServiceLoop {
+		fs.TransServiceLoop, changed = true, true
+	}
+	return changed
+}
+
+// propagate closes the per-function bits over same-package call edges
+// with a simple fixpoint (the lattice is six booleans; it converges in at
+// most |funcs| rounds).
+func propagate(s *Summaries) {
+	for _, fs := range s.order {
+		seedPropagated(fs, s.fset)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fs := range s.order {
+			for _, c := range fs.Calls {
+				cs := s.funcs[c.Callee]
+				if cs == nil {
+					continue
+				}
+				if inheritFrom(fs, c, cs, s.fset) {
+					changed = true
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Fixture for the atomicmix analyzer: a field or variable touched via
+// sync/atomic anywhere in the package must be touched that way
+// everywhere, and typed atomic values must not be copied.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) goodRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `non-atomic access to n, which is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `non-atomic access to n, which is accessed with sync/atomic elsewhere in this package`
+}
+
+// hits is only ever accessed plainly: consistent, no diagnostics.
+func (c *counter) plain() int64 {
+	c.hits++
+	return c.hits
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+func report() int64 {
+	return total // want `non-atomic access to total, which is accessed with sync/atomic elsewhere in this package`
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+// touch uses the typed API in place: fine.
+func touch(g *gauge) {
+	g.v.Add(1)
+}
+
+func copies(g *gauge) {
+	snap := g.v // want `copy of typed atomic value atomic\.Int64; operate on it in place through a pointer`
+	snap.Store(0)
+}

@@ -1,0 +1,101 @@
+// Fixture for the hotalloc analyzer's annotation-driven roots: functions
+// marked //wavelint:hotpath must not allocate, directly or through any
+// same-package callee; //wavelint:coldpath functions are exempt but may
+// only be called from guarded positions.
+package a
+
+import "fmt"
+
+// hot is an annotated root; helper is reachable from it, so helper's
+// allocations are attributed back to hot.
+//
+//wavelint:hotpath
+func hot(xs []float64, n int) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s + helper(n)
+}
+
+func helper(n int) float64 {
+	buf := make([]float64, n) // want `make allocates on the hot path \(reachable from hot\)`
+	_ = fmt.Sprintf("%d", n)  // want `call to fmt\.Sprintf allocates on the hot path \(reachable from hot\)`
+	return float64(len(buf))
+}
+
+// notHot is reachable from nothing annotated: free to allocate.
+func notHot(n int) []float64 {
+	return make([]float64, n)
+}
+
+//wavelint:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates on the hot path \(reachable from concat\)`
+}
+
+//wavelint:hotpath
+func grows(xs []int, v int) []int {
+	return append(xs, v) // want `append may grow its backing array on the hot path \(reachable from grows\)`
+}
+
+//wavelint:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want `function literal allocates a closure on the hot path \(reachable from closes\)`
+}
+
+func sink(v any) { _ = v }
+
+//wavelint:hotpath
+func boxes(n int) {
+	sink(n) // want `argument passed as interface boxes n on the hot path \(reachable from boxes\)`
+}
+
+// boxesPointer: pointer-shaped values live in the interface word
+// directly; no allocation, no diagnostic.
+//
+//wavelint:hotpath
+func boxesPointer(p *int) {
+	sink(p)
+}
+
+// growthGuarded: the grow-on-demand idiom is cold by construction.
+//
+//wavelint:hotpath
+func growthGuarded(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// earlyExitPath: allocation inside a branch that panics is a diagnostic
+// path, not a steady-state one.
+//
+//wavelint:hotpath
+func earlyExitPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	return n * 2
+}
+
+// slow is a declared cold path: its body is not analyzed.
+//
+//wavelint:coldpath allocating setup helper
+func slow(n int) []float64 {
+	return make([]float64, n)
+}
+
+//wavelint:hotpath
+func guardedColdCall(buf []float64, n int) []float64 {
+	if buf == nil {
+		buf = slow(n)
+	}
+	return buf
+}
+
+//wavelint:hotpath
+func unconditionalColdCall(n int) []float64 {
+	return slow(n) // want `unconditional call to coldpath function slow on the hot path \(via unconditionalColdCall\)`
+}

@@ -1,0 +1,30 @@
+// Fixture for hotalloc's package-name root: every function in a package
+// named kernel is hot wall to wall, no annotation needed.
+package kernel
+
+// Convolve is allocation-free: no diagnostic.
+func Convolve(dst, src, k []float64) {
+	for i := range dst {
+		s := 0.0
+		for j, c := range k {
+			if i+j < len(src) {
+				s += c * src[i+j]
+			}
+		}
+		dst[i] = s
+	}
+}
+
+func Scratch(n int) []float64 {
+	return make([]float64, n) // want `make allocates on the hot path \(reachable from Scratch\)`
+}
+
+type buffer struct{ data []float64 }
+
+// grow uses the cap-guarded grow-on-demand idiom: exempt.
+func (b *buffer) grow(n int) {
+	if cap(b.data) < n {
+		b.data = make([]float64, n)
+	}
+	b.data = b.data[:n]
+}

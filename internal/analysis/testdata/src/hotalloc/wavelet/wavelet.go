@@ -1,0 +1,36 @@
+// Fixture for hotalloc's method root: in a package named wavelet, the
+// Decomposer.Decompose method is the steady-state entry point, and its
+// same-package reachable set must not allocate.
+package wavelet
+
+type Pyramid struct{ data []float64 }
+
+type Decomposer struct {
+	p          *Pyramid
+	rows, cols int
+}
+
+//wavelint:coldpath allocating constructor, runs on first use or shape change
+func newPyramid(rows, cols int) *Pyramid {
+	return &Pyramid{data: make([]float64, rows*cols)}
+}
+
+func (d *Decomposer) Decompose(rows, cols int) *Pyramid {
+	if d.p == nil || d.rows != rows || d.cols != cols {
+		d.p = newPyramid(rows, cols)
+		d.rows, d.cols = rows, cols
+	}
+	fill(d.p)
+	return d.p
+}
+
+func fill(p *Pyramid) {
+	p.data = append(p.data, 0) // want `append may grow its backing array on the hot path \(reachable from Decompose\)`
+}
+
+// Debug is not reachable from Decompose: free to allocate.
+func Debug(p *Pyramid) []float64 {
+	out := make([]float64, len(p.data))
+	copy(out, p.data)
+	return out
+}

@@ -1,0 +1,114 @@
+// Fixture for the goroutinelife analyzer: a goroutine spawned in an
+// internal/ package that runs a service loop — an infinite for that
+// waits — must be stoppable: either it signals a WaitGroup when it
+// exits, or its loop receives from a non-timer channel (a quit channel,
+// a context Done channel, or a data channel whose close is the shutdown
+// signal). Receives of time.Time (tickers, timers) do not count.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// pollLoop waits only on the wall clock: nothing can stop it.
+func pollLoop(work func()) {
+	go func() { // want `goroutine runs a service loop with no shutdown path \(no WaitGroup signal, no quit-channel receive\)`
+		for {
+			time.Sleep(time.Millisecond)
+			work()
+		}
+	}()
+}
+
+// tickerLoop waits only on a ticker: the time.Time receive is not a
+// shutdown path.
+func tickerLoop(t *time.Ticker, work func()) {
+	go func() { // want `goroutine runs a service loop with no shutdown path`
+		for {
+			<-t.C
+			work()
+		}
+	}()
+}
+
+// sendLoop produces forever with no way to stop it.
+func sendLoop(ch chan int) {
+	go func() { // want `goroutine runs a service loop with no shutdown path`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// pump is an unstoppable service loop spawned by name: flagged at the
+// go statement.
+func pump(ch chan int, work func()) {
+	for {
+		time.Sleep(time.Millisecond)
+		work()
+	}
+}
+
+func startsPump(ch chan int, work func()) {
+	go pump(ch, work) // want `goroutine runs a service loop with no shutdown path`
+}
+
+// worker drains a channel and signals a WaitGroup: ok.
+func worker(wg *sync.WaitGroup, ch chan int, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// quitLoop selects on a quit channel alongside the ticker: ok.
+func quitLoop(t *time.Ticker, quit chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-t.C:
+				work()
+			case <-quit:
+				return
+			}
+		}
+	}()
+}
+
+// drainLoop receives from a data channel; closing the channel is the
+// shutdown signal: ok.
+func drainLoop(ch chan int, work func()) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+			work()
+		}
+	}()
+}
+
+// oneShot terminates by itself: exempt.
+func oneShot(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// spin is a compute loop that polls a flag without waiting (the CAS
+// retry shape): not a service loop.
+func spin(done *int32) {
+	go func() {
+		for {
+			if *done != 0 {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,150 @@
+// Fixture for the lockcheck analyzer: lock/unlock pairing on all paths,
+// blocking operations under a held mutex, and copy-of-mutex. The package
+// is named serve because lockcheck scopes itself to the concurrent
+// service layers (serve, gateway).
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	other sync.Mutex
+	n     int
+	ch    chan int
+	cb    func()
+	now   func() time.Time
+}
+
+// good: defer unlock balances every path.
+func (s *server) good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// goodBranch: explicit unlock on both paths.
+func (s *server) goodBranch(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 0
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// readPath: read-lock pairing.
+func (s *server) readPath() int {
+	s.rw.RLock()
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+func (s *server) leaks(b bool) int {
+	s.mu.Lock()
+	if b {
+		return 0 // want `return while s\.mu is held \(no unlock on this path\)`
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func (s *server) forgets() {
+	s.mu.Lock() // want `s\.mu is not released on every path \(no unlock before the function ends\)`
+	s.n++
+}
+
+func (s *server) mismatch() {
+	s.rw.RLock()
+	_ = s.n
+	s.rw.Unlock() // want `s\.rw\.Unlock releases a lock acquired with RLock; use s\.rw\.RUnlock`
+}
+
+func (s *server) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s\.mu is already held \(acquired at serve\.go:\d+\): self-deadlock`
+	s.mu.Unlock()
+}
+
+func (s *server) nested() {
+	s.mu.Lock()
+	s.other.Lock() // want `acquiring s\.other while s\.mu is held`
+	s.other.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) sendsLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while s\.mu is held`
+}
+
+// trySend: a select with a default clause is the sanctioned non-blocking
+// admission idiom; no diagnostic.
+func (s *server) trySend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *server) waits() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while s\.mu is held`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *server) sleeps() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep \(blocking\) while s\.mu is held`
+}
+
+func (s *server) callsBack() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cb() // want `call through function value s\.cb \(may block or re-enter the lock\) while s\.mu is held`
+}
+
+// clocked: the injected func() time.Time clock shape is exempt.
+func (s *server) clocked() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now()
+}
+
+// waitHelper blocks; callsWaiter invokes it under the lock, so the
+// summary engine propagates the root cause into the diagnostic.
+func (s *server) waitHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *server) callsWaiter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.waitHelper() // want `call to waitHelper, which may block \(call to time\.Sleep at serve\.go:\d+\) while s\.mu is held`
+}
+
+type locked struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (l locked) byValue() int { // want `method receiver copies a struct containing a sync mutex \(lock by value\); use a pointer`
+	return l.n
+}
+
+func consume(l locked) { // want `parameter copies a struct containing a sync mutex \(lock by value\); use a pointer`
+	_ = l.n
+}

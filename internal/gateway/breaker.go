@@ -65,13 +65,25 @@ type breaker struct {
 	// windowed passive error-rate tracking.
 	windowStart        time.Time
 	windowOK, windowKO int
+	// pending queues transitions whose onTransition callback has not
+	// fired yet. Callbacks run after mu is released (see notify), so a
+	// callback may re-enter the breaker without deadlocking.
+	pending []transitionNote
+}
+
+// transitionNote is one queued state-change notification.
+type transitionNote struct {
+	from, to BreakerState
 }
 
 func newBreaker(cfg breakerConfig, now func() time.Time, onTransition func(from, to BreakerState)) *breaker {
 	return &breaker{cfg: cfg, now: now, onTransition: onTransition}
 }
 
-// transition must be called with mu held.
+// transition must be called with mu held. The onTransition callback is
+// only queued here; the public entry points fire the queue after
+// releasing mu, so callbacks never run under the lock and may safely
+// re-enter the breaker (read currentState, even feed outcomes).
 func (b *breaker) transition(to BreakerState) {
 	from := b.state
 	if from == to {
@@ -90,7 +102,23 @@ func (b *breaker) transition(to BreakerState) {
 		b.trialInFlight = false
 	}
 	if b.onTransition != nil {
-		b.onTransition(from, to)
+		b.pending = append(b.pending, transitionNote{from: from, to: to})
+	}
+}
+
+// takePendingLocked drains the queued notifications; must be called with
+// mu held, immediately before unlocking.
+func (b *breaker) takePendingLocked() []transitionNote {
+	notes := b.pending
+	b.pending = nil
+	return notes
+}
+
+// notify fires queued transition callbacks in order; must be called
+// without mu held.
+func (b *breaker) notify(notes []transitionNote) {
+	for _, n := range notes {
+		b.onTransition(n.from, n.to)
 	}
 }
 
@@ -99,7 +127,14 @@ func (b *breaker) transition(to BreakerState) {
 // cancelTrial) to free it.
 func (b *breaker) allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	admit := b.allowLocked()
+	notes := b.takePendingLocked()
+	b.mu.Unlock()
+	b.notify(notes)
+	return admit
+}
+
+func (b *breaker) allowLocked() bool {
 	switch b.state {
 	case BreakerClosed:
 		return true
@@ -123,7 +158,6 @@ func (b *breaker) allow() bool {
 // reportSuccess records a passed request.
 func (b *breaker) reportSuccess() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.observe(true)
 	switch b.state {
 	case BreakerClosed:
@@ -131,13 +165,15 @@ func (b *breaker) reportSuccess() {
 	case BreakerHalfOpen:
 		b.transition(BreakerClosed)
 	}
+	notes := b.takePendingLocked()
+	b.mu.Unlock()
+	b.notify(notes)
 }
 
 // reportFailure records a failed request and opens the breaker when the
 // consecutive or windowed-rate threshold trips.
 func (b *breaker) reportFailure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.observe(false)
 	switch b.state {
 	case BreakerClosed:
@@ -148,6 +184,9 @@ func (b *breaker) reportFailure() {
 	case BreakerHalfOpen:
 		b.transition(BreakerOpen)
 	}
+	notes := b.takePendingLocked()
+	b.mu.Unlock()
+	b.notify(notes)
 }
 
 // cancelTrial releases a half-open trial slot whose request never ran to
@@ -165,7 +204,6 @@ func (b *breaker) cancelTrial() {
 // half-open breaker.
 func (b *breaker) probeSuccess() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.observe(true)
 	switch b.state {
 	case BreakerClosed:
@@ -177,6 +215,9 @@ func (b *breaker) probeSuccess() {
 			b.transition(BreakerClosed)
 		}
 	}
+	notes := b.takePendingLocked()
+	b.mu.Unlock()
+	b.notify(notes)
 }
 
 // probeFailure feeds an active health-probe failure, same weight as a

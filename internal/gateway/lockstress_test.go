@@ -1,0 +1,119 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerCallbackReentrancy proves the onTransition callback runs
+// outside the breaker's mutex: it re-enters the breaker (currentState,
+// allow) from inside the callback, which deadlocked when transition
+// invoked the callback while mu was held. The goroutine-plus-timeout
+// shape turns that deadlock into a test failure instead of a hang.
+func TestBreakerCallbackReentrancy(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	var b *breaker
+	b = newBreaker(testBreakerConfig(), clk.now, func(from, to BreakerState) {
+		// Re-enter the breaker from the callback. Both calls acquire
+		// b.mu, so they only return if the callback fires unlocked.
+		if got := b.currentState(); got != to {
+			t.Errorf("callback for ->%v observed state %v", to, got)
+		}
+		b.allow()
+		transitions = append(transitions, from.String()+"->"+to.String())
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			b.allow()
+			b.reportFailure()
+		}
+		clk.advance(1100 * time.Millisecond)
+		if !b.allow() {
+			t.Error("breaker refused the half-open trial after cooldown")
+		}
+		b.reportSuccess()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("breaker deadlocked: transition callback re-entered the lock")
+	}
+
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestBreakerLockStress hammers every breaker entry point from many
+// goroutines with a re-entrant transition callback, under a config tuned
+// so the state machine churns through open/half-open constantly. Run
+// with -race this exercises the lock-ordering scenarios lockcheck
+// reasons about statically: no callback under mu, no missed unlock on
+// any path.
+func TestBreakerLockStress(t *testing.T) {
+	cfg := breakerConfig{
+		failures:   2,
+		errorRate:  0.5,
+		minSamples: 4,
+		window:     10 * time.Millisecond,
+		cooldown:   100 * time.Microsecond,
+	}
+	var callbacks atomic.Int64
+	var b *breaker
+	b = newBreaker(cfg, time.Now, func(from, to BreakerState) {
+		callbacks.Add(1)
+		_ = b.currentState()
+	})
+
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if b.allow() {
+					switch (w + i) % 4 {
+					case 0:
+						b.reportFailure()
+					case 1:
+						b.cancelTrial()
+					default:
+						b.reportSuccess()
+					}
+				} else if i%7 == 0 {
+					b.probeSuccess()
+				} else {
+					b.probeFailure()
+				}
+				_ = b.currentState()
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("breaker stress deadlocked")
+	}
+	if callbacks.Load() == 0 {
+		t.Fatal("stress run produced no state transitions; thresholds too loose to exercise the machine")
+	}
+}

@@ -22,6 +22,8 @@ type jitter struct {
 }
 
 // unit returns the next value of the stream in [0, 1).
+//
+//wavelint:hotpath
 func (j *jitter) unit() float64 {
 	n := j.n.Add(1)
 	return float64(fault.SplitMix64(j.seed^jitterSalt^n*0x9e3779b97f4a7c15)>>11) / (1 << 53)
@@ -31,6 +33,8 @@ func (j *jitter) unit() float64 {
 // (1-based): u * min(max, base * 2^(retry-1)), with u drawn from the
 // seeded stream. Full jitter (u over the whole interval, not half) is
 // what decorrelates a thundering herd of retriers sharing one trigger.
+//
+//wavelint:hotpath
 func backoff(retry int, base, max time.Duration, u float64) time.Duration {
 	if retry < 1 {
 		retry = 1

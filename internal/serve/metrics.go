@@ -17,6 +17,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//
+//wavelint:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -40,6 +42,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//wavelint:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

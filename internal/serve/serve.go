@@ -356,26 +356,31 @@ func (s *Server) expire(j *job) {
 }
 
 // executeGroups partitions a drained batch by pool key (a micro-batch
-// may have raced with unrelated traffic) and executes each group.
+// may have raced with unrelated traffic) and executes each group. The
+// partition is in place — a stable shift of the matching jobs to the
+// front — so the steady-state execution path stays allocation-free
+// (hotalloc-checked via the executor's annotated callees).
 func (s *Server) executeGroups(batch []*job) {
 	for len(batch) > 0 {
 		key := batch[0].key
-		group := batch[:0:0]
-		rest := batch[:0:0]
-		for _, j := range batch {
+		n := 0
+		for i, j := range batch {
 			if j.key == key {
-				group = append(group, j)
-			} else {
-				rest = append(rest, j)
+				if i != n {
+					copy(batch[n+1:i+1], batch[n:i])
+					batch[n] = j
+				}
+				n++
 			}
 		}
+		group := batch[:n]
 		s.metrics.BatchSize.Observe(float64(len(group)))
 		if len(group) == 1 {
 			s.executeOne(group[0])
 		} else {
 			s.executeBatch(group)
 		}
-		batch = rest
+		batch = batch[n:]
 	}
 }
 

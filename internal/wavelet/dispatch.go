@@ -30,6 +30,8 @@ func Decompose(im *image.Image, bank *filter.Bank, ext filter.Extension, levels 
 // convention) and approximation, ready to be filled in place by the
 // fast-path kernels or the parallel drivers in internal/core. The
 // dimensions must already be decomposable.
+//
+//wavelint:coldpath allocating constructor, runs only on first use or shape change
 func NewPyramid(rows, cols int, bank *filter.Bank, ext filter.Extension, levels int) *Pyramid {
 	p := &Pyramid{Bank: bank, Ext: ext, Levels: make([]DetailBands, levels)}
 	for l := 0; l < levels; l++ {

@@ -22,6 +22,8 @@ type UsageError struct {
 func (e *UsageError) Error() string { return "wavelet: " + e.Detail }
 
 // usage builds the panic value for an API-misuse check.
+//
+//wavelint:coldpath error construction runs only on the failing branch
 func usage(op, format string, args ...any) *UsageError {
 	return &UsageError{Op: op, Detail: fmt.Sprintf(format, args...)}
 }

@@ -51,6 +51,8 @@ func CheckDecomposable(rows, cols, levels int) error {
 // cache-blocked fast path in internal/wavelet/kernel when the bank and
 // extension support it and must produce bit-identical pyramids (the
 // equivalence tests compare the two with math.Float64bits).
+//
+//wavelint:coldpath reference path allocates per call by design; Decompose falls back to it only for unsupported bank/extension pairs
 func DecomposeReference(im *image.Image, bank *filter.Bank, ext filter.Extension, levels int) (*Pyramid, error) {
 	if err := CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
 		return nil, err
