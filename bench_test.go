@@ -700,6 +700,54 @@ func BenchmarkDecompose512OneShot(b *testing.B) {
 	}
 }
 
+// BenchmarkLifting512 is the headline gate of the lifting tier: the
+// same 512-square three-level periodic transform through a steady-state
+// Decomposer, once on the default convolution tier (tol = 0) and once
+// on the lifting tier (tol = the scheme's advertised Eps). The fused
+// polyphase sweep must deliver >= 2x over the convolution kernel path
+// on at least one catalog bank at 0 allocs/op (-benchmem); rbio4.4 (the
+// CDF 9/7 pair, whose convolution path pays the split-channel column
+// kernels) carries the gate, with cdf5/3 and db8 alongside for the
+// shorter- and longer-filter ends of the catalog.
+func BenchmarkLifting512(b *testing.B) {
+	im := image.Landsat(512, 512, 42)
+	for _, bc := range []struct{ label, name string }{
+		{"cdf53", "cdf5/3"},
+		{"rbio44", "rbio4.4"},
+		{"db8", "db8"},
+	} {
+		bank, err := filter.ByName(bc.name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sch := wavelet.LiftingFor(bank, filter.Periodic, 1)
+		if sch == nil {
+			b.Fatalf("%s: periodic lifting scheme did not resolve", bc.name)
+		}
+		for _, tier := range []struct {
+			name string
+			tol  float64
+		}{
+			{"conv", 0},
+			{"lift", sch.Eps},
+		} {
+			b.Run(bc.label+"/"+tier.name, func(b *testing.B) {
+				d := wavelet.NewDecomposerTol(bank, filter.Periodic, 3, tier.tol)
+				if _, err := d.Decompose(im); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.Decompose(im); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkDecomposeBatch measures multi-band throughput through the
 // worker-pool pipeline.
 func BenchmarkDecomposeBatch(b *testing.B) {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"log"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// runLiftingCompare measures the lifting tier against the convolution
+// kernel tier: the same 512-square three-level periodic transform
+// through a steady-state Decomposer, once at tolerance 0 (the
+// bit-identical convolution tier) and once at the scheme's advertised
+// Eps (the fused polyphase sweep). Three banks span the catalog:
+// cdf5/3 (the short JPEG2000 5/3 pair), rbio4.4 (the CDF 9/7 pair that
+// carries the >= 2x gate), and db8 (the orthonormal workhorse of the
+// kernel suite). The db8 convolution run is additionally recorded under
+// the kernel suite's "Decompose512" name so -compare against
+// BENCH_kernel_pr4.json tracks the default tier across PRs.
+func runLiftingCompare(rep *report, im *image.Image) {
+	const levels = 3
+	banks := []struct {
+		key  string
+		name string
+	}{
+		{"cdf53", "cdf5/3"},
+		{"rbio44", "rbio4.4"},
+		{"db8", "db8"},
+	}
+	measureSteady := func(name string, bank *filter.Bank, tol float64) result {
+		return measure(name, func(b *testing.B) {
+			d := wavelet.NewDecomposerTol(bank, filter.Periodic, levels, tol)
+			if _, err := d.Decompose(im); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decompose(im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	best := 0.0
+	for _, bc := range banks {
+		bank, err := filter.ByName(bc.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch := wavelet.LiftingFor(bank, filter.Periodic, 1)
+		if sch == nil {
+			log.Fatalf("%s: periodic lifting scheme did not resolve", bc.name)
+		}
+		conv := measureSteady("Decompose512Conv_"+bank.Name, bank, 0)
+		lift := measureSteady("Decompose512Lift_"+bank.Name, bank, sch.Eps)
+		rep.Results = append(rep.Results, conv, lift)
+		speedup := conv.NsPerOp / lift.NsPerOp
+		if speedup > best {
+			best = speedup
+		}
+		rep.Derived["speedup_lifting_vs_conv_"+bc.key] = speedup
+		rep.Derived["lifting_steady_allocs_per_op_"+bc.key] = float64(lift.AllocsPerOp)
+		rep.Derived["lifting_eps_"+bc.key] = sch.Eps
+		if bc.key == "db8" {
+			// The kernel suite's headline shape, re-recorded under its
+			// canonical name for cross-PR -compare.
+			conv.Name = "Decompose512"
+			rep.Results = append(rep.Results, conv)
+		}
+	}
+	rep.Derived["lifting_gate_speedup"] = best
+}

@@ -30,6 +30,13 @@
 //
 //	benchjson -bior -label bior_pr6     # writes BENCH_bior_pr6.json
 //
+// With -lifting, benchjson runs the lifting-tier comparison: cdf5/3,
+// rbio4.4, and db8 through a steady-state Decomposer at tolerance 0
+// (convolution) and at the scheme's Eps (lifting), with per-bank
+// speedups and the headline gate ratio in the derived block:
+//
+//	benchjson -lifting -label lifting_pr9   # writes BENCH_lifting_pr9.json
+//
 // The JSON format is documented in EXPERIMENTS.md.
 package main
 
@@ -98,6 +105,7 @@ func main() {
 		serveQueue = flag.Int("serve-queue", 64, "admission queue depth")
 		serveBatch = flag.Int("serve-batch", 1, "micro-batch size (>= 2 enables batching)")
 		biorMode   = flag.Bool("bior", false, "run the bior4.4-vs-db4 comparison suite instead of the kernel suite")
+		liftMode   = flag.Bool("lifting", false, "run the lifting-vs-convolution tier comparison instead of the kernel suite")
 
 		compareMode = flag.Bool("compare", false, "compare two BENCH_*.json reports: benchjson -compare old.json new.json [-tol 10%]")
 		tolFlag     = flag.String("tol", "10%", "ns/op regression tolerance for -compare (\"10%\" or \"0.1\")")
@@ -132,6 +140,17 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Derived:   map[string]float64{},
+	}
+
+	if *liftMode {
+		runLiftingCompare(&rep, im)
+		writeReport(&rep, *out)
+		for _, r := range rep.Results {
+			log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		log.Printf("lifting gate speedup (best bank vs its convolution path): %.2fx", rep.Derived["lifting_gate_speedup"])
+		log.Printf("wrote %s", *out)
+		return
 	}
 
 	if *biorMode {

@@ -1,0 +1,61 @@
+// Fixture for the lifting-tier entry points: the fused polyphase sweep
+// is hot wall to wall (package-name root), so an allocation inside a
+// lifted inner loop — the scratch-per-step mistake the real kernel
+// avoids with fixed stack windows — must be flagged.
+package kernel
+
+type liftStep struct {
+	lo   int
+	taps []float64
+}
+
+// LiftRows is the allocation-free shape of the real row sweep: fixed
+// stack windows, in-place channel updates. No diagnostic.
+func LiftRows(s, d []float64, steps []liftStep) {
+	for si := range steps {
+		st := &steps[si]
+		for i := range d {
+			acc := 0.0
+			for j, t := range st.taps {
+				if k := i + st.lo + j; k >= 0 && k < len(s) {
+					acc += t * s[k]
+				}
+			}
+			d[i] += acc
+		}
+	}
+}
+
+// LiftRowsScratch allocates a fresh channel copy per step inside the
+// sweep: flagged.
+func LiftRowsScratch(s, d []float64, steps []liftStep) {
+	for si := range steps {
+		st := &steps[si]
+		tmp := make([]float64, len(s)) // want `make allocates on the hot path \(reachable from LiftRowsScratch\)`
+		copy(tmp, s)
+		for i := range d {
+			acc := 0.0
+			for j, t := range st.taps {
+				if k := i + st.lo + j; k >= 0 && k < len(tmp) {
+					acc += t * tmp[k]
+				}
+			}
+			d[i] += acc
+		}
+	}
+}
+
+// liftScheme resolves a factorization once per bank: a coldpath
+// annotation keeps its cache fill off the hot report.
+//
+//wavelint:coldpath factorization resolve, cached per bank
+func liftScheme(bank string) []liftStep {
+	return append([]liftStep(nil), liftStep{lo: 0, taps: []float64{0.5, 0.5}})
+}
+
+// LiftDispatch resolving the scheme on every call would be a hot->cold
+// edge: flagged as an unconditional coldpath call.
+func LiftDispatch(s, d []float64) {
+	steps := liftScheme("haar") // want `unconditional call to coldpath function liftScheme on the hot path \(via LiftDispatch\)`
+	LiftRows(s, d, steps)
+}

@@ -32,12 +32,25 @@ import (
 // comes from the shared kernel arena pool, so only the retained pyramid
 // bands are allocated.
 func ParallelDecompose(im *image.Image, bank *filter.Bank, ext filter.Extension, levels, workers int) (*wavelet.Pyramid, error) {
+	return ParallelDecomposeTol(im, bank, ext, levels, workers, 0)
+}
+
+// ParallelDecomposeTol is ParallelDecompose with a drift tolerance: when
+// (bank, ext, tol) admit the lifting tier (wavelet.LiftingFor), each
+// level runs the fused lifting sweeps — one scatter row pass, then the
+// in-place column pass over disjoint panels — on the same worker pool.
+// Both tiers are deterministic in the worker count: every range is
+// column- or row-independent, so the parallel output is bit-identical to
+// the corresponding sequential tier (wavelet.DecomposeTol), and with
+// tol = 0 to wavelet.Decompose.
+func ParallelDecomposeTol(im *image.Image, bank *filter.Bank, ext filter.Extension, levels, workers int, tol float64) (*wavelet.Pyramid, error) {
 	if err := wavelet.CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sch := wavelet.LiftingFor(bank, ext, tol)
 	pool := newWorkerPool(workers)
 	defer pool.Close()
 	ar := kernel.GetArena()
@@ -46,20 +59,30 @@ func ParallelDecompose(im *image.Image, bank *filter.Bank, ext filter.Extension,
 	cur := im
 	for l := 0; l < levels; l++ {
 		rows, cols := cur.Rows, cur.Cols
-		li, hi := ar.Intermediate(rows, cols/2)
 		src := cur
-		pool.Ranges(rows, func(r0, r1 int) {
-			kernel.AnalyzeRowsRange(li, hi, src, bank, ext, r0, r1)
-		})
 		d := &p.Levels[levels-1-l]
 		ll := p.Approx
 		if l < levels-1 {
 			ll = ar.LL(l%2, rows/2, cols/2)
 		}
-		pool.Ranges(cols/2, func(c0, c1 int) {
-			kernel.AnalyzeColsRange(ll, d.LH, li, bank, ext, c0, c1)
-			kernel.AnalyzeColsRange(d.HL, d.HH, hi, bank, ext, c0, c1)
-		})
+		if sch != nil {
+			pool.Ranges(rows, func(r0, r1 int) {
+				kernel.LiftRowsRange(ll, d.LH, d.HL, d.HH, src, sch, r0, r1)
+			})
+			pool.Ranges(cols/2, func(c0, c1 int) {
+				kernel.LiftColsRange(ll, d.LH, sch, c0, c1)
+				kernel.LiftColsRange(d.HL, d.HH, sch, c0, c1)
+			})
+		} else {
+			li, hi := ar.Intermediate(rows, cols/2)
+			pool.Ranges(rows, func(r0, r1 int) {
+				kernel.AnalyzeRowsRange(li, hi, src, bank, ext, r0, r1)
+			})
+			pool.Ranges(cols/2, func(c0, c1 int) {
+				kernel.AnalyzeColsRange(ll, d.LH, li, bank, ext, c0, c1)
+				kernel.AnalyzeColsRange(d.HL, d.HH, hi, bank, ext, c0, c1)
+			})
+		}
 		cur = ll
 	}
 	return p, nil

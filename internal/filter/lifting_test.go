@@ -1,0 +1,180 @@
+package filter
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// liftNoise fills a deterministic probe signal in [-1, 1).
+func liftNoise(n int, seed uint64) []float64 {
+	x := make([]float64, n)
+	rng := seed
+	for i := range x {
+		rng = splitmix(rng)
+		x[i] = float64(int64(rng>>11))/float64(1<<52) - 1
+	}
+	return x
+}
+
+// periodicPolyphase computes the reference analysis under periodic
+// extension directly from the bank coefficients.
+func periodicPolyphase(b *Bank, x []float64) (a, d []float64) {
+	n := len(x)
+	half := n / 2
+	a = make([]float64, half)
+	d = make([]float64, half)
+	for i := 0; i < half; i++ {
+		var av, dv float64
+		for k, hk := range b.DecLo {
+			av += hk * x[(2*i+k)%n]
+		}
+		for k, gk := range b.DecHi {
+			dv += gk * x[(2*i+k)%n]
+		}
+		a[i], d[i] = av, dv
+	}
+	return a, d
+}
+
+// TestLiftingFactorsCatalog pins which registered banks admit a lifting
+// factorization. sym7's Euclidean reduction degenerates numerically (the
+// reduced high-pass odd component keeps extra taps), so it must return
+// an error — the dispatch layer keeps it on the convolution tier.
+func TestLiftingFactorsCatalog(t *testing.T) {
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		sch, err := Lifting(b)
+		if name == "sym7" {
+			if err == nil {
+				t.Errorf("Lifting(sym7): factored unexpectedly; the fallback pin in this test is stale")
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Lifting(%s): %v", name, err)
+			continue
+		}
+		if sch.Bank != name {
+			t.Errorf("Lifting(%s).Bank = %q", name, sch.Bank)
+		}
+		if len(sch.Steps) == 0 && name != "haar" {
+			t.Errorf("Lifting(%s): no steps", name)
+		}
+		if sch.Eps <= 0 || sch.Eps > 1e-5 {
+			t.Errorf("Lifting(%s).Eps = %g, want (0, 1e-5]", name, sch.Eps)
+		}
+		if sch.SScale == 0 || sch.DScale == 0 {
+			t.Errorf("Lifting(%s): zero channel scale", name)
+		}
+	}
+}
+
+// TestLiftingMatchesConvolutionPeriodic: ApplyLifting1D must agree with
+// direct periodic correlation within the scheme's advertised Eps on
+// signals longer than the validation probes.
+func TestLiftingMatchesConvolutionPeriodic(t *testing.T) {
+	for _, name := range Names() {
+		b, _ := ByName(name)
+		sch, err := Lifting(b)
+		if err != nil {
+			continue
+		}
+		for _, n := range []int{6, 16, 64, 250} {
+			x := liftNoise(n, uint64(0xABCD+n))
+			aRef, dRef := periodicPolyphase(b, x)
+			half := n / 2
+			s := make([]float64, half)
+			d := make([]float64, half)
+			for i := 0; i < half; i++ {
+				s[i], d[i] = x[2*i], x[2*i+1]
+			}
+			ApplyLifting1D(s, d, sch)
+			norm := 0.0
+			for i := range aRef {
+				norm = math.Max(norm, math.Max(math.Abs(aRef[i]), math.Abs(dRef[i])))
+			}
+			for i := range aRef {
+				if math.Abs(s[i]-aRef[i]) > sch.Eps*norm || math.Abs(d[i]-dRef[i]) > sch.Eps*norm {
+					t.Fatalf("%s n=%d i=%d: lifting (%.17g, %.17g) vs conv (%.17g, %.17g) exceeds eps=%g",
+						name, n, i, s[i], d[i], aRef[i], dRef[i], sch.Eps)
+				}
+			}
+		}
+	}
+}
+
+// TestLiftingArithmeticSavings: the point of the factorization — the
+// lifted multiply count beats the DecLen low + high taps per coefficient
+// pair of convolution. (haar is break-even at 4 multiplies either way,
+// so it is excluded; the savings grow with filter length.)
+func TestLiftingArithmeticSavings(t *testing.T) {
+	for _, name := range []string{"cdf5/3", "db4", "db8", "bior4.4"} {
+		b, _ := ByName(name)
+		sch, err := Lifting(b)
+		if err != nil {
+			t.Fatalf("Lifting(%s): %v", name, err)
+		}
+		conv := len(b.DecLo) + len(b.DecHi)
+		if sch.MACs() >= conv {
+			t.Errorf("%s: lifting MACs %d >= convolution MACs %d — factorization saves nothing", name, sch.MACs(), conv)
+		}
+	}
+}
+
+// TestLiftingCached: repeat lookups return the same scheme instance (the
+// dispatch layer resolves per Decomposer, so this must be cheap).
+func TestLiftingCached(t *testing.T) {
+	b, _ := ByName("db4")
+	s1, err1 := Lifting(b)
+	s2, err2 := Lifting(b)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Lifting(db4): %v, %v", err1, err2)
+	}
+	if s1 != s2 {
+		t.Errorf("Lifting(db4) not cached: distinct instances")
+	}
+}
+
+// TestLiftingDegenerateBanks: nil and empty banks error instead of
+// panicking — the facade surfaces these as usage errors.
+func TestLiftingDegenerateBanks(t *testing.T) {
+	if _, err := Lifting(nil); err == nil {
+		t.Error("Lifting(nil): want error")
+	}
+	if _, err := Lifting(&Bank{Name: "empty"}); err == nil {
+		t.Error("Lifting(empty bank): want error")
+	}
+	odd := &Bank{Name: "unfactorable", DecLo: []float64{1, 2, 3}, DecHi: []float64{0, 0, 1}}
+	if _, err := Lifting(odd); err != nil {
+		// Some ad-hoc banks do factor; either outcome is legal, but an
+		// error must identify the bank.
+		if !strings.Contains(err.Error(), "unfactorable") {
+			t.Errorf("Lifting error does not name the bank: %v", err)
+		}
+	}
+}
+
+// TestScaleRotate pins the monomial semantics out[i] = c*in[(i+k) mod n]
+// that the 2-D kernels replicate row- and column-wise.
+func TestScaleRotate(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4}
+	scaleRotate(v, 2, 2)
+	want := []float64{4, 6, 8, 0, 2}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("scaleRotate k=2: got %v, want %v", v, want)
+		}
+	}
+	v = []float64{0, 1, 2, 3}
+	scaleRotate(v, 1, -1)
+	want = []float64{3, 0, 1, 2}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("scaleRotate k=-1: got %v, want %v", v, want)
+		}
+	}
+}

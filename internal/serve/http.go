@@ -24,6 +24,9 @@ const maxBodyBytes = 32 << 20
 //	                    Query: filter or bank (any registered bank name,
 //	                    e.g. db4, sym6, bior4.4; default server),
 //	                    levels (default server),
+//	                    tol (relative drift tolerance opting into the
+//	                    lifting fast tier; default 0 = bit-identical,
+//	                    negative/NaN/Inf rejected with 400),
 //	                    output=mosaic|roundtrip (default mosaic).
 //	GET  /v1/banks      Registered bank names, one per line.
 //	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown
@@ -81,6 +84,16 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Levels = n
+	}
+	if tv := q.Get("tol"); tv != "" {
+		eps, err := strconv.ParseFloat(tv, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad tol %q", tv), http.StatusBadRequest)
+			return
+		}
+		// Range validation (negative, NaN, Inf) happens in Do, which
+		// rejects with a typed *wavelet.UsageError mapped to 400.
+		req.Tolerance = eps
 	}
 	output := q.Get("output")
 	if output == "" {

@@ -18,6 +18,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,14 @@ type Request struct {
 	Bank *filter.Bank
 	// Levels overrides the server's default depth when > 0.
 	Levels int
+	// Tolerance opts this request into the lifting fast tier: the
+	// decomposition may drift from the bit-identical default by at most
+	// this relative error. 0 (the zero value) keeps the convolution
+	// tier; negative or non-finite values are rejected with a typed
+	// *wavelet.UsageError. The tier engages only when the bank and the
+	// server's extension admit it — otherwise the request silently runs
+	// on the convolution tier, which always satisfies any tolerance.
+	Tolerance float64
 }
 
 // Result is a completed decomposition. Close returns the pooled
@@ -101,12 +110,14 @@ func (r *Result) Detach() *wavelet.Pyramid {
 }
 
 // poolKey identifies a Decomposer pool: one pool per request shape ×
-// bank × depth, so arenas and output pyramids are always right-sized
-// for the traffic class they serve.
+// bank × depth × tolerance, so arenas and output pyramids are always
+// right-sized for the traffic class they serve and lifting-tier
+// Decomposers never leak into bit-identical traffic.
 type poolKey struct {
 	rows, cols int
 	bank       string
 	levels     int
+	tol        float64
 }
 
 // job is a queued request plus its delivery plumbing.
@@ -249,14 +260,18 @@ func (s *Server) Do(ctx context.Context, req Request) (*Result, error) {
 		return nil, badRequest("%dx%d image not decomposable to %d levels",
 			req.Image.Rows, req.Image.Cols, levels)
 	}
+	if math.IsNaN(req.Tolerance) || math.IsInf(req.Tolerance, 0) || req.Tolerance < 0 {
+		return nil, badRequest("Tolerance = %v, want a finite value >= 0", req.Tolerance)
+	}
 	j := &job{
 		im:     req.Image,
 		bank:   bank,
 		levels: levels,
-		key:    poolKey{rows: req.Image.Rows, cols: req.Image.Cols, bank: bank.Name, levels: levels},
-		ctx:    ctx,
-		start:  s.now(),
-		done:   make(chan jobResponse, 1),
+		key: poolKey{rows: req.Image.Rows, cols: req.Image.Cols, bank: bank.Name,
+			levels: levels, tol: req.Tolerance},
+		ctx:   ctx,
+		start: s.now(),
+		done:  make(chan jobResponse, 1),
 	}
 
 	s.mu.RLock()
@@ -408,7 +423,7 @@ func (s *Server) executeBatch(group []*job) {
 		images[i] = j.im
 	}
 	j0 := group[0]
-	br, err := s.decomposeBatch(images, j0.bank, j0.levels)
+	br, err := s.decomposeBatch(images, j0.bank, j0.levels, j0.key.tol)
 	if err != nil {
 		for _, j := range group {
 			s.metrics.Errors.Add(1)
@@ -422,9 +437,9 @@ func (s *Server) executeBatch(group []*job) {
 	}
 }
 
-func (s *Server) decomposeBatch(images []*image.Image, bank *filter.Bank, levels int) (br *core.BatchResult, err error) {
+func (s *Server) decomposeBatch(images []*image.Image, bank *filter.Bank, levels int, tol float64) (br *core.BatchResult, err error) {
 	defer recoverToError(&err)
-	return core.DecomposeBatchCtx(context.Background(), images, bank, s.cfg.Extension, levels, s.cfg.BatchWorkers)
+	return core.DecomposeBatchTolCtx(context.Background(), images, bank, s.cfg.Extension, levels, s.cfg.BatchWorkers, tol)
 }
 
 // decompose shields the serve boundary: a *wavelet.UsageError panic
@@ -479,11 +494,11 @@ func (s *Server) getDecomposer(key poolKey, bank *filter.Bank) *wavelet.Decompos
 	s.poolMu.Lock()
 	p, ok := s.pools[key]
 	if !ok {
-		ext, levels := s.cfg.Extension, key.levels
+		ext, levels, tol := s.cfg.Extension, key.levels, key.tol
 		b := bank
 		p = &sync.Pool{New: func() any {
 			s.created.Add(1)
-			return wavelet.NewDecomposer(b, ext, levels)
+			return wavelet.NewDecomposerTol(b, ext, levels, tol)
 		}}
 		s.pools[key] = p
 	}

@@ -84,6 +84,10 @@ type Decomposer struct {
 	ar         kernel.Arena
 	p          *Pyramid
 	rows, cols int
+	// sch, when non-nil, routes Decompose through the lifting tier
+	// (resolved once by NewDecomposerTol; nil keeps the bit-identical
+	// convolution tier).
+	sch *filter.LiftingScheme
 }
 
 // NewDecomposer builds a reusable decomposer for the given bank,
@@ -107,6 +111,10 @@ func (d *Decomposer) Decompose(im *image.Image) (*Pyramid, error) {
 		d.p = NewPyramid(im.Rows, im.Cols, d.bank, d.ext, d.levels)
 		d.rows, d.cols = im.Rows, im.Cols
 	}
-	decomposeFast(d.p, im, &d.ar)
+	if d.sch != nil {
+		decomposeLifting(d.p, im, &d.ar, d.sch)
+	} else {
+		decomposeFast(d.p, im, &d.ar)
+	}
 	return d.p, nil
 }

@@ -94,5 +94,16 @@ func TestGoldenOrthonormalDigests(t *testing.T) {
 			t.Errorf("%s/%v/L%d fast-path digest = %#016x, want %#016x",
 				tc.bank, tc.ext, tc.levels, got, tc.want)
 		}
+		// The tolerance-gated entry point with tol = 0 must keep the
+		// bit-identical convolution tier — the default path cannot
+		// silently change when the lifting tier is present.
+		tol0, err := DecomposeTol(im, b, tc.ext, tc.levels, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pyramidDigest(tol0); got != tc.want {
+			t.Errorf("%s/%v/L%d tol=0 digest = %#016x, want %#016x",
+				tc.bank, tc.ext, tc.levels, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,71 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// FuzzLiftingRoundtrip fuzzes shape, depth, bank, and tolerance through
+// decompose→reconstruct on the tolerance-gated dispatch. Whatever the
+// inputs — hostile eps values (negative, NaN, ±Inf) included — the
+// transform must neither panic nor exceed its error contract: the
+// roundtrip stays within the accepted tolerance (plus synthesis
+// rounding), and a tolerance the lifting tier cannot honor silently
+// rides the exact convolution tier. Runs in the CI fuzz smoke alongside
+// FuzzReadPGM.
+func FuzzLiftingRoundtrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(2), uint8(4), 1e-8)
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), 0.0)
+	f.Add(uint8(3), uint8(2), uint8(3), uint8(7), math.NaN())
+	f.Add(uint8(4), uint8(4), uint8(2), uint8(16), math.Inf(1))
+	f.Add(uint8(7), uint8(5), uint8(1), uint8(9), -1.0)
+	f.Add(uint8(2), uint8(2), uint8(3), uint8(13), 1e-300)
+	names := filter.Names()
+	f.Fuzz(func(t *testing.T, rb, cb, lb uint8, bankIdx uint8, eps float64) {
+		levels := 1 + int(lb%3)
+		rows := (1 + int(rb%4)) << levels
+		cols := (1 + int(cb%4)) << levels
+		bank, err := filter.ByName(names[int(bankIdx)%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		im := image.Landsat(rows, cols, uint64(rb)<<16|uint64(cb)<<8|uint64(lb))
+		p, err := DecomposeTol(im, bank, filter.Periodic, levels, eps)
+		if err != nil {
+			t.Fatalf("DecomposeTol(%dx%d, %s, L%d, eps=%v): %v", rows, cols, bank.Name, levels, eps, err)
+		}
+		rec := Reconstruct(p)
+		if rec.Rows != rows || rec.Cols != cols {
+			t.Fatalf("roundtrip shape %dx%d, want %dx%d", rec.Rows, rec.Cols, rows, cols)
+		}
+		var maxDiff, maxRef float64
+		for r := 0; r < rows; r++ {
+			ra, rb := im.Row(r), rec.Row(r)
+			for c := range ra {
+				maxDiff = math.Max(maxDiff, math.Abs(ra[c]-rb[c]))
+				maxRef = math.Max(maxRef, math.Abs(ra[c]))
+			}
+		}
+		if maxRef == 0 {
+			maxRef = 1
+		}
+		// The accepted drift: whatever tolerance actually engaged the
+		// lifting tier (0 when the request rode convolution), plus a
+		// synthesis-rounding floor that grows with depth.
+		accepted := 0.0
+		if sch := LiftingFor(bank, filter.Periodic, eps); sch != nil {
+			accepted = eps
+			if math.IsInf(accepted, 1) {
+				accepted = sch.Eps // Inf accepts anything; the tier still only drifts Eps
+			}
+		}
+		bound := accepted + 1e-9
+		if rel := maxDiff / maxRef; rel > bound {
+			t.Fatalf("%s %dx%d L%d eps=%v: roundtrip relative error %.3g exceeds %.3g",
+				bank.Name, rows, cols, levels, eps, rel, bound)
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package wavelethpc
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 
 	"wavelethpc/internal/core"
@@ -37,6 +39,7 @@ type decomposeConfig struct {
 	parallel bool
 	ext      Extension
 	bank     *FilterBank
+	tol      float64
 }
 
 // optionErr wraps an option-validation failure in the facade's typed
@@ -87,6 +90,28 @@ func WithBank(name string) Option {
 			return fmt.Errorf("wavelethpc: invalid option: WithBank: %w", err)
 		}
 		c.bank = b
+		return nil
+	}
+}
+
+// WithTolerance opts into the lifting fast tier by stating the relative
+// drift from the bit-identical default the caller will accept. The
+// default (and eps = 0) keeps the convolution tier, whose outputs are
+// Float64bits-identical to the reference transform; a positive eps lets
+// the dispatch select the bank's factored lifting scheme — roughly half
+// the arithmetic, fused in-place sweeps — whenever the scheme's
+// advertised drift bound Eps is at most eps and the extension is
+// Periodic. Combinations the lifting tier cannot serve (eps below the
+// bank's Eps, non-periodic extension, a bank with no stable
+// factorization, e.g. sym7) silently stay on the convolution tier,
+// which satisfies every tolerance exactly. Negative, NaN, or infinite
+// eps values are rejected.
+func WithTolerance(eps float64) Option {
+	return func(c *decomposeConfig) error {
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+			return optionErr("WithTolerance", "eps = %v, want a finite value >= 0", eps)
+		}
+		c.tol = eps
 		return nil
 	}
 }
@@ -152,9 +177,9 @@ func DecomposeWith(im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error
 	}
 	return guardDecompose(func() (*Pyramid, error) {
 		if cfg.parallel {
-			return core.ParallelDecompose(im, cfg.bank, cfg.ext, cfg.levels, cfg.workers)
+			return core.ParallelDecomposeTol(im, cfg.bank, cfg.ext, cfg.levels, cfg.workers, cfg.tol)
 		}
-		return wavelet.Decompose(im, cfg.bank, cfg.ext, cfg.levels)
+		return wavelet.DecomposeTol(im, cfg.bank, cfg.ext, cfg.levels, cfg.tol)
 	})
 }
 
@@ -179,7 +204,7 @@ func DecomposeAllWith(images []*Image, bank *FilterBank, opts ...Option) ([]*Pyr
 	}
 	var pyrs []*Pyramid
 	_, err = guardDecompose(func() (*Pyramid, error) {
-		res, err := core.DecomposeBatch(images, cfg.bank, cfg.ext, cfg.levels, cfg.workers)
+		res, err := core.DecomposeBatchTolCtx(context.Background(), images, cfg.bank, cfg.ext, cfg.levels, cfg.workers, cfg.tol)
 		if err != nil {
 			return nil, err
 		}
