@@ -52,6 +52,7 @@ import (
 	"testing"
 	"time"
 
+	"wavelethpc/internal/cli"
 	"wavelethpc/internal/core"
 	"wavelethpc/internal/filter"
 	"wavelethpc/internal/image"
@@ -110,6 +111,15 @@ func main() {
 		compareMode = flag.Bool("compare", false, "compare two BENCH_*.json reports: benchjson -compare old.json new.json [-tol 10%]")
 		tolFlag     = flag.String("tol", "10%", "ns/op regression tolerance for -compare (\"10%\" or \"0.1\")")
 
+		scaleMode     = flag.Bool("scale", false, "run the horizontal scale-out benchmark: HTTP throughput vs backend count, then cache-hit speedup")
+		scaleBackends = flag.String("scale-backends", "1,2,3", "comma-separated fleet-size sweep for -scale")
+		scaleBin      = flag.String("scale-bin", "", "waveserved binary: spawn real subprocess backends for -scale")
+		scalePace     = flag.Duration("scale-pace", 10*time.Millisecond, "per-backend admission pacing of the in-process -scale model (ignored with -scale-bin)")
+		scaleClients  = flag.Int("scale-clients", 4, "closed-loop clients per backend for -scale")
+		scaleDuration = flag.Duration("scale-duration", 2*time.Second, "per-phase run length for -scale")
+		scaleSize     = flag.Int("scale-size", 64, "square image size for -scale")
+		scaleCache    = flag.Int64("scale-cache-bytes", 64<<20, "result-cache byte budget of the -scale cache phase")
+
 		gatewayMode = flag.Bool("gateway", false, "run the multi-backend gateway load generator instead of the kernel suite")
 		gwBackends  = flag.Int("gateway-backends", 3, "fleet size behind the gateway")
 		gwPace      = flag.Duration("gateway-pace", 10*time.Millisecond, "per-backend admission pacing of the in-process scale model (0 = unpaced)")
@@ -160,6 +170,28 @@ func main() {
 			log.Printf("%-30s %10.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 		log.Printf("bior4.4/db4 steady-state cost ratio: %.2fx", rep.Derived["bior44_vs_db4_steady_ratio"])
+		log.Printf("wrote %s", *out)
+		return
+	}
+
+	if *scaleMode {
+		sizes, err := cli.ParseInts(*scaleBackends)
+		if err != nil {
+			log.Fatalf("-scale-backends: %v", err)
+		}
+		runScaleBench(&rep, scaleOpts{
+			fleetSizes: sizes,
+			bin:        *scaleBin,
+			pace:       *scalePace,
+			clients:    *scaleClients,
+			duration:   *scaleDuration,
+			size:       *scaleSize,
+			cacheBytes: *scaleCache,
+		})
+		writeReport(&rep, *out)
+		log.Printf("scale sweep: max fleet %.0f backends, %.0f client errors, cache-hit speedup %.2fx",
+			rep.Derived["scale_backends_max"], rep.Derived["scale_client_errors"],
+			rep.Derived["scale_cache_hit_speedup"])
 		log.Printf("wrote %s", *out)
 		return
 	}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavelethpc/internal/gateway"
+	"wavelethpc/internal/image"
+)
+
+// shutdownContext bounds a gateway drain at the end of a phase.
+func shutdownContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// scaleOpts parameterizes the -scale horizontal scale-out benchmark.
+type scaleOpts struct {
+	// fleetSizes is the backend-count sweep (e.g. 1,2,3).
+	fleetSizes []int
+	// bin spawns real waveserved subprocesses (the multi-process CI
+	// configuration); empty uses paced in-process backends.
+	bin string
+	// pace is the in-process scale model's per-backend service pacing
+	// (see gatewayOpts.pace); ignored in subprocess mode.
+	pace time.Duration
+	// clients is the closed-loop client count per backend; duration the
+	// per-phase run length; size the square image edge.
+	clients  int
+	duration time.Duration
+	size     int
+	// cacheBytes is the result-cache budget of the cache phase.
+	cacheBytes int64
+}
+
+// scalePhase runs one closed-loop load phase over the gateway's HTTP
+// surface — unlike the -gateway mode's gw.Do loop, requests traverse
+// the full handler pipeline, so the content-addressed cache and the
+// tiling coordinator participate exactly as they would in production.
+type scalePhaseResult struct {
+	completed int64
+	failed    int64
+	elapsed   float64
+	metrics   *gateway.Metrics
+}
+
+func runScalePhase(fleet []*gatewayBackend, cfg gateway.Config, payloads [][]byte, clients int, duration time.Duration) (*scalePhaseResult, error) {
+	urls := make([]string, len(fleet))
+	for i, b := range fleet {
+		urls[i] = b.url
+	}
+	cfg.Backends = urls
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 100 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	front := httptest.NewServer(gw.Handler())
+	defer front.Close()
+	url := front.URL + "/v1/decompose?bank=db8&levels=3"
+
+	stop := time.Now().Add(duration)
+	var completed, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 10 * time.Second}
+			for i := 0; time.Now().Before(stop); i++ {
+				body := payloads[(slot+i)%len(payloads)]
+				resp, err := hc.Post(url, "image/x-portable-graymap", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	front.Close()
+	sctx, scancel := shutdownContext()
+	defer scancel()
+	gw.Shutdown(sctx)
+	return &scalePhaseResult{
+		completed: completed.Load(),
+		failed:    failed.Load(),
+		elapsed:   elapsed,
+		metrics:   gw.Metrics(),
+	}, nil
+}
+
+// scalePayloads pre-encodes n distinct PGM bodies so the no-cache sweep
+// cannot accidentally benefit from content addressing. The shapes vary
+// (all still 2^3-decomposable) because the router keys affinity on
+// (shape, bank, levels): a single-shape workload would pin every
+// request to one backend's Decomposer pool, while a mixed-shape
+// workload — the multi-tenant case horizontal scale-out exists for —
+// spreads across the fleet.
+func scalePayloads(n, size int) ([][]byte, error) {
+	out := make([][]byte, n)
+	for i := range out {
+		rows := size + 8*(i%4)
+		cols := size + 8*((i/4)%4)
+		var buf bytes.Buffer
+		if err := image.WritePGM(&buf, image.Landsat(rows, cols, uint64(1000+i))); err != nil {
+			return nil, err
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// runScaleBench measures horizontal scale-out: closed-loop HTTP
+// throughput through wavegate for each fleet size in the sweep (cache
+// off, distinct images), then the content-addressed cache's hit-path
+// speedup on the largest fleet (one repeated image). Derived keys:
+//
+//	scale_images_per_sec_<n>   throughput with n backends
+//	scale_speedup_<n>          throughput ratio vs 1 backend
+//	scale_client_errors        HTTP-level failures across all phases
+//	scale_cache_hits           cache hits observed in the cache phase
+//	scale_cache_hit_speedup    cache-on vs cache-off throughput, same fleet
+func runScaleBench(rep *report, o scaleOpts) {
+	if len(o.fleetSizes) == 0 {
+		o.fleetSizes = []int{1, 2, 3}
+	}
+	maxN := 0
+	for _, n := range o.fleetSizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if o.clients < 1 {
+		o.clients = 4
+	}
+	mode := "subprocess"
+	if o.bin == "" {
+		mode = "paced-scale-model"
+	}
+	log.Printf("scale mode: %s (fleet sweep %v, %d clients/backend, %v per phase)",
+		mode, o.fleetSizes, o.clients, o.duration)
+
+	distinct, err := scalePayloads(16, o.size)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	go2 := gatewayOpts{bin: o.bin, pace: o.pace}
+	var errorsTotal int64
+	var baseRate, topRate float64
+	for _, n := range o.fleetSizes {
+		fleet, err := startFleet(go2, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runScalePhase(fleet, gateway.Config{}, distinct, o.clients*n, o.duration)
+		for _, b := range fleet {
+			b.stop()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate := float64(res.completed) / res.elapsed
+		errorsTotal += res.failed
+		if n == 1 {
+			baseRate = rate
+		}
+		if n == maxN {
+			topRate = rate
+		}
+		rep.Results = append(rep.Results, result{
+			Name:       fmt.Sprintf("ScaleDecompose%d_%dbackends_%s", o.size, n, mode),
+			Iterations: int(res.completed),
+		})
+		rep.Derived[fmt.Sprintf("scale_images_per_sec_%d", n)] = rate
+		if baseRate > 0 {
+			rep.Derived[fmt.Sprintf("scale_speedup_%d", n)] = rate / baseRate
+		}
+		log.Printf("fleet %d: %.1f images/sec (%d completed, %d errors)", n, rate, res.completed, res.failed)
+	}
+
+	// Cache phase: the largest fleet, one repeated image, content-
+	// addressed cache on. After the first fill every request is a hit
+	// answered at the gateway without touching a backend.
+	fleet, err := startFleet(go2, maxN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repeated := distinct[:1]
+	cres, err := runScalePhase(fleet, gateway.Config{CacheBytes: o.cacheBytes}, repeated, o.clients*maxN, o.duration)
+	for _, b := range fleet {
+		b.stop()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	cacheRate := float64(cres.completed) / cres.elapsed
+	errorsTotal += cres.failed
+	rep.Results = append(rep.Results, result{
+		Name:       fmt.Sprintf("ScaleDecompose%d_cachehit_%s", o.size, mode),
+		Iterations: int(cres.completed),
+	})
+	rep.Derived["scale_backends_max"] = float64(maxN)
+	rep.Derived["scale_clients_per_backend"] = float64(o.clients)
+	rep.Derived["scale_pace_ms"] = float64(o.pace.Milliseconds())
+	rep.Derived["scale_subprocess"] = boolAs01(o.bin != "")
+	rep.Derived["scale_client_errors"] = float64(errorsTotal)
+	rep.Derived["scale_cache_images_per_sec"] = cacheRate
+	rep.Derived["scale_cache_hits"] = float64(cres.metrics.CacheHits.Value())
+	rep.Derived["scale_cache_misses"] = float64(cres.metrics.CacheMisses.Value())
+	if topRate > 0 {
+		rep.Derived["scale_cache_hit_speedup"] = cacheRate / topRate
+	}
+	log.Printf("cache phase: %.1f images/sec, %d hits / %d misses",
+		cacheRate, cres.metrics.CacheHits.Value(), cres.metrics.CacheMisses.Value())
+}

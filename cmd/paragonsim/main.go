@@ -12,6 +12,7 @@
 //	paragonsim -block             # add the block-decomposition ablation
 //	paragonsim -trace out.json    # also write a per-rank nx event trace
 //	paragonsim -faults            # chaos sweep: fault injection + recovery
+//	paragonsim -tilescale         # gateway tile fan-out scale model (hub backpressure)
 //	paragonsim -timeout 2m        # abort cleanly if a run hangs
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		block   = flag.Bool("block", false, "also run the block-decomposition ablation")
 		overlap = flag.Bool("overlap", false, "also run the overlapped guard-exchange ablation")
 		faults  = flag.Bool("faults", false, "run the wavelet/faults chaos experiment instead of the scaling figures")
+		tile    = flag.Bool("tilescale", false, "run the tile/scale gateway fan-out scale model instead of the scaling figures")
 		list    = flag.Bool("list", false, "list the registered experiments and exit")
 	)
 	flag.Parse()
@@ -59,6 +61,9 @@ func main() {
 	name := "wavelet/scaling"
 	if *faults {
 		name = "wavelet/faults"
+	}
+	if *tile {
+		name = "tile/scale"
 	}
 
 	ctx, cancel := f.Context()

@@ -4,7 +4,12 @@
 // active /readyz probing plus passive error tracking into per-backend
 // circuit breakers, bounded retries with seeded full-jitter backoff
 // under the client's deadline budget, optional hedged requests, and
-// graceful drain.
+// graceful drain. Two opt-in subsystems extend it horizontally: a
+// content-addressed result cache (-cache-bytes) that answers repeated
+// decompose requests without a backend round trip, and distributed tile
+// decomposition (-tile-rows, -tile-stripes) that splits large images
+// into halo-overlapped row stripes fanned across the fleet and stitched
+// bit-identically to the single-node transform.
 //
 // Endpoints:
 //
@@ -75,6 +80,12 @@ func run() int {
 	log.Printf("routing %s -> [%s] (retries %d, hedge %v, breaker %d/%v, probe %v, seed %d)",
 		gf.Addr, strings.Join(gw.Backends(), ", "), gf.Retries, gf.HedgeAfter,
 		gf.BreakerFailures, gf.BreakerCooldown, gf.ProbeInterval, gf.Seed)
+	if gf.CacheBytes > 0 {
+		log.Printf("result cache on (%d byte budget)", gf.CacheBytes)
+	}
+	if gf.TileRows > 0 {
+		log.Printf("tile decomposition on (rows >= %d, stripes %d [0 = per backend])", gf.TileRows, gf.TileStripes)
+	}
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,116 @@
+package wavelethpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wavelethpc/internal/image"
+)
+
+// requirePyramidBits fails unless two pyramids carry identical
+// Float64 bit patterns in every band.
+func requirePyramidBits(t *testing.T, label string, got, want *Pyramid) {
+	t.Helper()
+	if got.Depth() != want.Depth() {
+		t.Fatalf("%s: depth %d, want %d", label, got.Depth(), want.Depth())
+	}
+	if !image.EqualBits(got.Approx, want.Approx) {
+		t.Fatalf("%s: approx band differs", label)
+	}
+	for i := range want.Levels {
+		if !image.EqualBits(got.Levels[i].LH, want.Levels[i].LH) ||
+			!image.EqualBits(got.Levels[i].HL, want.Levels[i].HL) ||
+			!image.EqualBits(got.Levels[i].HH, want.Levels[i].HH) {
+			t.Fatalf("%s: detail level %d differs", label, i)
+		}
+	}
+}
+
+// TestDecomposeWithContextEquivalence pins the wrapper contract: the
+// context variants return Float64bits-identical pyramids to the
+// context-free entry points across sequential, parallel, and lifting
+// configurations.
+func TestDecomposeWithContextEquivalence(t *testing.T) {
+	im := Landsat(64, 64, 11)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"sequential", []Option{WithLevels(3)}},
+		{"parallel", []Option{WithLevels(3), WithWorkers(4)}},
+		{"lifting", []Option{WithLevels(2), WithTolerance(1e-10)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := DecomposeWith(im, Daubechies8(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecomposeWithContext(context.Background(), im, Daubechies8(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requirePyramidBits(t, tc.name, got, want)
+		})
+	}
+}
+
+// TestDecomposeAllWithContextEquivalence does the same for the batch
+// entry point.
+func TestDecomposeAllWithContextEquivalence(t *testing.T) {
+	images := LandsatBands(32, 32, 4, 17)
+	want, err := DecomposeAllWith(images, Daubechies4(), WithLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecomposeAllWithContext(context.Background(), images, Daubechies4(), WithLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pyramids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		requirePyramidBits(t, "batch", got[i], want[i])
+	}
+}
+
+// TestContextVariantsCancellation checks a context already done on
+// entry fails both variants with the context's error and no result.
+func TestContextVariantsCancellation(t *testing.T) {
+	im := Landsat(16, 16, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if p, err := DecomposeWithContext(ctx, im, Haar(), WithLevels(1)); !errors.Is(err, context.Canceled) || p != nil {
+		t.Fatalf("DecomposeWithContext = (%v, %v), want context.Canceled", p, err)
+	}
+	if ps, err := DecomposeAllWithContext(ctx, []*Image{im}, Haar(), WithLevels(1)); !errors.Is(err, context.Canceled) || ps != nil {
+		t.Fatalf("DecomposeAllWithContext = (%v, %v), want context.Canceled", ps, err)
+	}
+}
+
+// TestContextVariantsNilContext treats a nil context as Background
+// rather than panicking — misuse stays an error-free no-op.
+func TestContextVariantsNilContext(t *testing.T) {
+	im := Landsat(16, 16, 2)
+	//lint:ignore SA1012 deliberately exercising the nil-context guard
+	p, err := DecomposeWithContext(nil, im, Haar(), WithLevels(1)) //nolint:staticcheck
+	if err != nil || p == nil {
+		t.Fatalf("nil context: (%v, %v)", p, err)
+	}
+}
+
+// TestContextVariantsValidateBeforeCompute keeps option validation
+// ahead of the context check so misuse reports as usage error even
+// under a canceled context... and invalid options still fail fast.
+func TestContextVariantsValidateBeforeCompute(t *testing.T) {
+	im := Landsat(16, 16, 2)
+	if _, err := DecomposeWithContext(context.Background(), im, Haar(), WithLevels(0)); err == nil {
+		t.Fatal("WithLevels(0) accepted")
+	}
+	if _, err := DecomposeWithContext(context.Background(), nil, Haar()); err == nil {
+		t.Fatal("nil image accepted")
+	}
+}

@@ -246,6 +246,9 @@ type GatewayFlags struct {
 	BreakerCooldown time.Duration
 	ProbeInterval   time.Duration
 	Drain           time.Duration
+	CacheBytes      int64
+	TileRows        int
+	TileStripes     int
 }
 
 // AddGateway registers the gateway flags.
@@ -262,6 +265,10 @@ func (f *GatewayFlags) AddGateway(fs *flag.FlagSet) {
 	fs.DurationVar(&f.ProbeInterval, "probe-interval", 500*time.Millisecond, "active /readyz probe period (negative disables)")
 	fs.DurationVar(&f.Drain, "drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; "+
 		"the process exits nonzero if in-flight work had to be abandoned")
+	fs.Int64Var(&f.CacheBytes, "cache-bytes", 0, "content-addressed result cache budget in bytes of cached payload (0 = off)")
+	fs.IntVar(&f.TileRows, "tile-rows", 0, "split decompose requests with at least this many rows into "+
+		"halo-overlapped row stripes fanned across the backends (0 = off)")
+	fs.IntVar(&f.TileStripes, "tile-stripes", 0, "row stripes per tiled request (0 = one per backend)")
 }
 
 // GatewayConfig validates the parsed gateway flags into a
@@ -293,6 +300,9 @@ func (f *GatewayFlags) GatewayConfig() (gateway.Config, error) {
 		BreakerFailures: f.BreakerFailures,
 		BreakerCooldown: f.BreakerCooldown,
 		ProbeInterval:   f.ProbeInterval,
+		CacheBytes:      f.CacheBytes,
+		TileRows:        f.TileRows,
+		TileStripes:     f.TileStripes,
 	}, nil
 }
 

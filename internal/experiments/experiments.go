@@ -12,6 +12,7 @@ import (
 func init() {
 	harness.Register(waveletScaling())
 	harness.Register(waveletFaults())
+	harness.Register(tileScale())
 	harness.Register(nbodyScaling())
 	harness.Register(picScaling())
 	harness.Register(workloadTables())

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"wavelethpc/internal/budget"
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/harness"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/mesh"
+	"wavelethpc/internal/nx"
+	"wavelethpc/internal/wavelet"
+)
+
+// tile/scale is the deterministic scale model behind the gateway's
+// distributed tile decomposition (internal/gateway/tile.go): rank 0
+// plays the wavegate coordinator, ranks 1..P-1 play waveserved
+// backends, and the nx simulator's 16-node mesh supplies the placement
+// and link-contention physics the HTTP fleet hides. The program mirrors
+// the production protocol exactly — per level the coordinator extracts
+// halo-overlapped row stripes, ships one to each backend, every backend
+// runs a real one-level transform on its stripe, and the coordinator
+// stitches the kept output rows — so the stitched pyramid is verified
+// Float64bits-identical to the sequential transform on every sweep
+// point, the same property the gateway's tile tests pin over HTTP.
+//
+// Unlike the paper's SPMD ring (wavelet/scaling), this topology is
+// hub-and-spoke: all stripes leave from and all sub-pyramids converge
+// on rank 0's node, so the coordinator's serialized sends/receives and
+// the contention on its mesh links are the backpressure that caps
+// fleet scaling — the effect the curve makes visible as backends grow
+// toward the 16-node machine.
+
+// tileScale returns the registered experiment.
+func tileScale() harness.Experiment {
+	return &harness.Func{
+		ExpName: "tile/scale",
+		Desc:    "gateway tile fan-out on the 16-node mesh: hub backpressure vs backend count",
+		RunFunc: runTileScale,
+	}
+}
+
+// tileScaleProcs is the default rank sweep: 1 coordinator + {1,3,7,15}
+// backends, topping out at the full 16-node machine.
+var tileScaleProcs = []int{2, 4, 8, 16}
+
+// message tags of the coordinator/backend protocol.
+const (
+	tagTileStripe = 30 // coordinator -> backend: stripe + halo rows
+	tagTileBands  = 31 // backend -> coordinator: trimmed LL|LH|HL|HH rows
+)
+
+func runTileScale(ctx context.Context, opt harness.Options) (*harness.Report, error) {
+	machine, err := mesh.MachineByName(machineOr(opt, "paragon"))
+	if err != nil {
+		return nil, err
+	}
+	bank, err := filter.ByName("db8")
+	if err != nil {
+		return nil, err
+	}
+	size := harness.IntOr(opt.Size, 256)
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	levels := 2
+	im := image.Landsat(size, size, uint64(seed))
+	want, err := wavelet.Decompose(im, bank, filter.Periodic, levels)
+	if err != nil {
+		return nil, err
+	}
+	procs := opt.ProcsOr(tileScaleProcs)
+
+	rep := &harness.Report{Experiment: "tile/scale"}
+	sec := harness.Section{
+		Heading: fmt.Sprintf("Gateway tile fan-out, %s, %dx%d db8 L%d", machine.Name, size, size, levels),
+	}
+	for _, pl := range placementsFor(machine) {
+		curve := &harness.Curve{
+			Name:  fmt.Sprintf("%s_tilescale_%s", machine.Name, pl.Name()),
+			Title: fmt.Sprintf("%s placement", pl.Name()),
+			Labels: []harness.Label{
+				{Key: "machine", Value: machine.Name},
+				{Key: "placement", Value: pl.Name()},
+			},
+			Columns: []harness.Column{
+				{Name: "B", CSV: "backends", Width: 4, Kind: harness.Int},
+				{Name: "elapsed(s)", CSV: "elapsed_s", Unit: "s", Width: 12, Prec: 4},
+				{Name: "speedup", CSV: "speedup", Width: 9, Prec: 2, Verb: 'f'},
+				{Name: "hub(s)", CSV: "hub_s", Unit: "s", Width: 10, Prec: 4},
+				{Name: "msgs", CSV: "msgs", Width: 7, Kind: harness.Int},
+				{Name: "contended", CSV: "contended_msgs", Width: 10, Kind: harness.Int},
+				{Name: "linkwait(s)", CSV: "link_wait_s", Unit: "s", Width: 12, Prec: 4},
+			},
+		}
+		base := 0.0
+		for _, p := range procs {
+			if p < 2 {
+				return nil, fmt.Errorf("experiments: tile/scale needs >= 2 ranks (coordinator + backends), got %d", p)
+			}
+			res, err := runTileFanout(ctx, im, want, machine, pl, p, bank, levels)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = res.sim.Elapsed
+			}
+			curve.Points = append(curve.Points, harness.Point{
+				Values: []float64{
+					float64(p - 1),
+					res.sim.Elapsed,
+					base / res.sim.Elapsed,
+					res.hubComm,
+					float64(res.sim.Msgs),
+					float64(res.sim.ContendedMsgs),
+					res.sim.LinkWait,
+				},
+				Budget: &res.sim.Budget,
+			})
+		}
+		sec.Curves = append(sec.Curves, curve)
+	}
+	sec.Text = "stitched pyramids verified Float64bits-identical to the sequential transform at every point\n"
+	rep.Sections = append(rep.Sections, sec)
+	return rep, nil
+}
+
+// tileFanoutResult is one simulated coordinator run.
+type tileFanoutResult struct {
+	sim *nx.Result
+	// hubComm is the coordinator's total time inside communication calls
+	// — the serialization the hub-and-spoke topology pays.
+	hubComm float64
+}
+
+// runTileFanout simulates one full pyramid build over the fan-out
+// protocol and verifies the stitched result against want.
+func runTileFanout(ctx context.Context, im *image.Image, want *wavelet.Pyramid, machine *mesh.Machine, pl mesh.Placement, p int, bank *filter.Bank, levels int) (*tileFanoutResult, error) {
+	if err := wavelet.CheckDecomposable(im.Rows, im.Cols, levels); err != nil {
+		return nil, err
+	}
+	cost := machine.Cost
+	f := bank.DecLen()
+	// Same halo rule as the gateway coordinator: causal support f-2,
+	// rounded up to even so stripe heights stay decomposable.
+	halo := f - 2
+	if halo < 0 {
+		halo = 0
+	}
+	halo = (halo + 1) &^ 1
+
+	stitched := &wavelet.Pyramid{Bank: bank, Ext: filter.Periodic, Levels: make([]wavelet.DetailBands, levels)}
+
+	prog := func(r *nx.Rank) {
+		id := r.ID()
+		backends := r.Procs() - 1
+		if id != 0 {
+			// --- Backend: serve one stripe per level -------------------
+			for l := 0; l < levels; l++ {
+				rows := im.Rows >> uint(l)
+				shares := tileShares(rows/2, backends)
+				if id > len(shares) {
+					continue // more backends than stripes at this depth
+				}
+				data, _ := r.RecvFloats(0, tagTileStripe)
+				h := 2*shares[id-1] + halo
+				sub := imageFromFloats(h, im.Cols>>uint(l), data)
+				sp, err := wavelet.Decompose(sub, bank, filter.Periodic, 1)
+				if err != nil {
+					panic(&wavelet.UsageError{Op: "tile/scale", Detail: err.Error()})
+				}
+				// One level on an HxC stripe is 2*H*C output coefficients
+				// (row pass + column pass), each f MACs plus fixed
+				// per-coefficient overhead — the calibrated kernel cost.
+				r.Compute(float64(2*sub.Rows*sub.Cols)*(float64(f)*cost.MACTime+cost.CoefTime), budget.Useful)
+				keep := shares[id-1]
+				packed := packBands(sp, keep)
+				r.Compute(float64(len(packed))*8*cost.MemByteTime, budget.UniqueRedundancy)
+				r.SendFloats(0, tagTileBands, packed)
+			}
+			r.SetResult(0.0)
+			return
+		}
+
+		// --- Coordinator: fan out, collect, stitch, recurse ------------
+		var hub float64
+		cur := im
+		for l := 0; l < levels; l++ {
+			half := cur.Rows / 2
+			shares := tileShares(half, backends)
+			r0 := 0
+			t := r.Clock()
+			for i, share := range shares {
+				h := 2*share + halo
+				stripe := extractWrappedRows(cur, r0, h)
+				// Slicing stripes out of the level is parallelization
+				// redundancy the single-node transform never pays.
+				r.Compute(float64(h*cur.Cols)*8*cost.MemByteTime, budget.UniqueRedundancy)
+				r.SendFloats(i+1, tagTileStripe, stripe.Pix)
+				r0 += 2 * share
+			}
+			ll := image.New(half, cur.Cols/2)
+			db := wavelet.DetailBands{
+				LH: image.New(half, cur.Cols/2),
+				HL: image.New(half, cur.Cols/2),
+				HH: image.New(half, cur.Cols/2),
+			}
+			r0 = 0
+			for i, share := range shares {
+				packed, _ := r.RecvFloats(i+1, tagTileBands)
+				unpackBands(ll, db, r0, share, packed)
+				r0 += share
+			}
+			hub += r.Clock() - t
+			stitched.Levels[levels-1-l] = db
+			cur = ll
+		}
+		stitched.Approx = cur
+		r.SetResult(hub)
+	}
+
+	sim, err := nx.RunCtx(ctx, nx.Config{Machine: machine, Placement: pl, Procs: p}, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyStitched(stitched, want); err != nil {
+		return nil, fmt.Errorf("experiments: tile/scale P=%d %s: %w", p, pl.Name(), err)
+	}
+	return &tileFanoutResult{sim: sim, hubComm: sim.Values[0].(float64)}, nil
+}
+
+// tileShares distributes half output rows over at most n stripes —
+// the coordinator's stripeShares rule, duplicated on the backends so
+// both sides derive identical geometry without a handshake.
+func tileShares(half, n int) []int {
+	if n > half {
+		n = half
+	}
+	if n < 1 {
+		n = 1
+	}
+	base, rem := half/n, half%n
+	shares := make([]int, n)
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}
+
+// extractWrappedRows copies h full-width rows starting at r0, wrapping
+// modulo the level height — periodic extension, exactly as the gateway.
+func extractWrappedRows(im *image.Image, r0, h int) *image.Image {
+	out := image.New(h, im.Cols)
+	for m := 0; m < h; m++ {
+		copy(out.Row(m), im.Row((r0+m)%im.Rows))
+	}
+	return out
+}
+
+// packBands flattens the kept rows of a one-level pyramid LL|LH|HL|HH.
+func packBands(sp *wavelet.Pyramid, keep int) []float64 {
+	cols := sp.Approx.Cols
+	packed := make([]float64, 0, 4*keep*cols)
+	for _, b := range []*image.Image{sp.Approx, sp.Levels[0].LH, sp.Levels[0].HL, sp.Levels[0].HH} {
+		for m := 0; m < keep; m++ {
+			packed = append(packed, b.Row(m)...)
+		}
+	}
+	return packed
+}
+
+// unpackBands places a backend's packed bands at output row r0.
+func unpackBands(ll *image.Image, db wavelet.DetailBands, r0, share int, packed []float64) {
+	cols := ll.Cols
+	for _, b := range []*image.Image{ll, db.LH, db.HL, db.HH} {
+		for m := 0; m < share; m++ {
+			copy(b.Row(r0+m), packed[:cols])
+			packed = packed[cols:]
+		}
+	}
+}
+
+// imageFromFloats wraps a flat row-major stripe as an image (copying).
+func imageFromFloats(rows, cols int, flat []float64) *image.Image {
+	if len(flat) != rows*cols {
+		panic(&wavelet.UsageError{Op: "tile/scale", Detail: fmt.Sprintf("stripe %d floats != %dx%d", len(flat), rows, cols)})
+	}
+	out := image.New(rows, cols)
+	copy(out.Pix, flat)
+	return out
+}
+
+// verifyStitched checks the simulated fan-out reproduced the sequential
+// transform bit for bit — the gateway tiling property, re-proved on the
+// simulator every run.
+func verifyStitched(got, want *wavelet.Pyramid) error {
+	if got.Depth() != want.Depth() {
+		return fmt.Errorf("stitched depth %d, want %d", got.Depth(), want.Depth())
+	}
+	if !image.EqualBits(got.Approx, want.Approx) {
+		return fmt.Errorf("stitched approx band differs from the sequential transform")
+	}
+	for l := range want.Levels {
+		if !image.EqualBits(got.Levels[l].LH, want.Levels[l].LH) ||
+			!image.EqualBits(got.Levels[l].HL, want.Levels[l].HL) ||
+			!image.EqualBits(got.Levels[l].HH, want.Levels[l].HH) {
+			return fmt.Errorf("stitched detail level %d differs from the sequential transform", l)
+		}
+	}
+	return nil
+}

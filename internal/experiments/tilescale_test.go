@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"wavelethpc/internal/harness"
+)
+
+// TestTileScale runs the gateway fan-out scale model on a small image:
+// the experiment itself verifies every stitched pyramid bit-for-bit
+// against the sequential transform, so a nil error is the property.
+func TestTileScale(t *testing.T) {
+	rep, err := harness.RunByName(context.Background(), "tile/scale", harness.Options{
+		Size:  64,
+		Procs: []int{2, 3, 4, 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sections) != 1 {
+		t.Fatalf("got %d sections, want 1", len(rep.Sections))
+	}
+	sec := rep.Sections[0]
+	if len(sec.Curves) != 2 {
+		t.Fatalf("got %d curves, want snake and naive", len(sec.Curves))
+	}
+	for _, c := range sec.Curves {
+		if len(c.Points) != 4 {
+			t.Fatalf("%s: got %d points, want 4", c.Name, len(c.Points))
+		}
+		// Backend counts ride in column 0; 16 ranks = 15 backends.
+		if got := c.Points[3].Values[0]; got != 15 {
+			t.Fatalf("%s: last point has %v backends, want 15", c.Name, got)
+		}
+		// The hub serializes all traffic, so its comm time must be
+		// nonzero and grow with the fleet.
+		if c.Points[0].Values[3] <= 0 {
+			t.Fatalf("%s: hub comm time not recorded", c.Name)
+		}
+	}
+}
+
+// TestTileScaleDeterministic pins bit-reproducibility of the simulated
+// timings: two runs of the same sweep point agree exactly.
+func TestTileScaleDeterministic(t *testing.T) {
+	run := func() *harness.Report {
+		rep, err := harness.RunByName(context.Background(), "tile/scale", harness.Options{
+			Size:  64,
+			Procs: []int{4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	pa := a.Sections[0].Curves[0].Points[0].Values
+	pb := b.Sections[0].Curves[0].Points[0].Values
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("column %d: %v != %v across identical runs", i, pa[i], pb[i])
+		}
+	}
+}

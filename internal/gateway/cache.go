@@ -1,0 +1,192 @@
+package gateway
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"wavelethpc/internal/proto"
+)
+
+// resultCache is the gateway's content-addressed result cache: decompose
+// responses keyed by SHA-256 over the raw image payload plus the
+// canonical request parameters. Because the key hashes the decoded image
+// bytes (proto.RouteInfo.ImageData), the legacy PGM form and the v1 JSON
+// form of the same request share one entry.
+//
+// Two mechanisms stack:
+//
+//   - a bounded LRU holding successful (HTTP 200) responses under a byte
+//     budget, evicting least-recently-used entries when inserts overflow
+//     it;
+//   - singleflight: concurrent requests for the same key collapse into
+//     one backend round trip, with the followers waiting on the leader's
+//     result instead of stampeding the fleet.
+//
+// The cache needs no clock: recency order is the only aging, which keeps
+// it inside the determinism analyzer's no-wall-clock discipline.
+type resultCache struct {
+	budget  int64
+	metrics *Metrics
+
+	mu      sync.Mutex
+	used    int64
+	lru     *list.List // front = most recently used
+	entries map[cacheKey]*list.Element
+	flights map[cacheKey]*cacheFlight
+}
+
+// cacheKey is the SHA-256 content address of one decompose request.
+type cacheKey [sha256.Size]byte
+
+// cacheEntry is one cached response plus its budget charge.
+type cacheEntry struct {
+	key  cacheKey
+	res  *Result
+	size int64
+}
+
+// cacheFlight is one in-progress fill that followers wait on.
+type cacheFlight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+func newResultCache(budget int64, m *Metrics) *resultCache {
+	return &resultCache{
+		budget:  budget,
+		metrics: m,
+		lru:     list.New(),
+		entries: map[cacheKey]*list.Element{},
+		flights: map[cacheKey]*cacheFlight{},
+	}
+}
+
+// keyFor derives the content address from the canonical request fields.
+// Tol is formatted with strconv's shortest round-trip form so the query
+// spelling ("0.5" vs "0.50") cannot split entries.
+func (c *resultCache) keyFor(info *proto.RouteInfo) cacheKey {
+	h := sha256.New()
+	h.Write([]byte("bank=" + info.Bank + "\x00"))
+	h.Write([]byte("levels=" + strconv.Itoa(info.Levels) + "\x00"))
+	h.Write([]byte("tol=" + strconv.FormatFloat(info.Tol, 'g', -1, 64) + "\x00"))
+	h.Write([]byte("output=" + info.Output + "\x00"))
+	h.Write(info.ImageData)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// cachedDo answers a decompose request from the cache when possible,
+// otherwise runs fill() — at most once per key across concurrent callers
+// — and caches a successful result. When the cache is disabled or the
+// request was not cleanly parseable, fill() runs directly.
+func (g *Gateway) cachedDo(ctx context.Context, info *proto.RouteInfo, fill func() (*Result, error)) (*Result, error) {
+	c := g.cache
+	if c == nil || !info.OK || len(info.ImageData) == 0 {
+		return fill()
+	}
+	key := c.keyFor(info)
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			c.metrics.CacheHits.Add(1)
+			return withCacheHeader(res, "hit"), nil
+		}
+		if fl, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if fl.err == nil && fl.res != nil {
+				c.metrics.CacheHits.Add(1)
+				return withCacheHeader(fl.res, "hit"), nil
+			}
+			// The leader failed; loop and contend to become the next
+			// leader rather than replaying its error (the failure may
+			// have been the leader's deadline, not ours).
+			continue
+		}
+		fl := &cacheFlight{done: make(chan struct{})}
+		c.flights[key] = fl
+		c.mu.Unlock()
+		c.metrics.CacheMisses.Add(1)
+
+		res, err := fill()
+		fl.res, fl.err = res, err
+		c.mu.Lock()
+		delete(c.flights, key)
+		if err == nil && res != nil && res.Status == http.StatusOK {
+			c.insertLocked(key, res)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		if err == nil && res != nil {
+			return withCacheHeader(res, "miss"), nil
+		}
+		return res, err
+	}
+}
+
+// insertLocked adds one successful response and evicts from the LRU tail
+// until the budget holds. An entry larger than the whole budget is not
+// cached at all.
+func (c *resultCache) insertLocked(key cacheKey, res *Result) {
+	size := int64(len(res.Body)) + cacheEntryOverhead
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res, size: size})
+	c.used += size
+	for c.used > c.budget {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.used -= e.size
+		c.metrics.CacheEvictions.Add(1)
+	}
+}
+
+// cacheEntryOverhead approximates per-entry bookkeeping (headers, key,
+// list element) charged against the byte budget.
+const cacheEntryOverhead = 256
+
+// withCacheHeader returns res with a copied header carrying the cache
+// verdict, leaving the shared cached Result unmutated.
+func withCacheHeader(res *Result, verdict string) *Result {
+	out := *res
+	out.Header = make(http.Header, len(res.Header)+1)
+	for k, v := range res.Header {
+		out.Header[k] = v
+	}
+	out.Header.Set("X-Wavegate-Cache", verdict)
+	return &out
+}
+
+// CacheStats reports the cache's current occupancy (0, 0 when caching is
+// disabled).
+func (g *Gateway) CacheStats() (entries int, bytes int64) {
+	if g.cache == nil {
+		return 0, 0
+	}
+	g.cache.mu.Lock()
+	defer g.cache.mu.Unlock()
+	return len(g.cache.entries), g.cache.used
+}

@@ -1,0 +1,226 @@
+package gateway
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/proto"
+)
+
+// cacheTestImage returns a small PGM body plus its decoded image for
+// driving the decompose cache through the HTTP surface.
+func cacheTestImage(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	return encodePGM(t, image.Landsat(8, 8, seed))
+}
+
+// TestCacheHitMissEviction exercises the full hit → miss → evict cycle
+// against a counting stub backend.
+func TestCacheHitMissEviction(t *testing.T) {
+	b := newStubBackend(t)
+	g := newTestGateway(t, Config{
+		Backends:   []string{b.srv.URL},
+		Seed:       11,
+		CacheBytes: 1 << 20,
+	})
+	pgmA := cacheTestImage(t, 1)
+	pgmB := cacheTestImage(t, 2)
+
+	r1 := postDecompose(t, g, "?bank=haar&levels=1", "", pgmA)
+	if r1.Code != http.StatusOK {
+		t.Fatalf("first request: status %d", r1.Code)
+	}
+	if got := r1.Header().Get("X-Wavegate-Cache"); got != "miss" {
+		t.Fatalf("first request: cache header %q, want miss", got)
+	}
+	r2 := postDecompose(t, g, "?bank=haar&levels=1", "", pgmA)
+	if got := r2.Header().Get("X-Wavegate-Cache"); got != "hit" {
+		t.Fatalf("repeat request: cache header %q, want hit", got)
+	}
+	if hits := b.hits.Load(); hits != 1 {
+		t.Fatalf("backend saw %d requests, want 1 (second answered from cache)", hits)
+	}
+
+	// A different image is a different content address.
+	r3 := postDecompose(t, g, "?bank=haar&levels=1", "", pgmB)
+	if got := r3.Header().Get("X-Wavegate-Cache"); got != "miss" {
+		t.Fatalf("different image: cache header %q, want miss", got)
+	}
+	// So are different parameters over the same image.
+	r4 := postDecompose(t, g, "?bank=db4&levels=1", "", pgmA)
+	if got := r4.Header().Get("X-Wavegate-Cache"); got != "miss" {
+		t.Fatalf("different bank: cache header %q, want miss", got)
+	}
+
+	if hits, misses := g.metrics.CacheHits.Value(), g.metrics.CacheMisses.Value(); hits != 1 || misses != 3 {
+		t.Fatalf("counters hits=%d misses=%d, want 1/3", hits, misses)
+	}
+	if entries, used := g.CacheStats(); entries != 3 || used <= 0 {
+		t.Fatalf("CacheStats() = %d entries, %d bytes; want 3 entries, >0 bytes", entries, used)
+	}
+}
+
+// TestCacheEvictionUnderByteBudget pins LRU eviction: a budget that fits
+// roughly one entry keeps only the most recent response.
+func TestCacheEvictionUnderByteBudget(t *testing.T) {
+	b := newStubBackend(t)
+	// The stub's "ok" body (2 bytes) + cacheEntryOverhead is the entry
+	// charge; a budget of one entry and a half forces every second insert
+	// to evict its predecessor.
+	g := newTestGateway(t, Config{
+		Backends:   []string{b.srv.URL},
+		Seed:       3,
+		CacheBytes: cacheEntryOverhead + cacheEntryOverhead/2,
+	})
+	pgmA := cacheTestImage(t, 1)
+	pgmB := cacheTestImage(t, 2)
+
+	postDecompose(t, g, "?bank=haar&levels=1", "", pgmA)
+	postDecompose(t, g, "?bank=haar&levels=1", "", pgmB) // evicts A
+	if evictions := g.metrics.CacheEvictions.Value(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if entries, _ := g.CacheStats(); entries != 1 {
+		t.Fatalf("entries = %d, want 1 after eviction", entries)
+	}
+	// A is gone: requesting it again is a miss that refills.
+	r := postDecompose(t, g, "?bank=haar&levels=1", "", pgmA)
+	if got := r.Header().Get("X-Wavegate-Cache"); got != "miss" {
+		t.Fatalf("evicted entry: cache header %q, want miss", got)
+	}
+	if hits := b.hits.Load(); hits != 3 {
+		t.Fatalf("backend saw %d requests, want 3", hits)
+	}
+}
+
+// TestCacheSingleflight collapses concurrent identical requests into one
+// backend round trip.
+func TestCacheSingleflight(t *testing.T) {
+	b := newStubBackend(t)
+	release := make(chan struct{})
+	b.setReply(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.Write([]byte("slow ok"))
+	})
+	g := newTestGateway(t, Config{
+		Backends:   []string{b.srv.URL},
+		Seed:       5,
+		CacheBytes: 1 << 20,
+	})
+	pgm := cacheTestImage(t, 9)
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			rec := postDecompose(t, g, "?bank=haar&levels=1", "", pgm)
+			codes[slot] = rec.Code
+		}(i)
+	}
+	// Let the leader reach the blocked backend, then release everyone.
+	for b.hits.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	if hits := b.hits.Load(); hits != 1 {
+		t.Fatalf("backend saw %d requests, want 1 (singleflight)", hits)
+	}
+	if misses := g.metrics.CacheMisses.Value(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if hits := g.metrics.CacheHits.Value(); hits != n-1 {
+		t.Fatalf("hits = %d, want %d (followers plus any post-fill arrivals)", hits, n-1)
+	}
+}
+
+// TestCacheSharedAcrossWireForms pins the content-address property: the
+// legacy PGM form and the v1 JSON form of the same request share one
+// cache entry because the key hashes the decoded image bytes.
+func TestCacheSharedAcrossWireForms(t *testing.T) {
+	b := newStubBackend(t)
+	g := newTestGateway(t, Config{
+		Backends:   []string{b.srv.URL},
+		Seed:       7,
+		CacheBytes: 1 << 20,
+	})
+	pgm := cacheTestImage(t, 4)
+
+	r1 := postDecompose(t, g, "?bank=db4&levels=2", "", pgm)
+	if got := r1.Header().Get("X-Wavegate-Cache"); got != "miss" {
+		t.Fatalf("legacy form: cache header %q, want miss", got)
+	}
+
+	body, err := proto.EncodeDecomposeJSON("db4", 2, 0, "", pgm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := postDecompose(t, g, "", proto.ContentTypeJSON, body)
+	if r2.Code != http.StatusOK {
+		t.Fatalf("json form: status %d: %s", r2.Code, r2.Body.String())
+	}
+	if got := r2.Header().Get("X-Wavegate-Cache"); got != "hit" {
+		t.Fatalf("json form: cache header %q, want hit (shared entry)", got)
+	}
+	if hits := b.hits.Load(); hits != 1 {
+		t.Fatalf("backend saw %d requests, want 1", hits)
+	}
+}
+
+// TestCacheSkipsErrors checks non-200 responses are never cached: the
+// next identical request retries the backend.
+func TestCacheSkipsErrors(t *testing.T) {
+	b := newStubBackend(t)
+	b.setReply(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad image", http.StatusBadRequest)
+	})
+	g := newTestGateway(t, Config{
+		Backends:   []string{b.srv.URL},
+		Seed:       13,
+		CacheBytes: 1 << 20,
+	})
+	pgm := cacheTestImage(t, 6)
+
+	r1 := postDecompose(t, g, "?bank=haar&levels=1", "", pgm)
+	if r1.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 forwarded", r1.Code)
+	}
+	r2 := postDecompose(t, g, "?bank=haar&levels=1", "", pgm)
+	if r2.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 forwarded", r2.Code)
+	}
+	if hits := b.hits.Load(); hits != 2 {
+		t.Fatalf("backend saw %d requests, want 2 (errors not cached)", hits)
+	}
+	if entries, _ := g.CacheStats(); entries != 0 {
+		t.Fatalf("entries = %d, want 0", entries)
+	}
+}
+
+// TestCacheDisabledBypasses checks a zero budget leaves caching off.
+func TestCacheDisabledBypasses(t *testing.T) {
+	b := newStubBackend(t)
+	g := newTestGateway(t, Config{Backends: []string{b.srv.URL}, Seed: 2})
+	pgm := cacheTestImage(t, 3)
+	for i := 0; i < 2; i++ {
+		rec := postDecompose(t, g, "?bank=haar&levels=1", "", pgm)
+		if got := rec.Header().Get("X-Wavegate-Cache"); got != "" {
+			t.Fatalf("request %d: unexpected cache header %q", i, got)
+		}
+	}
+	if hits := b.hits.Load(); hits != 2 {
+		t.Fatalf("backend saw %d requests, want 2 with caching off", hits)
+	}
+}

@@ -90,6 +90,22 @@ type Config struct {
 	ProbePath string
 	// ProbeTimeout bounds one probe (default 250ms).
 	ProbeTimeout time.Duration
+	// CacheBytes bounds the content-addressed result cache in bytes of
+	// cached response payload (0 disables caching). Identical decompose
+	// requests — same image bytes, bank, levels, tol, and output, in any
+	// wire form — are answered from the cache, and concurrent identical
+	// requests collapse into one backend round trip (singleflight).
+	CacheBytes int64
+	// TileRows enables distributed tile decomposition: a decompose
+	// request whose image has at least TileRows rows is split into row
+	// stripes with filter-length halos, fanned out across the backends,
+	// and stitched bit-identically to the single-node transform
+	// (0 disables tiling). The tiling path assumes backends run the
+	// default periodic extension.
+	TileRows int
+	// TileStripes is how many row stripes a tiled image splits into
+	// (0 = one per backend; capped by the image's decimated height).
+	TileStripes int
 	// Transport performs the backend round trips; nil selects a pooled
 	// http.Transport. The chaos suite injects its fault proxy here.
 	Transport http.RoundTripper
@@ -108,6 +124,11 @@ type RouteKey struct {
 	Rows, Cols int
 	Bank       string
 	Levels     int
+	// Shard decorrelates the rendezvous ranking of otherwise identical
+	// keys, so the tiling path's same-shape stripes spread across the
+	// fleet instead of piling onto one backend. Zero (the default)
+	// leaves the hash exactly as it was before sharding existed.
+	Shard int
 }
 
 // routeSalt decorrelates routing hashes from the jitter stream.
@@ -121,6 +142,9 @@ func (k RouteKey) hash(seed uint64) uint64 {
 	h = fault.SplitMix64(h ^ uint64(k.Levels)*0x94d049bb133111eb)
 	for i := 0; i < len(k.Bank); i++ {
 		h = fault.SplitMix64(h ^ uint64(k.Bank[i]))
+	}
+	if k.Shard != 0 {
+		h = fault.SplitMix64(h ^ uint64(k.Shard)*0xd6e8feb86659fd93)
 	}
 	return h
 }
@@ -136,6 +160,10 @@ type Request struct {
 	Query url.Values
 	// Body is the request payload (may be nil).
 	Body []byte
+	// ContentType is forwarded as the Content-Type header when non-empty,
+	// so backends can distinguish the proto wire forms (JSON, raster,
+	// legacy PGM).
+	ContentType string
 	// Key is the routing affinity; the zero key routes by request
 	// sequence number (spreading keyless traffic evenly).
 	Key RouteKey
@@ -175,6 +203,7 @@ type Gateway struct {
 	metrics   *Metrics
 	jit       *jitter
 	reqSeq    atomic.Uint64
+	cache     *resultCache
 
 	mu       sync.RWMutex // guards draining vs. admission
 	draining bool
@@ -203,6 +232,15 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.BreakerErrorRate < 0 || cfg.BreakerErrorRate > 1 {
 		return nil, badGatewayConfig("BreakerErrorRate = %g outside [0, 1]", cfg.BreakerErrorRate)
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, badGatewayConfig("CacheBytes = %d, want >= 0", cfg.CacheBytes)
+	}
+	if cfg.TileRows < 0 {
+		return nil, badGatewayConfig("TileRows = %d, want >= 0", cfg.TileRows)
+	}
+	if cfg.TileStripes < 0 {
+		return nil, badGatewayConfig("TileStripes = %d, want >= 0", cfg.TileStripes)
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 3
@@ -270,6 +308,9 @@ func New(cfg Config) (*Gateway, error) {
 		names[i] = u.String()
 	}
 	g.metrics = newGatewayMetrics(names)
+	if cfg.CacheBytes > 0 {
+		g.cache = newResultCache(cfg.CacheBytes, g.metrics)
+	}
 	bcfg := breakerConfig{
 		failures:   cfg.BreakerFailures,
 		errorRate:  cfg.BreakerErrorRate,
@@ -553,6 +594,9 @@ func (g *Gateway) roundTrip(ctx context.Context, b *backend, req *Request, timeo
 	if err != nil {
 		b.br.cancelTrial()
 		return nil, fmt.Errorf("gateway: building request for %s: %w", b.name, err)
+	}
+	if req.ContentType != "" {
+		hreq.Header.Set("Content-Type", req.ContentType)
 	}
 	resp, err := g.transport.RoundTrip(hreq)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"wavelethpc/internal/image"
+	"wavelethpc/internal/proto"
 )
 
 // noSleep records backoff waits without spending wall time.
@@ -569,6 +570,9 @@ func TestHandlerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSniffPGMShape exercises the shape sniffer (now shared via
+// internal/proto) against the routing-affinity cases this package cares
+// about.
 func TestSniffPGMShape(t *testing.T) {
 	cases := []struct {
 		in         string
@@ -585,9 +589,9 @@ func TestSniffPGMShape(t *testing.T) {
 		{"", 0, 0, false},
 	}
 	for _, c := range cases {
-		rows, cols, ok := sniffPGMShape([]byte(c.in))
+		rows, cols, ok := proto.SniffPGMShape([]byte(c.in))
 		if rows != c.rows || cols != c.cols || ok != c.ok {
-			t.Errorf("sniffPGMShape(%q) = (%d, %d, %v), want (%d, %d, %v)",
+			t.Errorf("SniffPGMShape(%q) = (%d, %d, %v), want (%d, %d, %v)",
 				c.in, rows, cols, ok, c.rows, c.cols, c.ok)
 		}
 	}
@@ -661,6 +665,10 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	b.Failures.Add(1)
 	b.Retries.Add(1)
 	b.BreakerOpened.Add(1)
+	m.CacheHits.Add(5)
+	m.CacheMisses.Add(4)
+	m.TiledRequests.Add(1)
+	m.TileStripes.Add(3)
 
 	var buf bytes.Buffer
 	if err := m.WriteProm(&buf); err != nil {
@@ -681,6 +689,21 @@ wavegate_no_backends_total 0
 # HELP wavegate_budget_exhausted_total requests cut short by the deadline budget
 # TYPE wavegate_budget_exhausted_total counter
 wavegate_budget_exhausted_total 0
+# HELP wavegate_cache_hits_total decompose requests answered from the result cache
+# TYPE wavegate_cache_hits_total counter
+wavegate_cache_hits_total 5
+# HELP wavegate_cache_misses_total decompose requests that filled the result cache
+# TYPE wavegate_cache_misses_total counter
+wavegate_cache_misses_total 4
+# HELP wavegate_cache_evictions_total cache entries evicted to hold the byte budget
+# TYPE wavegate_cache_evictions_total counter
+wavegate_cache_evictions_total 0
+# HELP wavegate_tiled_total decompose requests served by distributed tiling
+# TYPE wavegate_tiled_total counter
+wavegate_tiled_total 1
+# HELP wavegate_tile_stripes_total stripe sub-requests fanned out by tiling
+# TYPE wavegate_tile_stripes_total counter
+wavegate_tile_stripes_total 3
 # HELP wavegate_backend_requests_total attempts routed at the backend
 # TYPE wavegate_backend_requests_total counter
 wavegate_backend_requests_total{backend="http://a.example:1"} 2

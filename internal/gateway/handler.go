@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"wavelethpc/internal/proto"
 )
 
 // maxBodyBytes mirrors the serve layer's upload bound.
@@ -36,34 +38,52 @@ func (g *Gateway) Handler() http.Handler {
 
 func (g *Gateway) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a binary PGM body", http.StatusMethodNotAllowed)
+		proto.WriteError(w, proto.NewError(http.StatusMethodNotAllowed, proto.CodeMethodNotAllowed,
+			"POST a binary PGM body (or the v1 JSON form)"))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("reading body: %v", err), http.StatusBadRequest)
+		proto.WriteError(w, proto.NewError(http.StatusBadRequest, proto.CodeBadRequest,
+			"reading body: %v", err))
 		return
 	}
-	q := r.URL.Query()
-	key := RouteKey{Bank: q.Get("bank"), Levels: atoiOr(q.Get("levels"), 0)}
-	if key.Bank == "" {
-		key.Bank = q.Get("filter")
+	// The shared proto parser extracts routing affinity, the canonical
+	// decompose parameters, and the raw image payload from whichever wire
+	// form carried them. Parsing is best-effort: a malformed request just
+	// loses affinity, caching, and tiling, and is forwarded verbatim so
+	// the backend produces the authoritative diagnostic.
+	info := proto.ParseRouteInfo(r.URL.Query(), r.Header.Get("Content-Type"), body)
+	key := RouteKey{Bank: info.Bank, Levels: info.Levels}
+	if info.ShapeOK {
+		key.Rows, key.Cols = info.Rows, info.Cols
 	}
-	if rows, cols, ok := sniffPGMShape(body); ok {
-		key.Rows, key.Cols = rows, cols
-	}
-	res, err := g.Do(r.Context(), &Request{
-		Method: http.MethodPost,
-		Path:   "/v1/decompose",
-		Query:  q,
-		Body:   body,
-		Key:    key,
+	res, err := g.serveDecompose(r.Context(), &info, &Request{
+		Method:      http.MethodPost,
+		Path:        "/v1/decompose",
+		Query:       r.URL.Query(),
+		Body:        body,
+		ContentType: r.Header.Get("Content-Type"),
+		Key:         key,
 	})
 	if err != nil {
 		writeGatewayError(w, err)
 		return
 	}
 	forward(w, res)
+}
+
+// serveDecompose is the decompose routing pipeline behind the HTTP
+// surface: the content-addressed result cache (when configured) wraps
+// the distributed tiling path (when configured and the image is large
+// enough), which wraps plain single-backend routing.
+func (g *Gateway) serveDecompose(ctx context.Context, info *proto.RouteInfo, req *Request) (*Result, error) {
+	return g.cachedDo(ctx, info, func() (*Result, error) {
+		if g.shouldTile(info) {
+			return g.tiledDecompose(ctx, info)
+		}
+		return g.Do(ctx, req)
+	})
 }
 
 func (g *Gateway) handleBanks(w http.ResponseWriter, r *http.Request) {
@@ -87,32 +107,41 @@ func forward(w http.ResponseWriter, res *Result) {
 	if ra := res.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
+	if cv := res.Header.Get("X-Wavegate-Cache"); cv != "" {
+		w.Header().Set("X-Wavegate-Cache", cv)
+	}
 	w.Header().Set("X-Wavegate-Backend", res.Backend)
 	w.Header().Set("X-Wavegate-Attempts", strconv.Itoa(res.Attempts))
 	w.WriteHeader(res.Status)
 	w.Write(res.Body)
 }
 
-// writeGatewayError maps routing errors onto HTTP statuses: drain and
-// no-backends are 503 (with Retry-After for well-behaved clients), an
-// expired client deadline is 504, anything else 502.
+// writeGatewayError maps routing errors onto proto error envelopes:
+// drain and no-backends are 503 (with Retry-After for well-behaved
+// clients), an expired client deadline is 504, anything else 502 — each
+// with its stable machine-readable code.
 func writeGatewayError(w http.ResponseWriter, err error) {
+	proto.WriteError(w, gatewayErrorEnvelope(err))
+}
+
+func gatewayErrorEnvelope(err error) *proto.Error {
 	var nb *NoBackendsError
 	var be *BudgetError
 	switch {
 	case errors.Is(err, ErrDraining):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return proto.NewError(http.StatusServiceUnavailable, proto.CodeDraining, "%v", err)
 	case errors.As(err, &nb):
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		e := proto.NewError(http.StatusServiceUnavailable, proto.CodeNoBackends, "%v", err)
+		e.RetryAfterSec = 1
+		return e
 	case errors.As(err, &be):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return proto.NewError(http.StatusGatewayTimeout, proto.CodeBudget, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return proto.NewError(http.StatusGatewayTimeout, proto.CodeDeadline, "%v", err)
 	case errors.Is(err, context.Canceled):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return proto.NewError(http.StatusServiceUnavailable, proto.CodeCanceled, "%v", err)
 	default:
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		return proto.NewError(http.StatusBadGateway, proto.CodeBadGateway, "%v", err)
 	}
 }
 
@@ -153,61 +182,4 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	g.metrics.WriteProm(w)
-}
-
-func atoiOr(s string, def int) int {
-	if s == "" {
-		return def
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		return def
-	}
-	return n
-}
-
-// sniffPGMShape reads just enough of a binary PGM (P5) header to learn
-// the image shape for routing affinity — no pixel decoding, no
-// allocation. Malformed headers simply lose affinity (ok = false); the
-// backend will produce the real diagnostic.
-func sniffPGMShape(body []byte) (rows, cols int, ok bool) {
-	i := 0
-	if len(body) < 2 || body[0] != 'P' || body[1] != '5' {
-		return 0, 0, false
-	}
-	i = 2
-	next := func() (int, bool) {
-		for i < len(body) {
-			c := body[i]
-			if c == '#' {
-				for i < len(body) && body[i] != '\n' {
-					i++
-				}
-				continue
-			}
-			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
-				i++
-				continue
-			}
-			break
-		}
-		start := i
-		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
-			i++
-		}
-		if i == start || i-start > 9 {
-			return 0, false
-		}
-		n := 0
-		for _, c := range body[start:i] {
-			n = n*10 + int(c-'0')
-		}
-		return n, true
-	}
-	w, okW := next()
-	h, okH := next()
-	if !okW || !okH || w <= 0 || h <= 0 {
-		return 0, 0, false
-	}
-	return h, w, true
 }

@@ -49,6 +49,18 @@ type Metrics struct {
 	NoBackends serve.Counter
 	// BudgetExhausted counts requests cut short by the deadline budget.
 	BudgetExhausted serve.Counter
+	// CacheHits counts decompose requests answered from the
+	// content-addressed result cache (including singleflight followers).
+	CacheHits serve.Counter
+	// CacheMisses counts decompose requests that had to fill the cache.
+	CacheMisses serve.Counter
+	// CacheEvictions counts entries evicted to hold the byte budget.
+	CacheEvictions serve.Counter
+	// TiledRequests counts decompose requests served by the distributed
+	// tiling path.
+	TiledRequests serve.Counter
+	// TileStripes counts stripe sub-requests fanned out by tiling.
+	TileStripes serve.Counter
 	// Latency observes seconds from admission to final outcome.
 	Latency *serve.Histogram
 
@@ -118,6 +130,11 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 		{"wavegate_drained_total", "requests refused during drain", m.Drained.Value()},
 		{"wavegate_no_backends_total", "requests failed with NoBackendsError", m.NoBackends.Value()},
 		{"wavegate_budget_exhausted_total", "requests cut short by the deadline budget", m.BudgetExhausted.Value()},
+		{"wavegate_cache_hits_total", "decompose requests answered from the result cache", m.CacheHits.Value()},
+		{"wavegate_cache_misses_total", "decompose requests that filled the result cache", m.CacheMisses.Value()},
+		{"wavegate_cache_evictions_total", "cache entries evicted to hold the byte budget", m.CacheEvictions.Value()},
+		{"wavegate_tiled_total", "decompose requests served by distributed tiling", m.TiledRequests.Value()},
+		{"wavegate_tile_stripes_total", "stripe sub-requests fanned out by tiling", m.TileStripes.Value()},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",

@@ -1,0 +1,286 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/proto"
+	"wavelethpc/internal/serve"
+	"wavelethpc/internal/wavelet"
+)
+
+// newServeFleet starts n real in-process waveserved backends and
+// returns their URLs.
+func newServeFleet(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		s, err := serve.New(serve.Config{QueueDepth: 64, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			srv.Close()
+			s.Shutdown(context.Background())
+		})
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+// postDecompose drives the gateway's HTTP surface.
+func postDecompose(t *testing.T, g *Gateway, query, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/decompose"+query, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func encodePGM(t *testing.T, im *image.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := image.WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func requireBitsEqual(t *testing.T, label string, got, want *wavelet.Pyramid) {
+	t.Helper()
+	if got.Depth() != want.Depth() {
+		t.Fatalf("%s: depth %d, want %d", label, got.Depth(), want.Depth())
+	}
+	if !image.EqualBits(got.Approx, want.Approx) {
+		t.Fatalf("%s: approx band not bit-identical", label)
+	}
+	for i := range want.Levels {
+		if !image.EqualBits(got.Levels[i].LH, want.Levels[i].LH) ||
+			!image.EqualBits(got.Levels[i].HL, want.Levels[i].HL) ||
+			!image.EqualBits(got.Levels[i].HH, want.Levels[i].HH) {
+			t.Fatalf("%s: detail level %d not bit-identical", label, i)
+		}
+	}
+}
+
+// TestTiledBitIdentityEveryBank is the tentpole property: for every
+// catalog bank under periodic extension, across odd and even stripe
+// counts, the stitched distributed-tile pyramid is Float64bits-identical
+// to the single-node transform.
+func TestTiledBitIdentityEveryBank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet property test")
+	}
+	urls := newServeFleet(t, 3)
+	pgm := encodePGM(t, image.Landsat(32, 32, 9))
+	// The reference transform must see exactly what the gateway decodes:
+	// the PGM-quantized image, not the continuous Landsat floats.
+	im, err := image.ReadPGM(bytes.NewReader(pgm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const levels = 2
+	for _, name := range filter.Names() {
+		bank, err := filter.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wavelet.Decompose(im, bank, filter.Periodic, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, stripes := range []int{1, 2, 3, 5} {
+			g := newTestGateway(t, Config{
+				Backends:    urls,
+				Seed:        42,
+				TileRows:    1, // always tile
+				TileStripes: stripes,
+			})
+			rec := postDecompose(t, g,
+				"?bank="+name+"&levels=2&output=pyramid", "", pgm)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s S=%d: status %d: %s", name, stripes, rec.Code, rec.Body.String())
+			}
+			if got := rec.Header().Get("X-Wavegate-Backend"); got != "tiled" {
+				t.Fatalf("%s S=%d: backend %q, want tiled", name, stripes, got)
+			}
+			got, err := proto.DecodePyramid(rec.Body)
+			if err != nil {
+				t.Fatalf("%s S=%d: %v", name, stripes, err)
+			}
+			requireBitsEqual(t, name, got, want)
+			g.Shutdown(context.Background())
+		}
+	}
+}
+
+// TestTiledRasterInputAndOddShapes covers the raster wire form as
+// tiling input plus non-square and deeper shapes.
+func TestTiledRasterInputAndOddShapes(t *testing.T) {
+	urls := newServeFleet(t, 2)
+	bank, err := filter.ByName("bior4.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []struct{ rows, cols, levels int }{
+		{64, 16, 3},
+		{16, 64, 1},
+		{24, 40, 2},
+	} {
+		im := image.Landsat(shape.rows, shape.cols, uint64(shape.rows*shape.cols))
+		var raster bytes.Buffer
+		if err := proto.EncodeRaster(&raster, im); err != nil {
+			t.Fatal(err)
+		}
+		want, err := wavelet.Decompose(im, bank, filter.Periodic, shape.levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := newTestGateway(t, Config{Backends: urls, Seed: 7, TileRows: 1, TileStripes: 3})
+		rec := postDecompose(t, g,
+			"?bank=bior4.4&levels="+strconv.Itoa(shape.levels)+"&output=pyramid",
+			proto.ContentTypeRaster, raster.Bytes())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%dx%d L%d: status %d: %s", shape.rows, shape.cols, shape.levels, rec.Code, rec.Body.String())
+		}
+		got, err := proto.DecodePyramid(rec.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitsEqual(t, "raster", got, want)
+		g.Shutdown(context.Background())
+	}
+}
+
+// TestTiledRoundtripOutput checks the tiling path renders output forms
+// other than pyramid: the stitched reconstruction must reproduce the
+// input PGM byte for byte, like the single-node roundtrip.
+func TestTiledRoundtripOutput(t *testing.T) {
+	urls := newServeFleet(t, 2)
+	im := image.Landsat(32, 32, 5)
+	pgm := encodePGM(t, im)
+	g := newTestGateway(t, Config{Backends: urls, Seed: 1, TileRows: 1, TileStripes: 2})
+	rec := postDecompose(t, g, "?bank=db8&levels=2&output=roundtrip", "", pgm)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !bytes.Equal(rec.Body.Bytes(), pgm) {
+		t.Fatal("tiled roundtrip did not reproduce the input PGM")
+	}
+}
+
+// TestTilingFallsBackToForwarding pins the cases the coordinator must
+// NOT tile: requests it cannot fully understand are forwarded to a
+// single backend untouched.
+func TestTilingFallsBackToForwarding(t *testing.T) {
+	urls := newServeFleet(t, 2)
+	im := image.Landsat(16, 16, 2)
+	pgm := encodePGM(t, im)
+	g := newTestGateway(t, Config{Backends: urls, Seed: 3, TileRows: 8})
+
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"no explicit bank", "?levels=2&output=pyramid"},
+		{"no explicit levels", "?bank=db4&output=pyramid"},
+		{"lifting tier requested", "?bank=db4&levels=2&tol=0.01&output=pyramid"},
+		{"not decomposable", "?bank=db4&levels=5&output=pyramid"}, // 16x16 not 2^5-divisible
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postDecompose(t, g, tc.query, "", pgm)
+			if b := rec.Header().Get("X-Wavegate-Backend"); b == "tiled" {
+				t.Fatalf("request was tiled; want plain forwarding")
+			}
+		})
+	}
+
+	t.Run("below threshold", func(t *testing.T) {
+		small := image.Landsat(4, 4, 1)
+		rec := postDecompose(t, g, "?bank=db4&levels=1&output=pyramid", "", encodePGM(t, small))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if b := rec.Header().Get("X-Wavegate-Backend"); b == "tiled" {
+			t.Fatal("4-row image was tiled below the 8-row threshold")
+		}
+	})
+}
+
+// TestTiledMatchesSingleBackendWire checks tiled and non-tiled gateways
+// return byte-identical pyramid responses for the same request.
+func TestTiledMatchesSingleBackendWire(t *testing.T) {
+	urls := newServeFleet(t, 2)
+	im := image.Landsat(32, 32, 13)
+	pgm := encodePGM(t, im)
+	const query = "?bank=sym5&levels=2&output=pyramid"
+
+	tiled := newTestGateway(t, Config{Backends: urls, Seed: 5, TileRows: 1, TileStripes: 2})
+	plain := newTestGateway(t, Config{Backends: urls, Seed: 5})
+	rt := postDecompose(t, tiled, query, "", pgm)
+	rp := postDecompose(t, plain, query, "", pgm)
+	if rt.Code != http.StatusOK || rp.Code != http.StatusOK {
+		t.Fatalf("status tiled=%d plain=%d", rt.Code, rp.Code)
+	}
+	if !bytes.Equal(rt.Body.Bytes(), rp.Body.Bytes()) {
+		t.Fatal("tiled and single-backend pyramid responses differ on the wire")
+	}
+}
+
+// TestStripeShares pins the stripe split arithmetic.
+func TestStripeShares(t *testing.T) {
+	cases := []struct {
+		half, stripes int
+		want          []int
+	}{
+		{8, 3, []int{3, 3, 2}},
+		{8, 16, []int{1, 1, 1, 1, 1, 1, 1, 1}},
+		{1, 4, []int{1}},
+		{6, 1, []int{6}},
+		{7, 2, []int{4, 3}},
+	}
+	for _, tc := range cases {
+		got := stripeShares(tc.half, tc.stripes)
+		if len(got) != len(tc.want) {
+			t.Fatalf("stripeShares(%d, %d) = %v, want %v", tc.half, tc.stripes, got, tc.want)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("stripeShares(%d, %d) = %v, want %v", tc.half, tc.stripes, got, tc.want)
+			}
+			sum += got[i]
+		}
+		if sum != tc.half {
+			t.Fatalf("stripeShares(%d, %d) sums to %d", tc.half, tc.stripes, sum)
+		}
+	}
+}
+
+// TestExtractStripeWraps checks halo rows wrap modulo the level height —
+// the periodic extension reproduced at stripe granularity.
+func TestExtractStripeWraps(t *testing.T) {
+	im := image.New(4, 2)
+	for r := 0; r < 4; r++ {
+		im.Set(r, 0, float64(r))
+		im.Set(r, 1, float64(r))
+	}
+	s := extractStripe(im, 2, 6) // rows 2,3,0,1,2,3
+	wantRows := []float64{2, 3, 0, 1, 2, 3}
+	for m, want := range wantRows {
+		if s.At(m, 0) != want {
+			t.Fatalf("stripe row %d = %g, want %g", m, s.At(m, 0), want)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+	"wavelethpc/internal/wavelet"
+)
+
+// Binary codec magics. Both formats are little-endian, carry a version
+// byte after the magic, and store every coefficient as its raw float64
+// bit pattern — encode/decode round-trips are Float64bits-identical,
+// which is what lets the gateway's tiling path stitch sub-pyramids into
+// the exact single-node result.
+const (
+	rasterMagic  = "WRAS"
+	pyramidMagic = "WPYR"
+	codecVersion = 1
+)
+
+// Codec size limits, aligned with the PGM reader's: a hostile header
+// cannot provoke a huge allocation.
+const (
+	maxCodecDim    = 1 << 16
+	maxCodecPixels = 1 << 24
+)
+
+// CodecError is the typed decode failure of the binary codecs.
+type CodecError struct {
+	Format string // "raster" or "pyramid"
+	Reason string
+}
+
+func (e *CodecError) Error() string {
+	return fmt.Sprintf("proto: bad %s payload: %s", e.Format, e.Reason)
+}
+
+func codecErr(format, reason string, args ...any) error {
+	return &CodecError{Format: format, Reason: fmt.Sprintf(reason, args...)}
+}
+
+// EncodeRaster writes im in the exact float64 raster form:
+//
+//	"WRAS" | version byte | uvarint rows | uvarint cols |
+//	rows*cols float64 bit patterns, row-major, little-endian
+func EncodeRaster(w io.Writer, im *image.Image) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(rasterMagic)
+	bw.WriteByte(codecVersion)
+	writeUvarint(bw, uint64(im.Rows))
+	writeUvarint(bw, uint64(im.Cols))
+	var scratch [8]byte
+	for r := 0; r < im.Rows; r++ {
+		for _, v := range im.Row(r) {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			bw.Write(scratch[:])
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeRaster inverts EncodeRaster.
+func DecodeRaster(r io.Reader) (*image.Image, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, rasterMagic, "raster"); err != nil {
+		return nil, err
+	}
+	rows, err := readDim(br, "raster", "rows")
+	if err != nil {
+		return nil, err
+	}
+	cols, err := readDim(br, "raster", "cols")
+	if err != nil {
+		return nil, err
+	}
+	if rows*cols > maxCodecPixels {
+		return nil, codecErr("raster", "%dx%d exceeds %d pixels", rows, cols, maxCodecPixels)
+	}
+	im := image.New(rows, cols)
+	if err := readFloats(br, im.Pix, "raster"); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// SniffRasterShape reads a raster header from a buffered body without
+// touching the pixels.
+func SniffRasterShape(body []byte) (rows, cols int, ok bool) {
+	if len(body) < len(rasterMagic)+1 || string(body[:len(rasterMagic)]) != rasterMagic ||
+		body[len(rasterMagic)] != codecVersion {
+		return 0, 0, false
+	}
+	rest := body[len(rasterMagic)+1:]
+	r, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	c, m := binary.Uvarint(rest[n:])
+	if m <= 0 {
+		return 0, 0, false
+	}
+	if r == 0 || c == 0 || r > maxCodecDim || c > maxCodecDim {
+		return 0, 0, false
+	}
+	return int(r), int(c), true
+}
+
+// EncodePyramid writes p in the exact binary pyramid form:
+//
+//	"WPYR" | version byte | uvarint len(bank name) | bank name |
+//	extension byte | uvarint levels | uvarint approx rows | uvarint
+//	approx cols | approx floats | per level coarsest-first: LH, HL, HH
+//	floats
+//
+// Band dimensions are not stored: Levels[i] bands are approx<<i on each
+// axis by construction, so everything derives from the approx shape.
+func EncodePyramid(w io.Writer, p *wavelet.Pyramid) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(pyramidMagic)
+	bw.WriteByte(codecVersion)
+	writeUvarint(bw, uint64(len(p.Bank.Name)))
+	bw.WriteString(p.Bank.Name)
+	bw.WriteByte(byte(p.Ext))
+	writeUvarint(bw, uint64(len(p.Levels)))
+	writeUvarint(bw, uint64(p.Approx.Rows))
+	writeUvarint(bw, uint64(p.Approx.Cols))
+	writeBand(bw, p.Approx)
+	for _, d := range p.Levels {
+		writeBand(bw, d.LH)
+		writeBand(bw, d.HL)
+		writeBand(bw, d.HH)
+	}
+	return bw.Flush()
+}
+
+// DecodePyramid inverts EncodePyramid, resolving the bank against the
+// catalog.
+func DecodePyramid(r io.Reader) (*wavelet.Pyramid, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, pyramidMagic, "pyramid"); err != nil {
+		return nil, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen == 0 || nameLen > 64 {
+		return nil, codecErr("pyramid", "bad bank name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, codecErr("pyramid", "truncated bank name")
+	}
+	bank, err := filter.ByName(string(name))
+	if err != nil {
+		return nil, codecErr("pyramid", "%v", err)
+	}
+	extByte, err := br.ReadByte()
+	if err != nil || extByte > byte(filter.Zero) {
+		return nil, codecErr("pyramid", "bad extension byte")
+	}
+	levels, err := binary.ReadUvarint(br)
+	if err != nil || levels < 1 || levels > 24 {
+		return nil, codecErr("pyramid", "bad levels")
+	}
+	ar, err2 := readDim(br, "pyramid", "approx rows")
+	if err2 != nil {
+		return nil, err2
+	}
+	ac, err2 := readDim(br, "pyramid", "approx cols")
+	if err2 != nil {
+		return nil, err2
+	}
+	// The original image is approx<<levels per axis; bound it like any
+	// other decoded raster.
+	if ar<<levels > maxCodecDim || ac<<levels > maxCodecDim ||
+		(ar<<levels)*(ac<<levels) > maxCodecPixels {
+		return nil, codecErr("pyramid", "%dx%d approx at %d levels exceeds size limits", ar, ac, levels)
+	}
+	p := &wavelet.Pyramid{
+		Bank:   bank,
+		Ext:    filter.Extension(extByte),
+		Approx: image.New(ar, ac),
+		Levels: make([]wavelet.DetailBands, levels),
+	}
+	if err := readFloats(br, p.Approx.Pix, "pyramid"); err != nil {
+		return nil, err
+	}
+	for i := range p.Levels {
+		br2, bc2 := ar<<i, ac<<i
+		d := wavelet.DetailBands{LH: image.New(br2, bc2), HL: image.New(br2, bc2), HH: image.New(br2, bc2)}
+		for _, b := range []*image.Image{d.LH, d.HL, d.HH} {
+			if err := readFloats(br, b.Pix, "pyramid"); err != nil {
+				return nil, err
+			}
+		}
+		p.Levels[i] = d
+	}
+	return p, nil
+}
+
+// WriteDecomposeResponse renders a finished pyramid onto w in the
+// requested output form — the one response-encoding path shared by the
+// serve layer and the gateway's tiling coordinator.
+func WriteDecomposeResponse(w http.ResponseWriter, p *wavelet.Pyramid, output string) error {
+	switch output {
+	case OutputRoundtrip:
+		w.Header().Set("Content-Type", ContentTypePGM)
+		return image.WritePGM(w, wavelet.Reconstruct(p))
+	case OutputPyramid:
+		w.Header().Set("Content-Type", ContentTypePyramid)
+		return EncodePyramid(w, p)
+	default: // OutputMosaic
+		out := p.Mosaic()
+		out.Normalize(0, 255)
+		w.Header().Set("Content-Type", ContentTypePGM)
+		return image.WritePGM(w, out)
+	}
+}
+
+func writeBand(bw *bufio.Writer, im *image.Image) {
+	var scratch [8]byte
+	for r := 0; r < im.Rows; r++ {
+		for _, v := range im.Row(r) {
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+			bw.Write(scratch[:])
+		}
+	}
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func expectMagic(br *bufio.Reader, magic, format string) error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return codecErr(format, "truncated header")
+	}
+	if string(hdr[:4]) != magic {
+		return codecErr(format, "bad magic %q", hdr[:4])
+	}
+	if hdr[4] != codecVersion {
+		return codecErr(format, "unsupported version %d", hdr[4])
+	}
+	return nil
+}
+
+func readDim(br *bufio.Reader, format, what string) (int, error) {
+	v, err := binary.ReadUvarint(br)
+	if err != nil || v == 0 || v > maxCodecDim {
+		return 0, codecErr(format, "bad %s", what)
+	}
+	return int(v), nil
+}
+
+func readFloats(br *bufio.Reader, dst []float64, format string) error {
+	var scratch [8]byte
+	for i := range dst {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return codecErr(format, "truncated pixel data")
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+	}
+	return nil
+}

@@ -1,0 +1,511 @@
+// Package proto is the shared wire protocol of the decomposition
+// services: the one place the serve layer (internal/serve), the shard
+// gateway (internal/gateway), and the typed Go client (package client)
+// agree on how a decompose request, its response forms, and its error
+// envelope look on the wire.
+//
+// A /v1/decompose request arrives in one of three body forms, selected
+// by Content-Type:
+//
+//   - legacy binary PGM (any Content-Type not listed below): the body
+//     is a P5 PGM and the decompose parameters ride in the query string
+//     (filter/bank, levels, tol, output) — the PR 5/PR 7 form, kept
+//     compatible forever and pinned by the legacy-compat test suites;
+//   - application/json: the versioned v1 JSON form — a single
+//     {"v":1, "bank":…, "levels":…, "tol":…, "output":…, "image_pgm":…}
+//     document with the PGM bytes base64-encoded by encoding/json.
+//     Query parameters and the JSON form are mutually exclusive;
+//   - application/x-wavelet-raster: the exact float64 raster codec
+//     (EncodeRaster), used by the gateway's distributed tiling path
+//     where 8-bit PGM would truncate intermediate coefficients.
+//
+// Responses come back as a PGM (output=mosaic or roundtrip) or as the
+// exact binary pyramid codec (output=pyramid, EncodePyramid) whose
+// float64 bit patterns round-trip untouched. Errors are a versioned
+// JSON envelope carrying a stable machine-readable code (Error); the
+// HTTP status keys the transport behavior, the code the semantics.
+package proto
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"wavelethpc/internal/filter"
+	"wavelethpc/internal/image"
+)
+
+// Version is the wire protocol version spoken by this package. Version
+// bumps are deliberate events: the golden wire-compat tests pin every
+// v1 surface byte for byte.
+const Version = 1
+
+// Content types of the request and response bodies.
+const (
+	// ContentTypePGM is the binary P5 PGM form (legacy request body,
+	// mosaic/roundtrip response body).
+	ContentTypePGM = "image/x-portable-graymap"
+	// ContentTypeJSON is the versioned v1 JSON request form.
+	ContentTypeJSON = "application/json"
+	// ContentTypeRaster is the exact float64 raster request form
+	// (EncodeRaster/DecodeRaster).
+	ContentTypeRaster = "application/x-wavelet-raster"
+	// ContentTypePyramid is the exact binary pyramid response form
+	// (EncodePyramid/DecodePyramid).
+	ContentTypePyramid = "application/x-wavelet-pyramid"
+)
+
+// Output forms of a decompose response.
+const (
+	// OutputMosaic renders the classical pyramid mosaic normalized to
+	// [0, 255] as a PGM (the default; lossy by construction).
+	OutputMosaic = "mosaic"
+	// OutputRoundtrip reconstructs the pyramid and returns the
+	// reconstruction as a PGM (byte-exact for integer-valued input).
+	OutputRoundtrip = "roundtrip"
+	// OutputPyramid returns the exact binary pyramid codec: every
+	// float64 coefficient bit-identical to the in-process transform.
+	OutputPyramid = "pyramid"
+)
+
+// Stable error codes carried by the Error envelope. Clients branch on
+// these, never on message text or HTTP status alone.
+const (
+	// CodeBadRequest marks client-side misuse: malformed image, unknown
+	// bank, invalid levels/tol/output (HTTP 400, serve *UsageError).
+	CodeBadRequest = "bad_request"
+	// CodeMethodNotAllowed marks a wrong HTTP method (HTTP 405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverload marks a full admission queue (HTTP 503 + Retry-After,
+	// serve *OverloadError).
+	CodeOverload = "overload"
+	// CodeDraining marks a server or gateway refusing work because
+	// shutdown has begun (HTTP 503, serve ErrStopped / gateway
+	// ErrDraining).
+	CodeDraining = "draining"
+	// CodeDeadline marks an expired request deadline (HTTP 504).
+	CodeDeadline = "deadline_exceeded"
+	// CodeCanceled marks a canceled request context (HTTP 503).
+	CodeCanceled = "canceled"
+	// CodeBudget marks a gateway retry loop cut short by the deadline
+	// budget (HTTP 504, gateway *BudgetError).
+	CodeBudget = "budget_exhausted"
+	// CodeNoBackends marks a gateway with no routable backend (HTTP 503
+	// + Retry-After, gateway *NoBackendsError).
+	CodeNoBackends = "no_backends"
+	// CodeInternal marks an unclassified server-side failure (HTTP 500).
+	CodeInternal = "internal"
+	// CodeBadGateway marks an unclassified gateway routing failure
+	// (HTTP 502).
+	CodeBadGateway = "bad_gateway"
+)
+
+// Error is the machine-readable error envelope every HTTP surface
+// returns: a stable code for programs, a message for humans. It
+// implements error so the layers can thread it through typed-error
+// plumbing.
+type Error struct {
+	// V is the envelope version (Version).
+	V int `json:"v"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+	// RetryAfterSec mirrors the Retry-After header for well-behaved
+	// clients (0 = absent).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+
+	// Status is the HTTP status the envelope travels with. It is not
+	// serialized: the transport already carries it.
+	Status int `json:"-"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Message }
+
+// NewError builds an envelope.
+func NewError(status int, code, format string, args ...any) *Error {
+	return &Error{V: Version, Code: code, Message: fmt.Sprintf(format, args...), Status: status}
+}
+
+// badRequest is the 400 shorthand.
+func badRequest(format string, args ...any) *Error {
+	return NewError(http.StatusBadRequest, CodeBadRequest, format, args...)
+}
+
+// WriteError renders the envelope onto w: JSON body, matching status,
+// and a Retry-After header when the envelope asks for one.
+func WriteError(w http.ResponseWriter, e *Error) {
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	if e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSec))
+	}
+	status := e.Status
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	w.WriteHeader(status)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}
+
+// DecodeError parses an error envelope from a response body, attaching
+// the transport status. A body that is not an envelope (a legacy plain
+// text error, a proxy page) yields a best-effort envelope wrapping the
+// raw text so clients always get a typed error.
+func DecodeError(status int, body []byte) *Error {
+	var e Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Code != "" {
+		e.Status = status
+		return &e
+	}
+	return &Error{
+		V:       Version,
+		Code:    CodeInternal,
+		Message: strings.TrimSpace(string(body)),
+		Status:  status,
+	}
+}
+
+// DecomposeRequest is a fully parsed decompose request, independent of
+// which wire form carried it.
+type DecomposeRequest struct {
+	// Bank is the resolved filter bank; nil selects the server default.
+	Bank *filter.Bank
+	// BankName is the requested bank name ("" = server default).
+	BankName string
+	// Levels is the decomposition depth (0 = server default).
+	Levels int
+	// Tol is the lifting-tier drift tolerance (0 = bit-identical
+	// convolution tier). Range validation beyond syntax happens in the
+	// service, which owns the typed *UsageError.
+	Tol float64
+	// Output is the response form, always one of the Output* constants.
+	Output string
+	// Image is the decoded raster.
+	Image *image.Image
+}
+
+// decomposeWire is the v1 JSON request document. image_pgm carries the
+// binary PGM bytes, base64-encoded by encoding/json's []byte rule.
+type decomposeWire struct {
+	V        int     `json:"v"`
+	Bank     string  `json:"bank,omitempty"`
+	Levels   int     `json:"levels,omitempty"`
+	Tol      float64 `json:"tol,omitempty"`
+	Output   string  `json:"output,omitempty"`
+	ImagePGM []byte  `json:"image_pgm"`
+}
+
+// EncodeDecomposeJSON renders the v1 JSON request body for an image
+// already encoded as PGM bytes. The typed client uses it; the golden
+// wire-compat test pins its output byte for byte.
+func EncodeDecomposeJSON(bankName string, levels int, tol float64, output string, imagePGM []byte) ([]byte, error) {
+	return json.Marshal(decomposeWire{
+		V:        Version,
+		Bank:     bankName,
+		Levels:   levels,
+		Tol:      tol,
+		Output:   output,
+		ImagePGM: imagePGM,
+	})
+}
+
+// decomposeParams are the query parameters of the legacy form; their
+// presence alongside the JSON body form is a conflict.
+var decomposeParams = []string{"filter", "bank", "levels", "tol", "output"}
+
+// MediaType strips any parameters (charset and the like) from a
+// Content-Type header value.
+func MediaType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(ct))
+}
+
+// ParseDecompose parses a /v1/decompose HTTP request in any of the
+// three wire forms, bounding the body read at maxBody bytes. It is the
+// single request-parsing path shared by the serve layer and the
+// gateway's tiling coordinator; every validation failure is a typed
+// *Error envelope ready for WriteError.
+func ParseDecompose(w http.ResponseWriter, r *http.Request, maxBody int64) (*DecomposeRequest, *Error) {
+	if r.Method != http.MethodPost {
+		return nil, NewError(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"POST a binary PGM body (or the v1 JSON form)")
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	switch MediaType(r.Header.Get("Content-Type")) {
+	case ContentTypeJSON:
+		return parseDecomposeJSON(body, r.URL.Query())
+	case ContentTypeRaster:
+		im, err := DecodeRaster(body)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return decomposeFromQuery(r.URL.Query(), im)
+	default:
+		// Legacy form: the body is the PGM, whatever the Content-Type
+		// (curl's --data-binary default included).
+		im, err := image.ReadPGM(body)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return decomposeFromQuery(r.URL.Query(), im)
+	}
+}
+
+// decomposeFromQuery folds the legacy query parameters around a decoded
+// image.
+func decomposeFromQuery(q url.Values, im *image.Image) (*DecomposeRequest, *Error) {
+	req := &DecomposeRequest{Image: im}
+	name := q.Get("filter")
+	if b := q.Get("bank"); b != "" {
+		if name != "" && b != name {
+			return nil, badRequest("conflicting filter=%q and bank=%q", name, b)
+		}
+		name = b
+	}
+	if perr := req.setBank(name); perr != nil {
+		return nil, perr
+	}
+	if lv := q.Get("levels"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 1 {
+			return nil, badRequest("bad levels %q", lv)
+		}
+		req.Levels = n
+	}
+	if tv := q.Get("tol"); tv != "" {
+		eps, err := strconv.ParseFloat(tv, 64)
+		if err != nil {
+			return nil, badRequest("bad tol %q", tv)
+		}
+		req.Tol = eps
+	}
+	if perr := req.setOutput(q.Get("output")); perr != nil {
+		return nil, perr
+	}
+	return req, nil
+}
+
+// parseDecomposeJSON parses the v1 JSON body form.
+func parseDecomposeJSON(body io.Reader, q url.Values) (*DecomposeRequest, *Error) {
+	for _, p := range decomposeParams {
+		if q.Get(p) != "" {
+			return nil, badRequest("query parameter %q conflicts with the JSON body form", p)
+		}
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, badRequest("reading body: %v", err)
+	}
+	var wire decomposeWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, badRequest("bad JSON request body: %v", err)
+	}
+	if wire.V != Version {
+		return nil, badRequest("unsupported protocol version %d (this server speaks v%d)", wire.V, Version)
+	}
+	if len(wire.ImagePGM) == 0 {
+		return nil, badRequest("missing image_pgm")
+	}
+	im, err := image.ReadPGM(bytes.NewReader(wire.ImagePGM))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if wire.Levels < 0 {
+		return nil, badRequest("bad levels %d", wire.Levels)
+	}
+	req := &DecomposeRequest{Image: im, Levels: wire.Levels, Tol: wire.Tol}
+	if perr := req.setBank(wire.Bank); perr != nil {
+		return nil, perr
+	}
+	if perr := req.setOutput(wire.Output); perr != nil {
+		return nil, perr
+	}
+	return req, nil
+}
+
+// setBank resolves a bank name ("" = server default) against the
+// catalog; the unknown-bank diagnostic lists the full catalog (the
+// filter.ByName error).
+func (r *DecomposeRequest) setBank(name string) *Error {
+	if name == "" {
+		return nil
+	}
+	bank, err := filter.ByName(name)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	r.Bank = bank
+	r.BankName = name
+	return nil
+}
+
+// setOutput validates and defaults the output form.
+func (r *DecomposeRequest) setOutput(output string) *Error {
+	if output == "" {
+		output = OutputMosaic
+	}
+	switch output {
+	case OutputMosaic, OutputRoundtrip, OutputPyramid:
+		r.Output = output
+		return nil
+	default:
+		return badRequest("bad output %q (mosaic, roundtrip, or pyramid)", output)
+	}
+}
+
+// RouteInfo is the gateway's view of a decompose request: everything
+// shape-aware routing, the content-addressed cache, and the tiling
+// coordinator need, extracted without decoding pixels where possible.
+// Parsing is best-effort by design — a malformed request loses routing
+// affinity and caching (OK/ShapeOK false) and is forwarded verbatim, so
+// the backend produces the authoritative diagnostic.
+type RouteInfo struct {
+	// Bank, Levels, Tol, Output are the canonical decompose parameters.
+	Bank   string
+	Levels int
+	Tol    float64
+	Output string
+	// Rows, Cols are the image shape; valid only when ShapeOK.
+	Rows, Cols int
+	ShapeOK    bool
+	// ImageData is the raw image payload (PGM or raster bytes) the
+	// content-addressed cache hashes: identical images produce identical
+	// ImageData regardless of which wire form carried them (the JSON
+	// form's base64 layer is stripped).
+	ImageData []byte
+	// OK reports that every parameter parsed cleanly; the cache and the
+	// tiling path engage only then.
+	OK bool
+}
+
+// ParseRouteInfo extracts RouteInfo from a buffered request body plus
+// its query and Content-Type. It never fails: unparseable requests
+// return OK=false.
+func ParseRouteInfo(q url.Values, contentType string, body []byte) RouteInfo {
+	var info RouteInfo
+	switch MediaType(contentType) {
+	case ContentTypeJSON:
+		var wire decomposeWire
+		if err := json.Unmarshal(body, &wire); err != nil || wire.V != Version {
+			return info
+		}
+		for _, p := range decomposeParams {
+			if q.Get(p) != "" {
+				return info
+			}
+		}
+		info.Bank = wire.Bank
+		info.Levels = wire.Levels
+		info.Tol = wire.Tol
+		info.Output = wire.Output
+		info.ImageData = wire.ImagePGM
+		info.Rows, info.Cols, info.ShapeOK = SniffPGMShape(wire.ImagePGM)
+		info.OK = wire.Levels >= 0
+	case ContentTypeRaster:
+		if !routeParamsFromQuery(&info, q) {
+			return info
+		}
+		info.ImageData = body
+		info.Rows, info.Cols, info.ShapeOK = SniffRasterShape(body)
+		info.OK = true
+	default:
+		if !routeParamsFromQuery(&info, q) {
+			return info
+		}
+		info.ImageData = body
+		info.Rows, info.Cols, info.ShapeOK = SniffPGMShape(body)
+		info.OK = true
+	}
+	if info.Output == "" {
+		info.Output = OutputMosaic
+	}
+	return info
+}
+
+// routeParamsFromQuery fills the canonical parameters from the legacy
+// query form, reporting false on any syntax error.
+func routeParamsFromQuery(info *RouteInfo, q url.Values) bool {
+	name := q.Get("filter")
+	if b := q.Get("bank"); b != "" {
+		if name != "" && b != name {
+			return false
+		}
+		name = b
+	}
+	info.Bank = name
+	if lv := q.Get("levels"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 1 {
+			return false
+		}
+		info.Levels = n
+	}
+	if tv := q.Get("tol"); tv != "" {
+		eps, err := strconv.ParseFloat(tv, 64)
+		if err != nil {
+			return false
+		}
+		info.Tol = eps
+	}
+	info.Output = q.Get("output")
+	return true
+}
+
+// SniffPGMShape reads just enough of a binary PGM (P5) header to learn
+// the image shape — no pixel decoding, no allocation. Malformed headers
+// report ok = false; whoever decodes the pixels produces the real
+// diagnostic.
+func SniffPGMShape(body []byte) (rows, cols int, ok bool) {
+	i := 0
+	if len(body) < 2 || body[0] != 'P' || body[1] != '5' {
+		return 0, 0, false
+	}
+	i = 2
+	next := func() (int, bool) {
+		for i < len(body) {
+			c := body[i]
+			if c == '#' {
+				for i < len(body) && body[i] != '\n' {
+					i++
+				}
+				continue
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				i++
+				continue
+			}
+			break
+		}
+		start := i
+		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+			i++
+		}
+		if i == start || i-start > 9 {
+			return 0, false
+		}
+		n := 0
+		for _, c := range body[start:i] {
+			n = n*10 + int(c-'0')
+		}
+		return n, true
+	}
+	w, okW := next()
+	h, okH := next()
+	if !okW || !okH || w <= 0 || h <= 0 {
+		return 0, 0, false
+	}
+	return h, w, true
+}

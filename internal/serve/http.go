@@ -6,10 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 
 	"wavelethpc/internal/filter"
-	"wavelethpc/internal/image"
+	"wavelethpc/internal/proto"
 	"wavelethpc/internal/wavelet"
 )
 
@@ -20,14 +19,21 @@ const maxBodyBytes = 32 << 20
 
 // Handler returns the service's HTTP surface:
 //
-//	POST /v1/decompose  PGM (binary P5) in, PGM out.
-//	                    Query: filter or bank (any registered bank name,
-//	                    e.g. db4, sym6, bior4.4; default server),
-//	                    levels (default server),
-//	                    tol (relative drift tolerance opting into the
-//	                    lifting fast tier; default 0 = bit-identical,
-//	                    negative/NaN/Inf rejected with 400),
-//	                    output=mosaic|roundtrip (default mosaic).
+//	POST /v1/decompose  One request, three wire forms (internal/proto):
+//	                    legacy binary PGM body with query params
+//	                    (filter or bank — any registered bank name, e.g.
+//	                    db4, sym6, bior4.4, default server; levels,
+//	                    default server; tol — relative drift tolerance
+//	                    opting into the lifting fast tier, default 0 =
+//	                    bit-identical, negative/NaN/Inf rejected with
+//	                    400; output=mosaic|roundtrip|pyramid, default
+//	                    mosaic), the versioned v1 JSON body form
+//	                    (Content-Type: application/json), or the exact
+//	                    float64 raster form (application/x-wavelet-raster,
+//	                    used by the gateway tiling path). Responses are
+//	                    PGM (mosaic/roundtrip) or the exact binary
+//	                    pyramid codec (output=pyramid); errors are the
+//	                    proto JSON envelope with a stable code field.
 //	GET  /v1/banks      Registered bank names, one per line.
 //	GET  /healthz       200 "ok" while accepting work, 503 after Shutdown
 //	                    (liveness: is the process worth talking to at all).
@@ -55,102 +61,55 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a binary PGM body", http.StatusMethodNotAllowed)
+	// All request parsing — wire-form detection, query params, JSON
+	// envelope, image decoding — lives in internal/proto, shared with the
+	// gateway. Tolerance range validation (negative, NaN, Inf) stays in
+	// Do, which rejects with a typed *wavelet.UsageError mapped to 400.
+	preq, perr := proto.ParseDecompose(w, r, maxBodyBytes)
+	if perr != nil {
+		proto.WriteError(w, perr)
 		return
 	}
-	req := Request{}
-	q := r.URL.Query()
-	name := q.Get("filter")
-	if b := q.Get("bank"); b != "" {
-		if name != "" && b != name {
-			http.Error(w, fmt.Sprintf("conflicting filter=%q and bank=%q", name, b), http.StatusBadRequest)
-			return
-		}
-		name = b
-	}
-	if name != "" {
-		bank, err := filter.ByName(name)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		req.Bank = bank
-	}
-	if lv := q.Get("levels"); lv != "" {
-		n, err := strconv.Atoi(lv)
-		if err != nil || n < 1 {
-			http.Error(w, fmt.Sprintf("bad levels %q", lv), http.StatusBadRequest)
-			return
-		}
-		req.Levels = n
-	}
-	if tv := q.Get("tol"); tv != "" {
-		eps, err := strconv.ParseFloat(tv, 64)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad tol %q", tv), http.StatusBadRequest)
-			return
-		}
-		// Range validation (negative, NaN, Inf) happens in Do, which
-		// rejects with a typed *wavelet.UsageError mapped to 400.
-		req.Tolerance = eps
-	}
-	output := q.Get("output")
-	if output == "" {
-		output = "mosaic"
-	}
-	if output != "mosaic" && output != "roundtrip" {
-		http.Error(w, fmt.Sprintf("bad output %q (mosaic or roundtrip)", output), http.StatusBadRequest)
-		return
-	}
-	im, err := image.ReadPGM(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	res, err := s.Do(r.Context(), Request{
+		Image:     preq.Image,
+		Bank:      preq.Bank,
+		Levels:    preq.Levels,
+		Tolerance: preq.Tol,
+	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	req.Image = im
-
-	res, err := s.Do(r.Context(), req)
-	if err != nil {
-		writeDoError(w, err)
+		proto.WriteError(w, DoErrorEnvelope(err))
 		return
 	}
 	defer res.Close()
-	var out *image.Image
-	switch output {
-	case "roundtrip":
-		out = wavelet.Reconstruct(res.Pyramid)
-	default:
-		out = res.Pyramid.Mosaic()
-		out.Normalize(0, 255)
-	}
-	w.Header().Set("Content-Type", "image/x-portable-graymap")
-	if err := image.WritePGM(w, out); err != nil {
+	if err := proto.WriteDecomposeResponse(w, res.Pyramid, preq.Output); err != nil {
 		// Headers are gone; nothing more to do than drop the conn.
 		return
 	}
 }
 
-// writeDoError maps service errors onto HTTP statuses: overload and
-// shutdown are 503 (overload with Retry-After so well-behaved clients
-// back off), an expired deadline is 504, client-side misuse is 400.
-func writeDoError(w http.ResponseWriter, err error) {
+// DoErrorEnvelope maps a Do error onto the proto error envelope:
+// overload and shutdown are 503 (overload with Retry-After so
+// well-behaved clients back off), an expired deadline is 504,
+// client-side misuse is 400 — each with its stable machine-readable
+// code.
+func DoErrorEnvelope(err error) *proto.Error {
 	var oe *OverloadError
 	var ue *wavelet.UsageError
 	switch {
 	case errors.As(err, &oe):
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		e := proto.NewError(http.StatusServiceUnavailable, proto.CodeOverload, "%v", err)
+		e.RetryAfterSec = 1
+		return e
 	case errors.Is(err, ErrStopped):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return proto.NewError(http.StatusServiceUnavailable, proto.CodeDraining, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return proto.NewError(http.StatusGatewayTimeout, proto.CodeDeadline, "%v", err)
 	case errors.Is(err, context.Canceled):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return proto.NewError(http.StatusServiceUnavailable, proto.CodeCanceled, "%v", err)
 	case errors.As(err, &ue):
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		return proto.NewError(http.StatusBadRequest, proto.CodeBadRequest, "%v", err)
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return proto.NewError(http.StatusInternalServerError, proto.CodeInternal, "%v", err)
 	}
 }
 

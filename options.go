@@ -168,12 +168,29 @@ func resolveOptions(bank *FilterBank, opts []Option) (decomposeConfig, error) {
 // Invalid arguments and options return errors wrapping
 // *wavelet.UsageError; no panic crosses this boundary.
 func DecomposeWith(im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error) {
+	return DecomposeWithContext(context.Background(), im, bank, opts...)
+}
+
+// DecomposeWithContext is DecomposeWith under a context: a context
+// already done on entry fails immediately with its error, before any
+// pixel is touched. A transform in flight is not interrupted — the
+// single-image kernels run to completion — so cancellation granularity
+// is the whole call; DecomposeAllWithContext observes cancellation
+// between batch items as well. Results are Float64bits-identical to
+// DecomposeWith for every option combination.
+func DecomposeWithContext(ctx context.Context, im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if im == nil {
 		return nil, optionErr("DecomposeWith", "nil image")
 	}
 	cfg, err := resolveOptions(bank, opts)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wavelethpc: %w", err)
 	}
 	return guardDecompose(func() (*Pyramid, error) {
 		if cfg.parallel {
@@ -190,6 +207,18 @@ func DecomposeWith(im *Image, bank *FilterBank, opts ...Option) (*Pyramid, error
 // WithWorkers overrides it. All images must be decomposable to the
 // configured depth — the first offending image fails the whole batch.
 func DecomposeAllWith(images []*Image, bank *FilterBank, opts ...Option) ([]*Pyramid, error) {
+	return DecomposeAllWithContext(context.Background(), images, bank, opts...)
+}
+
+// DecomposeAllWithContext is DecomposeAllWith under a context: the
+// batch pipeline checks the context between items, so a long batch
+// stops early on cancellation or deadline (the in-flight images finish;
+// queued ones never start) and the whole call fails with the context's
+// error. Results are Float64bits-identical to DecomposeAllWith.
+func DecomposeAllWithContext(ctx context.Context, images []*Image, bank *FilterBank, opts ...Option) ([]*Pyramid, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg, err := resolveOptions(bank, opts)
 	if err != nil {
 		return nil, err
@@ -204,7 +233,7 @@ func DecomposeAllWith(images []*Image, bank *FilterBank, opts ...Option) ([]*Pyr
 	}
 	var pyrs []*Pyramid
 	_, err = guardDecompose(func() (*Pyramid, error) {
-		res, err := core.DecomposeBatchTolCtx(context.Background(), images, cfg.bank, cfg.ext, cfg.levels, cfg.workers, cfg.tol)
+		res, err := core.DecomposeBatchTolCtx(ctx, images, cfg.bank, cfg.ext, cfg.levels, cfg.workers, cfg.tol)
 		if err != nil {
 			return nil, err
 		}
